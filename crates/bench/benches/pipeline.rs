@@ -1,0 +1,102 @@
+//! Criterion benchmarks for the data pipeline (§3's Road Network
+//! Constructor) and the route-quality metrics that feed the perception
+//! model: OSM XML parse, rectangle filter, network construction, spatial
+//! matching, and similarity/quality computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use arp_citygen::{City, Scale};
+use arp_core::prelude::*;
+use arp_core::quality::route_set_quality;
+use arp_core::similarity::diversity;
+use arp_osm::constructor::{build_road_network, ConstructorConfig};
+use arp_osm::export::network_to_osm;
+use arp_osm::filter::filter_bbox;
+use arp_osm::writer::write_osm_xml;
+use arp_osm::xml::parse_osm_xml;
+use arp_roadnet::spatial::SpatialIndex;
+
+fn pipeline_benches(c: &mut Criterion) {
+    let city = arp_bench::generate_city(City::Melbourne, Scale::Small);
+    let net = &city.network;
+    let osm = network_to_osm(net);
+    let xml = write_osm_xml(&osm);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+
+    group.bench_function("osm_xml_parse", |b| {
+        b.iter(|| black_box(parse_osm_xml(&xml).unwrap().num_ways()));
+    });
+
+    group.bench_function("osm_xml_write", |b| {
+        b.iter(|| black_box(write_osm_xml(&osm).len()));
+    });
+
+    group.bench_function("bbox_filter", |b| {
+        let bb = net.bbox();
+        let quarter = arp_roadnet::geo::BoundingBox::new(
+            bb.min_lon,
+            bb.min_lat,
+            bb.min_lon + bb.width_deg() / 2.0,
+            bb.min_lat + bb.height_deg() / 2.0,
+        );
+        b.iter(|| black_box(filter_bbox(&osm, quarter).num_nodes()));
+    });
+
+    group.bench_function("road_network_constructor", |b| {
+        b.iter(|| {
+            let (net, _) = build_road_network(&osm, &ConstructorConfig::default()).unwrap();
+            black_box(net.num_edges())
+        });
+    });
+
+    group.bench_function("spatial_index_build", |b| {
+        b.iter(|| black_box(SpatialIndex::build(net).num_cells()));
+    });
+
+    group.bench_function("nearest_node_query", |b| {
+        let idx = SpatialIndex::build(net);
+        let bb = net.bbox();
+        let points: Vec<arp_roadnet::geo::Point> = (0..64)
+            .map(|i| {
+                arp_roadnet::geo::Point::new(
+                    bb.min_lon + bb.width_deg() * ((i * 13 % 64) as f64 / 64.0),
+                    bb.min_lat + bb.height_deg() * ((i * 29 % 64) as f64 / 64.0),
+                )
+            })
+            .collect();
+        b.iter(|| {
+            for &p in &points {
+                black_box(idx.nearest_node(net, p));
+            }
+        });
+    });
+
+    // Quality metrics over a realistic alternatives set.
+    let queries = arp_bench::random_queries(net, 4, 5 * 60_000, 40 * 60_000, 5);
+    let &(s, t, best) = queries.first().expect("query");
+    let paths = plateau_alternatives(
+        net,
+        net.weights(),
+        s,
+        t,
+        &AltQuery::paper(),
+        &PlateauOptions::default(),
+    )
+    .unwrap();
+
+    group.bench_function("diversity_metric", |b| {
+        b.iter(|| black_box(diversity(&paths, net.weights())));
+    });
+
+    group.bench_function("route_set_quality", |b| {
+        b.iter(|| black_box(route_set_quality(net, net.weights(), &paths, best).diversity));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_benches);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion benchmarks for the shortest-path engine: one-to-one Dijkstra
+//! with early termination, A*, and full shortest-path trees (the dominant
+//! cost of Plateaus and Dissimilarity per §2.2/§2.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arp_citygen::{City, Scale};
+use arp_core::search::{Direction, SearchSpace};
+use arp_core::{BidirSearch, ChSearch, ContractionHierarchy};
+
+fn search_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search");
+    group.sample_size(30);
+
+    for scale in [Scale::Small, Scale::Medium] {
+        let city = arp_bench::generate_city(City::Melbourne, scale);
+        let net = city.network;
+        let label = format!("{}n", net.num_nodes());
+        let queries = arp_bench::random_queries(&net, 8, 60_000, 60 * 60_000, 3);
+
+        group.bench_with_input(
+            BenchmarkId::new("dijkstra_1to1", &label),
+            &queries,
+            |b, queries| {
+                let mut ws = SearchSpace::new(&net);
+                b.iter(|| {
+                    for &(s, t, _) in queries {
+                        black_box(ws.shortest_path(&net, net.weights(), s, t).unwrap().cost_ms);
+                    }
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("astar_1to1", &label),
+            &queries,
+            |b, queries| {
+                let mut ws = SearchSpace::new(&net);
+                b.iter(|| {
+                    for &(s, t, _) in queries {
+                        black_box(ws.astar(&net, net.weights(), s, t).unwrap().cost_ms);
+                    }
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("spt_forward", &label),
+            &queries,
+            |b, queries| {
+                let mut ws = SearchSpace::new(&net);
+                b.iter(|| {
+                    for &(s, _, _) in queries {
+                        let tree = ws
+                            .shortest_path_tree(&net, net.weights(), s, Direction::Forward)
+                            .unwrap();
+                        black_box(tree.dist.len());
+                    }
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("spt_backward", &label),
+            &queries,
+            |b, queries| {
+                let mut ws = SearchSpace::new(&net);
+                b.iter(|| {
+                    for &(_, t, _) in queries {
+                        let tree = ws
+                            .shortest_path_tree(&net, net.weights(), t, Direction::Backward)
+                            .unwrap();
+                        black_box(tree.dist.len());
+                    }
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("bidirectional_1to1", &label),
+            &queries,
+            |b, queries| {
+                let mut bi = BidirSearch::new(&net);
+                b.iter(|| {
+                    for &(s, t, _) in queries {
+                        black_box(bi.shortest_distance(&net, net.weights(), s, t).unwrap());
+                    }
+                });
+            },
+        );
+
+        // CH preprocessing is done once outside the measured loop; queries
+        // then show the index speed-up over plain Dijkstra.
+        let ch = ContractionHierarchy::build(&net, net.weights()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("ch_query", &label),
+            &queries,
+            |b, queries| {
+                let mut search = ChSearch::new(&ch);
+                b.iter(|| {
+                    for &(s, t, _) in queries {
+                        black_box(search.distance(&ch, s, t).unwrap());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, search_benches);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Criterion benchmarks for the four techniques across the three study
+//! cities — the §2 cost claims: Plateaus ≈ two Dijkstra searches plus a
+//! linear join; Penalty ≈ k penalized searches; Dissimilarity the
+//! slowest (via-node enumeration + pairwise dissimilarity checks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arp_citygen::{City, Scale};
+use arp_core::prelude::*;
+
+fn technique_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("techniques");
+    group.sample_size(20);
+
+    for city_kind in City::ALL {
+        let city = arp_bench::generate_city(city_kind, Scale::Small);
+        let net = city.network;
+        let queries = arp_bench::random_queries(&net, 8, 3 * 60_000, 40 * 60_000, 7);
+        assert!(!queries.is_empty(), "{city_kind}: no benchmark queries");
+        let q = AltQuery::paper();
+
+        group.bench_with_input(
+            BenchmarkId::new("dijkstra_baseline", city_kind.name()),
+            &queries,
+            |b, queries| {
+                let mut ws = SearchSpace::new(&net);
+                b.iter(|| {
+                    for &(s, t, _) in queries {
+                        black_box(ws.shortest_path(&net, net.weights(), s, t).unwrap().cost_ms);
+                    }
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("plateaus", city_kind.name()),
+            &queries,
+            |b, queries| {
+                let opts = PlateauOptions::default();
+                b.iter(|| {
+                    for &(s, t, _) in queries {
+                        black_box(
+                            plateau_alternatives(&net, net.weights(), s, t, &q, &opts)
+                                .unwrap()
+                                .len(),
+                        );
+                    }
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("penalty", city_kind.name()),
+            &queries,
+            |b, queries| {
+                let opts = PenaltyOptions::default();
+                b.iter(|| {
+                    for &(s, t, _) in queries {
+                        black_box(
+                            penalty_alternatives(&net, net.weights(), s, t, &q, &opts)
+                                .unwrap()
+                                .len(),
+                        );
+                    }
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("dissimilarity", city_kind.name()),
+            &queries,
+            |b, queries| {
+                let opts = DissimilarityOptions::default();
+                b.iter(|| {
+                    for &(s, t, _) in queries {
+                        black_box(
+                            dissimilarity_alternatives(&net, net.weights(), s, t, &q, &opts)
+                                .unwrap()
+                                .len(),
+                        );
+                    }
+                });
+            },
+        );
+
+        let google = GoogleLikeProvider::new(&net, 7);
+        group.bench_with_input(
+            BenchmarkId::new("google_like", city_kind.name()),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    for &(s, t, _) in queries {
+                        black_box(
+                            google
+                                .alternatives(&net, net.weights(), s, t, &q)
+                                .unwrap()
+                                .len(),
+                        );
+                    }
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("yen_k3", city_kind.name()),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    for &(s, t, _) in queries {
+                        black_box(
+                            yen_k_shortest_paths(&net, net.weights(), s, t, 3)
+                                .unwrap()
+                                .len(),
+                        );
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, technique_benches);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Reproduces the §4.1 one-way ANOVA: p-values for all respondents
+//! (paper: 0.16), residents (0.68) and non-residents (0.18) — the paper's
+//! headline finding that no approach is significantly better rated.
+//!
+//! ```sh
+//! cargo run --release -p arp-bench --bin repro_anova
+//! ```
+
+use std::fmt::Write as _;
+
+use arp_userstudy::posthoc::{kruskal_wallis, pairwise_welch};
+use arp_userstudy::tables::{anova_report, render_anova};
+
+fn main() {
+    let (outcome, _) = arp_bench::calibrated_study();
+    let report = anova_report(outcome);
+    let mut text = render_anova(&report);
+
+    // Post-hoc checks beyond the paper: Kruskal–Wallis (proper for
+    // ordinal Likert data) and Bonferroni-adjusted pairwise Welch tests —
+    // both should agree with the ANOVA's non-significance.
+    let groups: Vec<Vec<f64>> = (0..4).map(|a| outcome.ratings_of(a, None, None)).collect();
+    let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
+    if let Some(kw) = kruskal_wallis(&refs) {
+        let _ = writeln!(
+            text,
+            "\nKruskal-Wallis (all respondents): H({:.0}) = {:.3}, p = {:.3}, significant at 0.05: {}",
+            kw.df,
+            kw.h,
+            kw.p_value,
+            if kw.p_value < 0.05 { "yes" } else { "no" }
+        );
+    }
+    let names = arp_userstudy::paper::APPROACHES;
+    let _ = writeln!(text, "\nPairwise Welch t-tests (Bonferroni-adjusted):");
+    for c in pairwise_welch(&refs) {
+        let _ = writeln!(
+            text,
+            "  {:<13} vs {:<13} diff {:+.3}  t({:.0}) = {:+.2}  p_adj = {:.3}",
+            names[c.a], names[c.b], c.mean_diff, c.df, c.t, c.p_adjusted
+        );
+    }
+    println!("{text}");
+
+    // The reproduction's success criterion is the *conclusion*, not the
+    // exact p: all three tests must be non-significant at α = 0.05.
+    let mut verdict = text.clone();
+    let all_ns = [report.all, report.residents, report.non_residents]
+        .iter()
+        .all(|r| r.map(|r| !r.significant(0.05)).unwrap_or(false));
+    verdict.push_str(&format!(
+        "\nconclusion reproduced (all three tests non-significant): {}\n",
+        if all_ns { "YES" } else { "NO" }
+    ));
+    println!(
+        "conclusion reproduced (all three tests non-significant): {}",
+        if all_ns { "YES" } else { "NO" }
+    );
+    let path = arp_bench::write_report("anova.txt", &verdict);
+    println!("report written to {}", path.display());
+}

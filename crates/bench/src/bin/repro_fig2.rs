@@ -1,0 +1,78 @@
+//! Reproduces **Figs. 2–3**: the demo UI artifacts. Runs one query
+//! through the full demo stack (geo-matching → four approaches → A–D
+//! blinding → minute rounding), writes the interactive HTML page the
+//! server serves, a GeoJSON of the displayed routes, and exercises the
+//! feedback form round-trip.
+//!
+//! ```sh
+//! cargo run --release -p arp-bench --bin repro_fig2
+//! ```
+
+use std::fmt::Write as _;
+
+use arp_demo::prelude::*;
+use arp_demo::query::QueryProcessor;
+use arp_roadnet::geo::Point;
+
+fn main() {
+    let city = arp_bench::generate_city(arp_citygen::City::Melbourne, arp_citygen::Scale::Small);
+    let processor = QueryProcessor::new(city.name.clone(), city.network, arp_bench::MASTER_SEED);
+    let app = DemoApp::new(processor);
+
+    // Fig. 2(a): the user clicks source and target inside the rectangle.
+    let bb = app.processor.network().bbox();
+    let s = Point::new(
+        bb.min_lon + bb.width_deg() * 0.3,
+        bb.min_lat + bb.height_deg() * 0.35,
+    );
+    let t = Point::new(
+        bb.min_lon + bb.width_deg() * 0.75,
+        bb.min_lat + bb.height_deg() * 0.7,
+    );
+
+    // Fig. 2(b): the four approaches' routes, blinded A-D.
+    let resp = app.processor.process(s, t).expect("routable demo query");
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Fig. 2 reproduction: demo query through the full stack"
+    );
+    let _ = writeln!(
+        report,
+        "  matched {} -> {}, fastest {} min",
+        resp.source, resp.target, resp.fastest_minutes
+    );
+    for a in &resp.approaches {
+        let minutes: Vec<String> = a
+            .routes
+            .iter()
+            .map(|r| format!("{} min", r.minutes))
+            .collect();
+        let _ = writeln!(report, "  Approach {}: {}", a.label, minutes.join(", "));
+    }
+
+    // Artifacts: the served page and the routes as GeoJSON.
+    let page = app.handle("GET", "/", "");
+    let page_path = arp_bench::write_report("fig2_demo.html", &page.body);
+    let geojson = response_to_geojson(&resp);
+    let geo_path = arp_bench::write_report("fig2_routes.geojson", &geojson);
+
+    // Fig. 3: submit a rating through the API and read the summary back.
+    let rate = app.handle(
+        "POST",
+        "/api/rate",
+        r#"{"a": 4, "b": 5, "c": 4, "d": 3, "resident": true, "fastest_minutes": 20, "comment": "demo round-trip"}"#,
+    );
+    assert_eq!(rate.status, 200, "{}", rate.body);
+    let results = app.handle("GET", "/api/results", "");
+    let _ = writeln!(report, "\nFig. 3 reproduction: rating round-trip");
+    let _ = writeln!(report, "  POST /api/rate -> {}", rate.body);
+    let _ = writeln!(report, "  GET /api/results -> {}", results.body);
+    let _ = writeln!(report, "\nartifacts:");
+    let _ = writeln!(report, "  demo page: {}", page_path.display());
+    let _ = writeln!(report, "  routes geojson: {}", geo_path.display());
+
+    println!("{report}");
+    let path = arp_bench::write_report("fig2.txt", &report);
+    println!("report written to {}", path.display());
+}

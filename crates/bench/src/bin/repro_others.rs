@@ -1,0 +1,145 @@
+//! §2.4 "Other techniques" comparison: the paper argues (a) naive Yen
+//! k-shortest paths are "all expected to be very similar to each other",
+//! (b) edge-exclusion / limited-overlap variants (ESX-style) fix that at
+//! extra cost, (c) Pareto/skyline paths are a different axis entirely.
+//! This experiment quantifies those claims against the three study
+//! techniques on the same query batch.
+//!
+//! ```sh
+//! cargo run --release -p arp-bench --bin repro_others
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use arp_core::prelude::*;
+use arp_core::quality::route_set_quality;
+
+fn main() {
+    let city = arp_bench::melbourne_medium();
+    let net = &city.network;
+    let queries = arp_bench::random_queries(
+        net,
+        30,
+        8 * 60_000,
+        45 * 60_000,
+        arp_bench::MASTER_SEED ^ 0x07E5,
+    );
+    let q = AltQuery::paper();
+
+    struct Row {
+        name: &'static str,
+        routes: f64,
+        stretch: f64,
+        diversity: f64,
+        ms_per_query: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    let mut run =
+        |name: &'static str,
+         f: &mut dyn FnMut(arp_roadnet::NodeId, arp_roadnet::NodeId) -> Option<Vec<Path>>| {
+            let mut routes = 0.0;
+            let mut stretch = 0.0;
+            let mut diversity = 0.0;
+            let mut n = 0usize;
+            let started = Instant::now();
+            for &(s, t, best) in &queries {
+                let Some(paths) = f(s, t) else { continue };
+                if paths.is_empty() {
+                    continue;
+                }
+                let report = route_set_quality(net, net.weights(), &paths, best);
+                routes += report.count as f64;
+                stretch += report.mean_stretch;
+                diversity += report.diversity;
+                n += 1;
+            }
+            let elapsed = started.elapsed().as_secs_f64() * 1000.0 / n.max(1) as f64;
+            let nf = n.max(1) as f64;
+            rows.push(Row {
+                name,
+                routes: routes / nf,
+                stretch: stretch / nf,
+                diversity: diversity / nf,
+                ms_per_query: elapsed,
+            });
+        };
+
+    run("plateaus", &mut |s, t| {
+        plateau_alternatives(net, net.weights(), s, t, &q, &PlateauOptions::default()).ok()
+    });
+    run("penalty", &mut |s, t| {
+        penalty_alternatives(net, net.weights(), s, t, &q, &PenaltyOptions::default()).ok()
+    });
+    run("dissimilarity (SSVP-D+)", &mut |s, t| {
+        dissimilarity_alternatives(
+            net,
+            net.weights(),
+            s,
+            t,
+            &q,
+            &DissimilarityOptions::default(),
+        )
+        .ok()
+    });
+    run("yen k=3 (naive KSP)", &mut |s, t| {
+        yen_k_shortest_paths(net, net.weights(), s, t, 3).ok()
+    });
+    run("esx (k-SPwLO)", &mut |s, t| {
+        esx_alternatives(net, net.weights(), s, t, &q, &EsxOptions::default()).ok()
+    });
+    run("pareto (time x distance)", &mut |s, t| {
+        pareto_paths(net, net.weights(), s, t, &ParetoOptions::default())
+            .ok()
+            .map(|rs| rs.into_iter().take(q.k).map(|r| r.path).collect())
+    });
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "§2.4 other-techniques comparison over {} queries on {}",
+        queries.len(),
+        city.name
+    );
+    let _ = writeln!(
+        report,
+        "\n{:<26} {:>7} {:>9} {:>10} {:>10}",
+        "technique", "routes", "stretch", "diversity", "ms/query"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            report,
+            "{:<26} {:>7.2} {:>9.3} {:>10.3} {:>10.2}",
+            r.name, r.routes, r.stretch, r.diversity, r.ms_per_query
+        );
+    }
+
+    let yen = rows.iter().find(|r| r.name.starts_with("yen")).unwrap();
+    let dedicated_min_div = rows
+        .iter()
+        .filter(|r| !r.name.starts_with("yen") && !r.name.starts_with("pareto"))
+        .map(|r| r.diversity)
+        .fold(f64::INFINITY, f64::min);
+    let _ =
+        writeln!(
+        report,
+        "\nclaim checks:\n  yen diversity ({:.3}) below every dedicated technique (min {:.3}): {}",
+        yen.diversity,
+        dedicated_min_div,
+        if yen.diversity < dedicated_min_div { "YES" } else { "NO" }
+    );
+    let _ = writeln!(
+        report,
+        "  yen slower than plateaus: {}",
+        if yen.ms_per_query > rows[0].ms_per_query {
+            "YES"
+        } else {
+            "NO"
+        }
+    );
+
+    println!("{report}");
+    let path = arp_bench::write_report("others.txt", &report);
+    println!("report written to {}", path.display());
+}

@@ -1,0 +1,217 @@
+//! Wall-clock performance table (the §2 cost claims) as a text artifact —
+//! the same measurements `cargo bench` makes with criterion, condensed
+//! into one table per city for EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p arp-bench --bin repro_perf
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use arp_citygen::{City, Scale};
+use arp_core::prelude::*;
+use arp_core::search::{Direction, SearchSpace};
+use arp_core::{ChSearch, ContractionHierarchy};
+
+fn time_per_query(mut f: impl FnMut(), queries: usize, reps: usize) -> f64 {
+    // Warm-up round.
+    f();
+    let started = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    started.elapsed().as_secs_f64() * 1000.0 / (reps * queries) as f64
+}
+
+fn row(report: &mut String, name: &str, ms: f64) {
+    let _ = writeln!(report, "  {name:<26} {ms:>9.3} ms/query");
+}
+
+fn row_total(report: &mut String, name: &str, ms: f64, shortcuts: usize) {
+    let _ = writeln!(
+        report,
+        "  {name:<26} {ms:>9.1} ms total ({shortcuts} shortcuts)"
+    );
+}
+
+fn main() {
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Wall-clock per-query timings (ms), 8 queries x 5 reps, release build"
+    );
+
+    for city_kind in City::ALL {
+        let city = arp_bench::generate_city(city_kind, Scale::Small);
+        let net = city.network;
+        let queries = arp_bench::random_queries(&net, 8, 3 * 60_000, 40 * 60_000, 7);
+        let q = AltQuery::paper();
+        let reps = 5;
+
+        let _ = writeln!(
+            report,
+            "\n{} ({} nodes, {} edges)",
+            city.name,
+            net.num_nodes(),
+            net.num_edges()
+        );
+
+        let mut ws = SearchSpace::new(&net);
+        row(
+            &mut report,
+            "dijkstra 1-to-1",
+            time_per_query(
+                || {
+                    for &(s, t, _) in &queries {
+                        let _ = ws.shortest_path(&net, net.weights(), s, t);
+                    }
+                },
+                queries.len(),
+                reps,
+            ),
+        );
+        let mut ws2 = SearchSpace::new(&net);
+        row(
+            &mut report,
+            "shortest-path tree",
+            time_per_query(
+                || {
+                    for &(s, _, _) in &queries {
+                        let _ = ws2.shortest_path_tree(&net, net.weights(), s, Direction::Forward);
+                    }
+                },
+                queries.len(),
+                reps,
+            ),
+        );
+        let mut bi = BidirSearch::new(&net);
+        row(
+            &mut report,
+            "bidirectional dijkstra",
+            time_per_query(
+                || {
+                    for &(s, t, _) in &queries {
+                        let _ = bi.shortest_distance(&net, net.weights(), s, t);
+                    }
+                },
+                queries.len(),
+                reps,
+            ),
+        );
+        let ch_build_start = Instant::now();
+        let ch = ContractionHierarchy::build(&net, net.weights()).unwrap();
+        let ch_build = ch_build_start.elapsed().as_secs_f64() * 1000.0;
+        let mut chq = ChSearch::new(&ch);
+        row(
+            &mut report,
+            "CH query",
+            time_per_query(
+                || {
+                    for &(s, t, _) in &queries {
+                        let _ = chq.distance(&ch, s, t);
+                    }
+                },
+                queries.len(),
+                reps,
+            ),
+        );
+        row_total(
+            &mut report,
+            "CH preprocessing",
+            ch_build,
+            ch.num_shortcuts(),
+        );
+        row(
+            &mut report,
+            "plateaus k=3",
+            time_per_query(
+                || {
+                    for &(s, t, _) in &queries {
+                        let _ = plateau_alternatives(
+                            &net,
+                            net.weights(),
+                            s,
+                            t,
+                            &q,
+                            &PlateauOptions::default(),
+                        );
+                    }
+                },
+                queries.len(),
+                reps,
+            ),
+        );
+        row(
+            &mut report,
+            "penalty k=3",
+            time_per_query(
+                || {
+                    for &(s, t, _) in &queries {
+                        let _ = penalty_alternatives(
+                            &net,
+                            net.weights(),
+                            s,
+                            t,
+                            &q,
+                            &PenaltyOptions::default(),
+                        );
+                    }
+                },
+                queries.len(),
+                reps,
+            ),
+        );
+        row(
+            &mut report,
+            "dissimilarity k=3",
+            time_per_query(
+                || {
+                    for &(s, t, _) in &queries {
+                        let _ = dissimilarity_alternatives(
+                            &net,
+                            net.weights(),
+                            s,
+                            t,
+                            &q,
+                            &DissimilarityOptions::default(),
+                        );
+                    }
+                },
+                queries.len(),
+                reps,
+            ),
+        );
+        row(
+            &mut report,
+            "esx k=3",
+            time_per_query(
+                || {
+                    for &(s, t, _) in &queries {
+                        let _ =
+                            esx_alternatives(&net, net.weights(), s, t, &q, &EsxOptions::default());
+                    }
+                },
+                queries.len(),
+                reps,
+            ),
+        );
+        row(
+            &mut report,
+            "yen k=3",
+            time_per_query(
+                || {
+                    for &(s, t, _) in &queries {
+                        let _ = yen_k_shortest_paths(&net, net.weights(), s, t, 3);
+                    }
+                },
+                queries.len(),
+                reps,
+            ),
+        );
+    }
+
+    println!("{report}");
+    let path = arp_bench::write_report("perf.txt", &report);
+    println!("report written to {}", path.display());
+}

@@ -1,0 +1,25 @@
+//! Reproduces **Table 1** (all 237 responses): mean rating and standard
+//! deviation per approach, overall and per length bin.
+//!
+//! ```sh
+//! cargo run --release -p arp-bench --bin repro_table1
+//! ```
+
+use arp_userstudy::paper;
+use arp_userstudy::tables::{max_mean_deviation, render, render_vs_paper, table1};
+
+fn main() {
+    let (outcome, _) = arp_bench::calibrated_study();
+    let table = table1(outcome);
+
+    let mut report = String::new();
+    report.push_str(&render(&table));
+    report.push('\n');
+    report.push_str(&render_vs_paper(&table, &paper::TABLE1));
+    let dev = max_mean_deviation(&table, &paper::TABLE1);
+    report.push_str(&format!("\nmax |measured - paper| mean: {dev:.3}\n"));
+
+    println!("{report}");
+    let path = arp_bench::write_report("table1.txt", &report);
+    println!("report written to {}", path.display());
+}

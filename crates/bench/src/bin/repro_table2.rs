@@ -1,0 +1,24 @@
+//! Reproduces **Table 2** (Melbourne residents only, 156 responses).
+//!
+//! ```sh
+//! cargo run --release -p arp-bench --bin repro_table2
+//! ```
+
+use arp_userstudy::paper;
+use arp_userstudy::tables::{max_mean_deviation, render, render_vs_paper, table2};
+
+fn main() {
+    let (outcome, _) = arp_bench::calibrated_study();
+    let table = table2(outcome);
+
+    let mut report = String::new();
+    report.push_str(&render(&table));
+    report.push('\n');
+    report.push_str(&render_vs_paper(&table, &paper::TABLE2));
+    let dev = max_mean_deviation(&table, &paper::TABLE2);
+    report.push_str(&format!("\nmax |measured - paper| mean: {dev:.3}\n"));
+
+    println!("{report}");
+    let path = arp_bench::write_report("table2.txt", &report);
+    println!("report written to {}", path.display());
+}

@@ -1,0 +1,24 @@
+//! Reproduces **Table 3** (non-residents only, 81 responses).
+//!
+//! ```sh
+//! cargo run --release -p arp-bench --bin repro_table3
+//! ```
+
+use arp_userstudy::paper;
+use arp_userstudy::tables::{max_mean_deviation, render, render_vs_paper, table3};
+
+fn main() {
+    let (outcome, _) = arp_bench::calibrated_study();
+    let table = table3(outcome);
+
+    let mut report = String::new();
+    report.push_str(&render(&table));
+    report.push('\n');
+    report.push_str(&render_vs_paper(&table, &paper::TABLE3));
+    let dev = max_mean_deviation(&table, &paper::TABLE3);
+    report.push_str(&format!("\nmax |measured - paper| mean: {dev:.3}\n"));
+
+    println!("{report}");
+    let path = arp_bench::write_report("table3.txt", &report);
+    println!("report written to {}", path.display());
+}

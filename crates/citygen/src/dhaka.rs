@@ -1,0 +1,97 @@
+//! Dhaka morphology: very dense, highly irregular street fabric with many
+//! dead ends, few continuous arterials, almost no freeways, and the
+//! Buriganga/Turag rivers constraining the south and west with few bridges.
+
+use crate::spec::{rel, ArterialSpec, CitySpec, FreewaySpec, GridSpec, Obstacle};
+use crate::{City, Scale};
+
+/// The Dhaka [`CitySpec`] at the given scale and seed.
+pub fn spec(scale: Scale, seed: u64) -> CitySpec {
+    let dim = scale.grid_dim();
+    CitySpec {
+        name: City::Dhaka.name().to_string(),
+        seed,
+        center: City::Dhaka.center(),
+        grid: GridSpec {
+            cols: dim,
+            rows: dim,
+            // Denser blocks than Melbourne.
+            spacing_m: 110.0,
+            // Organic, unplanned fabric.
+            irregularity: 0.35,
+            hole_prob: 0.08,
+            missing_street_prob: 0.12,
+            oneway_fraction: 0.30,
+            diagonal_prob: 0.05,
+        },
+        // Sparse arterials: long gaps between continuous major roads.
+        arterials: ArterialSpec {
+            row_every: 12,
+            col_every: 10,
+        },
+        // One short elevated expressway analogue; no ring.
+        freeways: vec![FreewaySpec {
+            waypoints: vec![rel(0.45, 0.05), rel(0.50, 0.45), rel(0.55, 0.95)],
+            node_spacing_m: 500.0,
+            ramp_every: 6,
+            closed: false,
+        }],
+        obstacles: vec![
+            // Buriganga river along the southern edge, two bridges.
+            Obstacle {
+                polygon: vec![
+                    rel(-0.05, -0.05),
+                    rel(1.05, -0.05),
+                    rel(1.05, 0.10),
+                    rel(0.60, 0.14),
+                    rel(0.20, 0.12),
+                    rel(-0.05, 0.16),
+                ],
+                bridges: vec![
+                    (rel(0.30, 0.14), rel(0.32, 0.06)),
+                    (rel(0.70, 0.15), rel(0.72, 0.07)),
+                ],
+            },
+            // Turag river on the west, one bridge.
+            Obstacle {
+                polygon: vec![
+                    rel(-0.05, 0.16),
+                    rel(0.10, 0.30),
+                    rel(0.12, 0.60),
+                    rel(0.08, 0.95),
+                    rel(-0.05, 1.05),
+                ],
+                bridges: vec![(rel(0.13, 0.50), rel(0.05, 0.48))],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_from_spec;
+    use arp_roadnet::category::RoadCategory;
+
+    #[test]
+    fn dhaka_spec_sane() {
+        let s = spec(Scale::Tiny, 1);
+        assert_eq!(s.name, "Dhaka");
+        assert!(s.grid.irregularity > 0.3);
+        assert!(s.grid.oneway_fraction > 0.25);
+    }
+
+    #[test]
+    fn dhaka_is_denser_but_less_arterial_than_melbourne() {
+        let d = generate_from_spec(&spec(Scale::Small, 11));
+        let m = generate_from_spec(&crate::melbourne::spec(Scale::Small, 11));
+        let primary_share = |g: &crate::GeneratedCity| {
+            g.network
+                .edges()
+                .filter(|&e| g.network.category(e) == RoadCategory::Primary)
+                .count() as f64
+                / g.network.num_edges() as f64
+        };
+        assert!(primary_share(&d) < primary_share(&m));
+    }
+}

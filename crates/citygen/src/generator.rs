@@ -1,0 +1,391 @@
+//! The city generator: turns a [`CitySpec`] into a [`RoadNetwork`].
+//!
+//! Pipeline: jittered lattice → obstacle carving → street connection with
+//! arterial upgrades, one-way streets and diagonal shortcuts → freeway
+//! corridors with ramps → bridges over obstacles → largest-SCC extraction.
+
+use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+use arp_roadnet::category::RoadCategory;
+use arp_roadnet::csr::RoadNetwork;
+use arp_roadnet::geo::Point;
+use arp_roadnet::ids::NodeId;
+use arp_roadnet::scc::largest_scc_subnetwork;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::spec::{CitySpec, Rel};
+
+/// A generated city: the strongly connected road network plus metadata.
+#[derive(Clone, Debug)]
+pub struct GeneratedCity {
+    /// City name from the spec.
+    pub name: String,
+    /// The road network (largest SCC of the generator output).
+    pub network: RoadNetwork,
+    /// Real-world centre coordinates.
+    pub center: Point,
+    /// Seed the network was generated with.
+    pub seed: u64,
+}
+
+/// Lattice bookkeeping during generation.
+struct Lattice {
+    cols: usize,
+    /// Node id per lattice slot (`None` = removed by hole or obstacle).
+    nodes: Vec<Option<NodeId>>,
+    /// Jittered relative position per slot (valid where `nodes` is `Some`).
+    rels: Vec<Rel>,
+}
+
+impl Lattice {
+    fn idx(&self, x: usize, y: usize) -> usize {
+        y * (self.cols + 1) + x
+    }
+
+    fn node(&self, x: usize, y: usize) -> Option<NodeId> {
+        self.nodes[self.idx(x, y)]
+    }
+
+    fn rel(&self, x: usize, y: usize) -> Rel {
+        self.rels[self.idx(x, y)]
+    }
+
+    /// Nearest existing lattice node to a relative point (brute force).
+    fn nearest(&self, p: Rel) -> Option<(NodeId, Rel)> {
+        let mut best: Option<(NodeId, Rel, f64)> = None;
+        for i in 0..self.nodes.len() {
+            if let Some(id) = self.nodes[i] {
+                let r = self.rels[i];
+                let d = (r.x - p.x).powi(2) + (r.y - p.y).powi(2);
+                if best.as_ref().is_none_or(|&(_, _, bd)| d < bd) {
+                    best = Some((id, r, d));
+                }
+            }
+        }
+        best.map(|(id, r, _)| (id, r))
+    }
+}
+
+/// Generates the road network described by `spec`.
+pub fn generate_from_spec(spec: &CitySpec) -> GeneratedCity {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let cols = spec.grid.cols as usize;
+    let rows = spec.grid.rows as usize;
+    let mut b = GraphBuilder::with_capacity((cols + 1) * (rows + 1), (cols + 1) * (rows + 1) * 4);
+
+    let mut lattice = Lattice {
+        cols,
+        nodes: vec![None; (cols + 1) * (rows + 1)],
+        rels: vec![Rel { x: 0.0, y: 0.0 }; (cols + 1) * (rows + 1)],
+    };
+
+    // 1. Place jittered lattice nodes, skipping holes and water.
+    let jitter = spec.grid.irregularity / cols.max(1) as f64;
+    for y in 0..=rows {
+        for x in 0..=cols {
+            let base = Rel {
+                x: x as f64 / cols.max(1) as f64,
+                y: y as f64 / rows.max(1) as f64,
+            };
+            let r = Rel {
+                x: base.x + rng.random_range(-jitter..=jitter),
+                y: base.y + rng.random_range(-jitter..=jitter),
+            };
+            let i = lattice.idx(x, y);
+            lattice.rels[i] = r;
+            if rng.random_bool(spec.grid.hole_prob) {
+                continue;
+            }
+            if spec.obstacles.iter().any(|o| o.contains(r)) {
+                continue;
+            }
+            lattice.nodes[i] = Some(b.add_node(spec.rel_to_point(r)));
+        }
+    }
+
+    // 2. Streets between lattice neighbours.
+    let crosses_water = |a: Rel, c: Rel, spec: &CitySpec| {
+        [0.25, 0.5, 0.75].iter().any(|&t| {
+            let mid = Rel {
+                x: a.x + (c.x - a.x) * t,
+                y: a.y + (c.y - a.y) * t,
+            };
+            spec.obstacles.iter().any(|o| o.contains(mid))
+        })
+    };
+
+    let row_every = spec.arterials.row_every as usize;
+    let col_every = spec.arterials.col_every as usize;
+    for y in 0..=rows {
+        for x in 0..=cols {
+            let Some(a) = lattice.node(x, y) else {
+                continue;
+            };
+            let ra = lattice.rel(x, y);
+            // East neighbour.
+            if x < cols {
+                if let Some(c) = lattice.node(x + 1, y) {
+                    let rc = lattice.rel(x + 1, y);
+                    if !rng.random_bool(spec.grid.missing_street_prob)
+                        && !crosses_water(ra, rc, spec)
+                    {
+                        let cat = if row_every > 0 && y % row_every == 0 {
+                            RoadCategory::Primary
+                        } else {
+                            RoadCategory::Residential
+                        };
+                        add_street(&mut b, &mut rng, a, c, cat, spec.grid.oneway_fraction);
+                    }
+                }
+            }
+            // North neighbour.
+            if y < rows {
+                if let Some(c) = lattice.node(x, y + 1) {
+                    let rc = lattice.rel(x, y + 1);
+                    if !rng.random_bool(spec.grid.missing_street_prob)
+                        && !crosses_water(ra, rc, spec)
+                    {
+                        let cat = if col_every > 0 && x % col_every == 0 {
+                            RoadCategory::Secondary
+                        } else {
+                            RoadCategory::Residential
+                        };
+                        add_street(&mut b, &mut rng, a, c, cat, spec.grid.oneway_fraction);
+                    }
+                }
+            }
+            // Diagonal shortcut.
+            if x < cols && y < rows && rng.random_bool(spec.grid.diagonal_prob) {
+                if let Some(c) = lattice.node(x + 1, y + 1) {
+                    let rc = lattice.rel(x + 1, y + 1);
+                    if !crosses_water(ra, rc, spec) {
+                        b.add_bidirectional(a, c, EdgeSpec::category(RoadCategory::Tertiary));
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Freeway corridors.
+    for fw in &spec.freeways {
+        let (w_m, h_m) = spec.extent_m();
+        let extent_m = w_m.max(h_m);
+        let spacing_rel = (fw.node_spacing_m / extent_m).max(1e-4);
+        let chain = sample_polyline(&fw.waypoints, spacing_rel, fw.closed);
+        if chain.len() < 2 {
+            continue;
+        }
+        let ids: Vec<NodeId> = chain
+            .iter()
+            .map(|&r| b.add_node(spec.rel_to_point(r)))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_bidirectional(w[0], w[1], EdgeSpec::category(RoadCategory::Motorway));
+        }
+        if fw.closed {
+            b.add_bidirectional(
+                *ids.last().unwrap(),
+                ids[0],
+                EdgeSpec::category(RoadCategory::Motorway),
+            );
+        }
+        // Ramps to the surface grid.
+        let ramp_every = fw.ramp_every.max(1) as usize;
+        for (i, (&fw_node, &fw_rel)) in ids.iter().zip(chain.iter()).enumerate() {
+            if i % ramp_every != 0 {
+                continue;
+            }
+            if let Some((surface, _)) = lattice.nearest(fw_rel) {
+                b.add_bidirectional(
+                    fw_node,
+                    surface,
+                    EdgeSpec::category(RoadCategory::MotorwayLink),
+                );
+            }
+        }
+    }
+
+    // 4. Bridges over obstacles.
+    for ob in &spec.obstacles {
+        for &(ra, rb) in &ob.bridges {
+            let (Some((na, _)), Some((nb, _))) = (lattice.nearest(ra), lattice.nearest(rb)) else {
+                continue;
+            };
+            if na != nb {
+                b.add_bidirectional(na, nb, EdgeSpec::category(RoadCategory::Primary));
+            }
+        }
+    }
+
+    let raw = b.build();
+    let (network, _) = largest_scc_subnetwork(&raw);
+    GeneratedCity {
+        name: spec.name.clone(),
+        network,
+        center: spec.center,
+        seed: spec.seed,
+    }
+}
+
+fn add_street(
+    b: &mut GraphBuilder,
+    rng: &mut StdRng,
+    a: NodeId,
+    c: NodeId,
+    cat: RoadCategory,
+    oneway_fraction: f64,
+) {
+    let oneway = cat == RoadCategory::Residential && rng.random_bool(oneway_fraction);
+    if oneway {
+        if rng.random_bool(0.5) {
+            b.add_edge(a, c, EdgeSpec::category(cat));
+        } else {
+            b.add_edge(c, a, EdgeSpec::category(cat));
+        }
+    } else {
+        b.add_bidirectional(a, c, EdgeSpec::category(cat));
+    }
+}
+
+/// Samples a polyline of relative waypoints at roughly `spacing` apart
+/// (in relative units). Includes the waypoints themselves.
+fn sample_polyline(waypoints: &[Rel], spacing: f64, closed: bool) -> Vec<Rel> {
+    let mut out = Vec::new();
+    if waypoints.is_empty() {
+        return out;
+    }
+    let n = waypoints.len();
+    let segs = if closed { n } else { n - 1 };
+    for s in 0..segs {
+        let a = waypoints[s];
+        let c = waypoints[(s + 1) % n];
+        let len = ((c.x - a.x).powi(2) + (c.y - a.y).powi(2)).sqrt();
+        let steps = (len / spacing).ceil().max(1.0) as usize;
+        for k in 0..steps {
+            let t = k as f64 / steps as f64;
+            out.push(Rel {
+                x: a.x + (c.x - a.x) * t,
+                y: a.y + (c.y - a.y) * t,
+            });
+        }
+    }
+    if !closed {
+        out.push(waypoints[n - 1]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{rel, ArterialSpec, FreewaySpec, GridSpec, Obstacle};
+
+    fn base_spec() -> CitySpec {
+        CitySpec {
+            name: "testville".into(),
+            seed: 5,
+            center: Point::new(144.0, -37.0),
+            grid: GridSpec {
+                cols: 15,
+                rows: 15,
+                spacing_m: 150.0,
+                ..GridSpec::default()
+            },
+            arterials: ArterialSpec::default(),
+            freeways: vec![],
+            obstacles: vec![],
+        }
+    }
+
+    #[test]
+    fn plain_grid_generates() {
+        let g = generate_from_spec(&base_spec());
+        assert!(g.network.num_nodes() > 150);
+        assert!(g.network.check_invariants());
+        assert_eq!(g.name, "testville");
+    }
+
+    #[test]
+    fn obstacle_removes_nodes() {
+        let mut with_hole = base_spec();
+        with_hole.obstacles.push(Obstacle {
+            polygon: vec![rel(0.3, 0.3), rel(0.7, 0.3), rel(0.7, 0.7), rel(0.3, 0.7)],
+            bridges: vec![(rel(0.28, 0.5), rel(0.72, 0.5))],
+        });
+        let plain = generate_from_spec(&base_spec());
+        let holed = generate_from_spec(&with_hole);
+        assert!(holed.network.num_nodes() < plain.network.num_nodes());
+    }
+
+    #[test]
+    fn freeway_adds_motorway_edges() {
+        let mut spec = base_spec();
+        spec.freeways.push(FreewaySpec {
+            waypoints: vec![rel(0.0, 0.5), rel(1.0, 0.5)],
+            node_spacing_m: 300.0,
+            ramp_every: 3,
+            closed: false,
+        });
+        let g = generate_from_spec(&spec);
+        let motorway_edges = g
+            .network
+            .edges()
+            .filter(|&e| g.network.category(e) == RoadCategory::Motorway)
+            .count();
+        let ramp_edges = g
+            .network
+            .edges()
+            .filter(|&e| g.network.category(e) == RoadCategory::MotorwayLink)
+            .count();
+        assert!(motorway_edges >= 10, "got {motorway_edges}");
+        assert!(ramp_edges >= 2, "got {ramp_edges}");
+    }
+
+    #[test]
+    fn arterials_present() {
+        let g = generate_from_spec(&base_spec());
+        assert!(g
+            .network
+            .edges()
+            .any(|e| g.network.category(e) == RoadCategory::Primary));
+        assert!(g
+            .network
+            .edges()
+            .any(|e| g.network.category(e) == RoadCategory::Secondary));
+    }
+
+    #[test]
+    fn oneway_fraction_creates_asymmetric_edges() {
+        let mut spec = base_spec();
+        spec.grid.oneway_fraction = 0.8;
+        spec.grid.hole_prob = 0.0;
+        spec.grid.missing_street_prob = 0.0;
+        let g = generate_from_spec(&spec);
+        let asym = g
+            .network
+            .edges()
+            .filter(|&e| g.network.reverse_edge(e).is_none())
+            .count();
+        assert!(asym > 0, "expected one-way streets");
+    }
+
+    #[test]
+    fn sample_polyline_open_and_closed() {
+        let wp = vec![rel(0.0, 0.0), rel(1.0, 0.0)];
+        let open = sample_polyline(&wp, 0.25, false);
+        assert_eq!(open.first().copied(), Some(rel(0.0, 0.0)));
+        assert_eq!(open.last().copied(), Some(rel(1.0, 0.0)));
+        assert!(open.len() >= 4);
+
+        let square = vec![rel(0.0, 0.0), rel(1.0, 0.0), rel(1.0, 1.0), rel(0.0, 1.0)];
+        let ring = sample_polyline(&square, 0.5, true);
+        // Closed ring samples all four sides but repeats no endpoint.
+        assert!(ring.len() >= 8);
+    }
+
+    #[test]
+    fn empty_polyline_is_empty() {
+        assert!(sample_polyline(&[], 0.1, false).is_empty());
+        assert_eq!(sample_polyline(&[rel(0.5, 0.5)], 0.1, false).len(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+#![warn(missing_docs)]
+//! # arp-citygen
+//!
+//! Deterministic synthetic road-network generators for the three study
+//! cities — **Melbourne**, **Dhaka** and **Copenhagen**.
+//!
+//! The original study runs on Geofabrik OSM extracts, which are not
+//! available offline; this crate substitutes parameterized generators whose
+//! outputs have the structural properties the alternative-routing
+//! evaluation depends on:
+//!
+//! * a street grid with realistic irregularity and missing blocks,
+//! * a hierarchy of road categories (residential → arterial → freeway) with
+//!   matching speed limits,
+//! * one-way streets,
+//! * water obstacles (bay, rivers, harbor) crossed only at bridges — the
+//!   main source of interesting alternative-route topology,
+//! * freeway rings/radials with sparse ramps, so the fastest path often
+//!   differs sharply from the geometrically direct path.
+//!
+//! Every generator is a pure function of `(scale, seed)`, so experiments
+//! are exactly reproducible.
+//!
+//! ```
+//! use arp_citygen::{City, Scale};
+//!
+//! let city = arp_citygen::generate(City::Melbourne, Scale::Tiny, 42);
+//! assert!(city.network.num_nodes() > 100);
+//! ```
+
+pub mod copenhagen;
+pub mod dhaka;
+pub mod generator;
+pub mod melbourne;
+pub mod spec;
+
+pub use generator::{generate_from_spec, GeneratedCity};
+pub use spec::{ArterialSpec, CitySpec, FreewaySpec, GridSpec, Obstacle};
+
+use arp_roadnet::geo::Point;
+
+/// The three study cities from the paper's title.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum City {
+    /// Melbourne, Australia — coastal bay, strong CBD grid, freeway ring.
+    Melbourne,
+    /// Dhaka, Bangladesh — dense irregular fabric, rivers, few arterials.
+    Dhaka,
+    /// Copenhagen, Denmark — radial "finger plan", harbor strait.
+    Copenhagen,
+}
+
+impl City {
+    /// All three cities, for exhaustive experiment sweeps.
+    pub const ALL: [City; 3] = [City::Melbourne, City::Dhaka, City::Copenhagen];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            City::Melbourne => "Melbourne",
+            City::Dhaka => "Dhaka",
+            City::Copenhagen => "Copenhagen",
+        }
+    }
+
+    /// Real-world centre coordinates the synthetic network is anchored to.
+    pub fn center(self) -> Point {
+        match self {
+            City::Melbourne => Point::new(144.9631, -37.8136),
+            City::Dhaka => Point::new(90.4125, 23.8103),
+            City::Copenhagen => Point::new(12.5683, 55.6761),
+        }
+    }
+}
+
+impl std::fmt::Display for City {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for City {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "melbourne" => Ok(City::Melbourne),
+            "dhaka" => Ok(City::Dhaka),
+            "copenhagen" => Ok(City::Copenhagen),
+            other => Err(format!("unknown city {other:?}")),
+        }
+    }
+}
+
+/// Network size presets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Scale {
+    /// ~400 nodes — unit tests.
+    Tiny,
+    /// ~2500 nodes — integration tests and quick examples.
+    Small,
+    /// ~10 000 nodes — the default experiment scale.
+    Medium,
+    /// ~40 000 nodes — stress benchmarks.
+    Large,
+}
+
+impl Scale {
+    /// Grid dimension (the base lattice is `dim × dim`).
+    pub fn grid_dim(self) -> u32 {
+        match self {
+            Scale::Tiny => 20,
+            Scale::Small => 50,
+            Scale::Medium => 100,
+            Scale::Large => 200,
+        }
+    }
+}
+
+/// Generates the road network of `city` at `scale` with deterministic
+/// `seed`. The result is the largest strongly connected component of the
+/// raw generator output, so any node can route to any other.
+pub fn generate(city: City, scale: Scale, seed: u64) -> GeneratedCity {
+    let spec = match city {
+        City::Melbourne => melbourne::spec(scale, seed),
+        City::Dhaka => dhaka::spec(scale, seed),
+        City::Copenhagen => copenhagen::spec(scale, seed),
+    };
+    generate_from_spec(&spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arp_roadnet::scc::strongly_connected_components;
+
+    #[test]
+    fn all_cities_generate_connected_networks() {
+        for city in City::ALL {
+            let g = generate(city, Scale::Tiny, 7);
+            assert!(
+                g.network.num_nodes() > 100,
+                "{city}: {}",
+                g.network.num_nodes()
+            );
+            assert!(g.network.num_edges() > g.network.num_nodes());
+            let scc = strongly_connected_components(&g.network);
+            assert_eq!(scc.num_components, 1, "{city} must be strongly connected");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for city in City::ALL {
+            let a = generate(city, Scale::Tiny, 123);
+            let b = generate(city, Scale::Tiny, 123);
+            assert_eq!(a.network.num_nodes(), b.network.num_nodes());
+            assert_eq!(a.network.num_edges(), b.network.num_edges());
+            for e in a.network.edges() {
+                assert_eq!(a.network.weight(e), b.network.weight(e));
+                assert_eq!(a.network.head(e), b.network.head(e));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(City::Melbourne, Scale::Tiny, 1);
+        let b = generate(City::Melbourne, Scale::Tiny, 2);
+        let same = a.network.num_edges() == b.network.num_edges()
+            && a.network.edges().all(|e| {
+                a.network.head(e) == b.network.head(e) && a.network.weight(e) == b.network.weight(e)
+            });
+        assert!(!same);
+    }
+
+    #[test]
+    fn city_parse_roundtrip() {
+        for city in City::ALL {
+            let parsed: City = city.name().to_lowercase().parse().unwrap();
+            assert_eq!(parsed, city);
+        }
+        assert!("atlantis".parse::<City>().is_err());
+    }
+
+    #[test]
+    fn scale_ordering() {
+        assert!(Scale::Tiny.grid_dim() < Scale::Small.grid_dim());
+        assert!(Scale::Small.grid_dim() < Scale::Medium.grid_dim());
+        assert!(Scale::Medium.grid_dim() < Scale::Large.grid_dim());
+    }
+
+    #[test]
+    fn melbourne_has_freeways_dhaka_few() {
+        let mel = generate(City::Melbourne, Scale::Small, 9);
+        let dha = generate(City::Dhaka, Scale::Small, 9);
+        let freeway_share = |g: &GeneratedCity| {
+            let total = g.network.num_edges() as f64;
+            let fw = g
+                .network
+                .edges()
+                .filter(|&e| g.network.category(e).is_freeway())
+                .count() as f64;
+            fw / total
+        };
+        assert!(freeway_share(&mel) > freeway_share(&dha));
+    }
+}

@@ -1,0 +1,121 @@
+//! Melbourne morphology: regular CBD grid on a coastal bay (Port Phillip),
+//! the Yarra river crossed by a handful of bridges, a freeway ring plus
+//! radial freeways (Monash/West Gate/Tullamarine analogues).
+
+use crate::spec::{rel, ArterialSpec, CitySpec, FreewaySpec, GridSpec, Obstacle};
+use crate::{City, Scale};
+
+/// The Melbourne [`CitySpec`] at the given scale and seed.
+pub fn spec(scale: Scale, seed: u64) -> CitySpec {
+    let dim = scale.grid_dim();
+    CitySpec {
+        name: City::Melbourne.name().to_string(),
+        seed,
+        center: City::Melbourne.center(),
+        grid: GridSpec {
+            cols: dim,
+            rows: dim,
+            spacing_m: 180.0,
+            irregularity: 0.12,
+            hole_prob: 0.03,
+            missing_street_prob: 0.04,
+            oneway_fraction: 0.18,
+            diagonal_prob: 0.02,
+        },
+        arterials: ArterialSpec {
+            row_every: 6,
+            col_every: 6,
+        },
+        freeways: vec![
+            // Ring road.
+            FreewaySpec {
+                waypoints: vec![
+                    rel(0.15, 0.20),
+                    rel(0.85, 0.20),
+                    rel(0.90, 0.50),
+                    rel(0.85, 0.85),
+                    rel(0.15, 0.85),
+                    rel(0.10, 0.50),
+                ],
+                node_spacing_m: 450.0,
+                ramp_every: 4,
+                closed: true,
+            },
+            // South-east radial (Monash analogue).
+            FreewaySpec {
+                waypoints: vec![rel(0.50, 0.50), rel(0.75, 0.30), rel(0.98, 0.12)],
+                node_spacing_m: 450.0,
+                ramp_every: 4,
+                closed: false,
+            },
+            // North radial (Tullamarine analogue).
+            FreewaySpec {
+                waypoints: vec![rel(0.48, 0.55), rel(0.40, 0.80), rel(0.35, 0.98)],
+                node_spacing_m: 450.0,
+                ramp_every: 4,
+                closed: false,
+            },
+        ],
+        obstacles: vec![
+            // Port Phillip bay bites into the south-west corner.
+            Obstacle {
+                polygon: vec![
+                    rel(-0.05, -0.05),
+                    rel(0.38, -0.05),
+                    rel(0.30, 0.10),
+                    rel(0.18, 0.22),
+                    rel(-0.05, 0.30),
+                ],
+                bridges: vec![],
+            },
+            // Yarra river: a diagonal band through the CBD, three bridges.
+            Obstacle {
+                polygon: vec![
+                    rel(0.30, 0.44),
+                    rel(1.02, 0.60),
+                    rel(1.02, 0.66),
+                    rel(0.30, 0.50),
+                ],
+                bridges: vec![
+                    (rel(0.40, 0.44), rel(0.42, 0.53)),
+                    (rel(0.60, 0.48), rel(0.62, 0.58)),
+                    (rel(0.85, 0.54), rel(0.87, 0.64)),
+                ],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_from_spec;
+
+    #[test]
+    fn melbourne_spec_sane() {
+        let s = spec(Scale::Tiny, 1);
+        assert_eq!(s.name, "Melbourne");
+        assert_eq!(s.freeways.len(), 3);
+        assert_eq!(s.obstacles.len(), 2);
+        assert!(s.obstacles[1].bridges.len() >= 3);
+    }
+
+    #[test]
+    fn melbourne_generates_with_river_bridges() {
+        let g = generate_from_spec(&spec(Scale::Small, 3));
+        // The network spans both banks of the Yarra band: nodes exist with
+        // relative y above and below the band (lat above/below centre).
+        let lat_c = g.center.lat;
+        let north = g
+            .network
+            .nodes()
+            .filter(|&n| g.network.point(n).lat > lat_c)
+            .count();
+        let south = g
+            .network
+            .nodes()
+            .filter(|&n| g.network.point(n).lat < lat_c)
+            .count();
+        assert!(north > 100 && south > 100, "north {north} south {south}");
+    }
+}

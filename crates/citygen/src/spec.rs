@@ -1,0 +1,250 @@
+//! Declarative city-morphology specification consumed by the generator.
+//!
+//! A [`CitySpec`] describes a city in a unit square `[0,1]²` of *relative*
+//! coordinates; the generator maps them onto lon/lat around the city's
+//! real-world centre. Obstacles, freeway polylines and bridge locations are
+//! all expressed in relative coordinates so the same morphology scales from
+//! test-sized to benchmark-sized networks.
+
+use arp_roadnet::geo::Point;
+
+/// Relative coordinate in the unit square.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Rel {
+    /// Horizontal position, `0.0` = west edge, `1.0` = east edge.
+    pub x: f64,
+    /// Vertical position, `0.0` = south edge, `1.0` = north edge.
+    pub y: f64,
+}
+
+/// Shorthand constructor for a relative coordinate.
+pub fn rel(x: f64, y: f64) -> Rel {
+    Rel { x, y }
+}
+
+/// Base street-lattice parameters.
+#[derive(Clone, Debug)]
+pub struct GridSpec {
+    /// Lattice columns (west–east streets + 1).
+    pub cols: u32,
+    /// Lattice rows.
+    pub rows: u32,
+    /// Spacing between adjacent lattice nodes in metres.
+    pub spacing_m: f64,
+    /// Positional jitter as a fraction of spacing (0 = perfect grid,
+    /// 0.4 = organic fabric like Dhaka's).
+    pub irregularity: f64,
+    /// Probability that a lattice node is deleted, creating dead ends and
+    /// detours.
+    pub hole_prob: f64,
+    /// Probability that a street segment is missing even when both
+    /// endpoints exist.
+    pub missing_street_prob: f64,
+    /// Fraction of residential streets that are one-way.
+    pub oneway_fraction: f64,
+    /// Probability of a diagonal shortcut across a block.
+    pub diagonal_prob: f64,
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        GridSpec {
+            cols: 40,
+            rows: 40,
+            spacing_m: 150.0,
+            irregularity: 0.15,
+            hole_prob: 0.04,
+            missing_street_prob: 0.05,
+            oneway_fraction: 0.15,
+            diagonal_prob: 0.02,
+        }
+    }
+}
+
+/// Arterial-road overlay: every `row_every`-th row / `col_every`-th column
+/// of the lattice is upgraded to a higher category with a higher speed.
+#[derive(Clone, Debug)]
+pub struct ArterialSpec {
+    /// Upgrade every n-th row to a primary arterial (0 = none).
+    pub row_every: u32,
+    /// Upgrade every n-th column to a secondary arterial (0 = none).
+    pub col_every: u32,
+}
+
+impl Default for ArterialSpec {
+    fn default() -> Self {
+        ArterialSpec {
+            row_every: 8,
+            col_every: 8,
+        }
+    }
+}
+
+/// A freeway corridor: a polyline in relative coordinates, sampled at
+/// roughly `node_spacing_m`, connected to the surface grid with
+/// motorway-link ramps every `ramp_every` freeway nodes.
+#[derive(Clone, Debug)]
+pub struct FreewaySpec {
+    /// Waypoints of the corridor in relative coordinates.
+    pub waypoints: Vec<Rel>,
+    /// Distance between consecutive freeway nodes in metres.
+    pub node_spacing_m: f64,
+    /// A ramp pair (on + off) is added every this many freeway nodes.
+    pub ramp_every: u32,
+    /// Whether the corridor is a closed ring.
+    pub closed: bool,
+}
+
+/// A water body (bay, river, harbor): a polygon in relative coordinates.
+/// Lattice nodes inside the polygon are removed; `bridges` lists relative
+/// locations where a crossing is stitched back in.
+#[derive(Clone, Debug)]
+pub struct Obstacle {
+    /// Polygon vertices in relative coordinates (implicitly closed).
+    pub polygon: Vec<Rel>,
+    /// Bridge locations: pairs of relative points (west/south bank,
+    /// east/north bank) connected by a primary-road bridge.
+    pub bridges: Vec<(Rel, Rel)>,
+}
+
+impl Obstacle {
+    /// Point-in-polygon test (ray casting, tolerant of boundary points).
+    pub fn contains(&self, p: Rel) -> bool {
+        let poly = &self.polygon;
+        let n = poly.len();
+        if n < 3 {
+            return false;
+        }
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let (xi, yi) = (poly[i].x, poly[i].y);
+            let (xj, yj) = (poly[j].x, poly[j].y);
+            if ((yi > p.y) != (yj > p.y)) && (p.x < (xj - xi) * (p.y - yi) / (yj - yi) + xi) {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+}
+
+/// Full declarative description of a synthetic city.
+#[derive(Clone, Debug)]
+pub struct CitySpec {
+    /// City name (for logs and experiment output).
+    pub name: String,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Real-world centre the relative unit square is mapped around.
+    pub center: Point,
+    /// Base lattice parameters.
+    pub grid: GridSpec,
+    /// Arterial overlay.
+    pub arterials: ArterialSpec,
+    /// Freeway corridors.
+    pub freeways: Vec<FreewaySpec>,
+    /// Water bodies.
+    pub obstacles: Vec<Obstacle>,
+}
+
+impl CitySpec {
+    /// Extent of the city square in metres (cols × spacing).
+    pub fn extent_m(&self) -> (f64, f64) {
+        (
+            self.grid.cols as f64 * self.grid.spacing_m,
+            self.grid.rows as f64 * self.grid.spacing_m,
+        )
+    }
+
+    /// Converts a relative coordinate to lon/lat around the centre.
+    pub fn rel_to_point(&self, r: Rel) -> Point {
+        let (w_m, h_m) = self.extent_m();
+        let dx_m = (r.x - 0.5) * w_m;
+        let dy_m = (r.y - 0.5) * h_m;
+        let lat_deg_per_m = 1.0 / 110_574.0;
+        let lon_deg_per_m = 1.0 / (111_320.0 * self.center.lat.to_radians().cos().abs().max(0.2));
+        Point::new(
+            self.center.lon + dx_m * lon_deg_per_m,
+            self.center.lat + dy_m * lat_deg_per_m,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_in_polygon_square() {
+        let ob = Obstacle {
+            polygon: vec![rel(0.2, 0.2), rel(0.8, 0.2), rel(0.8, 0.8), rel(0.2, 0.8)],
+            bridges: vec![],
+        };
+        assert!(ob.contains(rel(0.5, 0.5)));
+        assert!(!ob.contains(rel(0.1, 0.5)));
+        assert!(!ob.contains(rel(0.5, 0.9)));
+        assert!(!ob.contains(rel(0.9, 0.9)));
+    }
+
+    #[test]
+    fn point_in_polygon_triangle() {
+        let ob = Obstacle {
+            polygon: vec![rel(0.0, 0.0), rel(1.0, 0.0), rel(0.5, 1.0)],
+            bridges: vec![],
+        };
+        assert!(ob.contains(rel(0.5, 0.3)));
+        assert!(!ob.contains(rel(0.05, 0.9)));
+        assert!(!ob.contains(rel(0.95, 0.9)));
+    }
+
+    #[test]
+    fn degenerate_polygon_contains_nothing() {
+        let ob = Obstacle {
+            polygon: vec![rel(0.5, 0.5), rel(0.6, 0.6)],
+            bridges: vec![],
+        };
+        assert!(!ob.contains(rel(0.55, 0.55)));
+    }
+
+    #[test]
+    fn rel_to_point_maps_center() {
+        let spec = CitySpec {
+            name: "test".into(),
+            seed: 0,
+            center: Point::new(144.0, -37.0),
+            grid: GridSpec::default(),
+            arterials: ArterialSpec::default(),
+            freeways: vec![],
+            obstacles: vec![],
+        };
+        let c = spec.rel_to_point(rel(0.5, 0.5));
+        assert!((c.lon - 144.0).abs() < 1e-9);
+        assert!((c.lat - -37.0).abs() < 1e-9);
+        // East edge is east of the centre, north edge is north.
+        assert!(spec.rel_to_point(rel(1.0, 0.5)).lon > c.lon);
+        assert!(spec.rel_to_point(rel(0.5, 1.0)).lat > c.lat);
+    }
+
+    #[test]
+    fn rel_to_point_distances_match_extent() {
+        let spec = CitySpec {
+            name: "test".into(),
+            seed: 0,
+            center: Point::new(144.0, -37.0),
+            grid: GridSpec {
+                cols: 10,
+                rows: 10,
+                spacing_m: 100.0,
+                ..GridSpec::default()
+            },
+            arterials: ArterialSpec::default(),
+            freeways: vec![],
+            obstacles: vec![],
+        };
+        let west = spec.rel_to_point(rel(0.0, 0.5));
+        let east = spec.rel_to_point(rel(1.0, 0.5));
+        let d = arp_roadnet::geo::haversine_m(west, east);
+        assert!((d - 1000.0).abs() < 10.0, "got {d}");
+    }
+}

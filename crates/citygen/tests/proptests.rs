@@ -1,0 +1,109 @@
+//! Property-based tests for the city generator: any sane spec must yield
+//! a valid, strongly connected, routable network.
+
+use arp_citygen::generator::generate_from_spec;
+use arp_citygen::spec::{rel, ArterialSpec, CitySpec, FreewaySpec, GridSpec, Obstacle};
+use arp_roadnet::geo::Point;
+use arp_roadnet::scc::strongly_connected_components;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = CitySpec> {
+    (
+        8u32..24,
+        0.0f64..0.35,
+        0.0f64..0.10,
+        0.0f64..0.12,
+        0.0f64..0.5,
+        any::<u64>(),
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(
+            |(dim, irregularity, hole, missing, oneway, seed, with_freeway, with_river)| CitySpec {
+                name: "propcity".into(),
+                seed,
+                center: Point::new(144.0, -37.0),
+                grid: GridSpec {
+                    cols: dim,
+                    rows: dim,
+                    spacing_m: 150.0,
+                    irregularity,
+                    hole_prob: hole,
+                    missing_street_prob: missing,
+                    oneway_fraction: oneway,
+                    diagonal_prob: 0.03,
+                },
+                arterials: ArterialSpec {
+                    row_every: 6,
+                    col_every: 7,
+                },
+                freeways: if with_freeway {
+                    vec![FreewaySpec {
+                        waypoints: vec![rel(0.0, 0.4), rel(1.0, 0.6)],
+                        node_spacing_m: 400.0,
+                        ramp_every: 3,
+                        closed: false,
+                    }]
+                } else {
+                    vec![]
+                },
+                obstacles: if with_river {
+                    vec![Obstacle {
+                        polygon: vec![
+                            rel(0.0, 0.45),
+                            rel(1.0, 0.50),
+                            rel(1.0, 0.56),
+                            rel(0.0, 0.51),
+                        ],
+                        bridges: vec![
+                            (rel(0.3, 0.44), rel(0.3, 0.57)),
+                            (rel(0.7, 0.44), rel(0.7, 0.57)),
+                        ],
+                    }]
+                } else {
+                    vec![]
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_city_is_valid_and_connected(spec in arb_spec()) {
+        let g = generate_from_spec(&spec);
+        // Non-degenerate even under heavy hole/missing probabilities.
+        prop_assert!(g.network.num_nodes() > 20, "only {} nodes", g.network.num_nodes());
+        prop_assert!(g.network.check_invariants());
+        let scc = strongly_connected_components(&g.network);
+        prop_assert_eq!(scc.num_components, 1);
+        // Weights strictly positive (Dijkstra precondition).
+        for e in g.network.edges() {
+            prop_assert!(g.network.weight(e) > 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_pure(spec in arb_spec()) {
+        let a = generate_from_spec(&spec);
+        let b = generate_from_spec(&spec);
+        prop_assert_eq!(a.network.num_nodes(), b.network.num_nodes());
+        prop_assert_eq!(a.network.num_edges(), b.network.num_edges());
+        for e in a.network.edges() {
+            prop_assert_eq!(a.network.weight(e), b.network.weight(e));
+        }
+    }
+
+    #[test]
+    fn routable_between_random_nodes(spec in arb_spec(), pick in any::<u64>()) {
+        let g = generate_from_spec(&spec);
+        let n = g.network.num_nodes() as u64;
+        let s = arp_roadnet::NodeId((pick % n) as u32);
+        let t = arp_roadnet::NodeId(((pick / 7919) % n) as u32);
+        if s != t {
+            let p = arp_core::shortest_path(&g.network, g.network.weights(), s, t);
+            prop_assert!(p.is_ok(), "{s} -> {t} failed in a strongly connected city");
+        }
+    }
+}

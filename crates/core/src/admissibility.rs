@@ -1,0 +1,327 @@
+//! Admissible alternatives in the sense of Abraham, Delling, Goldberg &
+//! Werneck, *Alternative Routes in Road Networks* — the paper's reference
+//! \[2\] and the source of its ε = 1.4 "upper bound" and local-optimality
+//! vocabulary.
+//!
+//! An alternative path P is **admissible** w.r.t. the optimal path OPT
+//! when three criteria hold:
+//!
+//! 1. **Limited sharing**: the weighted overlap with OPT is at most γ
+//!    (the alternative is "significantly different"),
+//! 2. **Local optimality**: every subpath of weight ≤ T is a shortest
+//!    path (no local detours),
+//! 3. **Uniformly bounded stretch (UBS)**: *every* subpath of P has
+//!    stretch at most 1 + ε, not just P as a whole.
+//!
+//! Exact verification of (2) and (3) is quadratic in path length, so this
+//! module uses the same sliding-window probe strategy as
+//! [`crate::quality::local_optimality`] — sound for rejection (a failed
+//! probe is a genuine violation) and empirically tight for acceptance.
+
+use arp_roadnet::csr::RoadNetwork;
+use arp_roadnet::weight::{Cost, Weight};
+
+use crate::path::Path;
+use crate::quality::local_optimality;
+use crate::search::SearchSpace;
+use crate::similarity::overlap_ratio;
+
+/// The (γ, T, ε) thresholds of the admissibility definition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissibilityCriteria {
+    /// Maximum weighted sharing with the optimal path, in `[0, 1]`.
+    pub gamma: f64,
+    /// Local-optimality window as a fraction of the optimal cost.
+    pub t_fraction: f64,
+    /// Uniformly-bounded-stretch slack: every subpath stretch ≤ 1 + ε.
+    pub epsilon_ubs: f64,
+    /// Probe budget per criterion.
+    pub max_probes: usize,
+}
+
+impl Default for AdmissibilityCriteria {
+    fn default() -> Self {
+        // The literature's common evaluation setting: γ = 0.8, T = 25 % of
+        // the optimum, UBS ε = 0.25.
+        AdmissibilityCriteria {
+            gamma: 0.8,
+            t_fraction: 0.25,
+            epsilon_ubs: 0.25,
+            max_probes: 12,
+        }
+    }
+}
+
+/// Per-path admissibility verdict.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissibilityReport {
+    /// Weighted sharing with the optimal path.
+    pub sharing: f64,
+    /// Sharing criterion satisfied.
+    pub sharing_ok: bool,
+    /// Local-optimality criterion satisfied (probed).
+    pub locally_optimal: bool,
+    /// Worst probed subpath stretch.
+    pub max_window_stretch: f64,
+    /// UBS criterion satisfied (probed).
+    pub ubs_ok: bool,
+}
+
+impl AdmissibilityReport {
+    /// All three criteria hold.
+    pub fn admissible(&self) -> bool {
+        self.sharing_ok && self.locally_optimal && self.ubs_ok
+    }
+}
+
+/// Worst stretch over probed windows of roughly `window_fraction ×` path
+/// cost (the UBS probe). Returns 1.0 for paths too short to probe.
+pub fn max_window_stretch(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    path: &Path,
+    window_fraction: f64,
+    max_probes: usize,
+) -> f64 {
+    let t = (path.cost_ms as f64 * window_fraction) as Cost;
+    if t == 0 || path.edges.len() < 2 {
+        return 1.0;
+    }
+    let mut prefix: Vec<Cost> = Vec::with_capacity(path.edges.len() + 1);
+    prefix.push(0);
+    for &e in &path.edges {
+        prefix.push(prefix.last().unwrap() + weights[e.index()] as Cost);
+    }
+    let mut ws = SearchSpace::new(net);
+    let mut worst = 1.0f64;
+    let mut probes = 0usize;
+    let mut i = 0usize;
+    while i < path.edges.len() && probes < max_probes {
+        let mut j = i + 1;
+        while j < path.edges.len() && prefix[j] - prefix[i] < t {
+            j += 1;
+        }
+        let (a, b) = (path.nodes[i], path.nodes[j]);
+        if a != b {
+            if let Ok(d) = ws.shortest_distance(net, weights, a, b) {
+                probes += 1;
+                if d > 0 {
+                    worst = worst.max((prefix[j] - prefix[i]) as f64 / d as f64);
+                }
+            }
+        }
+        i += ((j - i) / 2).max(1);
+    }
+    worst
+}
+
+/// Evaluates a path against the admissibility criteria.
+pub fn admissibility(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    alternative: &Path,
+    optimal: &Path,
+    criteria: &AdmissibilityCriteria,
+) -> AdmissibilityReport {
+    let sharing = overlap_ratio(alternative, optimal, weights);
+    let lo = local_optimality(
+        net,
+        weights,
+        alternative,
+        criteria.t_fraction,
+        criteria.max_probes,
+    );
+    let stretch = max_window_stretch(
+        net,
+        weights,
+        alternative,
+        criteria.t_fraction,
+        criteria.max_probes,
+    );
+    AdmissibilityReport {
+        sharing,
+        sharing_ok: sharing <= criteria.gamma + 1e-9,
+        locally_optimal: lo.is_locally_optimal(),
+        max_window_stretch: stretch,
+        ubs_ok: stretch <= 1.0 + criteria.epsilon_ubs + 1e-9,
+    }
+}
+
+/// Fraction of a technique's alternatives (the routes after the first)
+/// that are admissible. `None` when the set has no alternatives.
+pub fn admissible_share(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    paths: &[Path],
+    criteria: &AdmissibilityCriteria,
+) -> Option<f64> {
+    let (optimal, alts) = paths.split_first()?;
+    if alts.is_empty() {
+        return None;
+    }
+    let admissible = alts
+        .iter()
+        .filter(|p| admissibility(net, weights, p, optimal, criteria).admissible())
+        .count();
+    Some(admissible as f64 / alts.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plateau::{plateau_alternatives, PlateauOptions};
+    use crate::query::AltQuery;
+    use crate::search::shortest_path;
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::csr::RoadNetwork;
+    use arp_roadnet::geo::Point;
+    use arp_roadnet::ids::NodeId;
+
+    fn grid(n: usize) -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                ids.push(b.add_node(Point::new(144.0 + x as f64 * 0.01, -37.0 - y as f64 * 0.01)));
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if x + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + 1],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+                if y + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + n],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn path_via(net: &RoadNetwork, nodes: &[u32]) -> Path {
+        let edges = nodes
+            .windows(2)
+            .map(|w| net.find_edge(NodeId(w[0]), NodeId(w[1])).unwrap())
+            .collect();
+        Path::from_edges(net, net.weights(), edges)
+    }
+
+    #[test]
+    fn optimal_path_fails_sharing_only() {
+        let net = grid(6);
+        let opt = shortest_path(&net, net.weights(), NodeId(0), NodeId(35)).unwrap();
+        let report = admissibility(
+            &net,
+            net.weights(),
+            &opt,
+            &opt,
+            &AdmissibilityCriteria::default(),
+        );
+        assert!(!report.sharing_ok, "a copy of OPT shares 100%");
+        assert!(report.locally_optimal);
+        assert!(report.ubs_ok);
+        assert!(!report.admissible());
+    }
+
+    #[test]
+    fn disjoint_shortest_alternative_is_admissible() {
+        let net = grid(6);
+        // OPT along the top+right L; alternative along left+bottom L:
+        // both are shortest paths, disjoint except endpoints.
+        let opt = path_via(&net, &[0, 1, 2, 3, 4, 5, 11, 17, 23, 29, 35]);
+        let alt = path_via(&net, &[0, 6, 12, 18, 24, 30, 31, 32, 33, 34, 35]);
+        let report = admissibility(
+            &net,
+            net.weights(),
+            &alt,
+            &opt,
+            &AdmissibilityCriteria::default(),
+        );
+        assert!(report.sharing_ok, "sharing = {}", report.sharing);
+        assert!(report.locally_optimal);
+        assert!(report.ubs_ok, "stretch = {}", report.max_window_stretch);
+        assert!(report.admissible());
+    }
+
+    #[test]
+    fn zigzag_fails_local_optimality_and_ubs() {
+        let net = grid(6);
+        let opt = shortest_path(&net, net.weights(), NodeId(0), NodeId(35)).unwrap();
+        // A heavy zig-zag: down-up-down wiggles across the grid.
+        let zig = path_via(
+            &net,
+            &[
+                0, 6, 7, 1, 2, 8, 9, 3, 4, 10, 11, 17, 16, 22, 23, 29, 28, 34, 35,
+            ],
+        );
+        let report = admissibility(
+            &net,
+            net.weights(),
+            &zig,
+            &opt,
+            &AdmissibilityCriteria::default(),
+        );
+        assert!(!report.locally_optimal || !report.ubs_ok, "{report:?}");
+        assert!(!report.admissible());
+    }
+
+    #[test]
+    fn max_window_stretch_of_shortest_path_is_one() {
+        let net = grid(6);
+        let opt = shortest_path(&net, net.weights(), NodeId(0), NodeId(35)).unwrap();
+        let s = max_window_stretch(&net, net.weights(), &opt, 0.3, 12);
+        assert!((s - 1.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn plateau_alternatives_are_mostly_admissible() {
+        // The headline theorem of [2]: plateau paths are locally optimal;
+        // with the default γ they should overwhelmingly pass.
+        let net = grid(8);
+        let paths = plateau_alternatives(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &AltQuery::paper(),
+            &PlateauOptions::default(),
+        )
+        .unwrap();
+        if paths.len() >= 2 {
+            let share = admissible_share(
+                &net,
+                net.weights(),
+                &paths,
+                &AdmissibilityCriteria::default(),
+            )
+            .unwrap();
+            assert!(share >= 0.5, "plateau admissible share {share}");
+        }
+    }
+
+    #[test]
+    fn admissible_share_edge_cases() {
+        let net = grid(4);
+        let opt = shortest_path(&net, net.weights(), NodeId(0), NodeId(15)).unwrap();
+        assert!(
+            admissible_share(&net, net.weights(), &[], &AdmissibilityCriteria::default()).is_none()
+        );
+        assert!(admissible_share(
+            &net,
+            net.weights(),
+            &[opt],
+            &AdmissibilityCriteria::default()
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,328 @@
+//! Alternative graphs and their quality metrics — Bader, Dees, Geisberger
+//! & Sanders, *Alternative Route Graphs in Road Networks* (the paper's
+//! reference \[4\], the source of its penalty factor 1.4).
+//!
+//! Instead of judging alternatives one path at a time, \[4\] evaluates the
+//! **alternative graph** (AG): the union of all presented routes. Three
+//! target functions summarize an AG `H` for a query `(s, t)` with optimal
+//! distance `d(s,t)`:
+//!
+//! * `totalDistance` — how much *useful* road the AG offers:
+//!   `Σ_{e∈H} w(e) / d(s,t)`. Higher = more alternatives, but padding the
+//!   AG with useless edges inflates it, hence:
+//! * `averageDistance` — how long the AG's routes are on average:
+//!   the expected s–t cost over the AG's paths, normalized by `d(s,t)`
+//!   (1.0 = every AG route is optimal). Lower is better.
+//! * `decisionEdges` — how often a driver must decide:
+//!   `Σ_{v∈H} (outdeg_H(v) − 1)`. Small values keep the choice set
+//!   cognitively manageable.
+//!
+//! The penalty-factor recommendation the study adopts (×1.4) is the value
+//! \[4\] found to balance these three metrics; `repro_penalty_factor`
+//! sweeps the factor against them to reproduce that choice.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use arp_roadnet::csr::RoadNetwork;
+use arp_roadnet::ids::{EdgeId, NodeId};
+use arp_roadnet::weight::{Cost, Weight};
+
+use crate::path::Path;
+
+/// The union of a set of s–t routes, with the paper-\[4\] metrics.
+#[derive(Clone, Debug)]
+pub struct AlternativeGraph {
+    /// Query source.
+    pub source: NodeId,
+    /// Query target.
+    pub target: NodeId,
+    /// Distinct edges of the union.
+    pub edges: BTreeSet<EdgeId>,
+    /// Adjacency within the AG: node -> outgoing AG edges.
+    adjacency: BTreeMap<NodeId, Vec<EdgeId>>,
+}
+
+impl AlternativeGraph {
+    /// Builds the AG from a route set. All paths must share the same
+    /// endpoints.
+    ///
+    /// # Panics
+    /// Panics if `paths` is empty or endpoints disagree.
+    pub fn build(paths: &[Path]) -> AlternativeGraph {
+        assert!(!paths.is_empty(), "an AG needs at least one route");
+        let source = paths[0].source();
+        let target = paths[0].target();
+        let mut edges = BTreeSet::new();
+        let mut adjacency: BTreeMap<NodeId, Vec<EdgeId>> = BTreeMap::new();
+        for p in paths {
+            assert_eq!(p.source(), source, "AG paths must share a source");
+            assert_eq!(p.target(), target, "AG paths must share a target");
+            for (i, &e) in p.edges.iter().enumerate() {
+                if edges.insert(e) {
+                    adjacency.entry(p.nodes[i]).or_default().push(e);
+                }
+            }
+        }
+        AlternativeGraph {
+            source,
+            target,
+            edges,
+            adjacency,
+        }
+    }
+
+    /// `totalDistance`: AG road volume over the optimal distance.
+    pub fn total_distance(&self, weights: &[Weight], optimal: Cost) -> f64 {
+        if optimal == 0 {
+            return 0.0;
+        }
+        let sum: Cost = self.edges.iter().map(|e| weights[e.index()] as Cost).sum();
+        sum as f64 / optimal as f64
+    }
+
+    /// `decisionEdges`: Σ over AG nodes of `outdeg − 1`.
+    pub fn decision_edges(&self) -> usize {
+        self.adjacency
+            .values()
+            .map(|out| out.len().saturating_sub(1))
+            .sum()
+    }
+
+    /// `averageDistance`: expected s–t cost of a random walk through the
+    /// AG that picks uniformly among outgoing AG edges at every decision
+    /// node, normalized by the optimal distance. Because every AG edge
+    /// belongs to some s–t route and routes are loop-free, the walk is
+    /// evaluated by dynamic programming over the AG's DAG structure; if
+    /// the union happens to contain a cycle (two routes crossing in
+    /// opposite directions), edges closing the cycle are skipped.
+    pub fn average_distance(&self, net: &RoadNetwork, weights: &[Weight], optimal: Cost) -> f64 {
+        if optimal == 0 {
+            return 1.0;
+        }
+        // Memoized expected cost-to-target per node; detect cycles with an
+        // on-stack marker.
+        #[derive(Clone, Copy, PartialEq)]
+        enum State {
+            OnStack,
+            Done(f64),
+        }
+        let mut state: BTreeMap<NodeId, State> = BTreeMap::new();
+
+        fn expected(
+            v: NodeId,
+            target: NodeId,
+            net: &RoadNetwork,
+            weights: &[Weight],
+            adjacency: &BTreeMap<NodeId, Vec<EdgeId>>,
+            state: &mut BTreeMap<NodeId, State>,
+        ) -> Option<f64> {
+            if v == target {
+                return Some(0.0);
+            }
+            match state.get(&v) {
+                Some(State::Done(x)) => return Some(*x),
+                Some(State::OnStack) => return None, // cycle edge: skip
+                _ => {}
+            }
+            state.insert(v, State::OnStack);
+            let mut total = 0.0;
+            let mut used = 0usize;
+            if let Some(out) = adjacency.get(&v) {
+                for &e in out {
+                    let head = net.head(e);
+                    if let Some(rest) = expected(head, target, net, weights, adjacency, state) {
+                        total += weights[e.index()] as f64 + rest;
+                        used += 1;
+                    }
+                }
+            }
+            let value = if used == 0 {
+                // Dead end inside the AG (cannot happen for well-formed
+                // route unions, but stay total): treat as unusable.
+                f64::INFINITY
+            } else {
+                total / used as f64
+            };
+            state.insert(v, State::Done(value));
+            Some(value)
+        }
+
+        let e = expected(
+            self.source,
+            self.target,
+            net,
+            weights,
+            &self.adjacency,
+            &mut state,
+        )
+        .unwrap_or(f64::INFINITY);
+        if e.is_finite() {
+            e / optimal as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The three \[4\] metrics of a route set in one struct.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AltGraphMetrics {
+    /// `totalDistance` (≥ 1; higher = more alternative road offered).
+    pub total_distance: f64,
+    /// `averageDistance` (≥ 1; lower = routes closer to optimal).
+    pub average_distance: f64,
+    /// `decisionEdges` (lower = cognitively simpler).
+    pub decision_edges: usize,
+}
+
+/// Computes the \[4\] metrics for a route set.
+pub fn alt_graph_metrics(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    paths: &[Path],
+    optimal: Cost,
+) -> AltGraphMetrics {
+    let ag = AlternativeGraph::build(paths);
+    AltGraphMetrics {
+        total_distance: ag.total_distance(weights, optimal),
+        average_distance: ag.average_distance(net, weights, optimal),
+        decision_edges: ag.decision_edges(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::shortest_path;
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::geo::Point;
+
+    /// Two fully disjoint corridors of equal cost.
+    fn two_corridors() -> (RoadNetwork, Path, Path) {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node(Point::new(0.00, 0.0));
+        let a1 = b.add_node(Point::new(0.01, 0.001));
+        let b1 = b.add_node(Point::new(0.01, -0.001));
+        let t = b.add_node(Point::new(0.02, 0.0));
+        for (x, y) in [(s, a1), (a1, t), (s, b1), (b1, t)] {
+            b.add_edge(x, y, EdgeSpec::category(RoadCategory::Primary).with_weight(10_000));
+        }
+        let net = b.build();
+        let top = Path::from_edges(
+            &net,
+            net.weights(),
+            vec![
+                net.find_edge(s, a1).unwrap(),
+                net.find_edge(a1, t).unwrap(),
+            ],
+        );
+        let bottom = Path::from_edges(
+            &net,
+            net.weights(),
+            vec![
+                net.find_edge(s, b1).unwrap(),
+                net.find_edge(b1, t).unwrap(),
+            ],
+        );
+        (net, top, bottom)
+    }
+
+    #[test]
+    fn single_optimal_route_is_the_identity_ag() {
+        let (net, top, _) = two_corridors();
+        let m = alt_graph_metrics(&net, net.weights(), std::slice::from_ref(&top), top.cost_ms);
+        assert!((m.total_distance - 1.0).abs() < 1e-9);
+        assert!((m.average_distance - 1.0).abs() < 1e-9);
+        assert_eq!(m.decision_edges, 0);
+    }
+
+    #[test]
+    fn two_disjoint_equal_routes() {
+        let (net, top, bottom) = two_corridors();
+        let opt = top.cost_ms;
+        let m = alt_graph_metrics(&net, net.weights(), &[top, bottom], opt);
+        // Twice the road volume, same average, one decision point (at s).
+        assert!((m.total_distance - 2.0).abs() < 1e-9);
+        assert!((m.average_distance - 1.0).abs() < 1e-9);
+        assert_eq!(m.decision_edges, 1);
+    }
+
+    #[test]
+    fn longer_alternative_raises_average_distance() {
+        // Corridor B is 50% slower.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node(Point::new(0.00, 0.0));
+        let a1 = b.add_node(Point::new(0.01, 0.001));
+        let b1 = b.add_node(Point::new(0.01, -0.001));
+        let t = b.add_node(Point::new(0.02, 0.0));
+        b.add_edge(s, a1, EdgeSpec::default().with_weight(10_000));
+        b.add_edge(a1, t, EdgeSpec::default().with_weight(10_000));
+        b.add_edge(s, b1, EdgeSpec::default().with_weight(15_000));
+        b.add_edge(b1, t, EdgeSpec::default().with_weight(15_000));
+        let net = b.build();
+        let top = shortest_path(&net, net.weights(), s, t).unwrap();
+        let bottom = Path::from_edges(
+            &net,
+            net.weights(),
+            vec![net.find_edge(s, b1).unwrap(), net.find_edge(b1, t).unwrap()],
+        );
+        let m = alt_graph_metrics(&net, net.weights(), &[top.clone(), bottom], top.cost_ms);
+        // Expected cost = (20k + 30k)/2 = 25k over 20k optimal.
+        assert!((m.average_distance - 1.25).abs() < 1e-9, "{m:?}");
+        assert!((m.total_distance - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_prefix_counts_once() {
+        // Routes share the first edge then split: totalDistance must not
+        // double-count the shared edge.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node(Point::new(0.00, 0.0));
+        let m0 = b.add_node(Point::new(0.01, 0.0));
+        let a1 = b.add_node(Point::new(0.02, 0.001));
+        let b1 = b.add_node(Point::new(0.02, -0.001));
+        let t = b.add_node(Point::new(0.03, 0.0));
+        b.add_edge(s, m0, EdgeSpec::default().with_weight(10_000));
+        b.add_edge(m0, a1, EdgeSpec::default().with_weight(10_000));
+        b.add_edge(a1, t, EdgeSpec::default().with_weight(10_000));
+        b.add_edge(m0, b1, EdgeSpec::default().with_weight(10_000));
+        b.add_edge(b1, t, EdgeSpec::default().with_weight(10_000));
+        let net = b.build();
+        let p1 = Path::from_edges(
+            &net,
+            net.weights(),
+            vec![
+                net.find_edge(s, m0).unwrap(),
+                net.find_edge(m0, a1).unwrap(),
+                net.find_edge(a1, t).unwrap(),
+            ],
+        );
+        let p2 = Path::from_edges(
+            &net,
+            net.weights(),
+            vec![
+                net.find_edge(s, m0).unwrap(),
+                net.find_edge(m0, b1).unwrap(),
+                net.find_edge(b1, t).unwrap(),
+            ],
+        );
+        let m = alt_graph_metrics(&net, net.weights(), &[p1.clone(), p2], p1.cost_ms);
+        // 5 distinct edges × 10k over 30k optimal.
+        assert!((m.total_distance - 5.0 / 3.0).abs() < 1e-9);
+        // Decision point at m0 only.
+        assert_eq!(m.decision_edges, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a source")]
+    fn mismatched_endpoints_panic() {
+        let (net, top, _) = two_corridors();
+        let rogue = Path::from_edges(
+            &net,
+            net.weights(),
+            vec![net.find_edge(NodeId(1), NodeId(3)).unwrap()],
+        );
+        let _ = AlternativeGraph::build(&[top, rogue]);
+    }
+}

@@ -1,0 +1,878 @@
+//! Contraction Hierarchies (CH) — an exact shortest-path index.
+//!
+//! The paper's introduction points at the index-based shortest-path line
+//! of work (hub labeling, maintainable shortest-path indexes) as the
+//! substrate modern routing engines run on; this module provides the
+//! classic representative. Nodes are contracted in importance order with
+//! witness searches deciding which shortcuts are needed; queries run a
+//! bidirectional upward Dijkstra over the augmented graph and typically
+//! settle orders of magnitude fewer vertices than plain Dijkstra.
+//!
+//! The index answers distance queries exactly (verified against Dijkstra
+//! in the tests) and can unpack shortcut paths back to original edges.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use arp_roadnet::csr::RoadNetwork;
+use arp_roadnet::ids::{EdgeId, NodeId};
+use arp_roadnet::weight::{Cost, Weight, INFINITY};
+
+use crate::error::CoreError;
+use crate::path::Path;
+
+/// An edge of the augmented (original + shortcut) graph.
+#[derive(Clone, Copy, Debug)]
+struct ChEdge {
+    /// Other endpoint.
+    to: u32,
+    /// Weight in ms.
+    weight: Weight,
+    /// For originals: the network edge. For shortcuts: `EdgeId::INVALID`.
+    original: EdgeId,
+    /// For shortcuts: the contracted middle vertex.
+    middle: u32,
+}
+
+/// A built contraction hierarchy over one network + weight table.
+pub struct ContractionHierarchy {
+    /// Rank (contraction order) per node; higher = more important.
+    rank: Vec<u32>,
+    /// Upward adjacency: edges `(v, w)` with `rank[w] > rank[v]`.
+    up: Vec<Vec<ChEdge>>,
+    /// Downward adjacency used by the backward search: edges `(w, v)` in
+    /// the original direction with `rank[v] > rank[w]`, stored at `w`.
+    down: Vec<Vec<ChEdge>>,
+    /// Number of shortcuts added (diagnostics).
+    num_shortcuts: usize,
+}
+
+/// Preprocessing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ChConfig {
+    /// Witness-search settle limit: higher = fewer unnecessary shortcuts,
+    /// slower preprocessing.
+    pub witness_settle_limit: usize,
+    /// Weight of the "deleted neighbours" term in the priority function.
+    pub deleted_neighbours_weight: f64,
+}
+
+impl Default for ChConfig {
+    fn default() -> Self {
+        ChConfig {
+            witness_settle_limit: 60,
+            deleted_neighbours_weight: 1.0,
+        }
+    }
+}
+
+/// Mutable overlay graph used during contraction.
+struct OverlayGraph {
+    /// Forward adjacency per node.
+    fwd: Vec<Vec<ChEdge>>,
+    /// Backward adjacency per node (edges stored at their head).
+    bwd: Vec<Vec<ChEdge>>,
+    contracted: Vec<bool>,
+}
+
+impl OverlayGraph {
+    fn new(net: &RoadNetwork, weights: &[Weight]) -> OverlayGraph {
+        let n = net.num_nodes();
+        let mut fwd: Vec<Vec<ChEdge>> = vec![Vec::new(); n];
+        let mut bwd: Vec<Vec<ChEdge>> = vec![Vec::new(); n];
+        for e in net.edges() {
+            let (t, h) = (net.tail(e).0, net.head(e).0);
+            if t == h {
+                continue;
+            }
+            let edge = ChEdge {
+                to: h,
+                weight: weights[e.index()],
+                original: e,
+                middle: u32::MAX,
+            };
+            fwd[t as usize].push(edge);
+            bwd[h as usize].push(ChEdge { to: t, ..edge });
+        }
+        OverlayGraph {
+            fwd,
+            bwd,
+            contracted: vec![false; n],
+        }
+    }
+
+    /// Local witness search: is there a path `u -> w` avoiding `via` with
+    /// cost <= `limit`? Bounded by `settle_limit` settled vertices.
+    fn witness_exists(
+        &self,
+        u: u32,
+        w: u32,
+        via: u32,
+        limit: Cost,
+        settle_limit: usize,
+        dist: &mut Vec<(u32, Cost)>,
+    ) -> bool {
+        // Tiny Dijkstra over the remaining overlay, using a scratch list
+        // instead of a full distance array (frontiers are tiny).
+        dist.clear();
+        let get = |dist: &[(u32, Cost)], v: u32| -> Cost {
+            dist.iter()
+                .find(|&&(x, _)| x == v)
+                .map(|&(_, d)| d)
+                .unwrap_or(INFINITY)
+        };
+        let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
+        dist.push((u, 0));
+        heap.push(Reverse((0, u)));
+        let mut settled = 0usize;
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > get(dist, v) || d > limit {
+                continue;
+            }
+            if v == w {
+                return true;
+            }
+            settled += 1;
+            if settled > settle_limit {
+                break;
+            }
+            for e in &self.fwd[v as usize] {
+                if e.to == via || self.contracted[e.to as usize] {
+                    continue;
+                }
+                let nd = d + e.weight as Cost;
+                if nd <= limit && nd < get(dist, e.to) {
+                    dist.retain(|&(x, _)| x != e.to);
+                    dist.push((e.to, nd));
+                    heap.push(Reverse((nd, e.to)));
+                }
+            }
+        }
+        false
+    }
+
+    /// The shortcuts contracting `v` would need: `(u, w, weight, via)`.
+    fn required_shortcuts(
+        &self,
+        v: u32,
+        settle_limit: usize,
+        scratch: &mut Vec<(u32, Cost)>,
+    ) -> Vec<(u32, u32, Weight)> {
+        let mut out = Vec::new();
+        for ie in &self.bwd[v as usize] {
+            let u = ie.to;
+            if self.contracted[u as usize] {
+                continue;
+            }
+            for oe in &self.fwd[v as usize] {
+                let w = oe.to;
+                if w == u || self.contracted[w as usize] {
+                    continue;
+                }
+                let through = ie.weight as Cost + oe.weight as Cost;
+                if !self.witness_exists(u, w, v, through, settle_limit, scratch) {
+                    out.push((u, w, through.min(u32::MAX as Cost - 1) as Weight));
+                }
+            }
+        }
+        out
+    }
+
+    fn add_shortcut(&mut self, u: u32, w: u32, weight: Weight, via: u32) {
+        let edge = ChEdge {
+            to: w,
+            weight,
+            original: EdgeId::INVALID,
+            middle: via,
+        };
+        self.fwd[u as usize].push(edge);
+        self.bwd[w as usize].push(ChEdge { to: u, ..edge });
+    }
+}
+
+impl ContractionHierarchy {
+    /// Builds the hierarchy for `net` under `weights`.
+    pub fn build(net: &RoadNetwork, weights: &[Weight]) -> Result<ContractionHierarchy, CoreError> {
+        Self::build_with(net, weights, &ChConfig::default())
+    }
+
+    /// Builds with explicit parameters.
+    pub fn build_with(
+        net: &RoadNetwork,
+        weights: &[Weight],
+        config: &ChConfig,
+    ) -> Result<ContractionHierarchy, CoreError> {
+        if weights.len() != net.num_edges() {
+            return Err(CoreError::WeightLengthMismatch {
+                expected: net.num_edges(),
+                got: weights.len(),
+            });
+        }
+        let n = net.num_nodes();
+        let mut overlay = OverlayGraph::new(net, weights);
+        let mut rank = vec![0u32; n];
+        let mut deleted_neighbours = vec![0u32; n];
+        let mut scratch: Vec<(u32, Cost)> = Vec::new();
+
+        // Lazy priority queue keyed by (priority, node).
+        let priority = |overlay: &OverlayGraph,
+                        deleted: &[u32],
+                        v: u32,
+                        scratch: &mut Vec<(u32, Cost)>|
+         -> i64 {
+            let shortcuts = overlay
+                .required_shortcuts(v, 16, scratch) // cheap estimate
+                .len() as i64;
+            let degree = (overlay.fwd[v as usize]
+                .iter()
+                .filter(|e| !overlay.contracted[e.to as usize])
+                .count()
+                + overlay.bwd[v as usize]
+                    .iter()
+                    .filter(|e| !overlay.contracted[e.to as usize])
+                    .count()) as i64;
+            let edge_difference = shortcuts - degree;
+            edge_difference * 4 + (deleted[v as usize] as f64 * 1.0) as i64
+        };
+        let _ = config.deleted_neighbours_weight;
+
+        let mut heap: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::new();
+        for v in 0..n as u32 {
+            let p = priority(&overlay, &deleted_neighbours, v, &mut scratch);
+            heap.push(Reverse((p, v)));
+        }
+
+        let mut next_rank = 0u32;
+        let mut num_shortcuts = 0usize;
+        while let Some(Reverse((p, v))) = heap.pop() {
+            if overlay.contracted[v as usize] {
+                continue;
+            }
+            // Lazy update: re-evaluate and re-queue if stale.
+            let current = priority(&overlay, &deleted_neighbours, v, &mut scratch);
+            if current > p {
+                heap.push(Reverse((current, v)));
+                continue;
+            }
+            // Contract v.
+            let shortcuts =
+                overlay.required_shortcuts(v, config.witness_settle_limit, &mut scratch);
+            for &(u, w, weight) in &shortcuts {
+                overlay.add_shortcut(u, w, weight, v);
+                num_shortcuts += 1;
+            }
+            overlay.contracted[v as usize] = true;
+            rank[v as usize] = next_rank;
+            next_rank += 1;
+            for e in overlay.fwd[v as usize].clone() {
+                if !overlay.contracted[e.to as usize] {
+                    deleted_neighbours[e.to as usize] += 1;
+                }
+            }
+            for e in overlay.bwd[v as usize].clone() {
+                if !overlay.contracted[e.to as usize] {
+                    deleted_neighbours[e.to as usize] += 1;
+                }
+            }
+        }
+
+        // Split the final overlay into upward and downward graphs.
+        let mut up: Vec<Vec<ChEdge>> = vec![Vec::new(); n];
+        let mut down: Vec<Vec<ChEdge>> = vec![Vec::new(); n];
+        for v in 0..n {
+            for e in &overlay.fwd[v] {
+                if rank[e.to as usize] > rank[v] {
+                    up[v].push(*e);
+                } else {
+                    // Downward edge v -> e.to stored at its head for the
+                    // backward search.
+                    down[e.to as usize].push(ChEdge { to: v as u32, ..*e });
+                }
+            }
+        }
+
+        Ok(ContractionHierarchy {
+            rank,
+            up,
+            down,
+            num_shortcuts,
+        })
+    }
+
+    /// Number of shortcuts in the index.
+    pub fn num_shortcuts(&self) -> usize {
+        self.num_shortcuts
+    }
+
+    /// Contraction rank of a node.
+    pub fn rank(&self, v: NodeId) -> u32 {
+        self.rank[v.index()]
+    }
+
+    /// Exact shortest-path distance, or `None` when unreachable.
+    ///
+    /// Allocates a fresh workspace; batch callers should reuse a
+    /// [`ChSearch`] instead.
+    pub fn distance(&self, source: NodeId, target: NodeId) -> Option<Cost> {
+        ChSearch::new(self).distance(self, source, target)
+    }
+
+    /// Runs the bidirectional upward search. Returns
+    /// `(distance, meeting node, fwd labels, bwd labels)`.
+    #[allow(clippy::type_complexity)]
+    fn query(
+        &self,
+        source: NodeId,
+        target: NodeId,
+    ) -> Option<(
+        Cost,
+        u32,
+        Vec<(u32, Cost, ChEdge)>,
+        Vec<(u32, Cost, ChEdge)>,
+    )> {
+        if source == target {
+            return None;
+        }
+        let sentinel = ChEdge {
+            to: u32::MAX,
+            weight: 0,
+            original: EdgeId::INVALID,
+            middle: u32::MAX,
+        };
+        // Sparse label lists (u32 node, dist, parent edge in that search).
+        let mut fwd: Vec<(u32, Cost, ChEdge)> = vec![(source.0, 0, sentinel)];
+        let mut bwd: Vec<(u32, Cost, ChEdge)> = vec![(target.0, 0, sentinel)];
+        let mut heap_f: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
+        let mut heap_b: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
+        heap_f.push(Reverse((0, source.0)));
+        heap_b.push(Reverse((0, target.0)));
+
+        let get = |labels: &[(u32, Cost, ChEdge)], v: u32| -> Cost {
+            labels
+                .iter()
+                .find(|&&(x, _, _)| x == v)
+                .map(|&(_, d, _)| d)
+                .unwrap_or(INFINITY)
+        };
+
+        let mut best = INFINITY;
+        let mut meet = u32::MAX;
+        loop {
+            let kf = heap_f.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
+            let kb = heap_b.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
+            if kf.min(kb) >= best {
+                break;
+            }
+            if kf <= kb && kf != INFINITY {
+                let Some(Reverse((d, v))) = heap_f.pop() else {
+                    break;
+                };
+                if d > get(&fwd, v) {
+                    continue;
+                }
+                let db = get(&bwd, v);
+                if db != INFINITY && d + db < best {
+                    best = d + db;
+                    meet = v;
+                }
+                for e in &self.up[v as usize] {
+                    let nd = d + e.weight as Cost;
+                    if nd < get(&fwd, e.to) {
+                        fwd.retain(|&(x, _, _)| x != e.to);
+                        fwd.push((e.to, nd, ChEdge { to: v, ..*e }));
+                        heap_f.push(Reverse((nd, e.to)));
+                    }
+                }
+            } else if kb != INFINITY {
+                let Some(Reverse((d, v))) = heap_b.pop() else {
+                    break;
+                };
+                if d > get(&bwd, v) {
+                    continue;
+                }
+                let df = get(&fwd, v);
+                if df != INFINITY && d + df < best {
+                    best = d + df;
+                    meet = v;
+                }
+                for e in &self.down[v as usize] {
+                    // e.to is the tail of a downward edge (e.to -> v);
+                    // in the backward search we move from v to e.to going up.
+                    let nd = d + e.weight as Cost;
+                    if nd < get(&bwd, e.to) {
+                        bwd.retain(|&(x, _, _)| x != e.to);
+                        bwd.push((e.to, nd, ChEdge { to: v, ..*e }));
+                        heap_b.push(Reverse((nd, e.to)));
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+
+        if best == INFINITY {
+            None
+        } else {
+            Some((best, meet, fwd, bwd))
+        }
+    }
+
+    /// Exact shortest path with shortcut unpacking.
+    pub fn shortest_path(
+        &self,
+        net: &RoadNetwork,
+        weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<Path, CoreError> {
+        if source.index() >= net.num_nodes() {
+            return Err(CoreError::InvalidNode(source));
+        }
+        if target.index() >= net.num_nodes() {
+            return Err(CoreError::InvalidNode(target));
+        }
+        if source == target {
+            return Err(CoreError::SameSourceTarget(source));
+        }
+        let Some((_, meet, fwd, bwd)) = self.query(source, target) else {
+            return Err(CoreError::Unreachable { source, target });
+        };
+
+        let find = |labels: &[(u32, Cost, ChEdge)], v: u32| -> (Cost, ChEdge) {
+            labels
+                .iter()
+                .find(|&&(x, _, _)| x == v)
+                .map(|&(_, d, e)| (d, e))
+                .expect("label exists on the found path")
+        };
+
+        // Forward half: walk from meet back to source; parent edge's `to`
+        // holds the predecessor; (pred -> v) is the travel direction.
+        let mut ch_edges_fwd: Vec<(u32, u32, ChEdge)> = Vec::new();
+        let mut v = meet;
+        while v != source.0 {
+            let (_, pe) = find(&fwd, v);
+            ch_edges_fwd.push((pe.to, v, pe));
+            v = pe.to;
+        }
+        ch_edges_fwd.reverse();
+        // Backward half: walk from meet to target; the label at u holds the
+        // downward edge (u -> succ) in travel direction.
+        let mut ch_edges_bwd: Vec<(u32, u32, ChEdge)> = Vec::new();
+        let mut u = meet;
+        while u != target.0 {
+            let (_, pe) = find(&bwd, u);
+            ch_edges_bwd.push((u, pe.to, pe));
+            u = pe.to;
+        }
+
+        // Unpack shortcuts recursively into original EdgeIds.
+        let mut edges: Vec<EdgeId> = Vec::new();
+        for (a, b, e) in ch_edges_fwd.into_iter().chain(ch_edges_bwd) {
+            self.unpack(a, b, &e, &mut edges);
+        }
+        Ok(Path::from_edges(net, weights, edges))
+    }
+
+    fn unpack(&self, a: u32, b: u32, e: &ChEdge, out: &mut Vec<EdgeId>) {
+        if !e.original.is_invalid() {
+            out.push(e.original);
+            return;
+        }
+        let mid = e.middle;
+        debug_assert_ne!(mid, u32::MAX, "shortcut must have a middle vertex");
+        // Find the two constituent edges (a -> mid) and (mid -> b) with the
+        // matching total weight, among up/down edges of mid's neighbours.
+        let left = self
+            .edge_between(a, mid)
+            .expect("shortcut left child exists");
+        let right = self
+            .edge_between(mid, b)
+            .expect("shortcut right child exists");
+        self.unpack(a, mid, &left, out);
+        self.unpack(mid, b, &right, out);
+    }
+
+    /// Finds the lightest CH edge `x -> y` in the augmented graph.
+    fn edge_between(&self, x: u32, y: u32) -> Option<ChEdge> {
+        let mut best: Option<ChEdge> = None;
+        for e in &self.up[x as usize] {
+            if e.to == y && best.is_none_or(|b| e.weight < b.weight) {
+                best = Some(*e);
+            }
+        }
+        // Downward edges x -> y are stored at y.
+        for e in &self.down[y as usize] {
+            if e.to == x && best.is_none_or(|b| e.weight < b.weight) {
+                best = Some(ChEdge { to: y, ..*e });
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::SearchSpace;
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::geo::Point;
+
+    fn grid(n: usize) -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                ids.push(b.add_node(Point::new(144.0 + x as f64 * 0.01, -37.0 - y as f64 * 0.01)));
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if x + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + 1],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+                if y + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + n],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn distances_match_dijkstra_on_grid() {
+        let net = grid(7);
+        let ch = ContractionHierarchy::build(&net, net.weights()).unwrap();
+        let mut ws = SearchSpace::new(&net);
+        for s in (0..49u32).step_by(5) {
+            for t in (0..49u32).step_by(7) {
+                if s == t {
+                    continue;
+                }
+                let expect = ws
+                    .shortest_distance(&net, net.weights(), NodeId(s), NodeId(t))
+                    .unwrap();
+                let got = ch.distance(NodeId(s), NodeId(t)).unwrap();
+                assert_eq!(got, expect, "{s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_unpack_to_valid_original_edges() {
+        let net = grid(6);
+        let ch = ContractionHierarchy::build(&net, net.weights()).unwrap();
+        let mut ws = SearchSpace::new(&net);
+        for (s, t) in [(0u32, 35u32), (5, 30), (14, 21), (1, 34)] {
+            let p = ch
+                .shortest_path(&net, net.weights(), NodeId(s), NodeId(t))
+                .unwrap();
+            assert!(p.validate(&net), "{s}->{t}");
+            assert_eq!(p.source(), NodeId(s));
+            assert_eq!(p.target(), NodeId(t));
+            let expect = ws
+                .shortest_distance(&net, net.weights(), NodeId(s), NodeId(t))
+                .unwrap();
+            assert_eq!(p.cost_ms, expect);
+        }
+    }
+
+    #[test]
+    fn works_on_directed_asymmetric_graph() {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..8)
+            .map(|i| b.add_node(Point::new(i as f64 * 0.01, 0.0)))
+            .collect();
+        for i in 0..8 {
+            b.add_edge(
+                ids[i],
+                ids[(i + 1) % 8],
+                EdgeSpec::default().with_weight(100 + i as u32 * 10),
+            );
+        }
+        b.add_edge(ids[0], ids[4], EdgeSpec::default().with_weight(350));
+        b.add_edge(ids[5], ids[2], EdgeSpec::default().with_weight(90));
+        let net = b.build();
+        let ch = ContractionHierarchy::build(&net, net.weights()).unwrap();
+        let mut ws = SearchSpace::new(&net);
+        for s in 0..8u32 {
+            for t in 0..8u32 {
+                if s == t {
+                    continue;
+                }
+                let expect = ws
+                    .shortest_distance(&net, net.weights(), NodeId(s), NodeId(t))
+                    .ok();
+                let got = ch.distance(NodeId(s), NodeId(t));
+                assert_eq!(got, expect, "{s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(0.01, 0.0));
+        b.add_edge(a, c, EdgeSpec::default());
+        let net = b.build();
+        let ch = ContractionHierarchy::build(&net, net.weights()).unwrap();
+        assert_eq!(ch.distance(NodeId(1), NodeId(0)), None);
+        assert!(ch.distance(NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let net = grid(5);
+        let ch = ContractionHierarchy::build(&net, net.weights()).unwrap();
+        let mut ranks: Vec<u32> = (0..25).map(|v| ch.rank(NodeId(v))).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..25).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn shortcut_count_is_moderate_on_grids() {
+        let net = grid(8);
+        let ch = ContractionHierarchy::build(&net, net.weights()).unwrap();
+        // Grids need some shortcuts but far fewer than n^2.
+        assert!(
+            ch.num_shortcuts() < net.num_edges() * 4,
+            "{}",
+            ch.num_shortcuts()
+        );
+    }
+
+    #[test]
+    fn wrong_weight_length_rejected() {
+        let net = grid(3);
+        assert!(matches!(
+            ContractionHierarchy::build(&net, &[1, 2, 3]),
+            Err(CoreError::WeightLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matches_on_city_network() {
+        let city =
+            arp_citygen::generate(arp_citygen::City::Copenhagen, arp_citygen::Scale::Tiny, 3);
+        let net = &city.network;
+        let ch = ContractionHierarchy::build(net, net.weights()).unwrap();
+        let mut ws = SearchSpace::new(net);
+        let n = net.num_nodes() as u32;
+        for i in 0..12u32 {
+            let s = (i * 37) % n;
+            let t = (i * 101 + 7) % n;
+            if s == t {
+                continue;
+            }
+            let expect = ws
+                .shortest_distance(net, net.weights(), NodeId(s), NodeId(t))
+                .ok();
+            assert_eq!(ch.distance(NodeId(s), NodeId(t)), expect, "{s}->{t}");
+        }
+    }
+}
+
+/// Reusable dense workspace for CH distance queries.
+///
+/// Uses generation-stamped distance arrays like
+/// [`crate::search::SearchSpace`], so repeated queries touch only the
+/// (few) vertices the upward searches actually settle.
+pub struct ChSearch {
+    dist_f: Vec<Cost>,
+    dist_b: Vec<Cost>,
+    stamp_f: Vec<u32>,
+    stamp_b: Vec<u32>,
+    generation: u32,
+    heap_f: BinaryHeap<Reverse<(Cost, u32)>>,
+    heap_b: BinaryHeap<Reverse<(Cost, u32)>>,
+}
+
+impl ChSearch {
+    /// A workspace sized for the hierarchy's node count.
+    pub fn new(ch: &ContractionHierarchy) -> ChSearch {
+        let n = ch.rank.len();
+        ChSearch {
+            dist_f: vec![INFINITY; n],
+            dist_b: vec![INFINITY; n],
+            stamp_f: vec![0; n],
+            stamp_b: vec![0; n],
+            generation: 0,
+            heap_f: BinaryHeap::new(),
+            heap_b: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn df(&self, v: u32) -> Cost {
+        if self.stamp_f[v as usize] == self.generation {
+            self.dist_f[v as usize]
+        } else {
+            INFINITY
+        }
+    }
+
+    #[inline]
+    fn db(&self, v: u32) -> Cost {
+        if self.stamp_b[v as usize] == self.generation {
+            self.dist_b[v as usize]
+        } else {
+            INFINITY
+        }
+    }
+
+    /// Exact shortest-path distance, or `None` when unreachable or when
+    /// `source == target`.
+    pub fn distance(
+        &mut self,
+        ch: &ContractionHierarchy,
+        source: NodeId,
+        target: NodeId,
+    ) -> Option<Cost> {
+        if source == target || source.index() >= ch.rank.len() || target.index() >= ch.rank.len() {
+            return None;
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp_f.fill(0);
+            self.stamp_b.fill(0);
+            self.generation = 1;
+        }
+        self.heap_f.clear();
+        self.heap_b.clear();
+
+        self.stamp_f[source.index()] = self.generation;
+        self.dist_f[source.index()] = 0;
+        self.heap_f.push(Reverse((0, source.0)));
+        self.stamp_b[target.index()] = self.generation;
+        self.dist_b[target.index()] = 0;
+        self.heap_b.push(Reverse((0, target.0)));
+
+        let mut best = INFINITY;
+        loop {
+            let kf = self
+                .heap_f
+                .peek()
+                .map(|Reverse((d, _))| *d)
+                .unwrap_or(INFINITY);
+            let kb = self
+                .heap_b
+                .peek()
+                .map(|Reverse((d, _))| *d)
+                .unwrap_or(INFINITY);
+            if kf.min(kb) >= best {
+                break;
+            }
+            if kf <= kb && kf != INFINITY {
+                let Some(Reverse((d, v))) = self.heap_f.pop() else {
+                    break;
+                };
+                if d > self.df(v) {
+                    continue;
+                }
+                let db = self.db(v);
+                if db != INFINITY && d + db < best {
+                    best = d + db;
+                }
+                for e in &ch.up[v as usize] {
+                    let nd = d + e.weight as Cost;
+                    if nd < self.df(e.to) {
+                        self.stamp_f[e.to as usize] = self.generation;
+                        self.dist_f[e.to as usize] = nd;
+                        self.heap_f.push(Reverse((nd, e.to)));
+                    }
+                }
+            } else if kb != INFINITY {
+                let Some(Reverse((d, v))) = self.heap_b.pop() else {
+                    break;
+                };
+                if d > self.db(v) {
+                    continue;
+                }
+                let df = self.df(v);
+                if df != INFINITY && d + df < best {
+                    best = d + df;
+                }
+                for e in &ch.down[v as usize] {
+                    let nd = d + e.weight as Cost;
+                    if nd < self.db(e.to) {
+                        self.stamp_b[e.to as usize] = self.generation;
+                        self.dist_b[e.to as usize] = nd;
+                        self.heap_b.push(Reverse((nd, e.to)));
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        (best != INFINITY).then_some(best)
+    }
+}
+
+#[cfg(test)]
+mod ch_search_tests {
+    use super::*;
+    use crate::search::SearchSpace;
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::geo::Point;
+
+    #[test]
+    fn dense_workspace_matches_dijkstra_with_reuse() {
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..8 {
+            for x in 0..8 {
+                ids.push(b.add_node(Point::new(144.0 + x as f64 * 0.01, -37.0 - y as f64 * 0.01)));
+            }
+        }
+        for y in 0..8usize {
+            for x in 0..8usize {
+                let i = y * 8 + x;
+                if x + 1 < 8 {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + 1],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+                if y + 1 < 8 {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + 8],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+            }
+        }
+        let net = b.build();
+        let ch = ContractionHierarchy::build(&net, net.weights()).unwrap();
+        let mut search = ChSearch::new(&ch);
+        let mut ws = SearchSpace::new(&net);
+        for s in (0..64u32).step_by(3) {
+            for t in (0..64u32).step_by(5) {
+                if s == t {
+                    continue;
+                }
+                let expect = ws
+                    .shortest_distance(&net, net.weights(), NodeId(s), NodeId(t))
+                    .unwrap();
+                assert_eq!(
+                    search.distance(&ch, NodeId(s), NodeId(t)),
+                    Some(expect),
+                    "{s}->{t}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The **Dissimilarity** technique — SSVP-D+ (§2.3 of the paper,
+//! Chondrogiannis et al.).
+//!
+//! Single-source via-paths: grow a forward tree from `s` and a backward
+//! tree from `t`; every vertex `u` induces the via-path
+//! `sp(s,u) · sp(u,t)` of length `d_f(u) + d_b(u)`. Vertices are visited in
+//! ascending via-path length and a via-path is admitted when its
+//! dissimilarity to every already-admitted path exceeds the threshold θ
+//! (0.5 in the paper), guaranteeing the result set is pairwise dissimilar
+//! while keeping paths short.
+
+use std::collections::HashSet;
+
+use arp_roadnet::csr::RoadNetwork;
+use arp_roadnet::ids::NodeId;
+use arp_roadnet::weight::{Weight, INFINITY};
+
+use crate::error::CoreError;
+use crate::path::Path;
+use crate::query::AltQuery;
+use crate::search::{Direction, SearchSpace};
+use crate::similarity::dissimilarity_to_set;
+
+/// Options specific to the SSVP-D+ algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct DissimilarityOptions {
+    /// Skip via-paths that revisit a vertex (they contain a loop and can
+    /// never be a sensible recommendation).
+    pub require_simple: bool,
+    /// Upper bound on how many via-nodes are examined, as a multiple of
+    /// `k`; guards worst-case latency on dense graphs (the underlying
+    /// problem is NP-hard and this is the standard practical cut-off).
+    pub max_candidates_factor: usize,
+}
+
+impl Default for DissimilarityOptions {
+    fn default() -> Self {
+        DissimilarityOptions {
+            require_simple: true,
+            max_candidates_factor: 4000,
+        }
+    }
+}
+
+/// Computes up to `query.k` pairwise-dissimilar paths with SSVP-D+.
+pub fn dissimilarity_alternatives(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    source: NodeId,
+    target: NodeId,
+    query: &AltQuery,
+    options: &DissimilarityOptions,
+) -> Result<Vec<Path>, CoreError> {
+    let mut ws = SearchSpace::new(net);
+    dissimilarity_alternatives_with(&mut ws, net, weights, source, target, query, options)
+}
+
+/// Like [`dissimilarity_alternatives`] but reusing a caller workspace.
+pub fn dissimilarity_alternatives_with(
+    ws: &mut SearchSpace,
+    net: &RoadNetwork,
+    weights: &[Weight],
+    source: NodeId,
+    target: NodeId,
+    query: &AltQuery,
+    options: &DissimilarityOptions,
+) -> Result<Vec<Path>, CoreError> {
+    if query.k == 0 {
+        return Ok(Vec::new());
+    }
+    if source == target {
+        return Err(CoreError::SameSourceTarget(source));
+    }
+    let fwd = ws.shortest_path_tree(net, weights, source, Direction::Forward)?;
+    if !fwd.reached(target) {
+        return Err(CoreError::Unreachable { source, target });
+    }
+    let bwd = ws.shortest_path_tree(net, weights, target, Direction::Backward)?;
+    let best = fwd.distance(target);
+    let bound = query.cost_bound(best);
+
+    // Via-nodes in ascending via-path length, bounded by the stretch limit.
+    let mut candidates: Vec<(u64, u32)> = (0..net.num_nodes() as u32)
+        .filter_map(|v| {
+            let df = fwd.dist[v as usize];
+            let db = bwd.dist[v as usize];
+            if df == INFINITY || db == INFINITY {
+                return None;
+            }
+            let via = df + db;
+            (via <= bound).then_some((via, v))
+        })
+        .collect();
+    candidates.sort_unstable();
+
+    let max_candidates = query
+        .k
+        .saturating_mul(options.max_candidates_factor)
+        .max(64);
+    let mut accepted: Vec<Path> = Vec::with_capacity(query.k);
+    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+
+    for &(_via, v) in candidates.iter().take(max_candidates) {
+        if accepted.len() >= query.k {
+            break;
+        }
+        let v = NodeId(v);
+        let Some(prefix) = fwd.path_edges(net, v) else {
+            continue;
+        };
+        let Some(suffix) = bwd.path_edges(net, v) else {
+            continue;
+        };
+        let mut edges = prefix;
+        edges.extend_from_slice(&suffix);
+        if edges.is_empty() {
+            continue;
+        }
+        let path = Path::from_edges(net, weights, edges);
+        if options.require_simple && !path.is_simple() {
+            continue;
+        }
+        if !seen.insert(path.key()) {
+            continue;
+        }
+        if accepted.is_empty() {
+            // The first admissible candidate is the shortest path itself
+            // (the target's via-path, or any via-node on the optimal route).
+            accepted.push(path);
+            continue;
+        }
+        if dissimilarity_to_set(&path, &accepted, weights) > query.theta {
+            accepted.push(path);
+        }
+    }
+    Ok(accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::similarity;
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::geo::Point;
+
+    fn grid(n: usize) -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                ids.push(b.add_node(Point::new(144.0 + x as f64 * 0.01, -37.0 - y as f64 * 0.01)));
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if x + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + 1],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+                if y + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + n],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn first_result_is_shortest_path() {
+        let net = grid(7);
+        let paths = dissimilarity_alternatives(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(48),
+            &AltQuery::paper(),
+            &DissimilarityOptions::default(),
+        )
+        .unwrap();
+        assert!(!paths.is_empty());
+        let direct =
+            crate::search::shortest_path(&net, net.weights(), NodeId(0), NodeId(48)).unwrap();
+        assert_eq!(paths[0].cost_ms, direct.cost_ms);
+    }
+
+    #[test]
+    fn results_respect_theta() {
+        let net = grid(8);
+        let q = AltQuery::paper();
+        let paths = dissimilarity_alternatives(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &q,
+            &DissimilarityOptions::default(),
+        )
+        .unwrap();
+        assert!(paths.len() >= 2, "got {}", paths.len());
+        for i in 0..paths.len() {
+            for j in i + 1..paths.len() {
+                let sim = similarity(&paths[i], &paths[j], net.weights());
+                assert!(
+                    sim < 1.0 - q.theta + 1e-9,
+                    "pair ({i},{j}) similarity {sim} violates theta"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_within_stretch_bound() {
+        let net = grid(8);
+        let q = AltQuery::paper();
+        let paths = dissimilarity_alternatives(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &q,
+            &DissimilarityOptions::default(),
+        )
+        .unwrap();
+        let best = paths[0].cost_ms;
+        for p in &paths {
+            assert!(p.cost_ms <= q.cost_bound(best));
+            assert!(p.validate(&net));
+            assert!(p.is_simple());
+        }
+    }
+
+    #[test]
+    fn higher_theta_gives_fewer_or_equal_paths() {
+        let net = grid(8);
+        let loose = dissimilarity_alternatives(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &AltQuery::paper().with_theta(0.1).with_k(5),
+            &DissimilarityOptions::default(),
+        )
+        .unwrap();
+        let strict = dissimilarity_alternatives(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &AltQuery::paper().with_theta(0.9).with_k(5),
+            &DissimilarityOptions::default(),
+        )
+        .unwrap();
+        assert!(strict.len() <= loose.len());
+    }
+
+    #[test]
+    fn via_paths_are_ascending_in_cost() {
+        let net = grid(8);
+        let paths = dissimilarity_alternatives(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &AltQuery::paper(),
+            &DissimilarityOptions::default(),
+        )
+        .unwrap();
+        for w in paths.windows(2) {
+            assert!(w[0].cost_ms <= w[1].cost_ms, "paths not in ascending cost");
+        }
+    }
+
+    #[test]
+    fn unreachable_is_error() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(0.01, 0.0));
+        b.add_edge(a, c, EdgeSpec::default());
+        let net = b.build();
+        assert!(dissimilarity_alternatives(
+            &net,
+            net.weights(),
+            NodeId(1),
+            NodeId(0),
+            &AltQuery::paper(),
+            &DissimilarityOptions::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn k_zero_and_k_one() {
+        let net = grid(5);
+        let none = dissimilarity_alternatives(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(24),
+            &AltQuery::paper().with_k(0),
+            &DissimilarityOptions::default(),
+        )
+        .unwrap();
+        assert!(none.is_empty());
+        let one = dissimilarity_alternatives(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(24),
+            &AltQuery::paper().with_k(1),
+            &DissimilarityOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(one.len(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for route computation.
+
+use arp_roadnet::ids::NodeId;
+use std::fmt;
+
+/// Errors raised by shortest-path and alternative-route computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A query endpoint is not a valid vertex of the network.
+    InvalidNode(NodeId),
+    /// Source and target are the same vertex.
+    SameSourceTarget(NodeId),
+    /// No path exists from source to target.
+    Unreachable {
+        /// Query source.
+        source: NodeId,
+        /// Query target.
+        target: NodeId,
+    },
+    /// A weight overlay has the wrong length for the network.
+    WeightLengthMismatch {
+        /// Expected number of edges.
+        expected: usize,
+        /// Provided overlay length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidNode(n) => write!(f, "invalid node {n}"),
+            CoreError::SameSourceTarget(n) => {
+                write!(f, "source and target are the same vertex {n}")
+            }
+            CoreError::Unreachable { source, target } => {
+                write!(f, "no path from {source} to {target}")
+            }
+            CoreError::WeightLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "weight overlay has {got} entries, network has {expected} edges"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CoreError::InvalidNode(NodeId(4)).to_string(),
+            "invalid node n4"
+        );
+        assert!(CoreError::Unreachable {
+            source: NodeId(1),
+            target: NodeId(2)
+        }
+        .to_string()
+        .contains("n1"));
+        assert!(CoreError::WeightLengthMismatch {
+            expected: 5,
+            got: 3
+        }
+        .to_string()
+        .contains("3"));
+    }
+}

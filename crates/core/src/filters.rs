@@ -1,0 +1,288 @@
+//! Additional filtering/ranking criteria (§4.2, limitation #4).
+//!
+//! The paper notes that the implemented techniques could "easily include"
+//! extra filters — pruning near-duplicate routes, dropping routes that fail
+//! local optimality, and ranking by driver-perceivable features (fewer
+//! turns, wider roads). This module provides exactly those, as a composable
+//! post-processing stage used by the Google-like provider and by the
+//! ablation experiments.
+
+use arp_roadnet::csr::RoadNetwork;
+use arp_roadnet::weight::{Cost, Weight};
+
+use crate::path::Path;
+use crate::quality::{local_optimality, turns_per_km, wide_road_share};
+use crate::similarity::similarity;
+
+/// Configuration of the post-filter stage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FilterConfig {
+    /// Drop a route whose similarity to a kept route exceeds this.
+    pub max_similarity: Option<f64>,
+    /// Drop routes that fail the T-local-optimality probe.
+    pub require_local_optimality: bool,
+    /// Window size for the local-optimality probe (fraction of route cost).
+    pub lo_t_fraction: f64,
+    /// Re-rank by a composite comfort score (turns + road width) instead of
+    /// pure cost; the fastest route always stays first.
+    pub comfort_ranking: bool,
+    /// Weight of the turns-per-km penalty in the comfort score.
+    pub turns_weight: f64,
+    /// Weight of the wide-road bonus in the comfort score.
+    pub width_weight: f64,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig {
+            max_similarity: Some(0.8),
+            require_local_optimality: false,
+            lo_t_fraction: 0.25,
+            comfort_ranking: false,
+            turns_weight: 0.05,
+            width_weight: 0.15,
+        }
+    }
+}
+
+impl FilterConfig {
+    /// No filtering at all (the study's baseline configuration).
+    pub fn none() -> Self {
+        FilterConfig {
+            max_similarity: None,
+            require_local_optimality: false,
+            comfort_ranking: false,
+            ..Default::default()
+        }
+    }
+
+    /// Everything on — what the paper speculates a commercial product does.
+    pub fn commercial() -> Self {
+        FilterConfig {
+            max_similarity: Some(0.8),
+            require_local_optimality: true,
+            lo_t_fraction: 0.25,
+            comfort_ranking: true,
+            turns_weight: 0.05,
+            width_weight: 0.15,
+        }
+    }
+}
+
+/// Applies the configured filters to a route set.
+///
+/// Routes must be sorted so the preferred (fastest) route is first; the
+/// first route is always kept. Returns at most `k` routes.
+pub fn apply_filters(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    mut paths: Vec<Path>,
+    k: usize,
+    config: &FilterConfig,
+) -> Vec<Path> {
+    if paths.is_empty() || k == 0 {
+        paths.truncate(k);
+        return paths;
+    }
+
+    let mut kept: Vec<Path> = Vec::with_capacity(k);
+    for (i, path) in paths.into_iter().enumerate() {
+        if kept.len() >= k && !config.comfort_ranking {
+            break;
+        }
+        if i > 0 {
+            if let Some(max_sim) = config.max_similarity {
+                if kept.iter().any(|p| similarity(&path, p, weights) > max_sim) {
+                    continue;
+                }
+            }
+            if config.require_local_optimality {
+                let lo = local_optimality(net, weights, &path, config.lo_t_fraction, 8);
+                if !lo.is_locally_optimal() {
+                    continue;
+                }
+            }
+        }
+        kept.push(path);
+    }
+
+    if config.comfort_ranking && kept.len() > 2 {
+        // Keep the fastest first; order the rest by comfort-adjusted cost.
+        let best_cost = kept[0].cost_ms.max(1);
+        let score = |p: &Path| -> f64 {
+            let rel_cost = p.cost_under(weights) as f64 / best_cost as f64;
+            rel_cost + config.turns_weight * turns_per_km(net, p, 45.0)
+                - config.width_weight * wide_road_share(net, p)
+        };
+        let mut rest: Vec<(f64, Path)> = kept.drain(1..).map(|p| (score(&p), p)).collect();
+        rest.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        kept.extend(rest.into_iter().map(|(_, p)| p));
+    }
+
+    kept.truncate(k);
+    kept
+}
+
+/// Sorts routes by public cost, keeping them stable for ties. Providers
+/// call this before filtering so "fastest first" holds.
+pub fn sort_by_cost(paths: &mut [Path], weights: &[Weight]) {
+    paths.sort_by_key(|p| p.cost_under(weights) as Cost);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::geo::Point;
+    use arp_roadnet::ids::NodeId;
+
+    fn grid(n: usize) -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                ids.push(b.add_node(Point::new(144.0 + x as f64 * 0.01, -37.0 - y as f64 * 0.01)));
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if x + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + 1],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+                if y + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + n],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn path_via(net: &RoadNetwork, nodes: &[u32]) -> Path {
+        let edges = nodes
+            .windows(2)
+            .map(|w| net.find_edge(NodeId(w[0]), NodeId(w[1])).unwrap())
+            .collect();
+        Path::from_edges(net, net.weights(), edges)
+    }
+
+    #[test]
+    fn similarity_filter_drops_near_duplicates() {
+        let net = grid(4);
+        let a = path_via(&net, &[0, 1, 2, 3, 7, 11, 15]);
+        let b = path_via(&net, &[0, 1, 2, 3, 7, 11, 15]); // duplicate
+        let c = path_via(&net, &[0, 4, 8, 12, 13, 14, 15]); // disjoint
+        let cfg = FilterConfig::default();
+        let kept = apply_filters(&net, net.weights(), vec![a, b, c.clone()], 3, &cfg);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[1].edges, c.edges);
+    }
+
+    #[test]
+    fn first_route_always_kept() {
+        let net = grid(4);
+        // Even a wildly detouring first route survives: it is the anchor.
+        let weird = path_via(&net, &[0, 1, 5, 4, 8, 9, 13, 14, 15]);
+        let cfg = FilterConfig::commercial();
+        let kept = apply_filters(&net, net.weights(), vec![weird.clone()], 3, &cfg);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].edges, weird.edges);
+    }
+
+    #[test]
+    fn local_optimality_filter_drops_detours() {
+        let net = grid(6);
+        let best =
+            crate::search::shortest_path(&net, net.weights(), NodeId(0), NodeId(35)).unwrap();
+        // A zig-zag detour route.
+        let detour = path_via(
+            &net,
+            &[0, 1, 7, 6, 12, 13, 19, 18, 24, 25, 31, 32, 33, 34, 35],
+        );
+        let cfg = FilterConfig {
+            max_similarity: None,
+            require_local_optimality: true,
+            ..Default::default()
+        };
+        let kept = apply_filters(&net, net.weights(), vec![best.clone(), detour], 3, &cfg);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].edges, best.edges);
+    }
+
+    #[test]
+    fn no_filter_config_keeps_everything_up_to_k() {
+        let net = grid(4);
+        let a = path_via(&net, &[0, 1, 2, 3]);
+        let b = path_via(&net, &[0, 1, 2, 3]);
+        let cfg = FilterConfig::none();
+        let kept = apply_filters(&net, net.weights(), vec![a, b], 5, &cfg);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        let net = grid(4);
+        let paths: Vec<Path> = vec![
+            path_via(&net, &[0, 1, 2, 3]),
+            path_via(&net, &[0, 4, 5, 6, 7]),
+            path_via(&net, &[0, 4, 8, 12, 13]),
+        ];
+        let kept = apply_filters(&net, net.weights(), paths, 2, &FilterConfig::none());
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn sort_by_cost_orders_ascending() {
+        let net = grid(4);
+        let long = path_via(&net, &[0, 1, 5, 9, 13, 14, 15]);
+        let short = path_via(&net, &[0, 1, 2, 3]);
+        let mut v = vec![long, short];
+        sort_by_cost(&mut v, net.weights());
+        assert!(v[0].cost_ms <= v[1].cost_ms);
+    }
+
+    #[test]
+    fn comfort_ranking_prefers_straight_routes() {
+        let net = grid(6);
+        let best = crate::search::shortest_path(&net, net.weights(), NodeId(0), NodeId(5)).unwrap();
+        // Two alternatives of identical cost structure: a straight-ish one
+        // and a staircase, both 0 -> 5 avoiding the direct row partially.
+        let staircase = path_via(&net, &[0, 6, 7, 1, 2, 8, 9, 3, 4, 10, 11, 5]);
+        let straight = path_via(&net, &[0, 6, 7, 8, 9, 10, 11, 5]);
+        let cfg = FilterConfig {
+            max_similarity: None,
+            require_local_optimality: false,
+            comfort_ranking: true,
+            ..Default::default()
+        };
+        let kept = apply_filters(
+            &net,
+            net.weights(),
+            vec![best.clone(), staircase.clone(), straight.clone()],
+            3,
+            &cfg,
+        );
+        assert_eq!(kept[0].edges, best.edges);
+        // The straighter alternative should rank before the staircase.
+        assert_eq!(kept[1].edges, straight.edges, "comfort ranking failed");
+    }
+
+    #[test]
+    fn empty_and_k_zero() {
+        let net = grid(3);
+        assert!(apply_filters(&net, net.weights(), vec![], 3, &FilterConfig::default()).is_empty());
+        let p = path_via(&net, &[0, 1]);
+        assert!(
+            apply_filters(&net, net.weights(), vec![p], 0, &FilterConfig::default()).is_empty()
+        );
+    }
+}

@@ -1,0 +1,107 @@
+#![warn(missing_docs)]
+//! # arp-core
+//!
+//! Alternative route planning techniques — the subject matter of the ICDE
+//! 2022 comparative user study. The crate implements, from scratch:
+//!
+//! * a reusable shortest-path engine ([`search`]): Dijkstra with
+//!   generation-stamped labels, A*, forward/backward shortest-path trees,
+//! * the three published techniques the study compares —
+//!   [`penalty`] (§2.1), [`plateau`] (§2.2) and [`dissimilarity`]
+//!   (SSVP-D+, §2.3) — plus [`yen`]'s algorithm as the classic baseline
+//!   (§2.4),
+//! * a Google-Maps stand-in ([`provider::google_like`]) that reproduces the
+//!   study's central confound: a provider optimizing on different
+//!   underlying travel-time data (§4.2, Fig. 4),
+//! * path [`similarity`] measures, objective [`quality`] metrics (stretch,
+//!   diversity, turns, wide-road share, local optimality) and the optional
+//!   [`filters`] the paper says could "easily be included" (§4.2).
+//!
+//! All algorithms run against any [`arp_roadnet::RoadNetwork`] and an
+//! explicit weight overlay (`&[Weight]`), so the same code serves the
+//! public OSM weights, penalized copies, and the commercial provider's
+//! private traffic data.
+//!
+//! ```
+//! use arp_core::prelude::*;
+//! use arp_roadnet::prelude::*;
+//!
+//! // A small two-corridor network.
+//! let mut b = GraphBuilder::new();
+//! let s = b.add_node(Point::new(144.00, -37.00));
+//! let a = b.add_node(Point::new(144.01, -37.00));
+//! let c = b.add_node(Point::new(144.01, -37.01));
+//! let t = b.add_node(Point::new(144.02, -37.00));
+//! b.add_bidirectional(s, a, EdgeSpec::category(RoadCategory::Primary));
+//! b.add_bidirectional(a, t, EdgeSpec::category(RoadCategory::Primary));
+//! b.add_bidirectional(s, c, EdgeSpec::category(RoadCategory::Secondary));
+//! b.add_bidirectional(c, t, EdgeSpec::category(RoadCategory::Secondary));
+//! let net = b.build();
+//!
+//! let query = AltQuery::paper(); // k=3, ε=1.4, θ=0.5, penalty 1.4
+//! let routes = plateau_alternatives(
+//!     &net, net.weights(), s, t, &query, &PlateauOptions::default(),
+//! ).unwrap();
+//! assert!(!routes.is_empty());
+//! ```
+
+pub mod admissibility;
+pub mod altgraph;
+pub mod bidir;
+pub mod ch;
+pub mod dissimilarity;
+pub mod error;
+pub mod esx;
+pub mod filters;
+pub mod pareto;
+pub mod path;
+pub mod penalty;
+pub mod plateau;
+pub mod provider;
+pub mod quality;
+pub mod query;
+pub mod search;
+pub mod similarity;
+pub mod turns;
+pub mod yen;
+
+pub use admissibility::{
+    admissibility, admissible_share, AdmissibilityCriteria, AdmissibilityReport,
+};
+pub use bidir::BidirSearch;
+pub use ch::{ChConfig, ChSearch, ContractionHierarchy};
+pub use dissimilarity::{dissimilarity_alternatives, DissimilarityOptions};
+pub use error::CoreError;
+pub use esx::{esx_alternatives, EsxOptions};
+pub use filters::{apply_filters, FilterConfig};
+pub use pareto::{pareto_paths, ParetoOptions, ParetoRoute};
+pub use path::Path;
+pub use penalty::{penalty_alternatives, PenaltyOptions};
+pub use plateau::{find_plateaus, plateau_alternatives, Plateau, PlateauOptions};
+pub use provider::{
+    standard_providers, AlternativesProvider, DissimilarityProvider, GoogleLikeProvider,
+    PenaltyProvider, PlateauProvider, ProviderKind, TrafficModel,
+};
+pub use query::{AltQuery, Route};
+pub use search::{shortest_path, Direction, SearchSpace, ShortestPathTree};
+pub use turns::{turn_aware_shortest_path, TurnModel};
+pub use yen::yen_k_shortest_paths;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::bidir::BidirSearch;
+    pub use crate::dissimilarity::{dissimilarity_alternatives, DissimilarityOptions};
+    pub use crate::error::CoreError;
+    pub use crate::esx::{esx_alternatives, EsxOptions};
+    pub use crate::filters::{apply_filters, FilterConfig};
+    pub use crate::pareto::{pareto_paths, ParetoOptions, ParetoRoute};
+    pub use crate::path::Path;
+    pub use crate::penalty::{penalty_alternatives, PenaltyOptions};
+    pub use crate::plateau::{plateau_alternatives, PlateauOptions};
+    pub use crate::provider::{
+        standard_providers, AlternativesProvider, GoogleLikeProvider, ProviderKind,
+    };
+    pub use crate::query::{AltQuery, Route};
+    pub use crate::search::{shortest_path, Direction, SearchSpace};
+    pub use crate::yen::yen_k_shortest_paths;
+}

@@ -1,0 +1,400 @@
+//! Bi-criteria Pareto-optimal ("skyline") routing — §2.4's other family:
+//! "Pareto optimal paths report the paths that are not dominated by any
+//! other path according to given criteria (e.g., distance, travel time)".
+//!
+//! A label-setting multi-objective Dijkstra over the criteria
+//! `(travel time, geometric distance)`: each vertex keeps the set of
+//! non-dominated `(time, dist)` labels, expanded in lexicographic order.
+//! The full frontier can be exponential, so the per-vertex label set is
+//! capped; on road networks (strongly correlated criteria) frontiers are
+//! tiny in practice.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use arp_roadnet::csr::RoadNetwork;
+use arp_roadnet::ids::{EdgeId, NodeId};
+use arp_roadnet::weight::{Cost, Weight};
+
+use crate::error::CoreError;
+use crate::path::Path;
+
+/// One Pareto-optimal route with its two criterion values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParetoRoute {
+    /// The path.
+    pub path: Path,
+    /// Travel time in ms.
+    pub time_ms: Cost,
+    /// Geometric length in whole metres.
+    pub dist_m: u64,
+}
+
+/// Options for the Pareto search.
+#[derive(Clone, Copy, Debug)]
+pub struct ParetoOptions {
+    /// Maximum number of labels retained per vertex (guards the
+    /// exponential worst case).
+    pub max_labels_per_node: usize,
+    /// Hard cap on total label expansions.
+    pub max_expansions: usize,
+}
+
+impl Default for ParetoOptions {
+    fn default() -> Self {
+        ParetoOptions {
+            max_labels_per_node: 24,
+            max_expansions: 2_000_000,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Label {
+    time: Cost,
+    dist: u64,
+    /// Edge that produced this label (INVALID at the source).
+    via_edge: EdgeId,
+    /// Index of the parent label at the edge's tail vertex.
+    parent_label: u32,
+}
+
+fn dominates(a: (Cost, u64), b: (Cost, u64)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
+}
+
+/// Computes the Pareto frontier of `(time, distance)` paths
+/// `source → target`, sorted by travel time (and therefore by decreasing
+/// distance).
+pub fn pareto_paths(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    source: NodeId,
+    target: NodeId,
+    options: &ParetoOptions,
+) -> Result<Vec<ParetoRoute>, CoreError> {
+    if source.index() >= net.num_nodes() {
+        return Err(CoreError::InvalidNode(source));
+    }
+    if target.index() >= net.num_nodes() {
+        return Err(CoreError::InvalidNode(target));
+    }
+    if source == target {
+        return Err(CoreError::SameSourceTarget(source));
+    }
+    if weights.len() != net.num_edges() {
+        return Err(CoreError::WeightLengthMismatch {
+            expected: net.num_edges(),
+            got: weights.len(),
+        });
+    }
+
+    // Per-vertex label lists; labels are append-only so (vertex, index)
+    // identifies a label forever (needed for path reconstruction).
+    let mut labels: Vec<Vec<Label>> = vec![Vec::new(); net.num_nodes()];
+    // Heap of (time, dist, vertex, label index), lexicographic by (time, dist).
+    let mut heap: BinaryHeap<Reverse<(Cost, u64, u32, u32)>> = BinaryHeap::new();
+
+    labels[source.index()].push(Label {
+        time: 0,
+        dist: 0,
+        via_edge: EdgeId::INVALID,
+        parent_label: u32::MAX,
+    });
+    heap.push(Reverse((0, 0, source.0, 0)));
+
+    let mut expansions = 0usize;
+    while let Some(Reverse((time, dist, v, li))) = heap.pop() {
+        expansions += 1;
+        if expansions > options.max_expansions {
+            break;
+        }
+        // Skip labels dominated since they were queued.
+        let still_active = labels[v as usize]
+            .iter()
+            .all(|l| !(dominates((l.time, l.dist), (time, dist))));
+        if !still_active {
+            continue;
+        }
+        // Prune by the target frontier: a label dominated by a completed
+        // route can never extend into a non-dominated one.
+        if v != target.0
+            && labels[target.index()]
+                .iter()
+                .any(|l| dominates((l.time, l.dist), (time, dist)))
+        {
+            continue;
+        }
+        if v == target.0 {
+            continue; // target labels are terminal
+        }
+        for e in net.out_edges(NodeId(v)) {
+            let head = net.head(e).0;
+            let ntime = time + weights[e.index()] as Cost;
+            let ndist = dist + net.length_m(e).max(0.0) as u64;
+            let cand = (ntime, ndist);
+            let node_labels = &mut labels[head as usize];
+            if node_labels
+                .iter()
+                .any(|l| dominates((l.time, l.dist), cand) || (l.time, l.dist) == cand)
+            {
+                continue;
+            }
+            // Keep the list non-dominated by dropping what `cand` beats.
+            node_labels.retain(|l| !dominates(cand, (l.time, l.dist)));
+            if node_labels.len() >= options.max_labels_per_node {
+                // Keep the fastest labels; drop the slowest.
+                if let Some((worst_idx, worst)) = node_labels
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, l)| l.time)
+                    .map(|(i, l)| (i, l.time))
+                {
+                    if worst <= ntime {
+                        continue;
+                    }
+                    node_labels.swap_remove(worst_idx);
+                }
+            }
+            let idx = node_labels.len() as u32;
+            node_labels.push(Label {
+                time: ntime,
+                dist: ndist,
+                via_edge: e,
+                parent_label: li,
+            });
+            heap.push(Reverse((ntime, ndist, head, idx)));
+        }
+    }
+
+    let mut frontier: Vec<(Cost, u64, u32)> = labels[target.index()]
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| {
+            // Final non-dominance check (cap-evictions can leave strays).
+            !labels[target.index()]
+                .iter()
+                .enumerate()
+                .any(|(j, m)| j != *i && dominates((m.time, m.dist), (l.time, l.dist)))
+        })
+        .map(|(i, l)| (l.time, l.dist, i as u32))
+        .collect();
+    if frontier.is_empty() {
+        return Err(CoreError::Unreachable { source, target });
+    }
+    frontier.sort_unstable();
+
+    // Reconstruct each frontier path. `swap_remove` above may move label
+    // indices, so parents are found by value instead: walk backwards
+    // matching (time, dist) at the tail.
+    let mut out = Vec::with_capacity(frontier.len());
+    for (time, dist, li) in frontier {
+        let mut edges = Vec::new();
+        let mut v = target.index();
+        let mut cur = labels[v][li as usize];
+        loop {
+            if cur.via_edge.is_invalid() {
+                break;
+            }
+            edges.push(cur.via_edge);
+            let tail = net.tail(cur.via_edge);
+            let want_time = cur.time - weights[cur.via_edge.index()] as Cost;
+            let want_dist = cur.dist - net.length_m(cur.via_edge).max(0.0) as u64;
+            v = tail.index();
+            // Parent may have shifted; find it by value.
+            let Some(parent) = labels[v]
+                .iter()
+                .find(|l| l.time == want_time && l.dist == want_dist)
+                .copied()
+            else {
+                // Parent evicted by the label cap: this frontier point is
+                // unreconstructable; skip it (time/dist were still valid).
+                edges.clear();
+                break;
+            };
+            cur = parent;
+        }
+        if edges.is_empty() {
+            continue;
+        }
+        edges.reverse();
+        let path = Path::from_edges(net, weights, edges);
+        debug_assert_eq!(path.cost_ms, time);
+        out.push(ParetoRoute {
+            path,
+            time_ms: time,
+            dist_m: dist,
+        });
+    }
+    if out.is_empty() {
+        return Err(CoreError::Unreachable { source, target });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::geo::Point;
+
+    /// Two routes: a fast long freeway detour and a slow short direct road.
+    fn tradeoff_net() -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let s = b.add_node(Point::new(0.00, 0.0));
+        let m = b.add_node(Point::new(0.02, 0.03)); // detour via north
+        let t = b.add_node(Point::new(0.04, 0.0));
+        // Direct: short distance, slow (residential).
+        b.add_bidirectional(
+            s,
+            t,
+            EdgeSpec::category(RoadCategory::Residential).with_speed(30.0),
+        );
+        // Detour: long distance, fast (motorway).
+        b.add_bidirectional(s, m, EdgeSpec::category(RoadCategory::Motorway));
+        b.add_bidirectional(m, t, EdgeSpec::category(RoadCategory::Motorway));
+        b.build()
+    }
+
+    #[test]
+    fn frontier_has_both_tradeoff_routes() {
+        let net = tradeoff_net();
+        let routes = pareto_paths(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(2),
+            &ParetoOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(routes.len(), 2, "{routes:?}");
+        // Sorted by time: the freeway detour first (faster, longer).
+        assert!(routes[0].time_ms < routes[1].time_ms);
+        assert!(routes[0].dist_m > routes[1].dist_m);
+        for r in &routes {
+            assert!(r.path.validate(&net));
+            assert_eq!(r.path.cost_ms, r.time_ms);
+        }
+    }
+
+    #[test]
+    fn frontier_is_mutually_non_dominated() {
+        let net = grid(7);
+        let routes = pareto_paths(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(48),
+            &ParetoOptions::default(),
+        )
+        .unwrap();
+        for i in 0..routes.len() {
+            for j in 0..routes.len() {
+                if i != j {
+                    assert!(
+                        !dominates(
+                            (routes[i].time_ms, routes[i].dist_m),
+                            (routes[j].time_ms, routes[j].dist_m)
+                        ),
+                        "route {i} dominates {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fastest_frontier_point_is_dijkstra_optimum() {
+        let net = tradeoff_net();
+        let routes = pareto_paths(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(2),
+            &ParetoOptions::default(),
+        )
+        .unwrap();
+        let best = crate::search::shortest_path(&net, net.weights(), NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(routes[0].time_ms, best.cost_ms);
+    }
+
+    fn grid(n: usize) -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                ids.push(b.add_node(Point::new(144.0 + x as f64 * 0.01, -37.0 - y as f64 * 0.01)));
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if x + 1 < n {
+                    // Alternate speeds so time and distance disagree.
+                    let spec = if y % 2 == 0 {
+                        EdgeSpec::category(RoadCategory::Primary)
+                    } else {
+                        EdgeSpec::category(RoadCategory::Residential)
+                    };
+                    b.add_bidirectional(ids[i], ids[i + 1], spec);
+                }
+                if y + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + n],
+                        EdgeSpec::category(RoadCategory::Tertiary),
+                    );
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn uniform_graph_has_small_frontier() {
+        // With perfectly correlated criteria the frontier collapses.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node(Point::new(144.0 + i as f64 * 0.01, -37.0)))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_bidirectional(w[0], w[1], EdgeSpec::category(RoadCategory::Primary));
+        }
+        let net = b.build();
+        let routes = pareto_paths(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(3),
+            &ParetoOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(routes.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        let net = tradeoff_net();
+        assert!(matches!(
+            pareto_paths(
+                &net,
+                net.weights(),
+                NodeId(0),
+                NodeId(0),
+                &ParetoOptions::default()
+            ),
+            Err(CoreError::SameSourceTarget(_))
+        ));
+        assert!(matches!(
+            pareto_paths(
+                &net,
+                net.weights(),
+                NodeId(0),
+                NodeId(99),
+                &ParetoOptions::default()
+            ),
+            Err(CoreError::InvalidNode(_))
+        ));
+    }
+}

@@ -1,0 +1,270 @@
+//! Route providers: the four approaches compared by the user study.
+//!
+//! A [`AlternativesProvider`] answers an alternative-routes query with a
+//! list of [`Route`]s whose travel times are always priced on the *public*
+//! (OpenStreetMap) weights — mirroring the paper's query processor, which
+//! displays OSM-derived travel times for every approach including Google
+//! Maps (§3).
+
+pub mod google_like;
+
+use arp_roadnet::csr::RoadNetwork;
+use arp_roadnet::ids::NodeId;
+use arp_roadnet::weight::Weight;
+
+use crate::dissimilarity::{dissimilarity_alternatives, DissimilarityOptions};
+use crate::error::CoreError;
+use crate::penalty::{penalty_alternatives, PenaltyOptions};
+use crate::plateau::{plateau_alternatives, PlateauOptions};
+use crate::query::{AltQuery, Route};
+
+pub use google_like::{GoogleLikeProvider, TrafficModel};
+
+/// Identity of an approach, in the paper's A–D presentation order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ProviderKind {
+    /// A commercial-style provider optimizing on its own (different) data —
+    /// the stand-in for Google Maps.
+    GoogleLike,
+    /// The Plateaus technique (Choice Routing).
+    Plateaus,
+    /// The Dissimilarity technique (SSVP-D+).
+    Dissimilarity,
+    /// The Penalty technique.
+    Penalty,
+}
+
+impl ProviderKind {
+    /// All four approaches in the paper's fixed order
+    /// (A: Google Maps, B: Plateaus, C: Dissimilarity, D: Penalty).
+    pub const ALL: [ProviderKind; 4] = [
+        ProviderKind::GoogleLike,
+        ProviderKind::Plateaus,
+        ProviderKind::Dissimilarity,
+        ProviderKind::Penalty,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProviderKind::GoogleLike => "Google Maps",
+            ProviderKind::Plateaus => "Plateaus",
+            ProviderKind::Dissimilarity => "Dissimilarity",
+            ProviderKind::Penalty => "Penalty",
+        }
+    }
+}
+
+impl std::fmt::Display for ProviderKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A technique that answers alternative-route queries.
+pub trait AlternativesProvider: Send + Sync {
+    /// Which approach this is.
+    fn kind(&self) -> ProviderKind;
+
+    /// Computes up to `query.k` routes from `source` to `target`.
+    ///
+    /// `public_weights` are the OSM-derived travel times used for display;
+    /// a provider may optimize on different internal data, but the returned
+    /// routes are always priced on the public weights.
+    fn alternatives(
+        &self,
+        net: &RoadNetwork,
+        public_weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+        query: &AltQuery,
+    ) -> Result<Vec<Route>, CoreError>;
+}
+
+/// The Plateaus provider.
+#[derive(Clone, Debug, Default)]
+pub struct PlateauProvider {
+    /// Algorithm options.
+    pub options: PlateauOptions,
+}
+
+impl AlternativesProvider for PlateauProvider {
+    fn kind(&self) -> ProviderKind {
+        ProviderKind::Plateaus
+    }
+
+    fn alternatives(
+        &self,
+        net: &RoadNetwork,
+        public_weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+        query: &AltQuery,
+    ) -> Result<Vec<Route>, CoreError> {
+        let paths =
+            plateau_alternatives(net, public_weights, source, target, query, &self.options)?;
+        Ok(paths
+            .into_iter()
+            .map(|p| Route::new(p, public_weights))
+            .collect())
+    }
+}
+
+/// The Penalty provider.
+#[derive(Clone, Debug, Default)]
+pub struct PenaltyProvider {
+    /// Algorithm options.
+    pub options: PenaltyOptions,
+}
+
+impl AlternativesProvider for PenaltyProvider {
+    fn kind(&self) -> ProviderKind {
+        ProviderKind::Penalty
+    }
+
+    fn alternatives(
+        &self,
+        net: &RoadNetwork,
+        public_weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+        query: &AltQuery,
+    ) -> Result<Vec<Route>, CoreError> {
+        let paths =
+            penalty_alternatives(net, public_weights, source, target, query, &self.options)?;
+        Ok(paths
+            .into_iter()
+            .map(|p| Route::new(p, public_weights))
+            .collect())
+    }
+}
+
+/// The Dissimilarity (SSVP-D+) provider.
+#[derive(Clone, Debug, Default)]
+pub struct DissimilarityProvider {
+    /// Algorithm options.
+    pub options: DissimilarityOptions,
+}
+
+impl AlternativesProvider for DissimilarityProvider {
+    fn kind(&self) -> ProviderKind {
+        ProviderKind::Dissimilarity
+    }
+
+    fn alternatives(
+        &self,
+        net: &RoadNetwork,
+        public_weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+        query: &AltQuery,
+    ) -> Result<Vec<Route>, CoreError> {
+        let paths =
+            dissimilarity_alternatives(net, public_weights, source, target, query, &self.options)?;
+        Ok(paths
+            .into_iter()
+            .map(|p| Route::new(p, public_weights))
+            .collect())
+    }
+}
+
+/// Builds the study's four providers in A–D order. `seed` parameterizes the
+/// Google-like provider's private traffic data.
+pub fn standard_providers(net: &RoadNetwork, seed: u64) -> Vec<Box<dyn AlternativesProvider>> {
+    vec![
+        Box::new(GoogleLikeProvider::new(net, seed)),
+        Box::new(PlateauProvider::default()),
+        Box::new(DissimilarityProvider::default()),
+        Box::new(PenaltyProvider::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::geo::Point;
+
+    fn grid(n: usize) -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                ids.push(b.add_node(Point::new(144.0 + x as f64 * 0.01, -37.0 - y as f64 * 0.01)));
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if x + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + 1],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+                if y + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + n],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn provider_kinds_are_in_paper_order() {
+        assert_eq!(ProviderKind::ALL[0].name(), "Google Maps");
+        assert_eq!(ProviderKind::ALL[1].name(), "Plateaus");
+        assert_eq!(ProviderKind::ALL[2].name(), "Dissimilarity");
+        assert_eq!(ProviderKind::ALL[3].name(), "Penalty");
+    }
+
+    #[test]
+    fn all_four_providers_answer_queries() {
+        let net = grid(8);
+        let providers = standard_providers(&net, 42);
+        assert_eq!(providers.len(), 4);
+        let q = AltQuery::paper();
+        for p in &providers {
+            let routes = p
+                .alternatives(&net, net.weights(), NodeId(0), NodeId(63), &q)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", p.kind()));
+            assert!(!routes.is_empty(), "{} returned nothing", p.kind());
+            assert!(routes.len() <= q.k);
+            for r in &routes {
+                assert!(r.path.validate(&net));
+                assert_eq!(r.public_cost_ms, r.path.cost_under(net.weights()));
+            }
+        }
+    }
+
+    #[test]
+    fn public_costs_bound_by_stretch_for_local_techniques() {
+        let net = grid(8);
+        let q = AltQuery::paper();
+        let best = crate::search::shortest_path(&net, net.weights(), NodeId(0), NodeId(63))
+            .unwrap()
+            .cost_ms;
+        for p in standard_providers(&net, 1) {
+            if p.kind() == ProviderKind::GoogleLike {
+                continue; // Google optimizes on different data; see Fig. 4.
+            }
+            let routes = p
+                .alternatives(&net, net.weights(), NodeId(0), NodeId(63), &q)
+                .unwrap();
+            for r in &routes {
+                assert!(
+                    r.public_cost_ms <= q.cost_bound(best),
+                    "{}: {} > bound",
+                    p.kind(),
+                    r.public_cost_ms
+                );
+            }
+        }
+    }
+}

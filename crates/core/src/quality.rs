@@ -1,0 +1,380 @@
+//! Objective route-quality measures.
+//!
+//! The paper's §4.2 lists the factors participants perceived: detours,
+//! zig-zag (turns), wide roads, and stretch relative to the fastest route.
+//! This module quantifies each of them, plus the *local optimality* notion
+//! of Abraham et al. that the plateau paths satisfy by construction.
+
+use arp_roadnet::csr::RoadNetwork;
+use arp_roadnet::geo::{haversine_m, turn_angle_deg};
+use arp_roadnet::weight::{Cost, Weight};
+
+use crate::path::Path;
+use crate::search::SearchSpace;
+
+/// Stretch of a path relative to the optimum: `cost / best` (≥ 1).
+pub fn stretch(path_cost: Cost, best_cost: Cost) -> f64 {
+    if best_cost == 0 {
+        return 1.0;
+    }
+    path_cost as f64 / best_cost as f64
+}
+
+/// Number of significant turns along the path (geometry direction changes
+/// of at least `threshold_deg` at interior vertices). The "less zig-zag is
+/// better" perception feature.
+pub fn turn_count(net: &RoadNetwork, path: &Path, threshold_deg: f64) -> usize {
+    if path.nodes.len() < 3 {
+        return 0;
+    }
+    path.nodes
+        .windows(3)
+        .filter(|w| {
+            let a = net.point(w[0]);
+            let b = net.point(w[1]);
+            let c = net.point(w[2]);
+            turn_angle_deg(a, b, c) >= threshold_deg
+        })
+        .count()
+}
+
+/// Turns per kilometre — normalizes zig-zag across route lengths.
+pub fn turns_per_km(net: &RoadNetwork, path: &Path, threshold_deg: f64) -> f64 {
+    let km = path.length_m(net) / 1000.0;
+    if km <= 0.0 {
+        return 0.0;
+    }
+    turn_count(net, path, threshold_deg) as f64 / km
+}
+
+/// Length-weighted share of the path on "wide" roads (category width score
+/// ≥ 0.6: motorways, trunks and primary arterials). The "highest rated path
+/// follows wide roads" perception feature.
+pub fn wide_road_share(net: &RoadNetwork, path: &Path) -> f64 {
+    let total: f64 = path.length_m(net);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let wide: f64 = path
+        .edges
+        .iter()
+        .filter(|&&e| net.category(e).width_score() >= 0.6)
+        .map(|&e| net.length_m(e) as f64)
+        .sum();
+    wide / total
+}
+
+/// Wiggliness: path length over great-circle distance between endpoints
+/// (≥ 1). High values look like detours on a map even when the travel time
+/// is good — the "apparent detours that are not" effect from §4.2.
+pub fn wiggliness(net: &RoadNetwork, path: &Path) -> f64 {
+    let direct = haversine_m(net.point(path.source()), net.point(path.target()));
+    if direct <= 0.0 {
+        return 1.0;
+    }
+    (path.length_m(net) / direct).max(1.0)
+}
+
+/// Result of a local-optimality probe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LocalOptimality {
+    /// Number of probed windows.
+    pub windows: usize,
+    /// Number of windows that were shortest paths between their endpoints.
+    pub optimal_windows: usize,
+}
+
+impl LocalOptimality {
+    /// Fraction of probed windows that were locally optimal (1.0 when no
+    /// window was probed — short paths are trivially optimal).
+    pub fn share(&self) -> f64 {
+        if self.windows == 0 {
+            1.0
+        } else {
+            self.optimal_windows as f64 / self.windows as f64
+        }
+    }
+
+    /// True when every probed window is a shortest path.
+    pub fn is_locally_optimal(&self) -> bool {
+        self.optimal_windows == self.windows
+    }
+}
+
+/// Probes T-local optimality: windows of weight ≈ `t_fraction ×` path cost
+/// are tested for being shortest paths between their endpoints. A path
+/// where some window admits a shortcut contains what Abraham et al. call a
+/// non-locally-optimal detour.
+///
+/// The probe slides a window across the path with ~50 % stride and issues
+/// at most `max_probes` point-to-point searches, so it is cheap enough for
+/// interactive use.
+pub fn local_optimality(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    path: &Path,
+    t_fraction: f64,
+    max_probes: usize,
+) -> LocalOptimality {
+    let t = (path.cost_ms as f64 * t_fraction) as Cost;
+    if t == 0 || path.edges.len() < 2 {
+        return LocalOptimality {
+            windows: 0,
+            optimal_windows: 0,
+        };
+    }
+
+    // Prefix costs along the path.
+    let mut prefix: Vec<Cost> = Vec::with_capacity(path.edges.len() + 1);
+    prefix.push(0);
+    for &e in &path.edges {
+        prefix.push(prefix.last().unwrap() + weights[e.index()] as Cost);
+    }
+
+    let mut ws = SearchSpace::new(net);
+    let mut windows = 0usize;
+    let mut optimal = 0usize;
+    let mut i = 0usize;
+    while i < path.edges.len() && windows < max_probes {
+        // Find j so the window [i, j] has weight >= t (or end of path).
+        let mut j = i + 1;
+        while j < path.edges.len() && prefix[j] - prefix[i] < t {
+            j += 1;
+        }
+        let a = path.nodes[i];
+        let b = path.nodes[j];
+        if a != b {
+            let window_cost = prefix[j] - prefix[i];
+            if let Ok(d) = ws.shortest_distance(net, weights, a, b) {
+                windows += 1;
+                if d == window_cost {
+                    optimal += 1;
+                }
+            }
+        }
+        // ~50% stride.
+        let stride = ((j - i) / 2).max(1);
+        i += stride;
+    }
+    LocalOptimality {
+        windows,
+        optimal_windows: optimal,
+    }
+}
+
+/// Aggregated quality report for a set of alternative routes, as used by
+/// the perception model and the ablation experiments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouteSetQuality {
+    /// Number of routes.
+    pub count: usize,
+    /// Mean stretch over routes (1.0 = every route is optimal).
+    pub mean_stretch: f64,
+    /// Mean pairwise dissimilarity (1.0 = all disjoint).
+    pub diversity: f64,
+    /// Mean turns per km.
+    pub mean_turns_per_km: f64,
+    /// Mean wide-road share.
+    pub mean_wide_share: f64,
+    /// Worst (max) wiggliness over routes.
+    pub max_wiggliness: f64,
+    /// Mean local-optimality share.
+    pub mean_local_optimality: f64,
+}
+
+/// Computes the quality report of a route set against the public weights.
+pub fn route_set_quality(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    paths: &[Path],
+    best_cost: Cost,
+) -> RouteSetQuality {
+    if paths.is_empty() {
+        return RouteSetQuality {
+            count: 0,
+            mean_stretch: 0.0,
+            diversity: 0.0,
+            mean_turns_per_km: 0.0,
+            mean_wide_share: 0.0,
+            max_wiggliness: 0.0,
+            mean_local_optimality: 0.0,
+        };
+    }
+    let n = paths.len() as f64;
+    let mean_stretch = paths
+        .iter()
+        .map(|p| stretch(p.cost_under(weights), best_cost))
+        .sum::<f64>()
+        / n;
+    let diversity = crate::similarity::diversity(paths, weights);
+    let mean_turns_per_km = paths
+        .iter()
+        .map(|p| turns_per_km(net, p, 45.0))
+        .sum::<f64>()
+        / n;
+    let mean_wide_share = paths.iter().map(|p| wide_road_share(net, p)).sum::<f64>() / n;
+    let max_wiggliness = paths
+        .iter()
+        .map(|p| wiggliness(net, p))
+        .fold(0.0f64, f64::max);
+    let mean_local_optimality = paths
+        .iter()
+        .map(|p| local_optimality(net, weights, p, 0.25, 8).share())
+        .sum::<f64>()
+        / n;
+    RouteSetQuality {
+        count: paths.len(),
+        mean_stretch,
+        diversity,
+        mean_turns_per_km,
+        mean_wide_share,
+        max_wiggliness,
+        mean_local_optimality,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::geo::Point;
+    use arp_roadnet::ids::NodeId;
+
+    fn grid(n: usize) -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                ids.push(b.add_node(Point::new(144.0 + x as f64 * 0.01, -37.0 - y as f64 * 0.01)));
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if x + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + 1],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+                if y + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + n],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn path_via(net: &RoadNetwork, nodes: &[u32]) -> Path {
+        let edges = nodes
+            .windows(2)
+            .map(|w| net.find_edge(NodeId(w[0]), NodeId(w[1])).unwrap())
+            .collect();
+        Path::from_edges(net, net.weights(), edges)
+    }
+
+    #[test]
+    fn stretch_basics() {
+        assert_eq!(stretch(1000, 1000), 1.0);
+        assert_eq!(stretch(1400, 1000), 1.4);
+        assert_eq!(stretch(5, 0), 1.0);
+    }
+
+    #[test]
+    fn straight_path_has_no_turns() {
+        let net = grid(4);
+        let p = path_via(&net, &[0, 1, 2, 3]);
+        assert_eq!(turn_count(&net, &p, 45.0), 0);
+        assert_eq!(turns_per_km(&net, &p, 45.0), 0.0);
+    }
+
+    #[test]
+    fn staircase_path_counts_turns() {
+        let net = grid(4);
+        // 0 -> 1 -> 5 -> 6 -> 10: right-angle turns at 1, 5, 6.
+        let p = path_via(&net, &[0, 1, 5, 6, 10]);
+        assert_eq!(turn_count(&net, &p, 45.0), 3);
+        assert!(turns_per_km(&net, &p, 45.0) > 0.0);
+    }
+
+    #[test]
+    fn wide_share_on_primary_grid_is_one() {
+        let net = grid(3);
+        let p = path_via(&net, &[0, 1, 2]);
+        assert!((wide_road_share(&net, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wiggliness_straight_vs_staircase() {
+        let net = grid(4);
+        let straight = path_via(&net, &[0, 1, 2, 3]);
+        assert!((wiggliness(&net, &straight) - 1.0).abs() < 0.02);
+        let staircase = path_via(&net, &[0, 1, 5, 6, 10]);
+        assert!(wiggliness(&net, &staircase) > 1.2);
+    }
+
+    #[test]
+    fn shortest_path_is_locally_optimal() {
+        let net = grid(6);
+        let p = crate::search::shortest_path(&net, net.weights(), NodeId(0), NodeId(35)).unwrap();
+        let lo = local_optimality(&net, net.weights(), &p, 0.3, 16);
+        assert!(lo.is_locally_optimal(), "{lo:?}");
+        assert_eq!(lo.share(), 1.0);
+    }
+
+    #[test]
+    fn detour_path_is_not_locally_optimal() {
+        let net = grid(6);
+        // A path that doubles back: 0 ->1 ->7(down) ->6(left) ->12(down)... make
+        // an obvious non-optimal wiggle 0->1->7->6->12->13->... to 35.
+        let p = path_via(&net, &[0, 1, 7, 6, 12, 13, 14, 20, 21, 27, 28, 34, 35]);
+        let lo = local_optimality(&net, net.weights(), &p, 0.3, 16);
+        assert!(lo.windows > 0);
+        assert!(!lo.is_locally_optimal(), "{lo:?}");
+    }
+
+    #[test]
+    fn short_paths_trivially_optimal() {
+        let net = grid(3);
+        let p = path_via(&net, &[0, 1]);
+        let lo = local_optimality(&net, net.weights(), &p, 0.25, 8);
+        assert_eq!(lo.windows, 0);
+        assert_eq!(lo.share(), 1.0);
+    }
+
+    #[test]
+    fn route_set_quality_aggregates() {
+        let net = grid(6);
+        let q = crate::query::AltQuery::paper();
+        let paths = crate::plateau::plateau_alternatives(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(35),
+            &q,
+            &crate::plateau::PlateauOptions::default(),
+        )
+        .unwrap();
+        let best = paths[0].cost_ms;
+        let report = route_set_quality(&net, net.weights(), &paths, best);
+        assert_eq!(report.count, paths.len());
+        assert!(report.mean_stretch >= 1.0 && report.mean_stretch <= 1.4 + 1e-9);
+        assert!(report.diversity >= 0.0 && report.diversity <= 1.0);
+        assert!(report.mean_local_optimality > 0.5);
+        assert!(report.mean_wide_share > 0.9);
+    }
+
+    #[test]
+    fn empty_set_quality_is_zeroed() {
+        let net = grid(3);
+        let report = route_set_quality(&net, net.weights(), &[], 100);
+        assert_eq!(report.count, 0);
+        assert_eq!(report.mean_stretch, 0.0);
+    }
+}

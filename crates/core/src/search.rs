@@ -1,0 +1,577 @@
+//! Dijkstra searches and shortest-path trees.
+//!
+//! All searches are generic over a **weight overlay** (`&[Weight]` indexed
+//! by `EdgeId`): the Penalty technique and the Google-like provider run the
+//! same machinery over modified copies of the weight column.
+//!
+//! [`SearchSpace`] is a reusable workspace with generation-stamped labels,
+//! so repeated queries (the alternative-route algorithms run many) pay no
+//! per-query clearing cost.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use arp_roadnet::csr::RoadNetwork;
+use arp_roadnet::ids::{EdgeId, NodeId};
+use arp_roadnet::weight::{Cost, Weight, INFINITY};
+
+use crate::error::CoreError;
+use crate::path::Path;
+
+/// Search direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Relax out-edges: distances are `d(root → v)`.
+    Forward,
+    /// Relax in-edges: distances are `d(v → root)`.
+    Backward,
+}
+
+/// A complete shortest-path tree rooted at `root`.
+///
+/// For a forward tree, `parent[v]` is the last edge of a shortest path
+/// `root → v` (its head is `v`). For a backward tree, `parent[v]` is the
+/// first edge of a shortest path `v → root` (its tail is `v`).
+#[derive(Clone, Debug)]
+pub struct ShortestPathTree {
+    /// Tree root.
+    pub root: NodeId,
+    /// Search direction the tree was grown in.
+    pub direction: Direction,
+    /// Distance label per vertex ([`INFINITY`] = unreachable).
+    pub dist: Vec<Cost>,
+    /// Parent edge per vertex ([`EdgeId::INVALID`] at the root/unreached).
+    pub parent: Vec<EdgeId>,
+}
+
+impl ShortestPathTree {
+    /// Distance of `v` from/to the root.
+    pub fn distance(&self, v: NodeId) -> Cost {
+        self.dist[v.index()]
+    }
+
+    /// True if `v` was reached.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v.index()] != INFINITY
+    }
+
+    /// Edge sequence of the tree path between `root` and `v`.
+    ///
+    /// Forward tree: edges of `root → v`, in travel order.
+    /// Backward tree: edges of `v → root`, in travel order.
+    /// Returns `None` if `v` is unreached. For `v == root` returns an empty
+    /// edge list.
+    pub fn path_edges(&self, net: &RoadNetwork, v: NodeId) -> Option<Vec<EdgeId>> {
+        if !self.reached(v) {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = v;
+        while cur != self.root {
+            let e = self.parent[cur.index()];
+            debug_assert!(!e.is_invalid());
+            edges.push(e);
+            cur = match self.direction {
+                Direction::Forward => net.tail(e),
+                Direction::Backward => net.head(e),
+            };
+        }
+        if self.direction == Direction::Forward {
+            edges.reverse();
+        }
+        Some(edges)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapEntry(Cost, u32);
+
+/// Reusable Dijkstra workspace.
+///
+/// Label arrays are generation-stamped: starting a new query bumps the
+/// generation instead of clearing, so a query on a large network touches
+/// only the vertices it actually settles.
+pub struct SearchSpace {
+    dist: Vec<Cost>,
+    parent: Vec<EdgeId>,
+    stamp: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+impl SearchSpace {
+    /// A workspace sized for `net`.
+    pub fn new(net: &RoadNetwork) -> SearchSpace {
+        SearchSpace {
+            dist: vec![INFINITY; net.num_nodes()],
+            parent: vec![EdgeId::INVALID; net.num_nodes()],
+            stamp: vec![0; net.num_nodes()],
+            generation: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn begin(&mut self, net: &RoadNetwork) {
+        if self.dist.len() != net.num_nodes() {
+            self.dist = vec![INFINITY; net.num_nodes()];
+            self.parent = vec![EdgeId::INVALID; net.num_nodes()];
+            self.stamp = vec![0; net.num_nodes()];
+            self.generation = 0;
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Stamp wrap-around: reset everything once every 2^32 queries.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn get_dist(&self, v: u32) -> Cost {
+        if self.stamp[v as usize] == self.generation {
+            self.dist[v as usize]
+        } else {
+            INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, v: u32, d: Cost, p: EdgeId) {
+        self.stamp[v as usize] = self.generation;
+        self.dist[v as usize] = d;
+        self.parent[v as usize] = p;
+    }
+
+    fn check_endpoints(net: &RoadNetwork, source: NodeId, target: NodeId) -> Result<(), CoreError> {
+        if source.index() >= net.num_nodes() {
+            return Err(CoreError::InvalidNode(source));
+        }
+        if target.index() >= net.num_nodes() {
+            return Err(CoreError::InvalidNode(target));
+        }
+        if source == target {
+            return Err(CoreError::SameSourceTarget(source));
+        }
+        Ok(())
+    }
+
+    fn check_weights(net: &RoadNetwork, weights: &[Weight]) -> Result<(), CoreError> {
+        if weights.len() != net.num_edges() {
+            return Err(CoreError::WeightLengthMismatch {
+                expected: net.num_edges(),
+                got: weights.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// One-to-one shortest path with early termination at `target`.
+    pub fn shortest_path(
+        &mut self,
+        net: &RoadNetwork,
+        weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<Path, CoreError> {
+        Self::check_endpoints(net, source, target)?;
+        Self::check_weights(net, weights)?;
+        self.begin(net);
+        self.set(source.0, 0, EdgeId::INVALID);
+        self.heap.push(Reverse(HeapEntry(0, source.0)));
+
+        while let Some(Reverse(HeapEntry(d, v))) = self.heap.pop() {
+            if d > self.get_dist(v) {
+                continue; // stale entry
+            }
+            if v == target.0 {
+                break;
+            }
+            for e in net.out_edges(NodeId(v)) {
+                let w = weights[e.index()] as Cost;
+                let head = net.head(e).0;
+                let nd = d + w;
+                if nd < self.get_dist(head) {
+                    self.set(head, nd, e);
+                    self.heap.push(Reverse(HeapEntry(nd, head)));
+                }
+            }
+        }
+
+        if self.get_dist(target.0) == INFINITY {
+            return Err(CoreError::Unreachable { source, target });
+        }
+        // Reconstruct.
+        let mut edges = Vec::new();
+        let mut cur = target.0;
+        while cur != source.0 {
+            let e = self.parent[cur as usize];
+            edges.push(e);
+            cur = net.tail(e).0;
+        }
+        edges.reverse();
+        Ok(Path::from_edges(net, weights, edges))
+    }
+
+    /// Distance of the shortest path without materializing it.
+    pub fn shortest_distance(
+        &mut self,
+        net: &RoadNetwork,
+        weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<Cost, CoreError> {
+        self.shortest_path(net, weights, source, target)
+            .map(|p| p.cost_ms)
+    }
+
+    /// Grows a complete shortest-path tree from `root`.
+    pub fn shortest_path_tree(
+        &mut self,
+        net: &RoadNetwork,
+        weights: &[Weight],
+        root: NodeId,
+        direction: Direction,
+    ) -> Result<ShortestPathTree, CoreError> {
+        if root.index() >= net.num_nodes() {
+            return Err(CoreError::InvalidNode(root));
+        }
+        Self::check_weights(net, weights)?;
+        self.begin(net);
+        self.set(root.0, 0, EdgeId::INVALID);
+        self.heap.push(Reverse(HeapEntry(0, root.0)));
+
+        while let Some(Reverse(HeapEntry(d, v))) = self.heap.pop() {
+            if d > self.get_dist(v) {
+                continue;
+            }
+            match direction {
+                Direction::Forward => {
+                    for e in net.out_edges(NodeId(v)) {
+                        let nd = d + weights[e.index()] as Cost;
+                        let head = net.head(e).0;
+                        if nd < self.get_dist(head) {
+                            self.set(head, nd, e);
+                            self.heap.push(Reverse(HeapEntry(nd, head)));
+                        }
+                    }
+                }
+                Direction::Backward => {
+                    for e in net.in_edges(NodeId(v)) {
+                        let nd = d + weights[e.index()] as Cost;
+                        let tail = net.tail(e).0;
+                        if nd < self.get_dist(tail) {
+                            self.set(tail, nd, e);
+                            self.heap.push(Reverse(HeapEntry(nd, tail)));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Materialize dense arrays for the tree.
+        let n = net.num_nodes();
+        let mut dist = vec![INFINITY; n];
+        let mut parent = vec![EdgeId::INVALID; n];
+        for v in 0..n {
+            if self.stamp[v] == self.generation {
+                dist[v] = self.dist[v];
+                parent[v] = self.parent[v];
+            }
+        }
+        Ok(ShortestPathTree {
+            root,
+            direction,
+            dist,
+            parent,
+        })
+    }
+
+    /// A* one-to-one search using the great-circle / max-speed lower bound.
+    ///
+    /// Produces the same paths as [`SearchSpace::shortest_path`] but
+    /// settles fewer vertices on spread-out networks.
+    pub fn astar(
+        &mut self,
+        net: &RoadNetwork,
+        weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<Path, CoreError> {
+        Self::check_endpoints(net, source, target)?;
+        Self::check_weights(net, weights)?;
+        let vmax_m_per_ms = net.max_speed_kmh() as f64 / 3.6 / 1000.0;
+        let tp = net.point(target);
+        let h = |v: NodeId| -> Cost {
+            let d_m = arp_roadnet::geo::haversine_m(net.point(v), tp);
+            (d_m / vmax_m_per_ms) as Cost
+        };
+
+        self.begin(net);
+        self.set(source.0, 0, EdgeId::INVALID);
+        self.heap.push(Reverse(HeapEntry(h(source), source.0)));
+
+        while let Some(Reverse(HeapEntry(_, v))) = self.heap.pop() {
+            if v == target.0 {
+                break;
+            }
+            let d = self.get_dist(v);
+            for e in net.out_edges(NodeId(v)) {
+                let nd = d + weights[e.index()] as Cost;
+                let head = net.head(e).0;
+                if nd < self.get_dist(head) {
+                    self.set(head, nd, e);
+                    self.heap
+                        .push(Reverse(HeapEntry(nd + h(NodeId(head)), head)));
+                }
+            }
+        }
+
+        if self.get_dist(target.0) == INFINITY {
+            return Err(CoreError::Unreachable { source, target });
+        }
+        let mut edges = Vec::new();
+        let mut cur = target.0;
+        while cur != source.0 {
+            let e = self.parent[cur as usize];
+            edges.push(e);
+            cur = net.tail(e).0;
+        }
+        edges.reverse();
+        Ok(Path::from_edges(net, weights, edges))
+    }
+}
+
+/// Convenience: one-shot shortest path with a fresh workspace.
+pub fn shortest_path(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    source: NodeId,
+    target: NodeId,
+) -> Result<Path, CoreError> {
+    SearchSpace::new(net).shortest_path(net, weights, source, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::geo::Point;
+
+    /// A 4×4 grid with uniform weights; diagonal corners are distance 6·w.
+    fn grid(n: usize) -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                ids.push(b.add_node(Point::new(144.0 + x as f64 * 0.01, -37.0 - y as f64 * 0.01)));
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if x + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + 1],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+                if y + 1 < n {
+                    b.add_bidirectional(
+                        ids[i],
+                        ids[i + n],
+                        EdgeSpec::category(RoadCategory::Primary),
+                    );
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn shortest_path_on_grid() {
+        let net = grid(4);
+        let mut ws = SearchSpace::new(&net);
+        let p = ws
+            .shortest_path(&net, net.weights(), NodeId(0), NodeId(15))
+            .unwrap();
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.target(), NodeId(15));
+        assert_eq!(p.len(), 6);
+        assert!(p.validate(&net));
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    fn same_endpoints_rejected() {
+        let net = grid(3);
+        let mut ws = SearchSpace::new(&net);
+        assert_eq!(
+            ws.shortest_path(&net, net.weights(), NodeId(1), NodeId(1)),
+            Err(CoreError::SameSourceTarget(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn invalid_node_rejected() {
+        let net = grid(3);
+        let mut ws = SearchSpace::new(&net);
+        assert!(matches!(
+            ws.shortest_path(&net, net.weights(), NodeId(0), NodeId(999)),
+            Err(CoreError::InvalidNode(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_overlay_length_rejected() {
+        let net = grid(3);
+        let mut ws = SearchSpace::new(&net);
+        let short = vec![1u32; 3];
+        assert!(matches!(
+            ws.shortest_path(&net, &short, NodeId(0), NodeId(1)),
+            Err(CoreError::WeightLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_detected() {
+        // Two disconnected edges.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(0.01, 0.0));
+        let d = b.add_node(Point::new(0.1, 0.0));
+        let e = b.add_node(Point::new(0.11, 0.0));
+        b.add_bidirectional(a, c, EdgeSpec::default());
+        b.add_bidirectional(d, e, EdgeSpec::default());
+        let net = b.build();
+        let mut ws = SearchSpace::new(&net);
+        assert!(matches!(
+            ws.shortest_path(&net, net.weights(), NodeId(0), NodeId(3)),
+            Err(CoreError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn workspace_reuse_is_consistent() {
+        let net = grid(5);
+        let mut ws = SearchSpace::new(&net);
+        let d1 = ws
+            .shortest_distance(&net, net.weights(), NodeId(0), NodeId(24))
+            .unwrap();
+        // Run unrelated queries in between.
+        for t in 1..20 {
+            let _ = ws.shortest_distance(&net, net.weights(), NodeId(0), NodeId(t));
+        }
+        let d2 = ws
+            .shortest_distance(&net, net.weights(), NodeId(0), NodeId(24))
+            .unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn overlay_changes_route() {
+        let net = grid(3);
+        let mut ws = SearchSpace::new(&net);
+        let base = ws
+            .shortest_path(&net, net.weights(), NodeId(0), NodeId(2))
+            .unwrap();
+        // Penalize the direct horizontal edges heavily.
+        let mut overlay = net.weights().to_vec();
+        for &e in &base.edges {
+            overlay[e.index()] *= 100;
+        }
+        let alt = ws
+            .shortest_path(&net, &overlay, NodeId(0), NodeId(2))
+            .unwrap();
+        assert_ne!(alt.edges, base.edges);
+        // Cost on ORIGINAL weights is at least the shortest.
+        assert!(alt.cost_under(net.weights()) >= base.cost_ms);
+    }
+
+    #[test]
+    fn forward_tree_distances_match_queries() {
+        let net = grid(5);
+        let mut ws = SearchSpace::new(&net);
+        let tree = ws
+            .shortest_path_tree(&net, net.weights(), NodeId(0), Direction::Forward)
+            .unwrap();
+        for t in 1..25u32 {
+            let d = ws
+                .shortest_distance(&net, net.weights(), NodeId(0), NodeId(t))
+                .unwrap();
+            assert_eq!(tree.distance(NodeId(t)), d, "node {t}");
+        }
+        assert_eq!(tree.distance(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn backward_tree_distances_match_queries() {
+        let net = grid(5);
+        let mut ws = SearchSpace::new(&net);
+        let tree = ws
+            .shortest_path_tree(&net, net.weights(), NodeId(24), Direction::Backward)
+            .unwrap();
+        for s in 0..24u32 {
+            let d = ws
+                .shortest_distance(&net, net.weights(), NodeId(s), NodeId(24))
+                .unwrap();
+            assert_eq!(tree.distance(NodeId(s)), d, "node {s}");
+        }
+    }
+
+    #[test]
+    fn tree_path_edges_reconstruct() {
+        let net = grid(4);
+        let mut ws = SearchSpace::new(&net);
+        let fwd = ws
+            .shortest_path_tree(&net, net.weights(), NodeId(0), Direction::Forward)
+            .unwrap();
+        let edges = fwd.path_edges(&net, NodeId(15)).unwrap();
+        let p = Path::from_edges(&net, net.weights(), edges);
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.target(), NodeId(15));
+        assert_eq!(p.cost_ms, fwd.distance(NodeId(15)));
+
+        let bwd = ws
+            .shortest_path_tree(&net, net.weights(), NodeId(15), Direction::Backward)
+            .unwrap();
+        let edges = bwd.path_edges(&net, NodeId(0)).unwrap();
+        let p = Path::from_edges(&net, net.weights(), edges);
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.target(), NodeId(15));
+        assert_eq!(p.cost_ms, bwd.distance(NodeId(0)));
+    }
+
+    #[test]
+    fn tree_root_path_is_empty() {
+        let net = grid(3);
+        let mut ws = SearchSpace::new(&net);
+        let tree = ws
+            .shortest_path_tree(&net, net.weights(), NodeId(4), Direction::Forward)
+            .unwrap();
+        assert_eq!(tree.path_edges(&net, NodeId(4)), Some(vec![]));
+    }
+
+    #[test]
+    fn astar_matches_dijkstra() {
+        let net = grid(6);
+        let mut ws = SearchSpace::new(&net);
+        for (s, t) in [(0u32, 35u32), (3, 30), (7, 28), (12, 23)] {
+            let d = ws
+                .shortest_path(&net, net.weights(), NodeId(s), NodeId(t))
+                .unwrap();
+            let a = ws.astar(&net, net.weights(), NodeId(s), NodeId(t)).unwrap();
+            assert_eq!(a.cost_ms, d.cost_ms, "{s}->{t}");
+            assert!(a.validate(&net));
+        }
+    }
+
+    #[test]
+    fn one_shot_helper() {
+        let net = grid(3);
+        let p = shortest_path(&net, net.weights(), NodeId(0), NodeId(8)).unwrap();
+        assert_eq!(p.len(), 4);
+    }
+}

@@ -1,0 +1,210 @@
+//! Integration tests: the four techniques on all three synthetic study
+//! cities, checking the structural claims the paper makes about them.
+
+use arp_citygen::{City, Scale};
+use arp_core::prelude::*;
+use arp_core::quality::route_set_quality;
+use arp_core::similarity::diversity;
+use arp_roadnet::ids::NodeId;
+use arp_roadnet::spatial::SpatialIndex;
+
+/// Deterministic medium-distance query endpoints: pick nodes near opposite
+/// corners of the city.
+fn corner_query(net: &arp_roadnet::RoadNetwork) -> (NodeId, NodeId) {
+    let idx = SpatialIndex::build(net);
+    let bb = net.bbox();
+    let a = idx
+        .nearest_node(
+            net,
+            arp_roadnet::geo::Point::new(
+                bb.min_lon + bb.width_deg() * 0.25,
+                bb.min_lat + bb.height_deg() * 0.25,
+            ),
+        )
+        .unwrap();
+    let b = idx
+        .nearest_node(
+            net,
+            arp_roadnet::geo::Point::new(
+                bb.min_lon + bb.width_deg() * 0.75,
+                bb.min_lat + bb.height_deg() * 0.75,
+            ),
+        )
+        .unwrap();
+    (a, b)
+}
+
+#[test]
+fn all_techniques_work_on_all_cities() {
+    for city in City::ALL {
+        let g = arp_citygen::generate(city, Scale::Small, 11);
+        let net = &g.network;
+        let (s, t) = corner_query(net);
+        assert_ne!(s, t);
+        let q = AltQuery::paper();
+        let best = shortest_path(net, net.weights(), s, t).unwrap().cost_ms;
+
+        for provider in standard_providers(net, 17) {
+            let routes = provider
+                .alternatives(net, net.weights(), s, t, &q)
+                .unwrap_or_else(|e| panic!("{} on {city}: {e}", provider.kind()));
+            assert!(
+                !routes.is_empty(),
+                "{} on {city} returned nothing",
+                provider.kind()
+            );
+            for r in &routes {
+                assert!(r.path.validate(net));
+                assert_eq!(r.path.source(), s);
+                assert_eq!(r.path.target(), t);
+            }
+            // Local techniques honour the stretch bound; the Google-like
+            // provider optimizes on different data so its public-priced
+            // stretch may exceed it slightly (the Fig. 4 phenomenon), but
+            // never unboundedly.
+            for r in &routes {
+                let stretch = r.public_cost_ms as f64 / best as f64;
+                let limit = if provider.kind() == ProviderKind::GoogleLike {
+                    2.2
+                } else {
+                    q.epsilon + 1e-9
+                };
+                assert!(
+                    stretch <= limit,
+                    "{} on {city}: stretch {stretch} > {limit}",
+                    provider.kind()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn alternatives_are_diverse_on_cities() {
+    // The whole point of alternative routes: the techniques should produce
+    // sets with meaningful pairwise dissimilarity where the topology allows
+    // it (bridges and freeway/surface duality guarantee that here).
+    let g = arp_citygen::generate(City::Melbourne, Scale::Small, 23);
+    let net = &g.network;
+    let (s, t) = corner_query(net);
+    let q = AltQuery::paper();
+
+    let dis = dissimilarity_alternatives(
+        net,
+        net.weights(),
+        s,
+        t,
+        &q,
+        &DissimilarityOptions::default(),
+    )
+    .unwrap();
+    if dis.len() >= 2 {
+        let d = diversity(&dis, net.weights());
+        assert!(d > q.theta - 1e-9, "dissimilarity set diversity {d}");
+    }
+
+    let pla =
+        plateau_alternatives(net, net.weights(), s, t, &q, &PlateauOptions::default()).unwrap();
+    if pla.len() >= 2 {
+        let d = diversity(&pla, net.weights());
+        assert!(d > 0.05, "plateau set diversity {d}");
+    }
+}
+
+#[test]
+fn quality_report_is_sane_on_city() {
+    let g = arp_citygen::generate(City::Copenhagen, Scale::Small, 5);
+    let net = &g.network;
+    let (s, t) = corner_query(net);
+    let q = AltQuery::paper();
+    let paths =
+        penalty_alternatives(net, net.weights(), s, t, &q, &PenaltyOptions::default()).unwrap();
+    let best = paths[0].cost_ms;
+    let report = route_set_quality(net, net.weights(), &paths, best);
+    assert_eq!(report.count, paths.len());
+    assert!(report.mean_stretch >= 1.0);
+    assert!(report.mean_stretch <= q.epsilon + 1e-9);
+    assert!((0.0..=1.0).contains(&report.diversity));
+    assert!((0.0..=1.0).contains(&report.mean_wide_share));
+    assert!(report.max_wiggliness >= 1.0);
+}
+
+#[test]
+fn yen_less_diverse_than_dissimilarity_on_city() {
+    let g = arp_citygen::generate(City::Dhaka, Scale::Small, 31);
+    let net = &g.network;
+    let (s, t) = corner_query(net);
+    let q = AltQuery::paper();
+
+    let yen = yen_k_shortest_paths(net, net.weights(), s, t, 3).unwrap();
+    let dis = dissimilarity_alternatives(
+        net,
+        net.weights(),
+        s,
+        t,
+        &q,
+        &DissimilarityOptions::default(),
+    )
+    .unwrap();
+    if yen.len() >= 2 && dis.len() >= 2 {
+        let yen_div = diversity(&yen, net.weights());
+        let dis_div = diversity(&dis, net.weights());
+        assert!(
+            dis_div >= yen_div,
+            "dissimilarity ({dis_div}) should beat yen ({yen_div})"
+        );
+    }
+}
+
+#[test]
+fn google_like_routes_flip_under_public_pricing_somewhere() {
+    // Reproduces the Fig. 4 mechanism on a whole city: for at least one of
+    // several queries, the Google-like provider's first route is NOT the
+    // public optimum.
+    let g = arp_citygen::generate(City::Melbourne, Scale::Small, 2);
+    let net = &g.network;
+    let idx = SpatialIndex::build(net);
+    let provider = GoogleLikeProvider::new(net, 1234);
+    let q = AltQuery::paper();
+    let bb = net.bbox();
+
+    let mut flips = 0usize;
+    let mut total = 0usize;
+    for i in 0..12 {
+        let fx = 0.1 + 0.8 * ((i * 37 % 12) as f64 / 12.0);
+        let fy = 0.1 + 0.8 * ((i * 53 % 12) as f64 / 12.0);
+        let s = idx
+            .nearest_node(
+                net,
+                arp_roadnet::geo::Point::new(
+                    bb.min_lon + bb.width_deg() * fx,
+                    bb.min_lat + bb.height_deg() * 0.15,
+                ),
+            )
+            .unwrap();
+        let t = idx
+            .nearest_node(
+                net,
+                arp_roadnet::geo::Point::new(
+                    bb.min_lon + bb.width_deg() * (1.0 - fx),
+                    bb.min_lat + bb.height_deg() * fy,
+                ),
+            )
+            .unwrap();
+        if s == t {
+            continue;
+        }
+        let Ok(routes) = provider.alternatives(net, net.weights(), s, t, &q) else {
+            continue;
+        };
+        let Ok(best) = shortest_path(net, net.weights(), s, t) else {
+            continue;
+        };
+        total += 1;
+        if routes[0].public_cost_ms > best.cost_ms {
+            flips += 1;
+        }
+    }
+    assert!(total >= 6, "too few valid queries");
+    assert!(flips > 0, "no data-mismatch flips in {total} queries");
+}

@@ -1,0 +1,269 @@
+//! Property-based tests for the routing core on random strongly connected
+//! graphs.
+
+use arp_core::prelude::*;
+use arp_core::quality;
+use arp_core::search::Direction;
+use arp_core::similarity;
+use arp_roadnet::prelude::*;
+use proptest::prelude::*;
+
+/// Random strongly connected graph: a Hamiltonian cycle (guaranteeing
+/// strong connectivity) plus random chords with random weights.
+fn arb_scc_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize, u32)>)> {
+    (4usize..25).prop_flat_map(|n| {
+        let chords = proptest::collection::vec((0..n, 0..n, 500_000u32..1_000_000), 0..n * 3);
+        (Just(n), chords)
+    })
+}
+
+fn build(n: usize, chords: &[(usize, usize, u32)]) -> RoadNetwork {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| {
+            b.add_node(Point::new(
+                144.0 + (i % 5) as f64 * 0.01,
+                -37.0 - (i / 5) as f64 * 0.01,
+            ))
+        })
+        .collect();
+    for i in 0..n {
+        b.add_edge(
+            ids[i],
+            ids[(i + 1) % n],
+            EdgeSpec::category(RoadCategory::Primary)
+                .with_weight(500_000 + (i as u32 * 7919) % 100_000),
+        );
+    }
+    for &(t, h, w) in chords {
+        if t != h {
+            b.add_edge(
+                ids[t],
+                ids[h],
+                EdgeSpec::category(RoadCategory::Secondary).with_weight(w),
+            );
+        }
+    }
+    b.build()
+}
+
+/// Bellman-Ford reference distance.
+fn bellman_ford(net: &RoadNetwork, s: NodeId) -> Vec<u64> {
+    let mut dist = vec![u64::MAX; net.num_nodes()];
+    dist[s.index()] = 0;
+    for _ in 0..net.num_nodes() {
+        let mut changed = false;
+        for e in net.edges() {
+            let (t, h) = (net.tail(e), net.head(e));
+            if dist[t.index()] != u64::MAX {
+                let nd = dist[t.index()] + net.weight(e) as u64;
+                if nd < dist[h.index()] {
+                    dist[h.index()] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dijkstra_matches_bellman_ford((n, chords) in arb_scc_graph()) {
+        let net = build(n, &chords);
+        let reference = bellman_ford(&net, NodeId(0));
+        let mut ws = SearchSpace::new(&net);
+        for t in 1..n as u32 {
+            let p = ws.shortest_path(&net, net.weights(), NodeId(0), NodeId(t)).unwrap();
+            prop_assert_eq!(p.cost_ms, reference[t as usize]);
+            prop_assert!(p.validate(&net));
+        }
+    }
+
+    #[test]
+    fn astar_equals_dijkstra((n, chords) in arb_scc_graph()) {
+        let net = build(n, &chords);
+        let mut ws = SearchSpace::new(&net);
+        let t = NodeId((n - 1) as u32);
+        let d = ws.shortest_path(&net, net.weights(), NodeId(0), t).unwrap();
+        let a = ws.astar(&net, net.weights(), NodeId(0), t).unwrap();
+        // Weights are huge (>= 500 s) relative to the geometric lower bound
+        // (< 500 s across the whole layout), keeping the heuristic admissible.
+        prop_assert_eq!(a.cost_ms, d.cost_ms);
+    }
+
+    #[test]
+    fn trees_agree_with_point_queries((n, chords) in arb_scc_graph()) {
+        let net = build(n, &chords);
+        let mut ws = SearchSpace::new(&net);
+        let fwd = ws.shortest_path_tree(&net, net.weights(), NodeId(0), Direction::Forward).unwrap();
+        let bwd = ws.shortest_path_tree(&net, net.weights(), NodeId(0), Direction::Backward).unwrap();
+        for v in 1..n as u32 {
+            let to_v = ws.shortest_path(&net, net.weights(), NodeId(0), NodeId(v)).unwrap().cost_ms;
+            let from_v = ws.shortest_path(&net, net.weights(), NodeId(v), NodeId(0)).unwrap().cost_ms;
+            prop_assert_eq!(fwd.distance(NodeId(v)), to_v);
+            prop_assert_eq!(bwd.distance(NodeId(v)), from_v);
+        }
+    }
+
+    #[test]
+    fn every_technique_returns_valid_bounded_paths((n, chords) in arb_scc_graph()) {
+        let net = build(n, &chords);
+        let (s, t) = (NodeId(0), NodeId((n / 2) as u32));
+        if s == t { return Ok(()); }
+        let q = AltQuery::paper();
+        let best = shortest_path(&net, net.weights(), s, t).unwrap().cost_ms;
+
+        let pen = penalty_alternatives(&net, net.weights(), s, t, &q, &PenaltyOptions::default()).unwrap();
+        let pla = plateau_alternatives(&net, net.weights(), s, t, &q, &PlateauOptions::default()).unwrap();
+        let dis = dissimilarity_alternatives(&net, net.weights(), s, t, &q, &DissimilarityOptions::default()).unwrap();
+
+        for (name, paths) in [("penalty", &pen), ("plateau", &pla), ("dissimilarity", &dis)] {
+            prop_assert!(!paths.is_empty(), "{} empty", name);
+            prop_assert!(paths.len() <= q.k);
+            prop_assert_eq!(paths[0].cost_ms, best, "{} first path not optimal", name);
+            for p in paths.iter() {
+                prop_assert!(p.validate(&net), "{} invalid path", name);
+                prop_assert!(p.is_simple(), "{} non-simple path", name);
+                prop_assert_eq!(p.source(), s);
+                prop_assert_eq!(p.target(), t);
+                prop_assert!(p.cost_ms <= q.cost_bound(best), "{} exceeds stretch", name);
+            }
+        }
+
+        // Dissimilarity guarantee: pairwise similarity below 1 - theta.
+        for i in 0..dis.len() {
+            for j in i + 1..dis.len() {
+                let sim = similarity::similarity(&dis[i], &dis[j], net.weights());
+                prop_assert!(sim <= 1.0 - q.theta + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn yen_costs_sorted_and_simple((n, chords) in arb_scc_graph()) {
+        let net = build(n, &chords);
+        let t = NodeId((n - 1) as u32);
+        let paths = yen_k_shortest_paths(&net, net.weights(), NodeId(0), t, 4).unwrap();
+        prop_assert!(!paths.is_empty());
+        for w in paths.windows(2) {
+            prop_assert!(w[0].cost_ms <= w[1].cost_ms);
+        }
+        for p in &paths {
+            prop_assert!(p.is_simple());
+            prop_assert!(p.validate(&net));
+        }
+        // Yen's second path (when it exists) is the true second-shortest:
+        // no technique can produce a non-optimal path cheaper than it.
+        if paths.len() >= 2 {
+            let second = paths[1].cost_ms;
+            prop_assert!(second >= paths[0].cost_ms);
+        }
+    }
+
+    #[test]
+    fn similarity_bounds_hold((n, chords) in arb_scc_graph()) {
+        let net = build(n, &chords);
+        let t = NodeId((n - 1) as u32);
+        let paths = yen_k_shortest_paths(&net, net.weights(), NodeId(0), t, 3).unwrap();
+        for p in &paths {
+            for q in &paths {
+                let s = similarity::similarity(p, q, net.weights());
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+        let d = similarity::diversity(&paths, net.weights());
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn local_optimality_of_shortest_path((n, chords) in arb_scc_graph()) {
+        let net = build(n, &chords);
+        let t = NodeId((n - 1) as u32);
+        let p = shortest_path(&net, net.weights(), NodeId(0), t).unwrap();
+        let lo = quality::local_optimality(&net, net.weights(), &p, 0.4, 8);
+        prop_assert!(lo.is_locally_optimal(), "{:?}", lo);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ch_distances_match_dijkstra((n, chords) in arb_scc_graph()) {
+        let net = build(n, &chords);
+        let ch = arp_core::ContractionHierarchy::build(&net, net.weights()).unwrap();
+        let mut ws = SearchSpace::new(&net);
+        for s in (0..n as u32).step_by(3) {
+            for t in (0..n as u32).step_by(4) {
+                if s == t { continue; }
+                let expect = ws.shortest_distance(&net, net.weights(), NodeId(s), NodeId(t)).ok();
+                prop_assert_eq!(ch.distance(NodeId(s), NodeId(t)), expect, "{} -> {}", s, t);
+            }
+        }
+    }
+
+    #[test]
+    fn ch_paths_unpack_correctly((n, chords) in arb_scc_graph()) {
+        let net = build(n, &chords);
+        let ch = arp_core::ContractionHierarchy::build(&net, net.weights()).unwrap();
+        let t = NodeId((n - 1) as u32);
+        let p = ch.shortest_path(&net, net.weights(), NodeId(0), t).unwrap();
+        prop_assert!(p.validate(&net));
+        let expect = shortest_path(&net, net.weights(), NodeId(0), t).unwrap();
+        prop_assert_eq!(p.cost_ms, expect.cost_ms);
+    }
+
+    #[test]
+    fn bidir_matches_unidirectional((n, chords) in arb_scc_graph()) {
+        let net = build(n, &chords);
+        let mut bi = arp_core::BidirSearch::new(&net);
+        let mut uni = SearchSpace::new(&net);
+        for t in (1..n as u32).step_by(2) {
+            let d1 = uni.shortest_distance(&net, net.weights(), NodeId(0), NodeId(t)).unwrap();
+            let d2 = bi.shortest_distance(&net, net.weights(), NodeId(0), NodeId(t)).unwrap();
+            prop_assert_eq!(d1, d2);
+            let p = bi.shortest_path(&net, net.weights(), NodeId(0), NodeId(t)).unwrap();
+            prop_assert!(p.validate(&net));
+            prop_assert_eq!(p.cost_ms, d1);
+        }
+    }
+
+    #[test]
+    fn esx_respects_overlap_bound((n, chords) in arb_scc_graph()) {
+        let net = build(n, &chords);
+        let t = NodeId((n - 1) as u32);
+        let q = AltQuery::paper();
+        let opts = EsxOptions::default();
+        let paths = esx_alternatives(&net, net.weights(), NodeId(0), t, &q, &opts).unwrap();
+        prop_assert!(!paths.is_empty());
+        for i in 1..paths.len() {
+            for j in 0..i {
+                let o = arp_core::similarity::overlap_ratio(&paths[i], &paths[j], net.weights());
+                prop_assert!(o <= opts.max_overlap + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_contains_optimum((n, chords) in arb_scc_graph()) {
+        let net = build(n, &chords);
+        let t = NodeId((n - 1) as u32);
+        let routes = pareto_paths(&net, net.weights(), NodeId(0), t, &ParetoOptions::default()).unwrap();
+        let best = shortest_path(&net, net.weights(), NodeId(0), t).unwrap().cost_ms;
+        prop_assert_eq!(routes[0].time_ms, best);
+        // Frontier is sorted by time and strictly improving in distance.
+        for w in routes.windows(2) {
+            prop_assert!(w[0].time_ms <= w[1].time_ms);
+            prop_assert!(w[0].dist_m >= w[1].dist_m);
+        }
+        for r in &routes {
+            prop_assert!(r.path.validate(&net));
+        }
+    }
+}

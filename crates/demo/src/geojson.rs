@@ -1,0 +1,87 @@
+//! GeoJSON export of query responses — lets any external map tool render
+//! what the demo UI shows.
+
+use crate::json::Json;
+use crate::query::QueryResponse;
+
+/// Converts a [`QueryResponse`] into a GeoJSON `FeatureCollection` string.
+///
+/// Every route becomes a `LineString` feature with `approach`, `rank`,
+/// `minutes` and `stroke` (color) properties, so the output drops straight
+/// into geojson.io or Leaflet.
+pub fn response_to_geojson(resp: &QueryResponse) -> String {
+    let mut features = Vec::new();
+    for approach in &resp.approaches {
+        for (rank, route) in approach.routes.iter().enumerate() {
+            let coords = Json::Array(
+                route
+                    .polyline
+                    .iter()
+                    .map(|p| Json::Array(vec![Json::Number(p.lon), Json::Number(p.lat)]))
+                    .collect(),
+            );
+            let geometry =
+                Json::object([("type", Json::str("LineString")), ("coordinates", coords)]);
+            let properties = Json::object([
+                ("approach", Json::str(approach.label.to_string())),
+                ("rank", Json::Number(rank as f64)),
+                ("minutes", Json::Number(route.minutes as f64)),
+                ("stroke", Json::str(route.color)),
+            ]);
+            features.push(Json::object([
+                ("type", Json::str("Feature")),
+                ("geometry", geometry),
+                ("properties", properties),
+            ]));
+        }
+    }
+    Json::object([
+        ("type", Json::str("FeatureCollection")),
+        ("features", Json::Array(features)),
+    ])
+    .to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::query::QueryProcessor;
+    use arp_citygen::{City, Scale};
+    use arp_roadnet::geo::Point;
+
+    #[test]
+    fn geojson_is_valid_and_complete() {
+        let g = arp_citygen::generate(City::Copenhagen, Scale::Small, 9);
+        let qp = QueryProcessor::new(g.name.clone(), g.network, 9);
+        let bb = qp.network().bbox();
+        let a = Point::new(
+            bb.min_lon + bb.width_deg() * 0.3,
+            bb.min_lat + bb.height_deg() * 0.3,
+        );
+        let b = Point::new(
+            bb.min_lon + bb.width_deg() * 0.7,
+            bb.min_lat + bb.height_deg() * 0.7,
+        );
+        let resp = qp.process(a, b).unwrap();
+        let text = response_to_geojson(&resp);
+        let parsed = json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("type").unwrap().as_str(),
+            Some("FeatureCollection")
+        );
+        let features = parsed.get("features").unwrap().as_array().unwrap();
+        let total_routes: usize = resp.approaches.iter().map(|a| a.routes.len()).sum();
+        assert_eq!(features.len(), total_routes);
+        for f in features {
+            assert_eq!(f.get("type").unwrap().as_str(), Some("Feature"));
+            let geom = f.get("geometry").unwrap();
+            assert_eq!(geom.get("type").unwrap().as_str(), Some("LineString"));
+            assert!(geom.get("coordinates").unwrap().as_array().unwrap().len() >= 2);
+            let props = f.get("properties").unwrap();
+            assert!(props.get("minutes").unwrap().as_f64().unwrap() > 0.0);
+            let label = props.get("approach").unwrap().as_str().unwrap();
+            assert!(["A", "B", "C", "D"].contains(&label));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The demo's single-page UI (Figs. 2–3 of the paper), self-contained —
+//! no external tiles or libraries. An SVG canvas draws a down-sampled
+//! street map; the user clicks source and target, the four approaches'
+//! routes render in separate panels labelled A–D, and the feedback form
+//! submits 1–5 ratings plus the residency question.
+
+/// Renders the index page for a city.
+pub fn index_page(city: &str) -> String {
+    let template = r##"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Alternative Routes Demo — __CITY__</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 1rem; background: #fafafa; color: #222; }
+  h1 { font-size: 1.3rem; }
+  #map { background: #fff; border: 1px solid #ccc; cursor: crosshair; }
+  .net { stroke: #d8d8d8; stroke-width: 0.8; }
+  .panels { display: grid; grid-template-columns: repeat(2, minmax(280px, 1fr)); gap: 0.8rem; margin-top: 1rem; }
+  .panel { background: #fff; border: 1px solid #ccc; padding: 0.4rem; }
+  .panel h2 { font-size: 1rem; margin: 0.2rem 0; }
+  form { margin-top: 1rem; background: #fff; border: 1px solid #ccc; padding: 0.8rem; max-width: 36rem; }
+  .ratingrow { margin: 0.3rem 0; }
+  #status { color: #555; min-height: 1.4em; }
+  button { padding: 0.4rem 1rem; }
+</style>
+</head>
+<body>
+<h1>Comparing Alternative Route Planning Techniques — __CITY__</h1>
+<p>Click a <b>source</b> and then a <b>target</b> on the map, then press <i>Get routes</i>.
+Rate each approach (1&ndash;5, higher is better). Approaches are anonymized as A&ndash;D.</p>
+<svg id="map" width="820" height="620"></svg>
+<div><button id="go" disabled>Get routes</button> <button id="clear">Clear</button> <span id="status"></span></div>
+<div class="panels" id="panels"></div>
+<form id="feedback" style="display:none">
+  <h2>Rate each approach (Fig. 3)</h2>
+  <div id="ratings"></div>
+  <div class="ratingrow"><label><input type="checkbox" id="resident"> I am currently living (or have lived) in __CITY__</label></div>
+  <div class="ratingrow"><input type="text" id="comment" placeholder="Optional comment" size="48"></div>
+  <button type="submit">Submit Rating</button>
+</form>
+<script>
+"use strict";
+const svg = document.getElementById("map");
+const W = 820, H = 620;
+let meta = null, clicks = [], lastFastest = 0;
+
+function xOf(lon) { return (lon - meta.min_lon) / (meta.max_lon - meta.min_lon) * W; }
+function yOf(lat) { return H - (lat - meta.min_lat) / (meta.max_lat - meta.min_lat) * H; }
+function lonOf(x) { return meta.min_lon + x / W * (meta.max_lon - meta.min_lon); }
+function latOf(y) { return meta.min_lat + (H - y) / H * (meta.max_lat - meta.min_lat); }
+
+function el(name, attrs) {
+  const e = document.createElementNS("http://www.w3.org/2000/svg", name);
+  for (const k in attrs) e.setAttribute(k, attrs[k]);
+  return e;
+}
+
+async function boot() {
+  meta = await (await fetch("/api/meta")).json();
+  const net = await (await fetch("/api/network")).json();
+  for (const [alon, alat, blon, blat] of net.segments) {
+    svg.appendChild(el("line", {x1: xOf(alon), y1: yOf(alat), x2: xOf(blon), y2: yOf(blat), class: "net"}));
+  }
+  document.getElementById("status").textContent = "Map loaded. Click source, then target.";
+}
+
+svg.addEventListener("click", ev => {
+  if (!meta || clicks.length >= 2) return;
+  const r = svg.getBoundingClientRect();
+  const x = ev.clientX - r.left, y = ev.clientY - r.top;
+  clicks.push([lonOf(x), latOf(y)]);
+  svg.appendChild(el("circle", {cx: x, cy: y, r: 6, fill: clicks.length === 1 ? "#1a67d6" : "#c0392b"}));
+  document.getElementById("go").disabled = clicks.length !== 2;
+});
+
+document.getElementById("clear").addEventListener("click", () => location.reload());
+
+document.getElementById("go").addEventListener("click", async () => {
+  const [s, t] = clicks;
+  document.getElementById("status").textContent = "Computing routes…";
+  const resp = await fetch("/api/route", {method: "POST", body: JSON.stringify({slon: s[0], slat: s[1], tlon: t[0], tlat: t[1]})});
+  const data = await resp.json();
+  if (data.error) { document.getElementById("status").textContent = data.error; return; }
+  lastFastest = data.fastest_minutes;
+  const panels = document.getElementById("panels");
+  panels.innerHTML = "";
+  for (const a of data.approaches) {
+    const div = document.createElement("div");
+    div.className = "panel";
+    const mins = a.routes.map(r => r.minutes + " min").join(", ");
+    div.innerHTML = "<h2>Approach " + a.label + "</h2><div>" + mins + "</div>";
+    const s2 = el("svg", {width: 380, height: 280, viewBox: "0 0 " + W + " " + H});
+    for (const r of a.routes) {
+      const pts = r.polyline.map(p => xOf(p[0]).toFixed(1) + "," + yOf(p[1]).toFixed(1)).join(" ");
+      s2.appendChild(el("polyline", {points: pts, fill: "none", stroke: r.color, "stroke-width": 5}));
+    }
+    div.appendChild(s2);
+    panels.appendChild(div);
+  }
+  const ratings = document.getElementById("ratings");
+  ratings.innerHTML = "";
+  for (const a of data.approaches) {
+    const row = document.createElement("div");
+    row.className = "ratingrow";
+    row.innerHTML = "Approach " + a.label + ": " +
+      [1,2,3,4,5].map(v => '<label><input type="radio" name="r' + a.label + '" value="' + v + '">' + v + "</label>").join(" ");
+    ratings.appendChild(row);
+  }
+  document.getElementById("feedback").style.display = "block";
+  document.getElementById("status").textContent = "Routes shown. Please rate each approach.";
+});
+
+document.getElementById("feedback").addEventListener("submit", async ev => {
+  ev.preventDefault();
+  const val = l => { const c = document.querySelector('input[name="r' + l + '"]:checked'); return c ? +c.value : null; };
+  const body = {a: val("A"), b: val("B"), c: val("C"), d: val("D"),
+    resident: document.getElementById("resident").checked,
+    fastest_minutes: lastFastest,
+    comment: document.getElementById("comment").value};
+  if (body.a === null || body.b === null || body.c === null || body.d === null) {
+    document.getElementById("status").textContent = "Please rate all four approaches."; return;
+  }
+  const resp = await fetch("/api/rate", {method: "POST", body: JSON.stringify(body)});
+  const data = await resp.json();
+  document.getElementById("status").textContent = data.ok ? "Thank you! Responses so far: " + data.total_responses : data.error;
+});
+
+boot();
+</script>
+</body>
+</html>
+"##;
+    template.replace("__CITY__", city)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_contains_city_and_hooks() {
+        let page = index_page("Dhaka");
+        assert!(page.contains("Dhaka"));
+        assert!(!page.contains("__CITY__"));
+        for hook in [
+            "/api/meta",
+            "/api/network",
+            "/api/route",
+            "/api/rate",
+            "Submit Rating",
+        ] {
+            assert!(page.contains(hook), "missing {hook}");
+        }
+    }
+
+    #[test]
+    fn page_is_blinded() {
+        // The page must never leak approach identities.
+        let page = index_page("Melbourne");
+        for name in ["Google", "Plateau", "Dissimilarity", "Penalty"] {
+            assert!(!page.contains(name), "page leaks {name}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # arp-demo
+//!
+//! The paper's web-based demonstration system (§3, Figs. 2–3), rebuilt as
+//! a dependency-free Rust service:
+//!
+//! * [`query`] — the query processor: geo-coordinate matching, the four
+//!   approaches, OSM-priced travel times rounded to minutes,
+//! * [`blind`] — A–D anonymization with the unblinding map kept
+//!   server-side,
+//! * [`store`] — the feedback form's response store (ratings, residency,
+//!   comments) with CSV persistence,
+//! * [`server`] — a small std-only HTTP server exposing the JSON API and
+//!   the interactive map page ([`html`]),
+//! * [`geojson`] / [`json`] — hand-rolled serialization for the API.
+//!
+//! ```no_run
+//! use arp_citygen::{City, Scale};
+//! use arp_demo::prelude::*;
+//! use std::net::TcpListener;
+//! use std::sync::Arc;
+//!
+//! let city = arp_citygen::generate(City::Melbourne, Scale::Medium, 42);
+//! let app = Arc::new(DemoApp::new(QueryProcessor::new(city.name.clone(), city.network, 42)));
+//! let listener = TcpListener::bind("127.0.0.1:8080").unwrap();
+//! arp_demo::server::serve(app, listener).unwrap();
+//! ```
+
+pub mod blind;
+pub mod error;
+pub mod geojson;
+pub mod html;
+pub mod json;
+pub mod query;
+pub mod server;
+pub mod store;
+
+pub use blind::Blinding;
+pub use error::DemoError;
+pub use geojson::response_to_geojson;
+pub use query::{ApproachRoutes, QueryProcessor, QueryResponse, RouteInfo};
+pub use server::{serve, DemoApp, HttpResponse};
+pub use store::{ResponseStore, Submission};
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::blind::Blinding;
+    pub use crate::error::DemoError;
+    pub use crate::geojson::response_to_geojson;
+    pub use crate::query::{QueryProcessor, QueryResponse};
+    pub use crate::server::{serve, DemoApp, HttpResponse};
+    pub use crate::store::{ResponseStore, Submission};
+}

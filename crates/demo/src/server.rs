@@ -1,0 +1,483 @@
+//! A dependency-free HTTP server exposing the demo system.
+//!
+//! Endpoints (mirroring the paper's web demo):
+//!
+//! * `GET  /`             — the interactive map page (see [`crate::html`]),
+//! * `GET  /api/meta`     — study area, city name, approach labels,
+//! * `GET  /api/network`  — a down-sampled edge set for drawing the map,
+//! * `POST /api/route`    — `{slon, slat, tlon, tlat}` → blinded routes,
+//! * `POST /api/rate`     — `{a, b, c, d, resident, fastest_minutes, comment}`,
+//! * `GET  /api/results`  — per-label rating summaries,
+//! * `GET  /api/results.csv` — the raw response CSV.
+//!
+//! The request handler is a pure function over `(method, path, body)` so
+//! tests exercise the full API without sockets; `serve` adds the TCP loop.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use arp_roadnet::geo::Point;
+
+use crate::error::DemoError;
+use crate::geojson::response_to_geojson;
+use crate::html;
+use crate::json::{self, Json};
+use crate::query::QueryProcessor;
+use crate::store::{ResponseStore, Submission};
+
+/// An HTTP response produced by the handler.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HttpResponse {
+    /// Status code (200, 400, 404, …).
+    pub status: u16,
+    /// Content type.
+    pub content_type: &'static str,
+    /// Body bytes (UTF-8 text for all our endpoints).
+    pub body: String,
+}
+
+impl HttpResponse {
+    fn ok_json(v: Json) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            content_type: "application/json",
+            body: v.to_string_compact(),
+        }
+    }
+
+    fn error(status: u16, message: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: Json::object([("error", Json::String(message.into()))]).to_string_compact(),
+        }
+    }
+}
+
+/// The demo application state shared across connections.
+pub struct DemoApp {
+    /// The query processor (network + providers + blinding).
+    pub processor: QueryProcessor,
+    /// The feedback store.
+    pub store: ResponseStore,
+}
+
+impl DemoApp {
+    /// Builds the app for a processor.
+    pub fn new(processor: QueryProcessor) -> DemoApp {
+        DemoApp {
+            processor,
+            store: ResponseStore::new(),
+        }
+    }
+
+    /// Dispatches one request.
+    pub fn handle(&self, method: &str, path: &str, body: &str) -> HttpResponse {
+        match (method, path) {
+            ("GET", "/") => HttpResponse {
+                status: 200,
+                content_type: "text/html; charset=utf-8",
+                body: html::index_page(self.processor.name()),
+            },
+            ("GET", "/api/meta") => self.meta(),
+            ("GET", "/api/network") => self.network_sample(),
+            ("POST", "/api/route") => self.route(body),
+            ("POST", "/api/rate") => self.rate(body),
+            ("GET", "/api/results") => self.results(),
+            ("GET", "/api/results.csv") => HttpResponse {
+                status: 200,
+                content_type: "text/csv",
+                body: self.store.to_csv(),
+            },
+            ("GET", _) | ("POST", _) => {
+                HttpResponse::error(404, format!("no such endpoint {path}"))
+            }
+            _ => HttpResponse::error(405, format!("method {method} not allowed")),
+        }
+    }
+
+    fn meta(&self) -> HttpResponse {
+        let bb = self.processor.study_area();
+        HttpResponse::ok_json(Json::object([
+            ("city", Json::str(self.processor.name())),
+            ("min_lon", Json::Number(bb.min_lon)),
+            ("min_lat", Json::Number(bb.min_lat)),
+            ("max_lon", Json::Number(bb.max_lon)),
+            ("max_lat", Json::Number(bb.max_lat)),
+            (
+                "labels",
+                Json::Array(vec![
+                    Json::str("A"),
+                    Json::str("B"),
+                    Json::str("C"),
+                    Json::str("D"),
+                ]),
+            ),
+        ]))
+    }
+
+    fn network_sample(&self) -> HttpResponse {
+        let net = self.processor.network();
+        const MAX_SEGMENTS: usize = 5_000;
+        let step = net.num_edges().div_ceil(MAX_SEGMENTS).max(1);
+        let mut segments = Vec::new();
+        for e in net.edges().step_by(step) {
+            let a = net.point(net.tail(e));
+            let b = net.point(net.head(e));
+            segments.push(Json::Array(vec![
+                Json::Number(a.lon),
+                Json::Number(a.lat),
+                Json::Number(b.lon),
+                Json::Number(b.lat),
+            ]));
+        }
+        HttpResponse::ok_json(Json::object([("segments", Json::Array(segments))]))
+    }
+
+    fn route(&self, body: &str) -> HttpResponse {
+        let req = match json::parse(body) {
+            Ok(v) => v,
+            Err(e) => return HttpResponse::error(400, e.to_string()),
+        };
+        let num = |key: &str| -> Result<f64, DemoError> {
+            req.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| DemoError::BadRequest(format!("missing number {key:?}")))
+        };
+        let parsed = (|| -> Result<_, DemoError> {
+            let s = Point::new(num("slon")?, num("slat")?);
+            let t = Point::new(num("tlon")?, num("tlat")?);
+            Ok((s, t))
+        })();
+        let (s, t) = match parsed {
+            Ok(p) => p,
+            Err(e) => return HttpResponse::error(400, e.to_string()),
+        };
+        match self.processor.process(s, t) {
+            Ok(resp) => {
+                let approaches = resp
+                    .approaches
+                    .iter()
+                    .map(|a| {
+                        let routes = a
+                            .routes
+                            .iter()
+                            .map(|r| {
+                                Json::object([
+                                    ("minutes", Json::Number(r.minutes as f64)),
+                                    ("color", Json::str(r.color)),
+                                    (
+                                        "polyline",
+                                        Json::Array(
+                                            r.polyline
+                                                .iter()
+                                                .map(|p| {
+                                                    Json::Array(vec![
+                                                        Json::Number(p.lon),
+                                                        Json::Number(p.lat),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect();
+                        Json::object([
+                            ("label", Json::str(a.label.to_string())),
+                            ("routes", Json::Array(routes)),
+                        ])
+                    })
+                    .collect();
+                HttpResponse::ok_json(Json::object([
+                    ("fastest_minutes", Json::Number(resp.fastest_minutes as f64)),
+                    ("approaches", Json::Array(approaches)),
+                    ("geojson", Json::str(response_to_geojson(&resp))),
+                ]))
+            }
+            Err(
+                e @ (DemoError::OutOfArea { .. }
+                | DemoError::NoNearbyRoad { .. }
+                | DemoError::SameLocation),
+            ) => HttpResponse::error(400, e.to_string()),
+            Err(e) => HttpResponse::error(500, e.to_string()),
+        }
+    }
+
+    fn rate(&self, body: &str) -> HttpResponse {
+        let req = match json::parse(body) {
+            Ok(v) => v,
+            Err(e) => return HttpResponse::error(400, e.to_string()),
+        };
+        let rating =
+            |key: &str| -> Option<u8> { req.get(key).and_then(Json::as_f64).map(|v| v as u8) };
+        let (Some(a), Some(b), Some(c), Some(d)) =
+            (rating("a"), rating("b"), rating("c"), rating("d"))
+        else {
+            return HttpResponse::error(400, "ratings a-d are required");
+        };
+        let submission = Submission {
+            ratings: [a, b, c, d],
+            resident: req.get("resident").and_then(Json::as_bool).unwrap_or(false),
+            fastest_minutes: req
+                .get("fastest_minutes")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64,
+            comment: req
+                .get("comment")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        };
+        match self.store.submit(submission) {
+            Ok(()) => HttpResponse::ok_json(Json::object([
+                ("ok", Json::Bool(true)),
+                ("total_responses", Json::Number(self.store.len() as f64)),
+            ])),
+            Err(e) => HttpResponse::error(400, e.to_string()),
+        }
+    }
+
+    fn results(&self) -> HttpResponse {
+        let to_json = |resident: Option<bool>| -> Json {
+            Json::Array(
+                self.store
+                    .summary(resident)
+                    .into_iter()
+                    .map(|s| {
+                        Json::object([
+                            ("label", Json::str(s.label.to_string())),
+                            ("count", Json::Number(s.count as f64)),
+                            ("mean", Json::Number(s.mean)),
+                            ("sd", Json::Number(s.sd)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        HttpResponse::ok_json(Json::object([
+            ("all", to_json(None)),
+            ("residents", to_json(Some(true))),
+            ("non_residents", to_json(Some(false))),
+        ]))
+    }
+}
+
+/// Reads one HTTP request (request line, headers, body per
+/// `Content-Length`) from a stream.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<(String, String, String)>> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("/").to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length.min(1 << 20)];
+    reader.read_exact(&mut body)?;
+    Ok(Some((
+        method,
+        path,
+        String::from_utf8_lossy(&body).into_owned(),
+    )))
+}
+
+fn write_response(stream: &mut TcpStream, resp: &HttpResponse) -> std::io::Result<()> {
+    let reason = match resp.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        resp.status,
+        reason,
+        resp.content_type,
+        resp.body.len(),
+        resp.body
+    )?;
+    stream.flush()
+}
+
+/// Serves the app on `listener`, one thread per connection, until the
+/// process exits. Returns only on accept errors.
+pub fn serve(app: Arc<DemoApp>, listener: TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let mut stream = stream?;
+        let app = Arc::clone(&app);
+        std::thread::spawn(move || {
+            if let Ok(Some((method, path, body))) = read_request(&mut stream) {
+                let resp = app.handle(&method, &path, &body);
+                let _ = write_response(&mut stream, &resp);
+            }
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arp_citygen::{City, Scale};
+
+    fn app() -> DemoApp {
+        let g = arp_citygen::generate(City::Melbourne, Scale::Small, 12);
+        DemoApp::new(QueryProcessor::new(g.name.clone(), g.network, 12))
+    }
+
+    fn route_body(app: &DemoApp) -> String {
+        let bb = app.processor.network().bbox();
+        format!(
+            r#"{{"slon": {}, "slat": {}, "tlon": {}, "tlat": {}}}"#,
+            bb.min_lon + bb.width_deg() * 0.3,
+            bb.min_lat + bb.height_deg() * 0.4,
+            bb.min_lon + bb.width_deg() * 0.7,
+            bb.min_lat + bb.height_deg() * 0.7,
+        )
+    }
+
+    #[test]
+    fn index_page_served() {
+        let app = app();
+        let resp = app.handle("GET", "/", "");
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("<html"));
+        assert!(resp.body.contains("Melbourne"));
+    }
+
+    #[test]
+    fn meta_endpoint() {
+        let app = app();
+        let resp = app.handle("GET", "/api/meta", "");
+        assert_eq!(resp.status, 200);
+        let v = json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("city").unwrap().as_str(), Some("Melbourne"));
+        assert!(
+            v.get("min_lon").unwrap().as_f64().unwrap()
+                < v.get("max_lon").unwrap().as_f64().unwrap()
+        );
+    }
+
+    #[test]
+    fn network_sample_endpoint() {
+        let app = app();
+        let resp = app.handle("GET", "/api/network", "");
+        assert_eq!(resp.status, 200);
+        let v = json::parse(&resp.body).unwrap();
+        let segs = v.get("segments").unwrap().as_array().unwrap();
+        assert!(!segs.is_empty());
+        assert!(segs.len() <= 5_000);
+        assert_eq!(segs[0].as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn route_endpoint_full_flow() {
+        let app = app();
+        let resp = app.handle("POST", "/api/route", &route_body(&app));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = json::parse(&resp.body).unwrap();
+        let approaches = v.get("approaches").unwrap().as_array().unwrap();
+        assert_eq!(approaches.len(), 4);
+        for a in approaches {
+            let routes = a.get("routes").unwrap().as_array().unwrap();
+            assert!(!routes.is_empty());
+            for r in routes {
+                assert!(r.get("minutes").unwrap().as_f64().unwrap() >= 1.0);
+            }
+        }
+        // GeoJSON embedded and parseable.
+        let gj = v.get("geojson").unwrap().as_str().unwrap();
+        assert!(json::parse(gj).is_ok());
+    }
+
+    #[test]
+    fn route_endpoint_rejects_bad_input() {
+        let app = app();
+        assert_eq!(app.handle("POST", "/api/route", "not json").status, 400);
+        assert_eq!(
+            app.handle("POST", "/api/route", r#"{"slon": 1}"#).status,
+            400
+        );
+        let out_of_area = r#"{"slon": 0, "slat": 0, "tlon": 1, "tlat": 1}"#;
+        assert_eq!(app.handle("POST", "/api/route", out_of_area).status, 400);
+    }
+
+    #[test]
+    fn rate_and_results_flow() {
+        let app = app();
+        let rate = r#"{"a": 3, "b": 5, "c": 4, "d": 4, "resident": true, "fastest_minutes": 18, "comment": "nice"}"#;
+        let resp = app.handle("POST", "/api/rate", rate);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let resp2 = app.handle("POST", "/api/rate", r#"{"a": 1, "b": 2, "c": 3, "d": 4}"#);
+        assert_eq!(resp2.status, 200);
+
+        let results = app.handle("GET", "/api/results", "");
+        let v = json::parse(&results.body).unwrap();
+        let all = v.get("all").unwrap().as_array().unwrap();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].get("count").unwrap().as_f64(), Some(2.0));
+        let residents = v.get("residents").unwrap().as_array().unwrap();
+        assert_eq!(residents[0].get("count").unwrap().as_f64(), Some(1.0));
+
+        let csv = app.handle("GET", "/api/results.csv", "");
+        assert_eq!(csv.status, 200);
+        assert!(csv.body.lines().count() >= 3);
+    }
+
+    #[test]
+    fn rate_rejects_invalid() {
+        let app = app();
+        assert_eq!(
+            app.handle("POST", "/api/rate", r#"{"a": 9, "b": 1, "c": 1, "d": 1}"#)
+                .status,
+            400
+        );
+        assert_eq!(app.handle("POST", "/api/rate", r#"{"a": 3}"#).status, 400);
+    }
+
+    #[test]
+    fn unknown_paths_404() {
+        let app = app();
+        assert_eq!(app.handle("GET", "/nope", "").status, 404);
+        assert_eq!(app.handle("DELETE", "/api/meta", "").status, 405);
+    }
+
+    #[test]
+    fn real_socket_roundtrip() {
+        let app = Arc::new(app());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        {
+            let app = Arc::clone(&app);
+            std::thread::spawn(move || {
+                let _ = serve(app, listener);
+            });
+        }
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /api/meta HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 200 OK"), "{buf}");
+        assert!(buf.contains("Melbourne"));
+    }
+}

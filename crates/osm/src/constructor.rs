@@ -1,0 +1,289 @@
+//! The Road Network Constructor (§3 of the paper).
+//!
+//! Turns a (possibly clipped) OSM extract into an [`arp_roadnet::RoadNetwork`]:
+//! every pair of consecutive node references of a drivable way becomes one
+//! directed edge (two for two-way streets), weighted by travel time
+//! `length / maxspeed` with the ×1.3 non-freeway calibration, and the
+//! largest strongly connected component is kept so all queries are
+//! routable.
+
+use std::collections::HashMap;
+
+use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+use arp_roadnet::category::RoadCategory;
+use arp_roadnet::csr::RoadNetwork;
+use arp_roadnet::geo::haversine_m;
+use arp_roadnet::scc::largest_scc_subnetwork;
+use arp_roadnet::weight::WeightConfig;
+
+use crate::error::OsmError;
+use crate::model::{OnewayKind, OsmData};
+
+/// Configuration of the constructor.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstructorConfig {
+    /// Travel-time model (the paper's default multiplies non-freeway
+    /// segments by 1.3).
+    pub weight_config: WeightConfig,
+    /// Keep only the largest strongly connected component (paper behaviour).
+    pub keep_largest_scc: bool,
+}
+
+impl Default for ConstructorConfig {
+    fn default() -> Self {
+        ConstructorConfig {
+            weight_config: WeightConfig::paper(),
+            keep_largest_scc: true,
+        }
+    }
+}
+
+/// Statistics reported by the constructor, useful for experiment logs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConstructorStats {
+    /// Ways in the input.
+    pub ways_total: usize,
+    /// Ways with a drivable `highway=*` tag.
+    pub ways_drivable: usize,
+    /// Directed edges created before SCC extraction.
+    pub edges_created: usize,
+    /// Nodes referenced by drivable ways.
+    pub nodes_used: usize,
+    /// Nodes dropped by largest-SCC extraction.
+    pub nodes_dropped_by_scc: usize,
+    /// Way segments skipped because a referenced node was missing.
+    pub dangling_refs: usize,
+}
+
+/// Builds a road network from OSM data.
+///
+/// Returns [`OsmError::EmptyNetwork`] when no drivable way survives.
+pub fn build_road_network(
+    data: &OsmData,
+    config: &ConstructorConfig,
+) -> Result<(RoadNetwork, ConstructorStats), OsmError> {
+    let mut stats = ConstructorStats {
+        ways_total: data.ways.len(),
+        ..Default::default()
+    };
+
+    let coord_of: HashMap<i64, arp_roadnet::geo::Point> =
+        data.nodes.iter().map(|n| (n.id, n.point())).collect();
+
+    let mut b = GraphBuilder::with_weight_config(config.weight_config);
+    let mut osm_to_node: HashMap<i64, arp_roadnet::ids::NodeId> = HashMap::new();
+
+    for way in &data.ways {
+        let Some(highway) = way.highway() else {
+            continue;
+        };
+        let Some(category) = RoadCategory::from_osm_tag(highway) else {
+            continue;
+        };
+        stats.ways_drivable += 1;
+        let speed = way
+            .maxspeed_kmh()
+            .unwrap_or_else(|| category.default_speed_kmh());
+        let oneway = way.oneway();
+
+        for pair in way.refs.windows(2) {
+            let (ra, rb) = (pair[0], pair[1]);
+            let (Some(&pa), Some(&pb)) = (coord_of.get(&ra), coord_of.get(&rb)) else {
+                stats.dangling_refs += 1;
+                continue;
+            };
+            let na = *osm_to_node.entry(ra).or_insert_with(|| b.add_node(pa));
+            let nb = *osm_to_node.entry(rb).or_insert_with(|| b.add_node(pb));
+            let length = haversine_m(pa, pb);
+            let spec = EdgeSpec {
+                category,
+                speed_kmh: Some(speed),
+                length_m: Some(length),
+                weight_ms: None,
+            };
+            match oneway {
+                OnewayKind::Both => {
+                    b.add_edge(na, nb, spec);
+                    b.add_edge(nb, na, spec);
+                    stats.edges_created += 2;
+                }
+                OnewayKind::Forward => {
+                    b.add_edge(na, nb, spec);
+                    stats.edges_created += 1;
+                }
+                OnewayKind::Backward => {
+                    b.add_edge(nb, na, spec);
+                    stats.edges_created += 1;
+                }
+            }
+        }
+    }
+
+    stats.nodes_used = osm_to_node.len();
+    if stats.edges_created == 0 {
+        return Err(OsmError::EmptyNetwork);
+    }
+
+    let raw = b.build();
+    let net = if config.keep_largest_scc {
+        let (sub, _) = largest_scc_subnetwork(&raw);
+        stats.nodes_dropped_by_scc = raw.num_nodes() - sub.num_nodes();
+        sub
+    } else {
+        raw
+    };
+    Ok((net, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{OsmNode, OsmWay};
+
+    fn node(id: i64, lon: f64, lat: f64) -> OsmNode {
+        OsmNode { id, lon, lat }
+    }
+
+    fn way(id: i64, refs: Vec<i64>, tags: &[(&str, &str)]) -> OsmWay {
+        OsmWay {
+            id,
+            refs,
+            tags: tags.iter().map(|&(k, v)| (k.into(), v.into())).collect(),
+        }
+    }
+
+    fn square_data() -> OsmData {
+        // A two-way square 1-2-3-4-1.
+        OsmData {
+            bounds: None,
+            nodes: vec![
+                node(1, 144.00, -37.00),
+                node(2, 144.01, -37.00),
+                node(3, 144.01, -37.01),
+                node(4, 144.00, -37.01),
+            ],
+            ways: vec![way(10, vec![1, 2, 3, 4, 1], &[("highway", "residential")])],
+        }
+    }
+
+    #[test]
+    fn two_way_square_constructs() {
+        let (net, stats) =
+            build_road_network(&square_data(), &ConstructorConfig::default()).unwrap();
+        assert_eq!(net.num_nodes(), 4);
+        assert_eq!(net.num_edges(), 8);
+        assert_eq!(stats.ways_drivable, 1);
+        assert_eq!(stats.edges_created, 8);
+        assert_eq!(stats.nodes_dropped_by_scc, 0);
+    }
+
+    #[test]
+    fn oneway_square_is_directed_cycle() {
+        let mut data = square_data();
+        data.ways[0].tags.push(("oneway".into(), "yes".into()));
+        let (net, _) = build_road_network(&data, &ConstructorConfig::default()).unwrap();
+        assert_eq!(net.num_edges(), 4);
+        // Every node has out-degree 1 in a directed cycle.
+        for v in net.nodes() {
+            assert_eq!(net.out_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn reverse_oneway() {
+        let data = OsmData {
+            bounds: None,
+            nodes: vec![
+                node(1, 144.0, -37.0),
+                node(2, 144.01, -37.0),
+                node(3, 144.0, -37.01),
+            ],
+            ways: vec![
+                way(
+                    1,
+                    vec![1, 2],
+                    &[("highway", "residential"), ("oneway", "-1")],
+                ),
+                // Return edges so the SCC isn't empty.
+                way(2, vec![2, 3, 1], &[("highway", "residential")]),
+                way(3, vec![1, 2], &[("highway", "service")]),
+            ],
+        };
+        let cfg = ConstructorConfig {
+            keep_largest_scc: false,
+            ..Default::default()
+        };
+        let (net, _) = build_road_network(&data, &cfg).unwrap();
+        // way 1 contributes 2 -> 1 only (plus ways 2 and 3).
+        assert!(net.num_edges() >= 6);
+    }
+
+    #[test]
+    fn non_drivable_ways_skipped() {
+        let mut data = square_data();
+        data.ways
+            .push(way(11, vec![1, 3], &[("highway", "footway")]));
+        data.ways
+            .push(way(12, vec![2, 4], &[("waterway", "river")]));
+        let (_, stats) = build_road_network(&data, &ConstructorConfig::default()).unwrap();
+        assert_eq!(stats.ways_drivable, 1);
+        assert_eq!(stats.ways_total, 3);
+    }
+
+    #[test]
+    fn maxspeed_tag_overrides_default() {
+        let mut data = square_data();
+        data.ways[0].tags.push(("maxspeed".into(), "80".into()));
+        let (net, _) = build_road_network(&data, &ConstructorConfig::default()).unwrap();
+        for e in net.edges() {
+            assert_eq!(net.speed_kmh(e), 80.0);
+        }
+    }
+
+    #[test]
+    fn calibration_factor_applied() {
+        // residential (non-freeway) gets ×1.3: compare against raw time.
+        let (net, _) = build_road_network(&square_data(), &ConstructorConfig::default()).unwrap();
+        let e = net.edges().next().unwrap();
+        let raw_s = net.length_m(e) as f64 / (net.speed_kmh(e) as f64 / 3.6);
+        let ratio = net.weight(e) as f64 / (raw_s * 1000.0);
+        assert!((ratio - 1.3).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dangling_refs_counted() {
+        let mut data = square_data();
+        data.ways[0].refs.push(999); // unknown node
+        let (_, stats) = build_road_network(&data, &ConstructorConfig::default()).unwrap();
+        assert_eq!(stats.dangling_refs, 1);
+    }
+
+    #[test]
+    fn dead_end_pruned_by_scc() {
+        let mut data = square_data();
+        data.nodes.push(node(5, 144.02, -37.0));
+        // One-way spur into node 5: unreachable back, pruned by SCC.
+        data.ways.push(way(
+            11,
+            vec![2, 5],
+            &[("highway", "residential"), ("oneway", "yes")],
+        ));
+        let (net, stats) = build_road_network(&data, &ConstructorConfig::default()).unwrap();
+        assert_eq!(net.num_nodes(), 4);
+        assert_eq!(stats.nodes_dropped_by_scc, 1);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        let err =
+            build_road_network(&OsmData::default(), &ConstructorConfig::default()).unwrap_err();
+        assert!(matches!(err, OsmError::EmptyNetwork));
+    }
+
+    #[test]
+    fn footway_only_input_is_error() {
+        let mut data = square_data();
+        data.ways[0].tags[0].1 = "footway".into();
+        assert!(build_road_network(&data, &ConstructorConfig::default()).is_err());
+    }
+}

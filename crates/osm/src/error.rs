@@ -1,0 +1,66 @@
+//! Error type for OSM parsing and network construction.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised while parsing OSM XML or constructing a road network.
+#[derive(Debug)]
+pub enum OsmError {
+    /// Malformed XML input.
+    Xml {
+        /// Byte offset of the error in the input.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A way references a node id that is absent from the data.
+    MissingNode(i64),
+    /// No drivable ways survived filtering/construction.
+    EmptyNetwork,
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for OsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsmError::Xml { offset, message } => {
+                write!(f, "xml error at byte {offset}: {message}")
+            }
+            OsmError::MissingNode(id) => write!(f, "way references missing node {id}"),
+            OsmError::EmptyNetwork => write!(f, "no drivable road network in input"),
+            OsmError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OsmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for OsmError {
+    fn from(e: io::Error) -> Self {
+        OsmError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = OsmError::Xml {
+            offset: 12,
+            message: "unexpected eof".into(),
+        };
+        assert!(e.to_string().contains("byte 12"));
+        assert!(OsmError::MissingNode(-3).to_string().contains("-3"));
+        assert!(OsmError::EmptyNetwork.to_string().contains("no drivable"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Export of an [`arp_roadnet::RoadNetwork`] back to OSM form.
+//!
+//! Used to exercise the full paper pipeline offline: a synthetic city from
+//! `arp-citygen` is exported to OSM XML and re-imported through the
+//! constructor, so the code path the paper describes (Geofabrik extract →
+//! rectangle filter → parse → weight) runs end to end.
+
+use arp_roadnet::csr::RoadNetwork;
+use arp_roadnet::ids::EdgeId;
+
+use crate::model::{OsmData, OsmNode, OsmWay};
+
+/// Converts a road network to OSM data.
+///
+/// Each graph vertex becomes an OSM node with id `index + 1`. Each edge
+/// becomes a two-node way tagged `highway`, `maxspeed` and, where no
+/// reverse edge with the same attributes exists, `oneway=yes`; symmetric
+/// two-way pairs are merged into a single untagged-direction way.
+pub fn network_to_osm(net: &RoadNetwork) -> OsmData {
+    let nodes: Vec<OsmNode> = net
+        .nodes()
+        .map(|n| {
+            let p = net.point(n);
+            OsmNode {
+                id: n.index() as i64 + 1,
+                lon: p.lon,
+                lat: p.lat,
+            }
+        })
+        .collect();
+
+    let mut ways = Vec::with_capacity(net.num_edges());
+    let mut emitted = vec![false; net.num_edges()];
+    let mut next_way_id: i64 = 1;
+
+    for e in net.edges() {
+        if emitted[e.index()] {
+            continue;
+        }
+        emitted[e.index()] = true;
+        let tail_id = net.tail(e).index() as i64 + 1;
+        let head_id = net.head(e).index() as i64 + 1;
+        let mut tags = vec![
+            ("highway".to_string(), net.category(e).osm_tag().to_string()),
+            ("maxspeed".to_string(), format!("{}", net.speed_kmh(e))),
+        ];
+        let symmetric_reverse = net.reverse_edge(e).filter(|&r| {
+            !emitted[r.index()]
+                && net.category(r) == net.category(e)
+                && net.speed_kmh(r) == net.speed_kmh(e)
+        });
+        match symmetric_reverse {
+            Some(r) => {
+                emitted[r.index()] = true;
+                // Explicit two-way marker (motorways default to oneway).
+                tags.push(("oneway".to_string(), "no".to_string()));
+            }
+            None => tags.push(("oneway".to_string(), "yes".to_string())),
+        }
+        ways.push(OsmWay {
+            id: next_way_id,
+            refs: vec![tail_id, head_id],
+            tags,
+        });
+        next_way_id += 1;
+    }
+
+    let bb = net.bbox();
+    OsmData {
+        bounds: if bb.is_empty() {
+            None
+        } else {
+            Some((bb.min_lon, bb.min_lat, bb.max_lon, bb.max_lat))
+        },
+        nodes,
+        ways,
+    }
+}
+
+/// True when `e` has a same-attribute reverse edge (diagnostic helper).
+pub fn is_two_way(net: &RoadNetwork, e: EdgeId) -> bool {
+    net.reverse_edge(e)
+        .is_some_and(|r| net.category(r) == net.category(e) && net.speed_kmh(r) == net.speed_kmh(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constructor::{build_road_network, ConstructorConfig};
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::geo::Point;
+
+    fn sample_network() -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(144.00, -37.00));
+        let c = b.add_node(Point::new(144.01, -37.00));
+        let d = b.add_node(Point::new(144.01, -37.01));
+        b.add_bidirectional(a, c, EdgeSpec::category(RoadCategory::Primary));
+        b.add_edge(c, d, EdgeSpec::category(RoadCategory::Residential));
+        b.add_edge(d, a, EdgeSpec::category(RoadCategory::Residential));
+        b.build()
+    }
+
+    #[test]
+    fn export_merges_two_way_pairs() {
+        let net = sample_network();
+        let data = network_to_osm(&net);
+        assert_eq!(data.num_nodes(), 3);
+        // 4 directed edges -> 1 merged two-way + 2 one-way ways.
+        assert_eq!(data.num_ways(), 3);
+        let oneways = data
+            .ways
+            .iter()
+            .filter(|w| w.tag("oneway") == Some("yes"))
+            .count();
+        assert_eq!(oneways, 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_weights() {
+        let net = sample_network();
+        let data = network_to_osm(&net);
+        let (back, _) = build_road_network(&data, &ConstructorConfig::default()).unwrap();
+        assert_eq!(back.num_nodes(), net.num_nodes());
+        assert_eq!(back.num_edges(), net.num_edges());
+        // Weights recomputed from geometry match the originals.
+        let total_orig: u64 = net.edges().map(|e| net.weight(e) as u64).sum();
+        let total_back: u64 = back.edges().map(|e| back.weight(e) as u64).sum();
+        let diff = total_orig.abs_diff(total_back);
+        assert!(diff <= net.num_edges() as u64, "diff {diff}");
+    }
+
+    #[test]
+    fn is_two_way_detects_pairs() {
+        let net = sample_network();
+        let two_way = net.edges().filter(|&e| is_two_way(&net, e)).count();
+        assert_eq!(two_way, 2);
+    }
+
+    #[test]
+    fn empty_network_exports_empty_data() {
+        let net = GraphBuilder::new().build();
+        let data = network_to_osm(&net);
+        assert_eq!(data.num_nodes(), 0);
+        assert_eq!(data.num_ways(), 0);
+        assert!(data.bounds.is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! Rectangle filtering: clips an OSM extract to a study area.
+//!
+//! The paper's road-network constructor "takes a rectangular area as input
+//! and extracts the road network data … that lies within the input
+//! rectangle" (§3). We keep every node inside the rectangle and trim way
+//! node-reference lists to their maximal runs of kept nodes, splitting a
+//! way that leaves and re-enters the rectangle into separate ways.
+
+use std::collections::HashSet;
+
+use arp_roadnet::geo::BoundingBox;
+
+use crate::model::{OsmData, OsmWay};
+
+/// Clips `data` to `bbox`.
+pub fn filter_bbox(data: &OsmData, bbox: BoundingBox) -> OsmData {
+    let kept_nodes: Vec<_> = data
+        .nodes
+        .iter()
+        .filter(|n| bbox.contains(n.point()))
+        .cloned()
+        .collect();
+    let kept_ids: HashSet<i64> = kept_nodes.iter().map(|n| n.id).collect();
+
+    let mut ways = Vec::new();
+    let mut next_synthetic_id = data.ways.iter().map(|w| w.id).max().unwrap_or(0) + 1;
+    for way in &data.ways {
+        // Split refs into runs of kept nodes.
+        let mut run: Vec<i64> = Vec::new();
+        let mut runs: Vec<Vec<i64>> = Vec::new();
+        for &r in &way.refs {
+            if kept_ids.contains(&r) {
+                run.push(r);
+            } else if run.len() >= 2 {
+                runs.push(std::mem::take(&mut run));
+            } else {
+                run.clear();
+            }
+        }
+        if run.len() >= 2 {
+            runs.push(run);
+        }
+        for (i, refs) in runs.into_iter().enumerate() {
+            let id = if i == 0 {
+                way.id
+            } else {
+                let id = next_synthetic_id;
+                next_synthetic_id += 1;
+                id
+            };
+            ways.push(OsmWay {
+                id,
+                refs,
+                tags: way.tags.clone(),
+            });
+        }
+    }
+
+    OsmData {
+        bounds: Some((bbox.min_lon, bbox.min_lat, bbox.max_lon, bbox.max_lat)),
+        nodes: kept_nodes,
+        ways,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OsmNode;
+
+    fn node(id: i64, lon: f64, lat: f64) -> OsmNode {
+        OsmNode { id, lon, lat }
+    }
+
+    fn data_with_line() -> OsmData {
+        // Nodes 1..=5 strung west->east; 3 falls outside the box.
+        OsmData {
+            bounds: None,
+            nodes: vec![
+                node(1, 144.1, -37.5),
+                node(2, 144.2, -37.5),
+                node(3, 146.0, -37.5), // outside
+                node(4, 144.4, -37.5),
+                node(5, 144.5, -37.5),
+            ],
+            ways: vec![OsmWay {
+                id: 10,
+                refs: vec![1, 2, 3, 4, 5],
+                tags: vec![("highway".into(), "primary".into())],
+            }],
+        }
+    }
+
+    #[test]
+    fn nodes_outside_removed() {
+        let bbox = BoundingBox::new(144.0, -38.0, 145.0, -37.0);
+        let out = filter_bbox(&data_with_line(), bbox);
+        assert_eq!(out.num_nodes(), 4);
+        assert!(out.nodes.iter().all(|n| bbox.contains(n.point())));
+    }
+
+    #[test]
+    fn way_split_when_leaving_rectangle() {
+        let bbox = BoundingBox::new(144.0, -38.0, 145.0, -37.0);
+        let out = filter_bbox(&data_with_line(), bbox);
+        assert_eq!(out.num_ways(), 2);
+        assert_eq!(out.ways[0].refs, vec![1, 2]);
+        assert_eq!(out.ways[1].refs, vec![4, 5]);
+        // Both halves keep tags; the second gets a fresh id.
+        assert_eq!(out.ways[0].id, 10);
+        assert_ne!(out.ways[1].id, 10);
+        assert_eq!(out.ways[1].tag("highway"), Some("primary"));
+    }
+
+    #[test]
+    fn single_kept_node_runs_dropped() {
+        // Way 1-3-2: node 3 outside, runs of length 1 on both sides -> dropped.
+        let data = OsmData {
+            bounds: None,
+            nodes: vec![
+                node(1, 144.1, -37.5),
+                node(2, 144.2, -37.5),
+                node(3, 146.0, -37.5),
+            ],
+            ways: vec![OsmWay {
+                id: 1,
+                refs: vec![1, 3, 2],
+                tags: vec![],
+            }],
+        };
+        let out = filter_bbox(&data, BoundingBox::new(144.0, -38.0, 145.0, -37.0));
+        assert_eq!(out.num_ways(), 0);
+    }
+
+    #[test]
+    fn fully_inside_way_untouched() {
+        let bbox = BoundingBox::new(140.0, -40.0, 150.0, -30.0);
+        let out = filter_bbox(&data_with_line(), bbox);
+        assert_eq!(out.num_ways(), 1);
+        assert_eq!(out.ways[0].refs.len(), 5);
+    }
+
+    #[test]
+    fn bounds_set_to_filter_rectangle() {
+        let bbox = BoundingBox::new(144.0, -38.0, 145.0, -37.0);
+        let out = filter_bbox(&data_with_line(), bbox);
+        assert_eq!(out.bounds, Some((144.0, -38.0, 145.0, -37.0)));
+    }
+
+    #[test]
+    fn empty_input_stays_empty() {
+        let out = filter_bbox(&OsmData::default(), BoundingBox::new(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(out.num_nodes(), 0);
+        assert_eq!(out.num_ways(), 0);
+    }
+}

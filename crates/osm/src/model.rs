@@ -1,0 +1,209 @@
+//! In-memory model of an OSM extract: nodes with coordinates, ways with
+//! node references and key/value tags.
+
+use arp_roadnet::geo::{BoundingBox, Point};
+
+/// An OSM node: a point with a signed 64-bit id (OSM ids exceed `u32`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OsmNode {
+    /// OSM node id.
+    pub id: i64,
+    /// Longitude in decimal degrees.
+    pub lon: f64,
+    /// Latitude in decimal degrees.
+    pub lat: f64,
+}
+
+impl OsmNode {
+    /// The node's coordinates as a [`Point`].
+    pub fn point(&self) -> Point {
+        Point::new(self.lon, self.lat)
+    }
+}
+
+/// An OSM way: an ordered list of node references plus tags.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OsmWay {
+    /// OSM way id.
+    pub id: i64,
+    /// Ordered node references.
+    pub refs: Vec<i64>,
+    /// Key/value tags (`highway`, `maxspeed`, `oneway`, …).
+    pub tags: Vec<(String, String)>,
+}
+
+impl OsmWay {
+    /// Looks up a tag value by key.
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `highway=*` value, if any.
+    pub fn highway(&self) -> Option<&str> {
+        self.tag("highway")
+    }
+
+    /// Parses the `maxspeed` tag into km/h. Handles plain numbers,
+    /// `NN km/h` and `NN mph`; returns `None` for anything else
+    /// (e.g. `signals`, `none`).
+    pub fn maxspeed_kmh(&self) -> Option<f32> {
+        let raw = self.tag("maxspeed")?.trim();
+        if let Some(mph) = raw.strip_suffix("mph") {
+            return mph.trim().parse::<f32>().ok().map(|v| v * 1.609_344);
+        }
+        let digits = raw.strip_suffix("km/h").unwrap_or(raw).trim();
+        digits.parse::<f32>().ok()
+    }
+
+    /// Direction of travel permitted along the way.
+    pub fn oneway(&self) -> OnewayKind {
+        match self.tag("oneway") {
+            Some("yes") | Some("true") | Some("1") => OnewayKind::Forward,
+            Some("-1") | Some("reverse") => OnewayKind::Backward,
+            _ => {
+                // Motorways are implicitly one-way in OSM.
+                if self.highway() == Some("motorway") && self.tag("oneway").is_none() {
+                    OnewayKind::Forward
+                } else {
+                    OnewayKind::Both
+                }
+            }
+        }
+    }
+}
+
+/// Direction of travel along a way.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OnewayKind {
+    /// Travel allowed in both directions.
+    Both,
+    /// Travel only in node-reference order.
+    Forward,
+    /// Travel only against node-reference order.
+    Backward,
+}
+
+/// A parsed OSM extract.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OsmData {
+    /// Declared bounds, if the extract carried a `<bounds>` element.
+    pub bounds: Option<(f64, f64, f64, f64)>,
+    /// All nodes.
+    pub nodes: Vec<OsmNode>,
+    /// All ways.
+    pub ways: Vec<OsmWay>,
+}
+
+impl OsmData {
+    /// Bounding box of all node coordinates.
+    pub fn bbox(&self) -> BoundingBox {
+        self.nodes
+            .iter()
+            .fold(BoundingBox::EMPTY, |bb, n| bb.expanded_to(n.point()))
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of ways.
+    pub fn num_ways(&self) -> usize {
+        self.ways.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn way_with(tags: &[(&str, &str)]) -> OsmWay {
+        OsmWay {
+            id: 1,
+            refs: vec![1, 2],
+            tags: tags.iter().map(|&(k, v)| (k.into(), v.into())).collect(),
+        }
+    }
+
+    #[test]
+    fn tag_lookup() {
+        let w = way_with(&[("highway", "primary"), ("name", "Main St")]);
+        assert_eq!(w.tag("highway"), Some("primary"));
+        assert_eq!(w.highway(), Some("primary"));
+        assert_eq!(w.tag("surface"), None);
+    }
+
+    #[test]
+    fn maxspeed_plain_number() {
+        assert_eq!(way_with(&[("maxspeed", "60")]).maxspeed_kmh(), Some(60.0));
+    }
+
+    #[test]
+    fn maxspeed_kmh_suffix() {
+        assert_eq!(
+            way_with(&[("maxspeed", "80 km/h")]).maxspeed_kmh(),
+            Some(80.0)
+        );
+    }
+
+    #[test]
+    fn maxspeed_mph() {
+        let v = way_with(&[("maxspeed", "30 mph")]).maxspeed_kmh().unwrap();
+        assert!((v - 48.28).abs() < 0.01);
+    }
+
+    #[test]
+    fn maxspeed_garbage_is_none() {
+        assert_eq!(way_with(&[("maxspeed", "signals")]).maxspeed_kmh(), None);
+        assert_eq!(way_with(&[]).maxspeed_kmh(), None);
+    }
+
+    #[test]
+    fn oneway_variants() {
+        assert_eq!(way_with(&[("oneway", "yes")]).oneway(), OnewayKind::Forward);
+        assert_eq!(way_with(&[("oneway", "1")]).oneway(), OnewayKind::Forward);
+        assert_eq!(way_with(&[("oneway", "-1")]).oneway(), OnewayKind::Backward);
+        assert_eq!(way_with(&[("oneway", "no")]).oneway(), OnewayKind::Both);
+        assert_eq!(way_with(&[]).oneway(), OnewayKind::Both);
+    }
+
+    #[test]
+    fn motorway_implicitly_oneway() {
+        assert_eq!(
+            way_with(&[("highway", "motorway")]).oneway(),
+            OnewayKind::Forward
+        );
+        assert_eq!(
+            way_with(&[("highway", "motorway"), ("oneway", "no")]).oneway(),
+            OnewayKind::Both
+        );
+    }
+
+    #[test]
+    fn data_bbox() {
+        let data = OsmData {
+            bounds: None,
+            nodes: vec![
+                OsmNode {
+                    id: 1,
+                    lon: 144.0,
+                    lat: -37.0,
+                },
+                OsmNode {
+                    id: 2,
+                    lon: 145.0,
+                    lat: -38.0,
+                },
+            ],
+            ways: vec![],
+        };
+        let bb = data.bbox();
+        assert_eq!(bb.min_lon, 144.0);
+        assert_eq!(bb.min_lat, -38.0);
+        assert_eq!(data.num_nodes(), 2);
+        assert_eq!(data.num_ways(), 0);
+    }
+}

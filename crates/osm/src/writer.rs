@@ -1,0 +1,111 @@
+//! OSM XML writer for the same subset the parser reads.
+
+use std::fmt::Write as _;
+
+use crate::model::OsmData;
+
+/// Escapes the five predefined XML entities in attribute values.
+fn escape(s: &str) -> String {
+    if !s.contains(['&', '<', '>', '"', '\'']) {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Serializes `data` to OSM XML.
+pub fn write_osm_xml(data: &OsmData) -> String {
+    let mut out = String::with_capacity(data.nodes.len() * 64 + data.ways.len() * 128);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str("<osm version=\"0.6\" generator=\"arp-osm\">\n");
+    if let Some((minlon, minlat, maxlon, maxlat)) = data.bounds {
+        let _ = writeln!(
+            out,
+            "  <bounds minlat=\"{minlat}\" minlon=\"{minlon}\" maxlat=\"{maxlat}\" maxlon=\"{maxlon}\"/>"
+        );
+    }
+    for n in &data.nodes {
+        let _ = writeln!(
+            out,
+            "  <node id=\"{}\" lat=\"{}\" lon=\"{}\"/>",
+            n.id, n.lat, n.lon
+        );
+    }
+    for w in &data.ways {
+        let _ = writeln!(out, "  <way id=\"{}\">", w.id);
+        for r in &w.refs {
+            let _ = writeln!(out, "    <nd ref=\"{r}\"/>");
+        }
+        for (k, v) in &w.tags {
+            let _ = writeln!(out, "    <tag k=\"{}\" v=\"{}\"/>", escape(k), escape(v));
+        }
+        out.push_str("  </way>\n");
+    }
+    out.push_str("</osm>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{OsmNode, OsmWay};
+    use crate::xml::parse_osm_xml;
+
+    fn sample() -> OsmData {
+        OsmData {
+            bounds: Some((144.0, -38.0, 145.0, -37.0)),
+            nodes: vec![
+                OsmNode {
+                    id: 1,
+                    lon: 144.5,
+                    lat: -37.5,
+                },
+                OsmNode {
+                    id: 2,
+                    lon: 144.6,
+                    lat: -37.6,
+                },
+            ],
+            ways: vec![OsmWay {
+                id: 100,
+                refs: vec![1, 2],
+                tags: vec![
+                    ("highway".into(), "primary".into()),
+                    ("name".into(), "A & B \"Road\"".into()),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let data = sample();
+        let xml = write_osm_xml(&data);
+        let back = parse_osm_xml(&xml).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn escape_behaviour() {
+        assert_eq!(escape("a<b"), "a&lt;b");
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("\"quoted\""), "&quot;quoted&quot;");
+    }
+
+    #[test]
+    fn empty_data_writes_valid_xml() {
+        let xml = write_osm_xml(&OsmData::default());
+        let back = parse_osm_xml(&xml).unwrap();
+        assert_eq!(back, OsmData::default());
+    }
+}

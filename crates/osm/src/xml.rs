@@ -1,0 +1,393 @@
+//! A minimal XML pull parser for the OSM subset.
+//!
+//! OSM XML is machine-generated and highly regular: elements carry all data
+//! in attributes, there is no mixed content, namespaces or CDATA. This
+//! parser handles exactly that subset — `<?xml?>` declarations, comments,
+//! start/end/self-closing tags with double- or single-quoted attributes,
+//! and the five standard entities — and rejects everything else with a
+//! byte-offset error.
+
+use crate::error::OsmError;
+use crate::model::{OsmData, OsmNode, OsmWay};
+
+/// A parsed XML tag event.
+#[derive(Debug, PartialEq)]
+enum Event<'a> {
+    /// `<name attr=...>` — `self_closing` is true for `<name ... />`.
+    Start {
+        name: &'a str,
+        attrs: Vec<(&'a str, String)>,
+        self_closing: bool,
+    },
+    /// `</name>`.
+    End { name: &'a str },
+    /// End of input.
+    Eof,
+}
+
+/// Low-level tokenizer over the input bytes.
+struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer { input, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> OsmError {
+        OsmError::Xml {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.input.as_bytes()
+    }
+
+    fn skip_until_tag(&mut self) {
+        while self.pos < self.input.len() && self.bytes()[self.pos] != b'<' {
+            self.pos += 1;
+        }
+    }
+
+    fn next_event(&mut self) -> Result<Event<'a>, OsmError> {
+        loop {
+            self.skip_until_tag();
+            if self.pos >= self.input.len() {
+                return Ok(Event::Eof);
+            }
+            // self.pos is at '<'.
+            let rest = &self.input[self.pos..];
+            if rest.starts_with("<?") {
+                let end = rest
+                    .find("?>")
+                    .ok_or_else(|| self.err("unterminated processing instruction"))?;
+                self.pos += end + 2;
+                continue;
+            }
+            if rest.starts_with("<!--") {
+                let end = rest
+                    .find("-->")
+                    .ok_or_else(|| self.err("unterminated comment"))?;
+                self.pos += end + 3;
+                continue;
+            }
+            if rest.starts_with("<!") {
+                let end = rest
+                    .find('>')
+                    .ok_or_else(|| self.err("unterminated declaration"))?;
+                self.pos += end + 1;
+                continue;
+            }
+            if rest.starts_with("</") {
+                let end = rest
+                    .find('>')
+                    .ok_or_else(|| self.err("unterminated end tag"))?;
+                let name = rest[2..end].trim();
+                self.pos += end + 1;
+                return Ok(Event::End { name });
+            }
+            return self.parse_start_tag();
+        }
+    }
+
+    fn parse_start_tag(&mut self) -> Result<Event<'a>, OsmError> {
+        debug_assert_eq!(self.bytes()[self.pos], b'<');
+        let start = self.pos;
+        let close = self.input[start..]
+            .find('>')
+            .ok_or_else(|| self.err("unterminated start tag"))?;
+        let inner = &self.input[start + 1..start + close];
+        self.pos = start + close + 1;
+
+        let (inner, self_closing) = match inner.strip_suffix('/') {
+            Some(s) => (s, true),
+            None => (inner, false),
+        };
+        let inner = inner.trim();
+        let name_end = inner
+            .find(|c: char| c.is_whitespace())
+            .unwrap_or(inner.len());
+        let name = &inner[..name_end];
+        if name.is_empty() {
+            return Err(self.err("empty tag name"));
+        }
+        let mut attrs = Vec::new();
+        let mut rest = inner[name_end..].trim_start();
+        while !rest.is_empty() {
+            let eq = rest
+                .find('=')
+                .ok_or_else(|| self.err(format!("attribute without '=' in <{name}>")))?;
+            let key = rest[..eq].trim_end();
+            let after = rest[eq + 1..].trim_start();
+            let quote = after
+                .chars()
+                .next()
+                .ok_or_else(|| self.err("attribute value missing"))?;
+            if quote != '"' && quote != '\'' {
+                return Err(self.err(format!("unquoted attribute value for {key:?}")));
+            }
+            let val_end = after[1..]
+                .find(quote)
+                .ok_or_else(|| self.err(format!("unterminated attribute value for {key:?}")))?;
+            let raw_val = &after[1..1 + val_end];
+            attrs.push((key, unescape(raw_val)));
+            rest = after[val_end + 2..].trim_start();
+        }
+        Ok(Event::Start {
+            name,
+            attrs,
+            self_closing,
+        })
+    }
+}
+
+/// Decodes the five predefined XML entities.
+fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semis = rest.find(';');
+        match semis {
+            Some(end) => {
+                match &rest[..=end] {
+                    "&amp;" => out.push('&'),
+                    "&lt;" => out.push('<'),
+                    "&gt;" => out.push('>'),
+                    "&quot;" => out.push('"'),
+                    "&apos;" => out.push('\''),
+                    other => out.push_str(other),
+                }
+                rest = &rest[end + 1..];
+            }
+            None => {
+                out.push_str(rest);
+                rest = "";
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+fn attr<'e>(attrs: &'e [(&str, String)], key: &str) -> Option<&'e str> {
+    attrs
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Parses an OSM XML document into [`OsmData`].
+pub fn parse_osm_xml(input: &str) -> Result<OsmData, OsmError> {
+    let mut tok = Tokenizer::new(input);
+    let mut data = OsmData::default();
+    let mut current_way: Option<OsmWay> = None;
+
+    loop {
+        let offset = tok.pos;
+        match tok.next_event()? {
+            Event::Eof => break,
+            Event::Start {
+                name,
+                attrs,
+                self_closing,
+            } => match name {
+                "osm" => {}
+                "bounds" => {
+                    let get = |k: &str| attr(&attrs, k).and_then(|v| v.parse::<f64>().ok());
+                    if let (Some(minlon), Some(minlat), Some(maxlon), Some(maxlat)) =
+                        (get("minlon"), get("minlat"), get("maxlon"), get("maxlat"))
+                    {
+                        data.bounds = Some((minlon, minlat, maxlon, maxlat));
+                    }
+                }
+                "node" => {
+                    let id = attr(&attrs, "id")
+                        .and_then(|v| v.parse::<i64>().ok())
+                        .ok_or(OsmError::Xml {
+                            offset,
+                            message: "node missing id".into(),
+                        })?;
+                    let lat = attr(&attrs, "lat")
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .ok_or(OsmError::Xml {
+                            offset,
+                            message: "node missing lat".into(),
+                        })?;
+                    let lon = attr(&attrs, "lon")
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .ok_or(OsmError::Xml {
+                            offset,
+                            message: "node missing lon".into(),
+                        })?;
+                    data.nodes.push(OsmNode { id, lon, lat });
+                }
+                "way" => {
+                    let id = attr(&attrs, "id")
+                        .and_then(|v| v.parse::<i64>().ok())
+                        .ok_or(OsmError::Xml {
+                            offset,
+                            message: "way missing id".into(),
+                        })?;
+                    let way = OsmWay {
+                        id,
+                        ..OsmWay::default()
+                    };
+                    if self_closing {
+                        data.ways.push(way);
+                    } else {
+                        current_way = Some(way);
+                    }
+                }
+                "nd" => {
+                    if let Some(way) = current_way.as_mut() {
+                        let r = attr(&attrs, "ref")
+                            .and_then(|v| v.parse::<i64>().ok())
+                            .ok_or(OsmError::Xml {
+                                offset,
+                                message: "nd missing ref".into(),
+                            })?;
+                        way.refs.push(r);
+                    }
+                }
+                "tag" => {
+                    if let Some(way) = current_way.as_mut() {
+                        let k = attr(&attrs, "k").unwrap_or("").to_string();
+                        let v = attr(&attrs, "v").unwrap_or("").to_string();
+                        way.tags.push((k, v));
+                    }
+                    // Node tags are ignored: the constructor doesn't use them.
+                }
+                "relation" | "member" => {
+                    // Relations are irrelevant to the road network.
+                }
+                _ => {
+                    // Unknown elements are skipped for forward compatibility.
+                }
+            },
+            Event::End { name } => {
+                if name == "way" {
+                    if let Some(way) = current_way.take() {
+                        data.ways.push(way);
+                    }
+                }
+            }
+        }
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="arp-test">
+  <bounds minlat="-38.0" minlon="144.0" maxlat="-37.0" maxlon="145.0"/>
+  <!-- a comment -->
+  <node id="1" lat="-37.5" lon="144.5"/>
+  <node id="2" lat="-37.6" lon="144.6"/>
+  <node id="3" lat="-37.7" lon="144.7"/>
+  <way id="100">
+    <nd ref="1"/>
+    <nd ref="2"/>
+    <nd ref="3"/>
+    <tag k="highway" v="primary"/>
+    <tag k="maxspeed" v="60"/>
+    <tag k="name" v="Smith &amp; Jones Rd"/>
+  </way>
+</osm>
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let data = parse_osm_xml(SAMPLE).unwrap();
+        assert_eq!(data.num_nodes(), 3);
+        assert_eq!(data.num_ways(), 1);
+        assert_eq!(data.bounds, Some((144.0, -38.0, 145.0, -37.0)));
+        let way = &data.ways[0];
+        assert_eq!(way.id, 100);
+        assert_eq!(way.refs, vec![1, 2, 3]);
+        assert_eq!(way.tag("highway"), Some("primary"));
+        assert_eq!(way.tag("name"), Some("Smith & Jones Rd"));
+    }
+
+    #[test]
+    fn empty_osm_document() {
+        let data = parse_osm_xml("<osm></osm>").unwrap();
+        assert_eq!(data.num_nodes(), 0);
+        assert_eq!(data.num_ways(), 0);
+        assert_eq!(data.bounds, None);
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let data = parse_osm_xml("<osm><node id='5' lat='1.0' lon='2.0'/></osm>").unwrap();
+        assert_eq!(data.nodes[0].id, 5);
+    }
+
+    #[test]
+    fn node_missing_coordinates_rejected() {
+        let err = parse_osm_xml(r#"<osm><node id="1" lat="1.0"/></osm>"#).unwrap_err();
+        assert!(err.to_string().contains("missing lon"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_tag_rejected() {
+        assert!(parse_osm_xml("<osm><node id=\"1\" lat=\"1\" lon=\"2\"").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        assert!(parse_osm_xml("<osm><!-- oops</osm>").is_err());
+    }
+
+    #[test]
+    fn unquoted_attribute_rejected() {
+        assert!(parse_osm_xml("<osm><node id=1 lat=\"1\" lon=\"2\"/></osm>").is_err());
+    }
+
+    #[test]
+    fn unescape_entities() {
+        assert_eq!(unescape("a &lt; b &gt; c &amp; d"), "a < b > c & d");
+        assert_eq!(unescape("&quot;x&quot; &apos;y&apos;"), "\"x\" 'y'");
+        assert_eq!(unescape("plain"), "plain");
+        // Unknown entity passes through.
+        assert_eq!(unescape("&copy;"), "&copy;");
+        // Dangling ampersand passes through.
+        assert_eq!(unescape("a & b"), "a & b");
+    }
+
+    #[test]
+    fn relations_are_skipped() {
+        let xml = r#"<osm>
+            <node id="1" lat="1" lon="2"/>
+            <relation id="9"><member type="way" ref="100" role=""/><tag k="type" v="route"/></relation>
+        </osm>"#;
+        let data = parse_osm_xml(xml).unwrap();
+        assert_eq!(data.num_nodes(), 1);
+        assert_eq!(data.num_ways(), 0);
+    }
+
+    #[test]
+    fn way_tags_outside_way_ignored() {
+        // A <tag> with no enclosing way must not panic.
+        let xml = r#"<osm><tag k="stray" v="1"/><node id="1" lat="0" lon="0"/></osm>"#;
+        let data = parse_osm_xml(xml).unwrap();
+        assert_eq!(data.num_nodes(), 1);
+    }
+
+    #[test]
+    fn negative_ids_parse() {
+        let data = parse_osm_xml(r#"<osm><node id="-10" lat="0.5" lon="0.5"/></osm>"#).unwrap();
+        assert_eq!(data.nodes[0].id, -10);
+    }
+}

@@ -1,0 +1,78 @@
+//! End-to-end pipeline test: synthetic city → OSM XML → rectangle filter →
+//! road-network constructor (the exact data path the paper's §3 describes).
+
+use arp_citygen::{City, Scale};
+use arp_osm::constructor::{build_road_network, ConstructorConfig};
+use arp_osm::export::network_to_osm;
+use arp_osm::filter::filter_bbox;
+use arp_osm::writer::write_osm_xml;
+use arp_osm::xml::parse_osm_xml;
+use arp_roadnet::scc::strongly_connected_components;
+
+#[test]
+fn full_pipeline_melbourne() {
+    let city = arp_citygen::generate(City::Melbourne, Scale::Tiny, 42);
+    let osm = network_to_osm(&city.network);
+    let xml = write_osm_xml(&osm);
+    assert!(xml.len() > 10_000);
+
+    let parsed = parse_osm_xml(&xml).expect("generated XML must parse");
+    assert_eq!(parsed.num_nodes(), city.network.num_nodes());
+
+    let (net, stats) = build_road_network(&parsed, &ConstructorConfig::default()).unwrap();
+    // The import reproduces the original graph.
+    assert_eq!(net.num_nodes(), city.network.num_nodes());
+    assert_eq!(net.num_edges(), city.network.num_edges());
+    assert_eq!(stats.dangling_refs, 0);
+
+    let scc = strongly_connected_components(&net);
+    assert_eq!(scc.num_components, 1);
+}
+
+#[test]
+fn rectangle_filter_clips_pipeline() {
+    let city = arp_citygen::generate(City::Copenhagen, Scale::Tiny, 7);
+    let osm = network_to_osm(&city.network);
+
+    // Clip to the central quarter of the bounding box.
+    let bb = city.network.bbox();
+    let cx = (bb.min_lon + bb.max_lon) / 2.0;
+    let cy = (bb.min_lat + bb.max_lat) / 2.0;
+    let quarter = arp_roadnet::geo::BoundingBox::new(
+        cx - bb.width_deg() / 4.0,
+        cy - bb.height_deg() / 4.0,
+        cx + bb.width_deg() / 4.0,
+        cy + bb.height_deg() / 4.0,
+    );
+    let clipped = filter_bbox(&osm, quarter);
+    assert!(clipped.num_nodes() < osm.num_nodes());
+    assert!(clipped.num_nodes() > 0);
+
+    let (net, _) = build_road_network(&clipped, &ConstructorConfig::default()).unwrap();
+    assert!(net.num_nodes() > 0);
+    assert!(net.num_nodes() <= clipped.num_nodes());
+    // Everything inside the clip rectangle.
+    for n in net.nodes() {
+        assert!(quarter.contains(net.point(n)));
+    }
+    let scc = strongly_connected_components(&net);
+    assert_eq!(scc.num_components, 1);
+}
+
+#[test]
+fn travel_times_survive_roundtrip() {
+    let city = arp_citygen::generate(City::Dhaka, Scale::Tiny, 3);
+    let osm = network_to_osm(&city.network);
+    let xml = write_osm_xml(&osm);
+    let parsed = parse_osm_xml(&xml).unwrap();
+    let (net, _) = build_road_network(&parsed, &ConstructorConfig::default()).unwrap();
+
+    let orig: u64 = city
+        .network
+        .edges()
+        .map(|e| city.network.weight(e) as u64)
+        .sum();
+    let back: u64 = net.edges().map(|e| net.weight(e) as u64).sum();
+    let rel_err = orig.abs_diff(back) as f64 / orig as f64;
+    assert!(rel_err < 1e-3, "relative weight error {rel_err}");
+}

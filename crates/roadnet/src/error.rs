@@ -1,0 +1,80 @@
+//! Error type for road-network construction and serialization.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised while building, validating or (de)serializing a road
+/// network.
+#[derive(Debug)]
+pub enum RoadNetError {
+    /// A node id referenced by an edge does not exist.
+    UnknownNode(u32),
+    /// The graph is empty where a non-empty graph is required.
+    EmptyGraph,
+    /// A serialized network is malformed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for RoadNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadNetError::UnknownNode(id) => write!(f, "edge references unknown node {id}"),
+            RoadNetError::EmptyGraph => write!(f, "road network is empty"),
+            RoadNetError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            RoadNetError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RoadNetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RoadNetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RoadNetError {
+    fn from(e: io::Error) -> Self {
+        RoadNetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            RoadNetError::UnknownNode(3).to_string(),
+            "edge references unknown node 3"
+        );
+        assert_eq!(
+            RoadNetError::EmptyGraph.to_string(),
+            "road network is empty"
+        );
+        let p = RoadNetError::Parse {
+            line: 7,
+            message: "bad field".into(),
+        };
+        assert_eq!(p.to_string(), "parse error at line 7: bad field");
+    }
+
+    #[test]
+    fn io_error_wraps_source() {
+        let e: RoadNetError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,146 @@
+//! Strongly typed identifiers for graph entities.
+//!
+//! Node and edge ids are `u32` newtypes: road networks at city scale fit
+//! comfortably in 32 bits and halving the index width keeps the hot parent
+//! and distance arrays cache-friendly (see the type-size guidance in the
+//! Rust performance literature).
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`crate::RoadNetwork`].
+///
+/// Valid ids are dense: `0..num_nodes()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed edge in a [`crate::RoadNetwork`].
+///
+/// Valid ids are dense: `0..num_edges()`. Edges are sorted by tail vertex,
+/// so a vertex's out-edges form a contiguous id range.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// Sentinel used in parent arrays before a vertex is reached.
+    pub const INVALID: NodeId = NodeId(u32::MAX);
+
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True if this is the [`NodeId::INVALID`] sentinel.
+    #[inline]
+    pub fn is_invalid(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl EdgeId {
+    /// Sentinel used in parent-edge arrays before a vertex is reached.
+    pub const INVALID: EdgeId = EdgeId(u32::MAX);
+
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True if this is the [`EdgeId::INVALID`] sentinel.
+    #[inline]
+    pub fn is_invalid(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v < u32::MAX as usize);
+        NodeId(v as u32)
+    }
+}
+
+impl From<u32> for EdgeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl From<usize> for EdgeId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v < u32::MAX as usize);
+        EdgeId(v as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_invalid() {
+            write!(f, "n#invalid")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_invalid() {
+            write!(f, "e#invalid")
+        } else {
+            write!(f, "e{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n: NodeId = 42u32.into();
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.to_string(), "n42");
+        assert!(!n.is_invalid());
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e: EdgeId = 7usize.into();
+        assert_eq!(e.index(), 7);
+        assert_eq!(e.to_string(), "e7");
+    }
+
+    #[test]
+    fn invalid_sentinels() {
+        assert!(NodeId::INVALID.is_invalid());
+        assert!(EdgeId::INVALID.is_invalid());
+        assert_eq!(NodeId::INVALID.to_string(), "n#invalid");
+        assert_eq!(EdgeId::INVALID.to_string(), "e#invalid");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(NodeId(3) < NodeId(4));
+        assert!(EdgeId(0) < EdgeId::INVALID);
+    }
+
+    #[test]
+    fn ids_are_word_sized_or_smaller() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<EdgeId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<NodeId>>(), 8);
+    }
+}

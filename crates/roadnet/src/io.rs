@@ -1,0 +1,342 @@
+//! Compact, versioned text serialization for road networks.
+//!
+//! The format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! arp-roadnet v1
+//! meta nodes=<n> edges=<m> non_freeway_factor=<f> speed_scale=<f>
+//! n <lon> <lat>                      # one per node, in NodeId order
+//! e <tail> <head> <len_m> <speed_kmh> <category_code> <weight_ms>
+//! ```
+//!
+//! Deserialization rebuilds the CSR arrays through [`GraphBuilder`] (with
+//! parallel-edge de-duplication disabled, so a round-trip is the identity).
+
+use std::io::{BufRead, BufWriter, Write};
+
+use crate::builder::{EdgeSpec, GraphBuilder};
+use crate::category::RoadCategory;
+use crate::csr::RoadNetwork;
+use crate::error::RoadNetError;
+use crate::geo::Point;
+use crate::ids::NodeId;
+use crate::weight::WeightConfig;
+
+const MAGIC: &str = "arp-roadnet v1";
+
+/// Serializes `net` to the text format.
+pub fn write_network<W: Write>(net: &RoadNetwork, writer: W) -> Result<(), RoadNetError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{MAGIC}")?;
+    let cfg = net.weight_config();
+    writeln!(
+        w,
+        "meta nodes={} edges={} non_freeway_factor={} speed_scale={}",
+        net.num_nodes(),
+        net.num_edges(),
+        cfg.non_freeway_factor,
+        cfg.speed_scale
+    )?;
+    for node in net.nodes() {
+        let p = net.point(node);
+        writeln!(w, "n {} {}", p.lon, p.lat)?;
+    }
+    for e in net.edges() {
+        writeln!(
+            w,
+            "e {} {} {} {} {} {}",
+            net.tail(e).0,
+            net.head(e).0,
+            net.length_m(e),
+            net.speed_kmh(e),
+            net.category(e).code(),
+            net.weight(e)
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes `net` to a `String`.
+pub fn network_to_string(net: &RoadNetwork) -> String {
+    let mut buf = Vec::new();
+    write_network(net, &mut buf).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("format is ascii")
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> RoadNetError {
+    RoadNetError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Deserializes a network from the text format.
+pub fn read_network<R: BufRead>(reader: R) -> Result<RoadNetwork, RoadNetError> {
+    let mut lines = reader.lines().enumerate();
+
+    let (_, magic) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty input"))
+        .and_then(|(i, r)| r.map(|l| (i, l)).map_err(RoadNetError::from))?;
+    if magic.trim() != MAGIC {
+        return Err(parse_err(1, format!("bad magic {magic:?}")));
+    }
+
+    let meta_line = lines
+        .next()
+        .ok_or_else(|| parse_err(2, "missing meta line"))?
+        .1?;
+    let mut nodes = None;
+    let mut edges = None;
+    let mut cfg = WeightConfig::paper();
+    for field in meta_line.split_whitespace().skip(1) {
+        let (k, v) = field
+            .split_once('=')
+            .ok_or_else(|| parse_err(2, format!("bad meta field {field:?}")))?;
+        match k {
+            "nodes" => {
+                nodes = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| parse_err(2, e.to_string()))?,
+                )
+            }
+            "edges" => {
+                edges = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| parse_err(2, e.to_string()))?,
+                )
+            }
+            "non_freeway_factor" => {
+                cfg.non_freeway_factor = v.parse().map_err(|_| parse_err(2, "bad factor"))?
+            }
+            "speed_scale" => cfg.speed_scale = v.parse().map_err(|_| parse_err(2, "bad scale"))?,
+            _ => return Err(parse_err(2, format!("unknown meta key {k:?}"))),
+        }
+    }
+    let n = nodes.ok_or_else(|| parse_err(2, "missing nodes count"))?;
+    let m = edges.ok_or_else(|| parse_err(2, "missing edges count"))?;
+
+    // The file is already de-duplicated; keep it verbatim.
+    let mut b = GraphBuilder::with_weight_config(cfg).keep_parallel_edges();
+    let _ = (n, m); // counts validated at the end
+
+    let mut node_count = 0usize;
+    let mut edge_count = 0usize;
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("n") => {
+                let lon: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "bad node lon"))?;
+                let lat: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "bad node lat"))?;
+                b.add_node(Point::new(lon, lat));
+                node_count += 1;
+            }
+            Some("e") => {
+                let mut next_u32 = || -> Option<u32> { parts.next().and_then(|s| s.parse().ok()) };
+                let tail = next_u32().ok_or_else(|| parse_err(line_no, "bad edge tail"))?;
+                let head = next_u32().ok_or_else(|| parse_err(line_no, "bad edge head"))?;
+                let len_m: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "bad edge length"))?;
+                let speed: f32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "bad edge speed"))?;
+                let cat_code: u8 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "bad category code"))?;
+                let weight: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "bad edge weight"))?;
+                let category = RoadCategory::from_code(cat_code)
+                    .ok_or_else(|| parse_err(line_no, format!("unknown category {cat_code}")))?;
+                if tail as usize >= node_count || head as usize >= node_count {
+                    return Err(parse_err(line_no, "edge references unseen node"));
+                }
+                b.add_edge(
+                    NodeId(tail),
+                    NodeId(head),
+                    EdgeSpec {
+                        category,
+                        speed_kmh: Some(speed),
+                        length_m: Some(len_m),
+                        weight_ms: Some(weight),
+                    },
+                );
+                edge_count += 1;
+            }
+            Some(other) => return Err(parse_err(line_no, format!("unknown record {other:?}"))),
+            None => {}
+        }
+    }
+
+    if node_count != n {
+        return Err(parse_err(
+            0,
+            format!("expected {n} nodes, found {node_count}"),
+        ));
+    }
+    if edge_count != m {
+        return Err(parse_err(
+            0,
+            format!("expected {m} edges, found {edge_count}"),
+        ));
+    }
+    Ok(b.build())
+}
+
+/// Reads a network from a string.
+pub fn network_from_str(s: &str) -> Result<RoadNetwork, RoadNetError> {
+    read_network(s.as_bytes())
+}
+
+/// Writes a network to a file path.
+pub fn save_network(net: &RoadNetwork, path: &std::path::Path) -> Result<(), RoadNetError> {
+    let file = std::fs::File::create(path)?;
+    write_network(net, file)
+}
+
+/// Reads a network from a file path.
+pub fn load_network(path: &std::path::Path) -> Result<RoadNetwork, RoadNetError> {
+    let file = std::fs::File::open(path)?;
+    read_network(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{EdgeSpec, GraphBuilder};
+
+    fn sample_network() -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(144.0, -37.0));
+        let c = b.add_node(Point::new(144.01, -37.005));
+        let d = b.add_node(Point::new(144.02, -37.01));
+        b.add_bidirectional(
+            a,
+            c,
+            EdgeSpec::category(RoadCategory::Primary).with_speed(70.0),
+        );
+        b.add_bidirectional(c, d, EdgeSpec::category(RoadCategory::Motorway));
+        b.add_edge(
+            d,
+            a,
+            EdgeSpec::category(RoadCategory::Service).with_length(123.0),
+        );
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let net = sample_network();
+        let text = network_to_string(&net);
+        let back = network_from_str(&text).unwrap();
+        assert_eq!(back.num_nodes(), net.num_nodes());
+        assert_eq!(back.num_edges(), net.num_edges());
+        for node in net.nodes() {
+            assert_eq!(back.point(node), net.point(node));
+        }
+        for e in net.edges() {
+            assert_eq!(back.tail(e), net.tail(e));
+            assert_eq!(back.head(e), net.head(e));
+            assert_eq!(back.weight(e), net.weight(e));
+            assert_eq!(back.category(e), net.category(e));
+            assert_eq!(back.speed_kmh(e), net.speed_kmh(e));
+            assert!((back.length_m(e) - net.length_m(e)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_weight_config() {
+        let mut b = GraphBuilder::with_weight_config(WeightConfig {
+            non_freeway_factor: 1.7,
+            speed_scale: 0.8,
+        });
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(0.01, 0.0));
+        b.add_edge(a, c, EdgeSpec::default());
+        let net = b.build();
+        let back = network_from_str(&network_to_string(&net)).unwrap();
+        assert_eq!(back.weight_config(), net.weight_config());
+    }
+
+    #[test]
+    fn empty_network_roundtrips() {
+        let net = GraphBuilder::new().build();
+        let back = network_from_str(&network_to_string(&net)).unwrap();
+        assert_eq!(back.num_nodes(), 0);
+        assert_eq!(back.num_edges(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = network_from_str("bogus header\n").unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let net = sample_network();
+        let text = network_to_string(&net);
+        // Drop the last line.
+        let truncated: String = {
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.pop();
+            lines.join("\n")
+        };
+        assert!(network_from_str(&truncated).is_err());
+    }
+
+    #[test]
+    fn edge_before_node_rejected() {
+        let text = "arp-roadnet v1\nmeta nodes=1 edges=1 non_freeway_factor=1.3 speed_scale=1\ne 0 5 1 1 0 1\nn 0 0\n";
+        let err = network_from_str(text).unwrap_err();
+        assert!(err.to_string().contains("unseen node"), "{err}");
+    }
+
+    #[test]
+    fn unknown_record_rejected() {
+        let text =
+            "arp-roadnet v1\nmeta nodes=0 edges=0 non_freeway_factor=1.3 speed_scale=1\nx 1 2\n";
+        assert!(network_from_str(text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let net = sample_network();
+        let mut lines: Vec<String> = network_to_string(&net).lines().map(String::from).collect();
+        lines.insert(2, "# comment".to_string());
+        lines.insert(3, String::new());
+        let text = lines.join("\n");
+        let back = network_from_str(&text).unwrap();
+        assert_eq!(back.num_edges(), net.num_edges());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let net = sample_network();
+        let dir = std::env::temp_dir().join("arp_roadnet_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.arn");
+        save_network(&net, &path).unwrap();
+        let back = load_network(&path).unwrap();
+        assert_eq!(back.num_edges(), net.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,274 @@
+//! Strongly connected components and largest-SCC extraction.
+//!
+//! OSM extracts routinely contain disconnected fragments (parking lots,
+//! clipped ways at the rectangle boundary). Routing engines keep only the
+//! largest strongly connected component so every query pair is mutually
+//! reachable; we do the same after the road-network constructor runs.
+//!
+//! The implementation is an iterative Tarjan (explicit stack, no recursion)
+//! so deep city networks cannot overflow the call stack.
+
+use crate::builder::{EdgeSpec, GraphBuilder};
+use crate::csr::RoadNetwork;
+use crate::ids::NodeId;
+
+/// Result of an SCC computation.
+#[derive(Clone, Debug)]
+pub struct SccResult {
+    /// Component id per node, densely numbered `0..num_components`.
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub num_components: usize,
+    /// Size (node count) per component id.
+    pub sizes: Vec<u32>,
+}
+
+impl SccResult {
+    /// The component id with the most nodes; `None` for an empty graph.
+    pub fn largest_component(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| s)
+            .map(|(i, _)| i as u32)
+    }
+}
+
+/// Computes strongly connected components with iterative Tarjan.
+pub fn strongly_connected_components(net: &RoadNetwork) -> SccResult {
+    let n = net.num_nodes();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![UNVISITED; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_components = 0usize;
+    let mut sizes: Vec<u32> = Vec::new();
+
+    // Explicit DFS frames: (node, out-edge cursor).
+    let mut frames: Vec<(u32, u32)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            let vi = v as usize;
+            let base = net.out_edges(NodeId(v)).next().map(|e| e.0).unwrap_or(0);
+            let degree = net.out_degree(NodeId(v)) as u32;
+            if *cursor < degree {
+                let edge = crate::ids::EdgeId(base + *cursor);
+                *cursor += 1;
+                let w = net.head(edge).0;
+                let wi = w as usize;
+                if index[wi] == UNVISITED {
+                    index[wi] = next_index;
+                    lowlink[wi] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wi] = true;
+                    frames.push((w, 0));
+                } else if on_stack[wi] {
+                    lowlink[vi] = lowlink[vi].min(index[wi]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    let pi = parent as usize;
+                    lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                }
+                if lowlink[vi] == index[vi] {
+                    // v is an SCC root; pop its component.
+                    let cid = num_components as u32;
+                    let mut size = 0u32;
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = cid;
+                        size += 1;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sizes.push(size);
+                    num_components += 1;
+                }
+            }
+        }
+    }
+
+    SccResult {
+        component,
+        num_components,
+        sizes,
+    }
+}
+
+/// Extracts the largest strongly connected component as a new network.
+///
+/// Returns the subnetwork and a mapping `old NodeId -> Option<new NodeId>`.
+/// Edge attributes (length, speed, category, weight) are copied verbatim.
+pub fn largest_scc_subnetwork(net: &RoadNetwork) -> (RoadNetwork, Vec<Option<NodeId>>) {
+    let scc = strongly_connected_components(net);
+    let Some(keep) = scc.largest_component() else {
+        return (GraphBuilder::new().build(), Vec::new());
+    };
+
+    let mut mapping: Vec<Option<NodeId>> = vec![None; net.num_nodes()];
+    let mut b = GraphBuilder::with_capacity(scc.sizes[keep as usize] as usize, net.num_edges());
+    for node in net.nodes() {
+        if scc.component[node.index()] == keep {
+            mapping[node.index()] = Some(b.add_node(net.point(node)));
+        }
+    }
+    for edge in net.edges() {
+        let (t, h) = (net.tail(edge), net.head(edge));
+        if let (Some(nt), Some(nh)) = (mapping[t.index()], mapping[h.index()]) {
+            b.add_edge(
+                nt,
+                nh,
+                EdgeSpec {
+                    category: net.category(edge),
+                    speed_kmh: Some(net.speed_kmh(edge)),
+                    length_m: Some(net.length_m(edge) as f64),
+                    weight_ms: Some(net.weight(edge)),
+                },
+            );
+        }
+    }
+    (b.build(), mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::RoadCategory;
+    use crate::geo::Point;
+
+    fn p(i: usize) -> Point {
+        Point::new(i as f64 * 0.01, 0.0)
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..5).map(|i| b.add_node(p(i))).collect();
+        for i in 0..5 {
+            b.add_edge(ids[i], ids[(i + 1) % 5], EdgeSpec::default());
+        }
+        let net = b.build();
+        let scc = strongly_connected_components(&net);
+        assert_eq!(scc.num_components, 1);
+        assert_eq!(scc.sizes, vec![5]);
+    }
+
+    #[test]
+    fn directed_chain_is_all_singletons() {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..4).map(|i| b.add_node(p(i))).collect();
+        for i in 0..3 {
+            b.add_edge(ids[i], ids[i + 1], EdgeSpec::default());
+        }
+        let net = b.build();
+        let scc = strongly_connected_components(&net);
+        assert_eq!(scc.num_components, 4);
+        assert!(scc.sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        // Cycle {0,1,2} -> bridge -> cycle {3,4,5,6}.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..7).map(|i| b.add_node(p(i))).collect();
+        for i in 0..3 {
+            b.add_edge(ids[i], ids[(i + 1) % 3], EdgeSpec::default());
+        }
+        for i in 3..7 {
+            b.add_edge(
+                ids[i],
+                ids[if i == 6 { 3 } else { i + 1 }],
+                EdgeSpec::default(),
+            );
+        }
+        b.add_edge(ids[2], ids[3], EdgeSpec::default());
+        let net = b.build();
+        let scc = strongly_connected_components(&net);
+        assert_eq!(scc.num_components, 2);
+        let mut sizes = scc.sizes.clone();
+        sizes.sort();
+        assert_eq!(sizes, vec![3, 4]);
+        // Bridge endpoints are in different components.
+        assert_ne!(scc.component[2], scc.component[3]);
+    }
+
+    #[test]
+    fn largest_scc_extraction_keeps_big_cycle() {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..10).map(|i| b.add_node(p(i))).collect();
+        // Big bidirectional cycle over 0..6.
+        for i in 0..6 {
+            b.add_bidirectional(
+                ids[i],
+                ids[(i + 1) % 6],
+                EdgeSpec::category(RoadCategory::Primary),
+            );
+        }
+        // Dangling one-way tail 6 -> 7 -> 8 -> 9.
+        for i in 6..9 {
+            b.add_edge(ids[i], ids[i + 1], EdgeSpec::default());
+        }
+        b.add_edge(ids[0], ids[6], EdgeSpec::default());
+        let net = b.build();
+        let (sub, mapping) = largest_scc_subnetwork(&net);
+        assert_eq!(sub.num_nodes(), 6);
+        assert_eq!(sub.num_edges(), 12);
+        assert!(mapping[7].is_none());
+        assert!(mapping[0].is_some());
+        assert!(sub.check_invariants());
+        // Attributes preserved.
+        let e = sub.edges().next().unwrap();
+        assert!(sub.weight(e) > 0);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let net = GraphBuilder::new().build();
+        let scc = strongly_connected_components(&net);
+        assert_eq!(scc.num_components, 0);
+        assert!(scc.largest_component().is_none());
+        let (sub, mapping) = largest_scc_subnetwork(&net);
+        assert_eq!(sub.num_nodes(), 0);
+        assert!(mapping.is_empty());
+    }
+
+    #[test]
+    fn deep_cycle_does_not_overflow_stack() {
+        // 200k-node directed cycle: recursion would overflow, iteration must not.
+        let n = 200_000;
+        let mut b = GraphBuilder::with_capacity(n, n);
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| {
+                b.add_node(Point::new(
+                    (i % 1000) as f64 * 1e-4,
+                    (i / 1000) as f64 * 1e-4,
+                ))
+            })
+            .collect();
+        for i in 0..n {
+            b.add_edge(ids[i], ids[(i + 1) % n], EdgeSpec::default().with_weight(1));
+        }
+        let net = b.build();
+        let scc = strongly_connected_components(&net);
+        assert_eq!(scc.num_components, 1);
+        assert_eq!(scc.sizes[0] as usize, n);
+    }
+}

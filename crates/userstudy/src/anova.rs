@@ -1,0 +1,186 @@
+//! One-way analysis of variance (ANOVA) — the significance test the paper
+//! applies to the four approaches' ratings (§4.1).
+
+use crate::dist::f_sf;
+use crate::stats::Welford;
+
+/// Result of a one-way ANOVA.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnovaResult {
+    /// F statistic (between-group MS / within-group MS).
+    pub f: f64,
+    /// Between-group degrees of freedom (`k − 1`).
+    pub df_between: f64,
+    /// Within-group degrees of freedom (`N − k`).
+    pub df_within: f64,
+    /// p-value under the null of equal group means.
+    pub p_value: f64,
+}
+
+impl AnovaResult {
+    /// True when the null hypothesis is rejected at `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs a one-way ANOVA over `groups` (one slice of observations each).
+///
+/// Returns `None` when fewer than two groups have data or every group is
+/// constant and identical (F undefined).
+pub fn one_way_anova(groups: &[&[f64]]) -> Option<AnovaResult> {
+    let k = groups.iter().filter(|g| !g.is_empty()).count();
+    if k < 2 {
+        return None;
+    }
+
+    let mut grand = Welford::new();
+    let mut group_stats: Vec<Welford> = Vec::with_capacity(groups.len());
+    for g in groups {
+        let mut w = Welford::new();
+        for &x in *g {
+            w.push(x);
+            grand.push(x);
+        }
+        group_stats.push(w);
+    }
+    let n_total = grand.count() as f64;
+    if n_total <= k as f64 {
+        return None;
+    }
+
+    let grand_mean = grand.mean();
+    let mut ss_between = 0.0;
+    let mut ss_within = 0.0;
+    for w in &group_stats {
+        if w.count() == 0 {
+            continue;
+        }
+        let diff = w.mean() - grand_mean;
+        ss_between += w.count() as f64 * diff * diff;
+        ss_within += w.sum_sq();
+    }
+
+    let df_between = (k - 1) as f64;
+    let df_within = n_total - k as f64;
+    let ms_between = ss_between / df_between;
+    let ms_within = ss_within / df_within;
+    if ms_within <= 0.0 {
+        // All groups constant: identical means -> F = 0, else infinite.
+        return if ss_between <= 1e-12 {
+            Some(AnovaResult {
+                f: 0.0,
+                df_between,
+                df_within,
+                p_value: 1.0,
+            })
+        } else {
+            Some(AnovaResult {
+                f: f64::INFINITY,
+                df_between,
+                df_within,
+                p_value: 0.0,
+            })
+        };
+    }
+    let f = ms_between / ms_within;
+    Some(AnovaResult {
+        f,
+        df_between,
+        df_within,
+        p_value: f_sf(f, df_between, df_within),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_groups_give_p_one() {
+        let g = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = one_way_anova(&[&g, &g, &g]).unwrap();
+        assert!(r.f.abs() < 1e-12);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn clearly_different_groups_significant() {
+        let a: Vec<f64> = (0..30).map(|i| 1.0 + (i % 3) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..30).map(|i| 5.0 + (i % 3) as f64 * 0.1).collect();
+        let r = one_way_anova(&[&a, &b]).unwrap();
+        assert!(r.p_value < 1e-6);
+        assert!(r.significant(0.05));
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic 3-group example with known F.
+        let g1 = [6.0, 8.0, 4.0, 5.0, 3.0, 4.0];
+        let g2 = [8.0, 12.0, 9.0, 11.0, 6.0, 8.0];
+        let g3 = [13.0, 9.0, 11.0, 8.0, 7.0, 12.0];
+        let r = one_way_anova(&[&g1, &g2, &g3]).unwrap();
+        assert_eq!(r.df_between, 2.0);
+        assert_eq!(r.df_within, 15.0);
+        // Known value: F ≈ 9.3, p ≈ 0.0024.
+        assert!((r.f - 9.3).abs() < 0.2, "F = {}", r.f);
+        assert!((r.p_value - 0.0024).abs() < 0.001, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn unbalanced_groups_work() {
+        let g1 = [2.0, 3.0, 4.0];
+        let g2 = [3.0, 4.0, 5.0, 6.0, 7.0, 3.5];
+        let r = one_way_anova(&[&g1, &g2]).unwrap();
+        assert!(r.p_value > 0.0 && r.p_value < 1.0);
+        assert_eq!(r.df_within, 7.0);
+    }
+
+    #[test]
+    fn too_few_groups_is_none() {
+        let g = [1.0, 2.0];
+        assert!(one_way_anova(&[&g]).is_none());
+        assert!(one_way_anova(&[&g, &[]]).is_none());
+        assert!(one_way_anova(&[]).is_none());
+    }
+
+    #[test]
+    fn constant_but_different_groups() {
+        let a = [2.0, 2.0, 2.0];
+        let b = [5.0, 5.0, 5.0];
+        let r = one_way_anova(&[&a, &b]).unwrap();
+        assert!(r.f.is_infinite());
+        assert_eq!(r.p_value, 0.0);
+    }
+
+    #[test]
+    fn paper_scale_simulation_is_not_significant() {
+        // Four groups shaped like the paper's ratings (means 3.37..3.63,
+        // sd ~1.2, n = 237): the ANOVA must come out non-significant, like
+        // the paper's p = 0.16.
+        let make = |mean: f64, phase: u64| -> Vec<f64> {
+            (0..237u64)
+                .map(|i| {
+                    // Deterministic pseudo-noise in [-2, 2], sd ≈ 1.16.
+                    let x = ((i.wrapping_mul(2654435761).wrapping_add(phase * 97)) % 1000) as f64
+                        / 1000.0;
+                    let noise = (x - 0.5) * 4.0;
+                    (mean + noise).clamp(1.0, 5.0)
+                })
+                .collect()
+        };
+        let a = make(3.37, 1);
+        let b = make(3.63, 2);
+        let c = make(3.58, 3);
+        let d = make(3.56, 4);
+        let r = one_way_anova(&[&a, &b, &c, &d]).unwrap();
+        assert_eq!(r.df_between, 3.0);
+        assert_eq!(r.df_within, 944.0);
+        assert!(
+            !r.significant(0.05),
+            "expected non-significance, got p = {}",
+            r.p_value
+        );
+    }
+}

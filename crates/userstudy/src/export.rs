@@ -1,0 +1,192 @@
+//! Export of study outcomes for external analysis.
+//!
+//! The paper's raw data would be a response table; this module produces
+//! the equivalent CSV (one row per response, ratings in approach order,
+//! residency, bin, fastest time and the perception features each rating
+//! was based on) plus a loader so downstream analyses can round-trip.
+
+use crate::participant::RouteSetFeatures;
+use crate::sampler::StudyQuery;
+use crate::study::{LengthBin, ResponseRecord, StudyOutcome};
+use arp_roadnet::ids::NodeId;
+
+/// CSV header of the response table.
+pub const CSV_HEADER: &str = "resident,bin,source,target,fastest_ms,\
+rating_google,rating_plateaus,rating_dissimilarity,rating_penalty,\
+g_count,g_stretch,g_diversity,p_count,p_stretch,p_diversity,\
+d_count,d_stretch,d_diversity,n_count,n_stretch,n_diversity";
+
+fn bin_code(bin: LengthBin) -> &'static str {
+    match bin {
+        LengthBin::Small => "small",
+        LengthBin::Medium => "medium",
+        LengthBin::Long => "long",
+    }
+}
+
+fn bin_from_code(code: &str) -> Option<LengthBin> {
+    match code {
+        "small" => Some(LengthBin::Small),
+        "medium" => Some(LengthBin::Medium),
+        "long" => Some(LengthBin::Long),
+        _ => None,
+    }
+}
+
+/// Serializes an outcome to CSV.
+pub fn to_csv(outcome: &StudyOutcome) -> String {
+    let mut out = String::with_capacity(outcome.responses.len() * 128 + CSV_HEADER.len());
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for r in &outcome.responses {
+        out.push_str(&format!(
+            "{},{},{},{},{}",
+            r.resident,
+            bin_code(r.bin),
+            r.query.source.0,
+            r.query.target.0,
+            r.query.fastest_ms
+        ));
+        for rating in r.ratings {
+            out.push_str(&format!(",{rating}"));
+        }
+        for f in &r.features {
+            out.push_str(&format!(
+                ",{},{:.4},{:.4}",
+                f.count, f.mean_stretch, f.diversity
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a CSV produced by [`to_csv`]. Feature columns beyond count /
+/// stretch / diversity are not stored in the file, so the re-imported
+/// features carry zeros there.
+pub fn from_csv(text: &str) -> Result<StudyOutcome, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty csv")?;
+    if header != CSV_HEADER {
+        return Err(format!("unexpected header: {header}"));
+    }
+    let mut outcome = StudyOutcome::default();
+    for (no, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 21 {
+            return Err(format!(
+                "line {}: {} fields, expected 21",
+                no + 2,
+                fields.len()
+            ));
+        }
+        let parse_f64 = |s: &str| {
+            s.parse::<f64>()
+                .map_err(|e| format!("line {}: {e}", no + 2))
+        };
+        let parse_u8 = |s: &str| s.parse::<u8>().map_err(|e| format!("line {}: {e}", no + 2));
+        let resident = fields[0] == "true";
+        let bin = bin_from_code(fields[1]).ok_or_else(|| format!("line {}: bad bin", no + 2))?;
+        let query = StudyQuery {
+            source: NodeId(fields[2].parse().map_err(|_| "bad source")?),
+            target: NodeId(fields[3].parse().map_err(|_| "bad target")?),
+            fastest_ms: fields[4].parse().map_err(|_| "bad fastest_ms")?,
+            bin,
+        };
+        let ratings = [
+            parse_u8(fields[5])?,
+            parse_u8(fields[6])?,
+            parse_u8(fields[7])?,
+            parse_u8(fields[8])?,
+        ];
+        let mut features = [RouteSetFeatures::default(); 4];
+        for (a, f) in features.iter_mut().enumerate() {
+            let base = 9 + a * 3;
+            f.count = fields[base].parse().map_err(|_| "bad count")?;
+            f.mean_stretch = parse_f64(fields[base + 1])?;
+            f.diversity = parse_f64(fields[base + 2])?;
+        }
+        outcome.responses.push(ResponseRecord {
+            resident,
+            bin,
+            query,
+            ratings,
+            features,
+        });
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::Calibration;
+    use crate::study::{run_study, StudyConfig};
+    use arp_citygen::{City, Scale};
+    use arp_core::provider::standard_providers;
+
+    fn outcome() -> StudyOutcome {
+        let g = arp_citygen::generate(City::Melbourne, Scale::Tiny, 6);
+        let providers = standard_providers(&g.network, 6);
+        let config = StudyConfig {
+            seed: 6,
+            query: arp_core::AltQuery::paper(),
+            resident_bins: [5, 0, 0],
+            nonresident_bins: [4, 0, 0],
+        };
+        run_study(
+            &g.network,
+            &providers,
+            &config,
+            &Calibration::from_paper_targets(),
+        )
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_ratings_and_queries() {
+        let o = outcome();
+        let csv = to_csv(&o);
+        assert!(csv.starts_with(CSV_HEADER));
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back.responses.len(), o.responses.len());
+        for (a, b) in o.responses.iter().zip(&back.responses) {
+            assert_eq!(a.ratings, b.ratings);
+            assert_eq!(a.resident, b.resident);
+            assert_eq!(a.bin, b.bin);
+            assert_eq!(a.query, b.query);
+            for (fa, fb) in a.features.iter().zip(&b.features) {
+                assert_eq!(fa.count, fb.count);
+                assert!((fa.mean_stretch - fb.mean_stretch).abs() < 1e-3);
+                assert!((fa.diversity - fb.diversity).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn tables_from_reimported_outcome_match() {
+        let o = outcome();
+        let back = from_csv(&to_csv(&o)).unwrap();
+        let t1a = crate::tables::table1(&o);
+        let t1b = crate::tables::table1(&back);
+        for (ra, rb) in t1a.rows.iter().zip(&t1b.rows) {
+            for (ca, cb) in ra.cells.iter().zip(&rb.cells) {
+                assert_eq!(ca.n, cb.n);
+                assert!((ca.mean - cb.mean).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_csv_rejected() {
+        assert!(from_csv("").is_err());
+        assert!(from_csv("wrong header\n").is_err());
+        let bad_fields = format!("{CSV_HEADER}\ntrue,small,1,2\n");
+        assert!(from_csv(&bad_fields).is_err());
+        let bad_bin =
+            format!("{CSV_HEADER}\ntrue,gigantic,1,2,60000,3,3,3,3,3,1,1,3,1,1,3,1,1,3,1,1\n");
+        assert!(from_csv(&bad_bin).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Post-hoc analyses beyond the paper's single one-way ANOVA.
+//!
+//! The paper stops at "not statistically significant"; a careful reviewer
+//! would ask two follow-ups this module answers:
+//!
+//! * **Kruskal–Wallis H** — the rank-based analogue of one-way ANOVA,
+//!   strictly more appropriate for ordinal 1–5 Likert ratings (no
+//!   normality assumption). Ties are handled with the standard
+//!   correction; the p-value uses the chi-square approximation.
+//! * **Pairwise Welch t-tests with Bonferroni correction** — which pair,
+//!   if any, drives a difference (none should, per the paper).
+
+use crate::dist::{chi2_sf, t_sf};
+use crate::stats::Welford;
+
+/// Result of a Kruskal–Wallis test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KruskalWallisResult {
+    /// The H statistic (tie-corrected).
+    pub h: f64,
+    /// Degrees of freedom (`k − 1`).
+    pub df: f64,
+    /// p-value (chi-square approximation).
+    pub p_value: f64,
+}
+
+/// Runs a Kruskal–Wallis test over the groups. Returns `None` with fewer
+/// than two non-empty groups.
+pub fn kruskal_wallis(groups: &[&[f64]]) -> Option<KruskalWallisResult> {
+    let k = groups.iter().filter(|g| !g.is_empty()).count();
+    if k < 2 {
+        return None;
+    }
+    // Pool and rank with midranks for ties.
+    let mut pooled: Vec<(f64, usize)> = Vec::new();
+    for (gi, g) in groups.iter().enumerate() {
+        for &x in *g {
+            pooled.push((x, gi));
+        }
+    }
+    let n = pooled.len();
+    if n <= k {
+        return None;
+    }
+    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        // Midrank for the tie run [i, j].
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = midrank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_correction += t * t * t - t;
+        i = j + 1;
+    }
+
+    // Rank sums per group.
+    let mut rank_sum = vec![0.0f64; groups.len()];
+    let mut sizes = vec![0usize; groups.len()];
+    for (idx, &(_, gi)) in pooled.iter().enumerate() {
+        rank_sum[gi] += ranks[idx];
+        sizes[gi] += 1;
+    }
+
+    let nf = n as f64;
+    let mut h = 0.0;
+    for gi in 0..groups.len() {
+        if sizes[gi] == 0 {
+            continue;
+        }
+        h += rank_sum[gi] * rank_sum[gi] / sizes[gi] as f64;
+    }
+    h = 12.0 / (nf * (nf + 1.0)) * h - 3.0 * (nf + 1.0);
+
+    // Tie correction.
+    let correction = 1.0 - tie_correction / (nf * nf * nf - nf);
+    if correction <= 0.0 {
+        // All observations identical.
+        return Some(KruskalWallisResult {
+            h: 0.0,
+            df: (k - 1) as f64,
+            p_value: 1.0,
+        });
+    }
+    h /= correction;
+
+    let df = (k - 1) as f64;
+    Some(KruskalWallisResult {
+        h,
+        df,
+        p_value: chi2_sf(h, df),
+    })
+}
+
+/// One pairwise comparison.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairwiseComparison {
+    /// Index of the first group.
+    pub a: usize,
+    /// Index of the second group.
+    pub b: usize,
+    /// Mean difference (`mean_a − mean_b`).
+    pub mean_diff: f64,
+    /// Welch t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided raw p-value.
+    pub p_value: f64,
+    /// Bonferroni-adjusted p-value (`min(1, p × #pairs)`).
+    pub p_adjusted: f64,
+}
+
+/// All pairwise Welch t-tests with Bonferroni adjustment.
+pub fn pairwise_welch(groups: &[&[f64]]) -> Vec<PairwiseComparison> {
+    let summaries: Vec<Welford> = groups
+        .iter()
+        .map(|g| {
+            let mut w = Welford::new();
+            for &x in *g {
+                w.push(x);
+            }
+            w
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    let k = groups.len();
+    let pairs = (k * (k - 1) / 2) as f64;
+    for a in 0..k {
+        for b in a + 1..k {
+            let (wa, wb) = (&summaries[a], &summaries[b]);
+            if wa.count() < 2 || wb.count() < 2 {
+                continue;
+            }
+            let (na, nb) = (wa.count() as f64, wb.count() as f64);
+            let (va, vb) = (wa.variance(), wb.variance());
+            let se2 = va / na + vb / nb;
+            if se2 <= 0.0 {
+                continue;
+            }
+            let mean_diff = wa.mean() - wb.mean();
+            let t = mean_diff / se2.sqrt();
+            // Welch–Satterthwaite.
+            let df = se2 * se2
+                / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+            let p = 2.0 * t_sf(t.abs(), df);
+            out.push(PairwiseComparison {
+                a,
+                b,
+                mean_diff,
+                t,
+                df,
+                p_value: p.min(1.0),
+                p_adjusted: (p * pairs).min(1.0),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kruskal_wallis_identical_groups() {
+        let g = [1.0, 2.0, 3.0, 4.0, 5.0, 3.0];
+        let r = kruskal_wallis(&[&g, &g, &g]).unwrap();
+        assert!(r.h < 1e-9, "H = {}", r.h);
+        assert!((r.p_value - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kruskal_wallis_detects_shift() {
+        let a: Vec<f64> = (0..40).map(|i| 1.0 + (i % 3) as f64).collect();
+        let b: Vec<f64> = (0..40).map(|i| 4.0 + (i % 3) as f64).collect();
+        let r = kruskal_wallis(&[&a, &b]).unwrap();
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+        assert_eq!(r.df, 1.0);
+    }
+
+    #[test]
+    fn kruskal_wallis_textbook_example() {
+        // Three groups, known H ≈ 7.0 (classic example without ties).
+        let g1 = [23.0, 41.0, 54.0, 66.0, 90.0];
+        let g2 = [45.0, 55.0, 60.0, 70.0, 72.0];
+        let g3 = [18.0, 30.0, 34.0, 40.0, 44.0];
+        let r = kruskal_wallis(&[&g1, &g2, &g3]).unwrap();
+        assert_eq!(r.df, 2.0);
+        // Rank sums are 44/56/20, so H = 12/240 * 1094.4 - 48 = 6.72.
+        assert!((r.h - 6.72).abs() < 1e-9, "H = {}", r.h);
+        assert!(r.p_value < 0.05);
+    }
+
+    #[test]
+    fn kruskal_wallis_all_constant() {
+        let g = [3.0, 3.0, 3.0];
+        let r = kruskal_wallis(&[&g, &g]).unwrap();
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn kruskal_wallis_too_few_groups() {
+        let g = [1.0, 2.0];
+        assert!(kruskal_wallis(&[&g]).is_none());
+        assert!(kruskal_wallis(&[&g, &[]]).is_none());
+    }
+
+    #[test]
+    fn likert_ties_are_handled() {
+        // Heavily tied 1-5 data like the study's ratings.
+        let a: Vec<f64> = (0..100).map(|i| (1 + i % 5) as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| (1 + (i + 1) % 5) as f64).collect();
+        let r = kruskal_wallis(&[&a, &b]).unwrap();
+        assert!(
+            r.p_value > 0.5,
+            "identical distributions: p = {}",
+            r.p_value
+        );
+    }
+
+    #[test]
+    fn pairwise_welch_shapes() {
+        let a: Vec<f64> = (0..50).map(|i| 3.0 + (i % 5) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..50).map(|i| 3.05 + (i % 5) as f64 * 0.1).collect();
+        let c: Vec<f64> = (0..50).map(|i| 4.5 + (i % 5) as f64 * 0.1).collect();
+        let comps = pairwise_welch(&[&a, &b, &c]);
+        assert_eq!(comps.len(), 3);
+        // a vs b: tiny difference, not significant after adjustment.
+        let ab = comps.iter().find(|c| c.a == 0 && c.b == 1).unwrap();
+        assert!(ab.p_adjusted > 0.05);
+        // a vs c: huge difference.
+        let ac = comps.iter().find(|c| c.a == 0 && c.b == 2).unwrap();
+        assert!(ac.p_adjusted < 1e-6);
+        assert!(ac.mean_diff < 0.0);
+        // Adjustment never lowers p.
+        for c in &comps {
+            assert!(c.p_adjusted >= c.p_value - 1e-12);
+            assert!(c.p_adjusted <= 1.0);
+        }
+    }
+
+    #[test]
+    fn pairwise_welch_skips_tiny_groups() {
+        let a = [1.0];
+        let b = [2.0, 3.0, 4.0];
+        let comps = pairwise_welch(&[&a, &b]);
+        assert!(comps.is_empty());
+    }
+}

@@ -1,0 +1,331 @@
+//! Table generation: turns a [`StudyOutcome`] into the paper's Tables 1–3
+//! and the §4.1 ANOVA report, with side-by-side paper-vs-measured
+//! rendering for EXPERIMENTS.md.
+
+use crate::anova::{one_way_anova, AnovaResult};
+use crate::paper::{self, PaperRow};
+use crate::stats::Summary;
+use crate::study::{LengthBin, StudyOutcome};
+
+/// One computed table row: `m(sd)` per approach plus the group size.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Row label (paper wording).
+    pub label: String,
+    /// Summary per approach in paper column order.
+    pub cells: [Summary; 4],
+    /// Number of responses in the group.
+    pub responses: usize,
+}
+
+impl TableRow {
+    /// Index of the approach with the highest mean (bold in the paper).
+    pub fn best_approach(&self) -> usize {
+        let mut best = 0;
+        for i in 1..4 {
+            if self.cells[i].mean > self.cells[best].mean {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// A computed table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Rows in paper order.
+    pub rows: Vec<TableRow>,
+}
+
+fn row(
+    outcome: &StudyOutcome,
+    label: &str,
+    resident: Option<bool>,
+    bin: Option<LengthBin>,
+) -> TableRow {
+    let mut cells = [Summary {
+        n: 0,
+        mean: 0.0,
+        sd: 0.0,
+    }; 4];
+    for (a, cell) in cells.iter_mut().enumerate() {
+        *cell = Summary::of(&outcome.ratings_of(a, resident, bin));
+    }
+    TableRow {
+        label: label.to_string(),
+        cells,
+        responses: outcome.count(resident, bin),
+    }
+}
+
+/// Table 1: all responses — overall + per length bin.
+pub fn table1(outcome: &StudyOutcome) -> Table {
+    let mut rows = vec![
+        row(outcome, "Overall", None, None),
+        row(outcome, "Melbourne residents", Some(true), None),
+        row(outcome, "Non-residents", Some(false), None),
+    ];
+    for bin in LengthBin::ALL {
+        rows.push(row(outcome, bin.label(), None, Some(bin)));
+    }
+    Table {
+        title: "Table 1: All responses".to_string(),
+        rows,
+    }
+}
+
+/// Table 2: Melbourne residents only.
+pub fn table2(outcome: &StudyOutcome) -> Table {
+    let mut rows = vec![row(outcome, "Melbourne residents", Some(true), None)];
+    for bin in LengthBin::ALL {
+        rows.push(row(outcome, bin.label(), Some(true), Some(bin)));
+    }
+    Table {
+        title: "Table 2: Only Melbourne residents".to_string(),
+        rows,
+    }
+}
+
+/// Table 3: non-residents only.
+pub fn table3(outcome: &StudyOutcome) -> Table {
+    let mut rows = vec![row(outcome, "Non-residents", Some(false), None)];
+    for bin in LengthBin::ALL {
+        rows.push(row(outcome, bin.label(), Some(false), Some(bin)));
+    }
+    Table {
+        title: "Table 3: Only non-residents".to_string(),
+        rows,
+    }
+}
+
+/// Renders a table as aligned plain text, bolding (with `*`) the best
+/// approach per row like the paper does.
+pub fn render(table: &Table) -> String {
+    let mut out = String::new();
+    out.push_str(&table.title);
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<32} {:>14} {:>14} {:>14} {:>14} {:>10}\n",
+        "", "Google Maps", "Plateaus", "Dissimilarity", "Penalty", "#Responses"
+    ));
+    for row in &table.rows {
+        let best = row.best_approach();
+        out.push_str(&format!("{:<32}", row.label));
+        for (i, c) in row.cells.iter().enumerate() {
+            let cell = if i == best {
+                format!("*{}", c.paper_format())
+            } else {
+                c.paper_format()
+            };
+            out.push_str(&format!(" {cell:>14}"));
+        }
+        out.push_str(&format!(" {:>10}\n", row.responses));
+    }
+    out
+}
+
+/// Renders measured vs published cells side by side:
+/// `measured | paper` per approach.
+pub fn render_vs_paper(table: &Table, paper_rows: &[PaperRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&table.title);
+    out.push_str(" — measured vs paper\n");
+    out.push_str(&format!(
+        "{:<32} {:>22} {:>22} {:>22} {:>22}\n",
+        "", "Google Maps", "Plateaus", "Dissimilarity", "Penalty"
+    ));
+    for row in &table.rows {
+        let Some(paper_row) = paper_rows.iter().find(|p| p.label == row.label) else {
+            continue;
+        };
+        out.push_str(&format!("{:<32}", row.label));
+        for i in 0..4 {
+            let cell = format!("{:.2} | {:.2}", row.cells[i].mean, paper_row.means[i]);
+            out.push_str(&format!(" {cell:>22}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Maximum |measured − paper| mean over the rows that exist in both.
+pub fn max_mean_deviation(table: &Table, paper_rows: &[PaperRow]) -> f64 {
+    let mut worst = 0.0f64;
+    for row in &table.rows {
+        if let Some(paper_row) = paper_rows.iter().find(|p| p.label == row.label) {
+            for i in 0..4 {
+                if row.cells[i].n == 0 {
+                    continue;
+                }
+                worst = worst.max((row.cells[i].mean - paper_row.means[i]).abs());
+            }
+        }
+    }
+    worst
+}
+
+/// The three ANOVA tests the paper reports (§4.1): all respondents,
+/// residents only, non-residents only.
+#[derive(Clone, Copy, Debug)]
+pub struct AnovaReport {
+    /// ANOVA over all responses.
+    pub all: Option<AnovaResult>,
+    /// Residents only.
+    pub residents: Option<AnovaResult>,
+    /// Non-residents only.
+    pub non_residents: Option<AnovaResult>,
+}
+
+/// Runs the paper's three ANOVA tests on a study outcome.
+pub fn anova_report(outcome: &StudyOutcome) -> AnovaReport {
+    let run = |resident: Option<bool>| -> Option<AnovaResult> {
+        let groups: Vec<Vec<f64>> = (0..4)
+            .map(|a| outcome.ratings_of(a, resident, None))
+            .collect();
+        let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
+        one_way_anova(&refs)
+    };
+    AnovaReport {
+        all: run(None),
+        residents: run(Some(true)),
+        non_residents: run(Some(false)),
+    }
+}
+
+/// Renders the ANOVA report with the paper's published p-values alongside.
+pub fn render_anova(report: &AnovaReport) -> String {
+    let line = |label: &str, r: &Option<AnovaResult>, paper_p: f64| -> String {
+        match r {
+            Some(r) => format!(
+                "{label:<18} F({:.0},{:.0}) = {:.3}   p = {:.3} (paper: {:.2})   significant at 0.05: {}\n",
+                r.df_between,
+                r.df_within,
+                r.f,
+                r.p_value,
+                paper_p,
+                if r.significant(0.05) { "yes" } else { "no" }
+            ),
+            None => format!("{label:<18} (not enough data)\n"),
+        }
+    };
+    let mut out = String::from("One-way ANOVA (null: equal mean ratings for the 4 approaches)\n");
+    out.push_str(&line("All respondents", &report.all, paper::ANOVA_P_ALL));
+    out.push_str(&line(
+        "Residents",
+        &report.residents,
+        paper::ANOVA_P_RESIDENTS,
+    ));
+    out.push_str(&line(
+        "Non-residents",
+        &report.non_residents,
+        paper::ANOVA_P_NON_RESIDENTS,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::Calibration;
+    use crate::study::{run_study, StudyConfig};
+    use arp_citygen::{City, Scale};
+    use arp_core::provider::standard_providers;
+
+    fn smoke_outcome() -> StudyOutcome {
+        let g = arp_citygen::generate(City::Melbourne, Scale::Small, 14);
+        let providers = standard_providers(&g.network, 14);
+        let config = StudyConfig {
+            seed: 33,
+            query: arp_core::AltQuery::paper(),
+            resident_bins: [10, 10, 0],
+            nonresident_bins: [8, 8, 0],
+        };
+        run_study(
+            &g.network,
+            &providers,
+            &config,
+            &Calibration::from_paper_targets(),
+        )
+    }
+
+    #[test]
+    fn tables_have_expected_shape() {
+        let outcome = smoke_outcome();
+        let t1 = table1(&outcome);
+        assert_eq!(t1.rows.len(), 6);
+        assert_eq!(t1.rows[0].label, "Overall");
+        assert_eq!(t1.rows[0].responses, outcome.responses.len());
+
+        let t2 = table2(&outcome);
+        assert_eq!(t2.rows.len(), 4);
+        assert_eq!(t2.rows[0].responses, outcome.count(Some(true), None));
+
+        let t3 = table3(&outcome);
+        assert_eq!(t3.rows[0].responses, outcome.count(Some(false), None));
+        // Residents + non-residents = all.
+        assert_eq!(
+            t2.rows[0].responses + t3.rows[0].responses,
+            t1.rows[0].responses
+        );
+    }
+
+    #[test]
+    fn render_contains_all_columns() {
+        let outcome = smoke_outcome();
+        let txt = render(&table1(&outcome));
+        for col in [
+            "Google Maps",
+            "Plateaus",
+            "Dissimilarity",
+            "Penalty",
+            "#Responses",
+        ] {
+            assert!(txt.contains(col), "missing column {col}\n{txt}");
+        }
+        assert!(txt.contains('*'), "best cell should be starred\n{txt}");
+    }
+
+    #[test]
+    fn render_vs_paper_matches_labels() {
+        let outcome = smoke_outcome();
+        let txt = render_vs_paper(&table2(&outcome), &paper::TABLE2);
+        assert!(txt.contains("Melbourne residents"));
+        assert!(txt.contains('|'));
+    }
+
+    #[test]
+    fn anova_report_runs() {
+        let outcome = smoke_outcome();
+        let report = anova_report(&outcome);
+        let all = report.all.expect("enough data for anova");
+        assert_eq!(all.df_between, 3.0);
+        assert!(all.p_value > 0.0 && all.p_value <= 1.0);
+        let txt = render_anova(&report);
+        assert!(txt.contains("All respondents"));
+        assert!(txt.contains("paper: 0.16"));
+    }
+
+    #[test]
+    fn max_mean_deviation_reasonable_even_unfitted() {
+        // With intercepts = paper targets (no fitting) the deviation is
+        // bounded; fitting in the repro binaries tightens it further.
+        let outcome = smoke_outcome();
+        let t2 = table2(&outcome);
+        let dev = max_mean_deviation(&t2, &paper::TABLE2);
+        assert!(dev < 1.0, "deviation {dev}");
+    }
+
+    #[test]
+    fn best_approach_detection() {
+        let outcome = smoke_outcome();
+        for row in &table1(&outcome).rows {
+            let best = row.best_approach();
+            for i in 0..4 {
+                assert!(row.cells[best].mean >= row.cells[i].mean);
+            }
+        }
+    }
+}

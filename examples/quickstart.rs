@@ -1,0 +1,60 @@
+//! Quickstart: generate a city, ask each technique for alternative routes,
+//! print what a navigation UI would show.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use alt_route_planner::prelude::*;
+use arp_roadnet::weight::ms_to_display_minutes;
+
+fn main() {
+    // 1. A deterministic synthetic Melbourne (≈2.5k intersections).
+    let city = citygen::generate(City::Melbourne, Scale::Small, 42);
+    let net = &city.network;
+    println!(
+        "{}: {} intersections, {} road segments, {:.0} km of road",
+        city.name,
+        net.num_nodes(),
+        net.num_edges(),
+        net.total_length_km()
+    );
+
+    // 2. Geo-coordinate matching: click-like lookup of two locations.
+    let index = SpatialIndex::build(net);
+    let bb = net.bbox();
+    let click = |fx: f64, fy: f64| {
+        index
+            .nearest_node(
+                net,
+                Point::new(
+                    bb.min_lon + bb.width_deg() * fx,
+                    bb.min_lat + bb.height_deg() * fy,
+                ),
+            )
+            .expect("non-empty network")
+    };
+    let source = click(0.2, 0.25);
+    let target = click(0.8, 0.8);
+
+    // 3. The paper's parameters: k = 3, ε = 1.4, θ = 0.5, penalty 1.4.
+    let query = AltQuery::paper();
+
+    // 4. Ask all four approaches (A: Google-like, B: Plateaus,
+    //    C: Dissimilarity, D: Penalty) and print their routes.
+    for provider in standard_providers(net, 42) {
+        let routes = provider
+            .alternatives(net, net.weights(), source, target, &query)
+            .expect("routable query");
+        println!("\n== {} ==", provider.kind());
+        for (i, route) in routes.iter().enumerate() {
+            println!(
+                "  route {}: {:>3} min, {:.1} km, {} turns",
+                i + 1,
+                ms_to_display_minutes(route.public_cost_ms),
+                route.path.length_m(net) / 1000.0,
+                arp_core::quality::turn_count(net, &route.path, 45.0),
+            );
+        }
+    }
+}

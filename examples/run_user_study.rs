@@ -1,0 +1,42 @@
+//! Runs a scaled-down user study end to end and prints the Table 1–3
+//! analogues plus the one-way ANOVA — the full §4 pipeline in one command.
+//! (The full-size calibrated reproduction lives in the `repro_table*`
+//! binaries of `arp-bench`.)
+//!
+//! ```sh
+//! cargo run --release --example run_user_study
+//! ```
+
+use alt_route_planner::prelude::*;
+use arp_core::provider::standard_providers;
+
+fn main() {
+    let city = citygen::generate(City::Melbourne, Scale::Medium, 5);
+    println!(
+        "Simulating a user study on {} ({} nodes)…\n",
+        city.name,
+        city.network.num_nodes()
+    );
+
+    let providers = standard_providers(&city.network, 5);
+    // A quarter-size study so the example finishes in seconds.
+    let config = StudyConfig {
+        seed: 5,
+        query: AltQuery::paper(),
+        resident_bins: [10, 20, 9],
+        nonresident_bins: [7, 7, 7],
+    };
+    let calibration = Calibration::from_paper_targets();
+    let outcome = run_study(&city.network, &providers, &config, &calibration);
+    println!(
+        "Collected {} responses ({} residents, {} non-residents)\n",
+        outcome.responses.len(),
+        outcome.count(Some(true), None),
+        outcome.count(Some(false), None)
+    );
+
+    println!("{}", render(&table1(&outcome)));
+    println!("{}", render(&table2(&outcome)));
+    println!("{}", render(&table3(&outcome)));
+    println!("{}", render_anova(&anova_report(&outcome)));
+}

@@ -1,0 +1,316 @@
+//! `arp` — command-line interface to the alternative-route-planning
+//! toolkit.
+//!
+//! ```text
+//! arp generate  <city> [--scale tiny|small|medium|large] [--seed N] [--out FILE]
+//! arp export-osm <city> [--scale ...] [--seed N] --out FILE
+//! arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT
+//!               [--technique plateaus|penalty|dissimilarity|google|esx|pareto|yen]
+//!               [--k N] [--geojson FILE]
+//! arp study     <city> [--scale ...] [--seed N]
+//! arp serve     <city> [--port P] [--seed N]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use alt_route_planner::prelude::*;
+use arp_core::quality::turn_count;
+use arp_roadnet::weight::ms_to_display_minutes;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  arp generate  <city> [--scale S] [--seed N] [--out FILE]\n  arp export-osm <city> [--scale S] [--seed N] --out FILE\n  arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT [--technique T] [--k N] [--geojson FILE]\n  arp study     <city> [--scale S] [--seed N]\n  arp serve     <city> [--port P] [--seed N]\n\ncities: melbourne | dhaka | copenhagen   scales: tiny | small | medium | large"
+    );
+    std::process::exit(2)
+}
+
+/// Splits argv into positional args and `--key value` flags.
+fn parse_args(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 >= args.len() {
+                eprintln!("missing value for --{key}");
+                usage();
+            }
+            flags.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
+fn parse_scale(flags: &HashMap<String, String>) -> Scale {
+    match flags.get("scale").map(String::as_str) {
+        None | Some("medium") => Scale::Medium,
+        Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        Some("large") => Scale::Large,
+        Some(other) => {
+            eprintln!("unknown scale {other:?}");
+            usage();
+        }
+    }
+}
+
+fn parse_seed(flags: &HashMap<String, String>) -> u64 {
+    flags
+        .get("seed")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(42)
+}
+
+fn load_network(arg: &str, flags: &HashMap<String, String>) -> (String, arp_roadnet::RoadNetwork) {
+    if arg.ends_with(".arn") {
+        let net = arp_roadnet::io::load_network(std::path::Path::new(arg)).unwrap_or_else(|e| {
+            eprintln!("cannot load {arg}: {e}");
+            std::process::exit(1);
+        });
+        (arg.to_string(), net)
+    } else {
+        let city: City = arg.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage();
+        });
+        let g = citygen::generate(city, parse_scale(flags), parse_seed(flags));
+        (g.name, g.network)
+    }
+}
+
+fn parse_point(s: &str) -> Point {
+    let Some((lon, lat)) = s.split_once(',') else {
+        eprintln!("expected LON,LAT, got {s:?}");
+        usage();
+    };
+    match (lon.trim().parse(), lat.trim().parse()) {
+        (Ok(lon), Ok(lat)) => Point::new(lon, lat),
+        _ => {
+            eprintln!("bad coordinates {s:?}");
+            usage();
+        }
+    }
+}
+
+fn cmd_generate(positional: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    let Some(city_arg) = positional.first() else {
+        usage()
+    };
+    let (name, net) = load_network(city_arg, flags);
+    println!(
+        "{name}: {} nodes, {} edges, {:.0} km of road, bbox {:.4}..{:.4} lon {:.4}..{:.4} lat",
+        net.num_nodes(),
+        net.num_edges(),
+        net.total_length_km(),
+        net.bbox().min_lon,
+        net.bbox().max_lon,
+        net.bbox().min_lat,
+        net.bbox().max_lat,
+    );
+    if let Some(out) = flags.get("out") {
+        arp_roadnet::io::save_network(&net, std::path::Path::new(out)).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        println!("written to {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_export_osm(positional: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    let Some(city_arg) = positional.first() else {
+        usage()
+    };
+    let Some(out) = flags.get("out") else {
+        eprintln!("export-osm requires --out FILE");
+        usage();
+    };
+    let (_, net) = load_network(city_arg, flags);
+    let xml = arp_osm::writer::write_osm_xml(&arp_osm::export::network_to_osm(&net));
+    std::fs::write(out, xml).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("OSM XML written to {out}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_route(positional: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    let Some(net_arg) = positional.first() else {
+        usage()
+    };
+    let (Some(from), Some(to)) = (flags.get("from"), flags.get("to")) else {
+        eprintln!("route requires --from and --to");
+        usage();
+    };
+    let (name, net) = load_network(net_arg, flags);
+    let index = SpatialIndex::build(&net);
+    let s = index
+        .nearest_node_within(&net, parse_point(from), 3_000.0)
+        .map(|(n, _)| n)
+        .unwrap_or_else(|| {
+            eprintln!("--from is not near any road of {name}");
+            std::process::exit(1);
+        });
+    let t = index
+        .nearest_node_within(&net, parse_point(to), 3_000.0)
+        .map(|(n, _)| n)
+        .unwrap_or_else(|| {
+            eprintln!("--to is not near any road of {name}");
+            std::process::exit(1);
+        });
+
+    let k = flags
+        .get("k")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(3);
+    let query = AltQuery::paper().with_k(k);
+    let technique = flags
+        .get("technique")
+        .map(String::as_str)
+        .unwrap_or("plateaus");
+    let weights = net.weights();
+    let paths: Vec<Path> = match technique {
+        "plateaus" => plateau_alternatives(&net, weights, s, t, &query, &PlateauOptions::default()),
+        "penalty" => penalty_alternatives(&net, weights, s, t, &query, &PenaltyOptions::default()),
+        "dissimilarity" => dissimilarity_alternatives(
+            &net,
+            weights,
+            s,
+            t,
+            &query,
+            &DissimilarityOptions::default(),
+        ),
+        "esx" => esx_alternatives(&net, weights, s, t, &query, &EsxOptions::default()),
+        "yen" => yen_k_shortest_paths(&net, weights, s, t, k),
+        "pareto" => pareto_paths(&net, weights, s, t, &ParetoOptions::default())
+            .map(|rs| rs.into_iter().map(|r| r.path).collect()),
+        "google" => GoogleLikeProvider::new(&net, parse_seed(flags))
+            .alternatives(&net, weights, s, t, &query)
+            .map(|rs| rs.into_iter().map(|r| r.path).collect()),
+        other => {
+            eprintln!("unknown technique {other:?}");
+            usage();
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("routing failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!("{technique} routes {s} -> {t} on {name}:");
+    for (i, p) in paths.iter().enumerate() {
+        println!(
+            "  route {}: {:>3} min  {:>6.1} km  {:>3} turns  {} vertices",
+            i + 1,
+            ms_to_display_minutes(p.cost_under(weights)),
+            p.length_m(&net) / 1000.0,
+            turn_count(&net, p, 45.0),
+            p.nodes.len()
+        );
+    }
+
+    if let Some(out) = flags.get("geojson") {
+        // Reuse the demo GeoJSON by wrapping paths as one approach.
+        let resp = arp_demo::query::QueryResponse {
+            source: s,
+            target: t,
+            fastest_minutes: paths
+                .first()
+                .map(|p| ms_to_display_minutes(p.cost_under(weights)))
+                .unwrap_or(0),
+            approaches: vec![arp_demo::query::ApproachRoutes {
+                label: 'A',
+                routes: paths
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, p)| arp_demo::query::RouteInfo {
+                        minutes: ms_to_display_minutes(p.cost_under(weights)),
+                        cost_ms: p.cost_under(weights),
+                        polyline: p.nodes.iter().map(|&n| net.point(n)).collect(),
+                        color: arp_demo::query::ROUTE_COLORS
+                            [rank % arp_demo::query::ROUTE_COLORS.len()],
+                    })
+                    .collect(),
+            }],
+        };
+        std::fs::write(out, response_to_geojson(&resp)).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        println!("geojson written to {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_study(positional: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    let Some(city_arg) = positional.first() else {
+        usage()
+    };
+    let (name, net) = load_network(city_arg, flags);
+    let seed = parse_seed(flags);
+    println!(
+        "running a user study on {name} ({} nodes)…",
+        net.num_nodes()
+    );
+    let providers = standard_providers(&net, seed);
+    let config = StudyConfig {
+        seed,
+        query: AltQuery::paper(),
+        resident_bins: [12, 24, 10],
+        nonresident_bins: [8, 8, 8],
+    };
+    let outcome = run_study(
+        &net,
+        &providers,
+        &config,
+        &Calibration::from_paper_targets(),
+    );
+    println!("{}", render(&table1(&outcome)));
+    println!("{}", render_anova(&anova_report(&outcome)));
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode {
+    let Some(city_arg) = positional.first() else {
+        usage()
+    };
+    let (name, net) = load_network(city_arg, flags);
+    let port: u16 = flags
+        .get("port")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(8765);
+    let app = std::sync::Arc::new(DemoApp::new(QueryProcessor::new(
+        name.clone(),
+        net,
+        parse_seed(flags),
+    )));
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port)).unwrap_or_else(|e| {
+        eprintln!("cannot bind port {port}: {e}");
+        std::process::exit(1);
+    });
+    println!("{name} demo at http://127.0.0.1:{port}/");
+    serve(app, listener).unwrap();
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage()
+    };
+    let (positional, flags) = parse_args(rest);
+    match cmd.as_str() {
+        "generate" => cmd_generate(&positional, &flags),
+        "export-osm" => cmd_export_osm(&positional, &flags),
+        "route" => cmd_route(&positional, &flags),
+        "study" => cmd_study(&positional, &flags),
+        "serve" => cmd_serve(&positional, &flags),
+        _ => usage(),
+    }
+}
