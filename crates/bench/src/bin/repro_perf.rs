@@ -1,6 +1,8 @@
 //! Wall-clock performance table (the §2 cost claims) as a text artifact —
 //! the same measurements `cargo bench` makes with criterion, condensed
-//! into one table per city for EXPERIMENTS.md.
+//! into one table per city for EXPERIMENTS.md. Each city also gets an
+//! `arp-obs` search-work snapshot (settled nodes, heap pops, relaxed
+//! edges per technique); see DESIGN.md §7 for the metric names.
 //!
 //! ```sh
 //! cargo run --release -p arp-bench --bin repro_perf
@@ -209,6 +211,18 @@ fn main() {
                 reps,
             ),
         );
+
+        // Search-work counters: one instrumented pass of the four demo
+        // providers over the same queries, into a fresh per-city registry.
+        let registry = arp_obs::Registry::new();
+        let providers = instrumented_providers(&net, arp_bench::MASTER_SEED, &registry);
+        for provider in &providers {
+            for &(s, t, _) in &queries {
+                let _ = provider.alternatives(&net, net.weights(), s, t, &q);
+            }
+        }
+        let _ = writeln!(report, "  search work over {} queries:", queries.len());
+        report.push_str(&arp_bench::metrics_snapshot(&registry));
     }
 
     println!("{report}");

@@ -79,6 +79,39 @@ pub fn random_queries(
     out
 }
 
+/// The four demo techniques' metric label values, in provider order.
+pub const TECHNIQUE_SLUGS: [&str; 4] = ["google_like", "plateaus", "dissimilarity", "penalty"];
+
+/// Formats the per-technique work counters (calls, settled nodes, heap
+/// pops, relaxed edges, candidates vs admitted routes) accumulated in
+/// `registry` — the snapshot table `repro_perf` prints under each city's
+/// timing rows. See DESIGN.md §7 for the metric names behind each column.
+pub fn metrics_snapshot(registry: &arp_obs::Registry) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<15} {:>6} {:>10} {:>10} {:>10} {:>6} {:>6}",
+        "technique", "calls", "settled", "heap-pops", "relaxed", "cand", "admit"
+    );
+    for technique in TECHNIQUE_SLUGS {
+        let labels = [("technique", technique)];
+        let c = |name: &str| registry.counter_value(name, &labels);
+        let _ = writeln!(
+            out,
+            "  {:<15} {:>6} {:>10} {:>10} {:>10} {:>6} {:>6}",
+            technique,
+            c("arp_technique_calls_total"),
+            c("arp_search_settled_nodes_total"),
+            c("arp_search_heap_pops_total"),
+            c("arp_search_relaxed_edges_total"),
+            c("arp_technique_candidates_total"),
+            c("arp_technique_admitted_total"),
+        );
+    }
+    out
+}
+
 /// Writes a report file under `reports/` (created on demand) and echoes
 /// the path, so every repro binary leaves an artifact for EXPERIMENTS.md.
 pub fn write_report(name: &str, content: &str) -> PathBuf {
@@ -125,6 +158,40 @@ mod tests {
         for &(s, t, ms) in &a {
             assert_ne!(s, t);
             assert!((60_000..=600_000).contains(&ms));
+        }
+    }
+
+    #[test]
+    fn counters_are_nonzero_after_a_melbourne_query() {
+        let g = generate_city(City::Melbourne, Scale::Tiny);
+        let registry = arp_obs::Registry::new();
+        let providers =
+            arp_core::provider::instrumented_providers(&g.network, MASTER_SEED, &registry);
+        let (s, t, _) = random_queries(&g.network, 1, 60_000, 600_000, 7)[0];
+        let q = arp_core::AltQuery::paper();
+        for p in &providers {
+            p.alternatives(&g.network, g.network.weights(), s, t, &q)
+                .unwrap();
+        }
+        let snapshot = metrics_snapshot(&registry);
+        for technique in TECHNIQUE_SLUGS {
+            let labels = [("technique", technique)];
+            assert_eq!(
+                registry.counter_value("arp_technique_calls_total", &labels),
+                1,
+                "{technique}"
+            );
+            for name in [
+                "arp_search_settled_nodes_total",
+                "arp_search_heap_pops_total",
+                "arp_search_relaxed_edges_total",
+            ] {
+                assert!(
+                    registry.counter_value(name, &labels) > 0,
+                    "{technique} {name}\n{snapshot}"
+                );
+            }
+            assert!(snapshot.contains(technique), "{snapshot}");
         }
     }
 

@@ -15,6 +15,7 @@ use arp_roadnet::ids::{EdgeId, NodeId};
 use arp_roadnet::weight::{Cost, Weight, INFINITY};
 
 use crate::error::CoreError;
+use crate::metrics::{SearchMetrics, SearchStats};
 use crate::path::Path;
 
 /// Reusable workspace for bidirectional searches.
@@ -28,6 +29,8 @@ pub struct BidirSearch {
     generation: u32,
     heap_f: BinaryHeap<Reverse<(Cost, u32)>>,
     heap_b: BinaryHeap<Reverse<(Cost, u32)>>,
+    stats: SearchStats,
+    metrics: SearchMetrics,
 }
 
 impl BidirSearch {
@@ -44,13 +47,29 @@ impl BidirSearch {
             generation: 0,
             heap_f: BinaryHeap::new(),
             heap_b: BinaryHeap::new(),
+            stats: SearchStats::default(),
+            metrics: SearchMetrics::default(),
         }
+    }
+
+    /// Attaches pre-resolved counters; every subsequent query flushes its
+    /// [`SearchStats`] (both directions combined) into them.
+    pub fn set_metrics(&mut self, metrics: SearchMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// Work counters of the most recently completed query.
+    pub fn last_stats(&self) -> SearchStats {
+        self.stats
     }
 
     fn begin(&mut self, net: &RoadNetwork) {
         if self.dist_f.len() != net.num_nodes() {
+            let metrics = std::mem::take(&mut self.metrics);
             *self = Self::new(net);
+            self.metrics = metrics;
         }
+        self.stats = SearchStats::default();
         self.generation = self.generation.wrapping_add(1);
         if self.generation == 0 {
             self.stamp_f.fill(0);
@@ -182,10 +201,13 @@ impl BidirSearch {
                 let Some(Reverse((d, v))) = self.heap_f.pop() else {
                     break;
                 };
+                self.stats.heap_pops += 1;
                 if d > self.df(v) {
                     continue;
                 }
+                self.stats.settled += 1;
                 for e in net.out_edges(NodeId(v)) {
+                    self.stats.relaxed += 1;
                     let head = net.head(e).0;
                     let nd = d + weights[e.index()] as Cost;
                     if nd < self.df(head) {
@@ -205,10 +227,13 @@ impl BidirSearch {
                 let Some(Reverse((d, v))) = self.heap_b.pop() else {
                     break;
                 };
+                self.stats.heap_pops += 1;
                 if d > self.db(v) {
                     continue;
                 }
+                self.stats.settled += 1;
                 for e in net.in_edges(NodeId(v)) {
+                    self.stats.relaxed += 1;
                     let tail = net.tail(e).0;
                     let nd = d + weights[e.index()] as Cost;
                     if nd < self.db(tail) {
@@ -226,6 +251,7 @@ impl BidirSearch {
             }
         }
 
+        self.metrics.record(&self.stats);
         if best == INFINITY {
             Err(CoreError::Unreachable { source, target })
         } else {
@@ -345,6 +371,18 @@ mod tests {
             bi.shortest_distance(&net, net.weights(), NodeId(0), NodeId(9)),
             Err(CoreError::InvalidNode(_))
         ));
+    }
+
+    #[test]
+    fn stats_cover_both_directions() {
+        let net = grid(8);
+        let mut bi = BidirSearch::new(&net);
+        bi.shortest_distance(&net, net.weights(), NodeId(0), NodeId(63))
+            .unwrap();
+        let s = bi.last_stats();
+        assert!(s.settled > 0);
+        assert!(s.settled <= s.heap_pops);
+        assert!(s.relaxed > 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use arp_roadnet::ids::{EdgeId, NodeId};
 use arp_roadnet::weight::{Cost, Weight, INFINITY};
 
 use crate::error::CoreError;
+use crate::metrics::{SearchMetrics, SearchStats};
 use crate::path::Path;
 
 /// An edge of the augmented (original + shortcut) graph.
@@ -696,6 +697,8 @@ pub struct ChSearch {
     generation: u32,
     heap_f: BinaryHeap<Reverse<(Cost, u32)>>,
     heap_b: BinaryHeap<Reverse<(Cost, u32)>>,
+    stats: SearchStats,
+    metrics: SearchMetrics,
 }
 
 impl ChSearch {
@@ -710,7 +713,20 @@ impl ChSearch {
             generation: 0,
             heap_f: BinaryHeap::new(),
             heap_b: BinaryHeap::new(),
+            stats: SearchStats::default(),
+            metrics: SearchMetrics::default(),
         }
+    }
+
+    /// Attaches pre-resolved counters; every subsequent query flushes its
+    /// [`SearchStats`] (both upward searches combined) into them.
+    pub fn set_metrics(&mut self, metrics: SearchMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// Work counters of the most recently completed query.
+    pub fn last_stats(&self) -> SearchStats {
+        self.stats
     }
 
     #[inline]
@@ -742,6 +758,7 @@ impl ChSearch {
         if source == target || source.index() >= ch.rank.len() || target.index() >= ch.rank.len() {
             return None;
         }
+        self.stats = SearchStats::default();
         self.generation = self.generation.wrapping_add(1);
         if self.generation == 0 {
             self.stamp_f.fill(0);
@@ -777,14 +794,17 @@ impl ChSearch {
                 let Some(Reverse((d, v))) = self.heap_f.pop() else {
                     break;
                 };
+                self.stats.heap_pops += 1;
                 if d > self.df(v) {
                     continue;
                 }
+                self.stats.settled += 1;
                 let db = self.db(v);
                 if db != INFINITY && d + db < best {
                     best = d + db;
                 }
                 for e in &ch.up[v as usize] {
+                    self.stats.relaxed += 1;
                     let nd = d + e.weight as Cost;
                     if nd < self.df(e.to) {
                         self.stamp_f[e.to as usize] = self.generation;
@@ -796,14 +816,17 @@ impl ChSearch {
                 let Some(Reverse((d, v))) = self.heap_b.pop() else {
                     break;
                 };
+                self.stats.heap_pops += 1;
                 if d > self.db(v) {
                     continue;
                 }
+                self.stats.settled += 1;
                 let df = self.df(v);
                 if df != INFINITY && d + df < best {
                     best = d + df;
                 }
                 for e in &ch.down[v as usize] {
+                    self.stats.relaxed += 1;
                     let nd = d + e.weight as Cost;
                     if nd < self.db(e.to) {
                         self.stamp_b[e.to as usize] = self.generation;
@@ -815,6 +838,7 @@ impl ChSearch {
                 break;
             }
         }
+        self.metrics.record(&self.stats);
         (best != INFINITY).then_some(best)
     }
 }

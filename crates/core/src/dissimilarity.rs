@@ -42,6 +42,19 @@ impl Default for DissimilarityOptions {
     }
 }
 
+/// Candidate-funnel counters of one SSVP-D+ call, for observability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DissimilarityStats {
+    /// Via-paths materialized and examined.
+    pub candidates: u64,
+    /// Via-paths rejected as exact duplicates of earlier ones.
+    pub rejected_duplicate: u64,
+    /// Via-paths rejected for revisiting a vertex.
+    pub rejected_non_simple: u64,
+    /// Via-paths rejected for insufficient dissimilarity to the result set.
+    pub rejected_dissimilar: u64,
+}
+
 /// Computes up to `query.k` pairwise-dissimilar paths with SSVP-D+.
 pub fn dissimilarity_alternatives(
     net: &RoadNetwork,
@@ -65,6 +78,26 @@ pub fn dissimilarity_alternatives_with(
     query: &AltQuery,
     options: &DissimilarityOptions,
 ) -> Result<Vec<Path>, CoreError> {
+    let mut stats = DissimilarityStats::default();
+    dissimilarity_alternatives_observed(
+        ws, net, weights, source, target, query, options, &mut stats,
+    )
+}
+
+/// Like [`dissimilarity_alternatives_with`] but also reporting the
+/// candidate funnel of the call into `stats` (which is reset first).
+#[allow(clippy::too_many_arguments)]
+pub fn dissimilarity_alternatives_observed(
+    ws: &mut SearchSpace,
+    net: &RoadNetwork,
+    weights: &[Weight],
+    source: NodeId,
+    target: NodeId,
+    query: &AltQuery,
+    options: &DissimilarityOptions,
+    stats: &mut DissimilarityStats,
+) -> Result<Vec<Path>, CoreError> {
+    *stats = DissimilarityStats::default();
     if query.k == 0 {
         return Ok(Vec::new());
     }
@@ -117,10 +150,13 @@ pub fn dissimilarity_alternatives_with(
             continue;
         }
         let path = Path::from_edges(net, weights, edges);
+        stats.candidates += 1;
         if options.require_simple && !path.is_simple() {
+            stats.rejected_non_simple += 1;
             continue;
         }
         if !seen.insert(path.key()) {
+            stats.rejected_duplicate += 1;
             continue;
         }
         if accepted.is_empty() {
@@ -131,6 +167,8 @@ pub fn dissimilarity_alternatives_with(
         }
         if dissimilarity_to_set(&path, &accepted, weights) > query.theta {
             accepted.push(path);
+        } else {
+            stats.rejected_dissimilar += 1;
         }
     }
     Ok(accepted)
@@ -277,6 +315,28 @@ mod tests {
         for w in paths.windows(2) {
             assert!(w[0].cost_ms <= w[1].cost_ms, "paths not in ascending cost");
         }
+    }
+
+    #[test]
+    fn observed_stats_balance_the_funnel() {
+        let net = grid(8);
+        let mut ws = SearchSpace::new(&net);
+        let mut stats = DissimilarityStats::default();
+        let paths = dissimilarity_alternatives_observed(
+            &mut ws,
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &AltQuery::paper(),
+            &DissimilarityOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        let rejected =
+            stats.rejected_duplicate + stats.rejected_non_simple + stats.rejected_dissimilar;
+        assert_eq!(stats.candidates, paths.len() as u64 + rejected);
+        assert!(stats.rejected_dissimilar > 0, "theta filter never fired");
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod dissimilarity;
 pub mod error;
 pub mod esx;
 pub mod filters;
+pub mod metrics;
 pub mod pareto;
 pub mod path;
 pub mod penalty;
@@ -70,17 +71,18 @@ pub use admissibility::{
 };
 pub use bidir::BidirSearch;
 pub use ch::{ChConfig, ChSearch, ContractionHierarchy};
-pub use dissimilarity::{dissimilarity_alternatives, DissimilarityOptions};
+pub use dissimilarity::{dissimilarity_alternatives, DissimilarityOptions, DissimilarityStats};
 pub use error::CoreError;
 pub use esx::{esx_alternatives, EsxOptions};
 pub use filters::{apply_filters, FilterConfig};
+pub use metrics::{SearchMetrics, SearchStats, TechniqueMetrics};
 pub use pareto::{pareto_paths, ParetoOptions, ParetoRoute};
 pub use path::Path;
-pub use penalty::{penalty_alternatives, PenaltyOptions};
-pub use plateau::{find_plateaus, plateau_alternatives, Plateau, PlateauOptions};
+pub use penalty::{penalty_alternatives, PenaltyOptions, PenaltyStats};
+pub use plateau::{find_plateaus, plateau_alternatives, Plateau, PlateauOptions, PlateauStats};
 pub use provider::{
-    standard_providers, AlternativesProvider, DissimilarityProvider, GoogleLikeProvider,
-    PenaltyProvider, PlateauProvider, ProviderKind, TrafficModel,
+    instrumented_providers, standard_providers, AlternativesProvider, DissimilarityProvider,
+    GoogleLikeProvider, PenaltyProvider, PlateauProvider, ProviderKind, TrafficModel,
 };
 pub use query::{AltQuery, Route};
 pub use search::{shortest_path, Direction, SearchSpace, ShortestPathTree};
@@ -98,8 +100,10 @@ pub mod prelude {
     pub use crate::path::Path;
     pub use crate::penalty::{penalty_alternatives, PenaltyOptions};
     pub use crate::plateau::{plateau_alternatives, PlateauOptions};
+    pub use crate::metrics::{SearchMetrics, SearchStats, TechniqueMetrics};
     pub use crate::provider::{
-        standard_providers, AlternativesProvider, GoogleLikeProvider, ProviderKind,
+        instrumented_providers, standard_providers, AlternativesProvider, GoogleLikeProvider,
+        ProviderKind,
     };
     pub use crate::query::{AltQuery, Route};
     pub use crate::search::{shortest_path, Direction, SearchSpace};

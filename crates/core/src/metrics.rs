@@ -1,0 +1,289 @@
+//! Observability glue: per-query search statistics and the pre-resolved
+//! metric bundles the hot paths flush them into.
+//!
+//! The search workspaces ([`crate::search::SearchSpace`],
+//! [`crate::bidir::BidirSearch`], [`crate::ch::ChSearch`]) always count
+//! their work into a plain [`SearchStats`] (three `u64` increments per
+//! settled vertex — unmeasurable against heap traffic). Exporting those
+//! counts is opt-in: attach a [`SearchMetrics`] bundle resolved from an
+//! [`arp_obs::Registry`] and every completed query is added to the shared
+//! counters. Detached bundles (the default) make the flush a no-op, so
+//! uninstrumented callers pay nothing.
+//!
+//! Metric names and label conventions are documented in DESIGN.md §7.
+
+use arp_obs::{Counter, Histogram, Registry, DEFAULT_LATENCY_BUCKETS_MS};
+
+use crate::dissimilarity::DissimilarityStats;
+use crate::penalty::PenaltyStats;
+use crate::plateau::PlateauStats;
+
+/// Work counters of one search query.
+///
+/// `settled <= heap_pops` (stale heap entries are popped but not settled)
+/// and `relaxed` counts every edge inspected from a settled vertex.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Heap extractions, including stale entries.
+    pub heap_pops: u64,
+    /// Vertices settled (popped with an up-to-date label).
+    pub settled: u64,
+    /// Edges inspected for relaxation from settled vertices.
+    pub relaxed: u64,
+}
+
+impl SearchStats {
+    /// Accumulates another query's counts into `self`.
+    pub fn accumulate(&mut self, other: &SearchStats) {
+        self.heap_pops += other.heap_pops;
+        self.settled += other.settled;
+        self.relaxed += other.relaxed;
+    }
+}
+
+/// Pre-resolved counters a search workspace flushes [`SearchStats`] into.
+///
+/// Resolve once with [`SearchMetrics::new`] (labels typically identify the
+/// algorithm or the owning technique), attach with
+/// `SearchSpace::set_metrics` (and the `BidirSearch`/`ChSearch` twins).
+/// The `Default` bundle is detached and records nothing.
+#[derive(Clone, Debug, Default)]
+pub struct SearchMetrics {
+    queries: Counter,
+    settled: Counter,
+    heap_pops: Counter,
+    relaxed: Counter,
+}
+
+impl SearchMetrics {
+    /// Resolves the four search counters under `labels`
+    /// (e.g. `[("technique", "penalty")]` or `[("algo", "dijkstra")]`).
+    pub fn new(registry: &Registry, labels: &[(&str, &str)]) -> SearchMetrics {
+        SearchMetrics {
+            queries: registry.counter(
+                "arp_search_queries_total",
+                "Search queries completed.",
+                labels,
+            ),
+            settled: registry.counter(
+                "arp_search_settled_nodes_total",
+                "Vertices settled by searches.",
+                labels,
+            ),
+            heap_pops: registry.counter(
+                "arp_search_heap_pops_total",
+                "Priority-queue extractions by searches (incl. stale entries).",
+                labels,
+            ),
+            relaxed: registry.counter(
+                "arp_search_relaxed_edges_total",
+                "Edges inspected for relaxation by searches.",
+                labels,
+            ),
+        }
+    }
+
+    /// Flushes one completed query's counts.
+    #[inline]
+    pub fn record(&self, stats: &SearchStats) {
+        self.queries.inc();
+        self.settled.add(stats.settled);
+        self.heap_pops.add(stats.heap_pops);
+        self.relaxed.add(stats.relaxed);
+    }
+}
+
+/// Pre-resolved per-technique metrics a provider records its calls into:
+/// call/error counts, a latency histogram, candidate-funnel counters and
+/// the technique-specific internals (penalty iterations, plateaus found,
+/// rejection reasons).
+///
+/// Built with [`TechniqueMetrics::new`]; the `Default` bundle is detached.
+#[derive(Clone, Debug, Default)]
+pub struct TechniqueMetrics {
+    pub(crate) calls: Counter,
+    pub(crate) errors: Counter,
+    pub(crate) latency: Histogram,
+    pub(crate) generated: Counter,
+    pub(crate) admitted: Counter,
+    pub(crate) rejected_bound: Counter,
+    pub(crate) rejected_duplicate: Counter,
+    pub(crate) rejected_similarity: Counter,
+    pub(crate) rejected_non_simple: Counter,
+    pub(crate) rejected_dissimilar: Counter,
+    pub(crate) rejected_short: Counter,
+    pub(crate) penalty_iterations: Counter,
+    pub(crate) plateaus_found: Counter,
+    /// Search counters labeled with this technique, for the provider's
+    /// internal workspaces.
+    pub(crate) search: SearchMetrics,
+}
+
+impl TechniqueMetrics {
+    /// Resolves the technique bundle under `technique` (the
+    /// [`crate::provider::ProviderKind::slug`] values).
+    pub fn new(registry: &Registry, technique: &str) -> TechniqueMetrics {
+        let labels: &[(&str, &str)] = &[("technique", technique)];
+        let rejected = |reason: &str| {
+            registry.counter(
+                "arp_technique_rejected_total",
+                "Candidate routes rejected, by reason.",
+                &[("technique", technique), ("reason", reason)],
+            )
+        };
+        TechniqueMetrics {
+            calls: registry.counter(
+                "arp_technique_calls_total",
+                "Alternative-route queries answered per technique.",
+                labels,
+            ),
+            errors: registry.counter(
+                "arp_technique_errors_total",
+                "Alternative-route queries that returned an error.",
+                labels,
+            ),
+            latency: registry.histogram(
+                "arp_technique_latency_ms",
+                "Per-call latency of a technique in milliseconds.",
+                labels,
+                &DEFAULT_LATENCY_BUCKETS_MS,
+            ),
+            generated: registry.counter(
+                "arp_technique_candidates_total",
+                "Candidate routes generated before filtering.",
+                labels,
+            ),
+            admitted: registry.counter(
+                "arp_technique_admitted_total",
+                "Routes admitted into the returned result set.",
+                labels,
+            ),
+            rejected_bound: rejected("bound"),
+            rejected_duplicate: rejected("duplicate"),
+            rejected_similarity: rejected("similarity"),
+            rejected_non_simple: rejected("non_simple"),
+            rejected_dissimilar: rejected("dissimilar"),
+            rejected_short: rejected("short"),
+            penalty_iterations: registry.counter(
+                "arp_penalty_iterations_total",
+                "Penalized re-search iterations run by the Penalty technique.",
+                labels,
+            ),
+            plateaus_found: registry.counter(
+                "arp_plateau_found_total",
+                "Plateaus discovered in forward/backward tree pairs.",
+                labels,
+            ),
+            search: SearchMetrics::new(registry, labels),
+        }
+    }
+
+    /// Search counters labeled with this technique, to attach to the
+    /// provider's internal workspace.
+    pub fn search(&self) -> &SearchMetrics {
+        &self.search
+    }
+
+    /// Records the funnel of one Penalty call (admitted routes are
+    /// recorded separately from the final result length).
+    pub(crate) fn record_penalty(&self, stats: &PenaltyStats) {
+        self.penalty_iterations.add(stats.iterations);
+        self.generated.add(stats.candidates);
+        self.rejected_bound.add(stats.rejected_bound);
+        self.rejected_duplicate.add(stats.rejected_duplicate);
+        self.rejected_similarity.add(stats.rejected_similarity);
+        self.rejected_non_simple.add(stats.rejected_non_simple);
+    }
+
+    /// Records the funnel of one Plateaus call.
+    pub(crate) fn record_plateau(&self, stats: &PlateauStats) {
+        self.plateaus_found.add(stats.plateaus_found);
+        self.generated.add(stats.candidates);
+        self.rejected_bound.add(stats.rejected_bound);
+        self.rejected_similarity.add(stats.rejected_similarity);
+        self.rejected_non_simple.add(stats.rejected_non_simple);
+        self.rejected_short.add(stats.rejected_short);
+    }
+
+    /// Records the funnel of one Dissimilarity call.
+    pub(crate) fn record_dissimilarity(&self, stats: &DissimilarityStats) {
+        self.generated.add(stats.candidates);
+        self.rejected_duplicate.add(stats.rejected_duplicate);
+        self.rejected_non_simple.add(stats.rejected_non_simple);
+        self.rejected_dissimilar.add(stats.rejected_dissimilar);
+    }
+
+    /// Records the bookkeeping shared by every call: one call, its final
+    /// admitted count, and the elapsed span (via the returned timer).
+    pub(crate) fn begin_call(&self) -> arp_obs::Timer {
+        self.calls.inc();
+        self.latency.start_timer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = SearchStats {
+            heap_pops: 1,
+            settled: 2,
+            relaxed: 3,
+        };
+        a.accumulate(&SearchStats {
+            heap_pops: 10,
+            settled: 20,
+            relaxed: 30,
+        });
+        assert_eq!(
+            a,
+            SearchStats {
+                heap_pops: 11,
+                settled: 22,
+                relaxed: 33
+            }
+        );
+    }
+
+    #[test]
+    fn detached_bundles_record_nothing() {
+        let m = SearchMetrics::default();
+        m.record(&SearchStats {
+            heap_pops: 5,
+            settled: 5,
+            relaxed: 5,
+        });
+        let t = TechniqueMetrics::default();
+        let timer = t.begin_call();
+        assert_eq!(timer.stop_ms(), 0.0);
+    }
+
+    #[test]
+    fn search_metrics_flush_to_registry() {
+        let reg = Registry::new();
+        let m = SearchMetrics::new(&reg, &[("algo", "dijkstra")]);
+        m.record(&SearchStats {
+            heap_pops: 7,
+            settled: 6,
+            relaxed: 20,
+        });
+        m.record(&SearchStats {
+            heap_pops: 3,
+            settled: 3,
+            relaxed: 9,
+        });
+        let labels = &[("algo", "dijkstra")][..];
+        assert_eq!(reg.counter_value("arp_search_queries_total", labels), 2);
+        assert_eq!(
+            reg.counter_value("arp_search_settled_nodes_total", labels),
+            9
+        );
+        assert_eq!(reg.counter_value("arp_search_heap_pops_total", labels), 10);
+        assert_eq!(
+            reg.counter_value("arp_search_relaxed_edges_total", labels),
+            29
+        );
+    }
+}

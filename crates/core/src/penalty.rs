@@ -40,6 +40,23 @@ impl Default for PenaltyOptions {
     }
 }
 
+/// Candidate-funnel counters of one penalty call, for observability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PenaltyStats {
+    /// Penalized re-search iterations actually run (shortest path found).
+    pub iterations: u64,
+    /// Candidate paths generated, including the initial shortest path.
+    pub candidates: u64,
+    /// Candidates rejected for exceeding the stretch bound.
+    pub rejected_bound: u64,
+    /// Candidates rejected as exact duplicates of earlier paths.
+    pub rejected_duplicate: u64,
+    /// Candidates rejected by the similarity filter.
+    pub rejected_similarity: u64,
+    /// Candidates rejected for revisiting a vertex.
+    pub rejected_non_simple: u64,
+}
+
 /// Computes up to `query.k` alternative paths with the penalty method.
 ///
 /// The first returned path is always the true shortest path. Paths are
@@ -67,6 +84,24 @@ pub fn penalty_alternatives_with(
     query: &AltQuery,
     options: &PenaltyOptions,
 ) -> Result<Vec<Path>, CoreError> {
+    let mut stats = PenaltyStats::default();
+    penalty_alternatives_observed(ws, net, weights, source, target, query, options, &mut stats)
+}
+
+/// Like [`penalty_alternatives_with`] but also reporting the candidate
+/// funnel of the call into `stats` (which is reset first).
+#[allow(clippy::too_many_arguments)]
+pub fn penalty_alternatives_observed(
+    ws: &mut SearchSpace,
+    net: &RoadNetwork,
+    weights: &[Weight],
+    source: NodeId,
+    target: NodeId,
+    query: &AltQuery,
+    options: &PenaltyOptions,
+    stats: &mut PenaltyStats,
+) -> Result<Vec<Path>, CoreError> {
+    *stats = PenaltyStats::default();
     if query.k == 0 {
         return Ok(Vec::new());
     }
@@ -75,6 +110,7 @@ pub fn penalty_alternatives_with(
 
     let best = ws.shortest_path(net, weights, source, target)?;
     let bound = query.cost_bound(best.cost_ms);
+    stats.candidates += 1;
 
     let mut accepted: Vec<Path> = Vec::with_capacity(query.k);
     let mut seen: HashSet<Vec<u32>> = HashSet::new();
@@ -90,6 +126,8 @@ pub fn penalty_alternatives_with(
         let Ok(candidate) = ws.shortest_path(net, &overlay, source, target) else {
             break;
         };
+        stats.iterations += 1;
+        stats.candidates += 1;
         // Price on the true weights.
         let true_cost = candidate.cost_under(weights);
         let candidate = Path {
@@ -103,18 +141,22 @@ pub fn penalty_alternatives_with(
             // Everything from here on only gets more expensive in the
             // overlay, but true cost is not monotone; keep trying within
             // the budget only if we are still below the bound by overlay.
+            stats.rejected_bound += 1;
             continue;
         }
         if !seen.insert(candidate.key()) {
+            stats.rejected_duplicate += 1;
             continue;
         }
         if !candidate.is_simple() {
+            stats.rejected_non_simple += 1;
             continue;
         }
         let too_similar = accepted
             .iter()
             .any(|p| similarity(&candidate, p, weights) > options.max_similarity);
         if too_similar {
+            stats.rejected_similarity += 1;
             continue;
         }
         accepted.push(candidate);
@@ -311,6 +353,31 @@ mod tests {
             &PenaltyOptions::default(),
         )
         .is_err());
+    }
+
+    #[test]
+    fn observed_stats_balance_the_funnel() {
+        let net = grid(8);
+        let mut ws = SearchSpace::new(&net);
+        let mut stats = PenaltyStats::default();
+        let paths = penalty_alternatives_observed(
+            &mut ws,
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &AltQuery::paper(),
+            &PenaltyOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(stats.iterations >= 1);
+        assert_eq!(stats.candidates, stats.iterations + 1);
+        let rejected = stats.rejected_bound
+            + stats.rejected_duplicate
+            + stats.rejected_similarity
+            + stats.rejected_non_simple;
+        assert_eq!(stats.candidates, paths.len() as u64 + rejected);
     }
 
     #[test]

@@ -59,6 +59,23 @@ impl Default for PlateauOptions {
     }
 }
 
+/// Candidate-funnel counters of one plateau call, for observability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlateauStats {
+    /// Plateaus discovered in the forward/backward tree pair.
+    pub plateaus_found: u64,
+    /// Plateaus considered as route candidates.
+    pub candidates: u64,
+    /// Candidates rejected for exceeding the stretch bound.
+    pub rejected_bound: u64,
+    /// Candidates rejected as micro-plateaus below the minimum weight.
+    pub rejected_short: u64,
+    /// Completed paths rejected by the similarity filter.
+    pub rejected_similarity: u64,
+    /// Completed paths rejected for revisiting a vertex.
+    pub rejected_non_simple: u64,
+}
+
 /// Finds all plateaus of the tree pair, unsorted.
 pub fn find_plateaus(
     net: &RoadNetwork,
@@ -138,6 +155,24 @@ pub fn plateau_alternatives_with(
     query: &AltQuery,
     options: &PlateauOptions,
 ) -> Result<Vec<Path>, CoreError> {
+    let mut stats = PlateauStats::default();
+    plateau_alternatives_observed(ws, net, weights, source, target, query, options, &mut stats)
+}
+
+/// Like [`plateau_alternatives_with`] but also reporting the candidate
+/// funnel of the call into `stats` (which is reset first).
+#[allow(clippy::too_many_arguments)]
+pub fn plateau_alternatives_observed(
+    ws: &mut SearchSpace,
+    net: &RoadNetwork,
+    weights: &[Weight],
+    source: NodeId,
+    target: NodeId,
+    query: &AltQuery,
+    options: &PlateauOptions,
+    stats: &mut PlateauStats,
+) -> Result<Vec<Path>, CoreError> {
+    *stats = PlateauStats::default();
     if query.k == 0 {
         return Ok(Vec::new());
     }
@@ -154,6 +189,7 @@ pub fn plateau_alternatives_with(
     let min_weight = (best_cost as f64 * options.min_plateau_fraction) as Cost;
 
     let mut plateaus = find_plateaus(net, &fwd, &bwd);
+    stats.plateaus_found = plateaus.len() as u64;
     // Rank plateaus by weight (longest first) — "longer plateaus result in
     // more meaningful alternative paths".
     plateaus.sort_by(|a, b| {
@@ -167,10 +203,13 @@ pub fn plateau_alternatives_with(
         if accepted.len() >= query.k {
             break;
         }
+        stats.candidates += 1;
         if pl.via_cost_ms > bound {
+            stats.rejected_bound += 1;
             continue;
         }
         if pl.weight_ms < min_weight && !accepted.is_empty() {
+            stats.rejected_short += 1;
             continue;
         }
         // Assemble sp(s, start) + plateau + sp(end, t).
@@ -190,12 +229,14 @@ pub fn plateau_alternatives_with(
         debug_assert_eq!(path.source(), source);
         debug_assert_eq!(path.target(), target);
         if !path.is_simple() {
+            stats.rejected_non_simple += 1;
             continue;
         }
         let too_similar = accepted
             .iter()
             .any(|p| similarity(&path, p, weights) > options.max_similarity);
         if too_similar {
+            stats.rejected_similarity += 1;
             continue;
         }
         accepted.push(path);
@@ -389,6 +430,31 @@ mod tests {
         for w in paths.windows(2) {
             assert!(w[0].cost_ms <= w[1].cost_ms);
         }
+    }
+
+    #[test]
+    fn observed_stats_count_plateaus_and_candidates() {
+        let net = grid(8);
+        let mut ws = SearchSpace::new(&net);
+        let mut stats = PlateauStats::default();
+        let paths = plateau_alternatives_observed(
+            &mut ws,
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &AltQuery::paper(),
+            &PlateauOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(stats.plateaus_found >= stats.candidates);
+        assert!(stats.candidates >= paths.len() as u64);
+        let rejected = stats.rejected_bound
+            + stats.rejected_short
+            + stats.rejected_similarity
+            + stats.rejected_non_simple;
+        assert!(stats.candidates >= paths.len() as u64 + rejected);
     }
 
     #[test]

@@ -21,8 +21,10 @@ use arp_roadnet::weight::Weight;
 
 use crate::error::CoreError;
 use crate::filters::{apply_filters, FilterConfig};
-use crate::plateau::{plateau_alternatives, PlateauOptions};
+use crate::metrics::TechniqueMetrics;
+use crate::plateau::{plateau_alternatives_observed, PlateauOptions, PlateauStats};
 use crate::query::{AltQuery, Route};
+use crate::search::SearchSpace;
 
 use super::{AlternativesProvider, ProviderKind};
 
@@ -152,6 +154,8 @@ pub struct GoogleLikeProvider {
     plateau_options: PlateauOptions,
     /// Commercial post-filters (§4.2 limitation #4).
     filters: FilterConfig,
+    /// Per-technique metrics (detached unless attached via `with_metrics`).
+    metrics: TechniqueMetrics,
 }
 
 impl GoogleLikeProvider {
@@ -169,7 +173,15 @@ impl GoogleLikeProvider {
                 min_plateau_fraction: 0.01,
             },
             filters: FilterConfig::commercial(),
+            metrics: TechniqueMetrics::default(),
         }
+    }
+
+    /// Attaches per-technique metrics resolved from `registry`
+    /// (label `technique="google_like"`).
+    pub fn with_metrics(mut self, registry: &arp_obs::Registry) -> Self {
+        self.metrics = TechniqueMetrics::new(registry, ProviderKind::GoogleLike.slug());
+        self
     }
 
     /// The provider's private travel-time table (for experiments that need
@@ -193,21 +205,37 @@ impl AlternativesProvider for GoogleLikeProvider {
         query: &AltQuery,
     ) -> Result<Vec<Route>, CoreError> {
         if self.private_weights.len() != net.num_edges() {
+            self.metrics.errors.inc();
             return Err(CoreError::WeightLengthMismatch {
                 expected: net.num_edges(),
                 got: self.private_weights.len(),
             });
         }
+        let _timer = self.metrics.begin_call();
+        let mut ws = SearchSpace::new(net);
+        ws.set_metrics(self.metrics.search().clone());
         // Optimize on the PRIVATE data…
-        let paths = plateau_alternatives(
+        let mut stats = PlateauStats::default();
+        let result = plateau_alternatives_observed(
+            &mut ws,
             net,
             &self.private_weights,
             source,
             target,
             query,
             &self.plateau_options,
-        )?;
+            &mut stats,
+        );
+        self.metrics.record_plateau(&stats);
+        let paths = match result {
+            Ok(paths) => paths,
+            Err(e) => {
+                self.metrics.errors.inc();
+                return Err(e);
+            }
+        };
         let paths = apply_filters(net, &self.private_weights, paths, query.k, &self.filters);
+        self.metrics.admitted.add(paths.len() as u64);
         // …but report routes priced on the public data, like the paper's
         // query processor does for Google's routes.
         Ok(paths

@@ -8,15 +8,20 @@
 
 pub mod google_like;
 
+use arp_obs::Registry;
 use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::ids::NodeId;
 use arp_roadnet::weight::Weight;
 
-use crate::dissimilarity::{dissimilarity_alternatives, DissimilarityOptions};
+use crate::dissimilarity::{
+    dissimilarity_alternatives_observed, DissimilarityOptions, DissimilarityStats,
+};
 use crate::error::CoreError;
-use crate::penalty::{penalty_alternatives, PenaltyOptions};
-use crate::plateau::{plateau_alternatives, PlateauOptions};
+use crate::metrics::TechniqueMetrics;
+use crate::penalty::{penalty_alternatives_observed, PenaltyOptions, PenaltyStats};
+use crate::plateau::{plateau_alternatives_observed, PlateauOptions, PlateauStats};
 use crate::query::{AltQuery, Route};
+use crate::search::SearchSpace;
 
 pub use google_like::{GoogleLikeProvider, TrafficModel};
 
@@ -53,6 +58,16 @@ impl ProviderKind {
             ProviderKind::Penalty => "Penalty",
         }
     }
+
+    /// Stable lowercase identifier used as the `technique` metric label.
+    pub fn slug(self) -> &'static str {
+        match self {
+            ProviderKind::GoogleLike => "google_like",
+            ProviderKind::Plateaus => "plateaus",
+            ProviderKind::Dissimilarity => "dissimilarity",
+            ProviderKind::Penalty => "penalty",
+        }
+    }
 }
 
 impl std::fmt::Display for ProviderKind {
@@ -86,6 +101,16 @@ pub trait AlternativesProvider: Send + Sync {
 pub struct PlateauProvider {
     /// Algorithm options.
     pub options: PlateauOptions,
+    metrics: TechniqueMetrics,
+}
+
+impl PlateauProvider {
+    /// Attaches per-technique metrics resolved from `registry`
+    /// (label `technique="plateaus"`).
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = TechniqueMetrics::new(registry, ProviderKind::Plateaus.slug());
+        self
+    }
 }
 
 impl AlternativesProvider for PlateauProvider {
@@ -101,8 +126,29 @@ impl AlternativesProvider for PlateauProvider {
         target: NodeId,
         query: &AltQuery,
     ) -> Result<Vec<Route>, CoreError> {
-        let paths =
-            plateau_alternatives(net, public_weights, source, target, query, &self.options)?;
+        let _timer = self.metrics.begin_call();
+        let mut ws = SearchSpace::new(net);
+        ws.set_metrics(self.metrics.search().clone());
+        let mut stats = PlateauStats::default();
+        let result = plateau_alternatives_observed(
+            &mut ws,
+            net,
+            public_weights,
+            source,
+            target,
+            query,
+            &self.options,
+            &mut stats,
+        );
+        self.metrics.record_plateau(&stats);
+        let paths = match result {
+            Ok(paths) => paths,
+            Err(e) => {
+                self.metrics.errors.inc();
+                return Err(e);
+            }
+        };
+        self.metrics.admitted.add(paths.len() as u64);
         Ok(paths
             .into_iter()
             .map(|p| Route::new(p, public_weights))
@@ -115,6 +161,16 @@ impl AlternativesProvider for PlateauProvider {
 pub struct PenaltyProvider {
     /// Algorithm options.
     pub options: PenaltyOptions,
+    metrics: TechniqueMetrics,
+}
+
+impl PenaltyProvider {
+    /// Attaches per-technique metrics resolved from `registry`
+    /// (label `technique="penalty"`).
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = TechniqueMetrics::new(registry, ProviderKind::Penalty.slug());
+        self
+    }
 }
 
 impl AlternativesProvider for PenaltyProvider {
@@ -130,8 +186,29 @@ impl AlternativesProvider for PenaltyProvider {
         target: NodeId,
         query: &AltQuery,
     ) -> Result<Vec<Route>, CoreError> {
-        let paths =
-            penalty_alternatives(net, public_weights, source, target, query, &self.options)?;
+        let _timer = self.metrics.begin_call();
+        let mut ws = SearchSpace::new(net);
+        ws.set_metrics(self.metrics.search().clone());
+        let mut stats = PenaltyStats::default();
+        let result = penalty_alternatives_observed(
+            &mut ws,
+            net,
+            public_weights,
+            source,
+            target,
+            query,
+            &self.options,
+            &mut stats,
+        );
+        self.metrics.record_penalty(&stats);
+        let paths = match result {
+            Ok(paths) => paths,
+            Err(e) => {
+                self.metrics.errors.inc();
+                return Err(e);
+            }
+        };
+        self.metrics.admitted.add(paths.len() as u64);
         Ok(paths
             .into_iter()
             .map(|p| Route::new(p, public_weights))
@@ -144,6 +221,16 @@ impl AlternativesProvider for PenaltyProvider {
 pub struct DissimilarityProvider {
     /// Algorithm options.
     pub options: DissimilarityOptions,
+    metrics: TechniqueMetrics,
+}
+
+impl DissimilarityProvider {
+    /// Attaches per-technique metrics resolved from `registry`
+    /// (label `technique="dissimilarity"`).
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = TechniqueMetrics::new(registry, ProviderKind::Dissimilarity.slug());
+        self
+    }
 }
 
 impl AlternativesProvider for DissimilarityProvider {
@@ -159,8 +246,29 @@ impl AlternativesProvider for DissimilarityProvider {
         target: NodeId,
         query: &AltQuery,
     ) -> Result<Vec<Route>, CoreError> {
-        let paths =
-            dissimilarity_alternatives(net, public_weights, source, target, query, &self.options)?;
+        let _timer = self.metrics.begin_call();
+        let mut ws = SearchSpace::new(net);
+        ws.set_metrics(self.metrics.search().clone());
+        let mut stats = DissimilarityStats::default();
+        let result = dissimilarity_alternatives_observed(
+            &mut ws,
+            net,
+            public_weights,
+            source,
+            target,
+            query,
+            &self.options,
+            &mut stats,
+        );
+        self.metrics.record_dissimilarity(&stats);
+        let paths = match result {
+            Ok(paths) => paths,
+            Err(e) => {
+                self.metrics.errors.inc();
+                return Err(e);
+            }
+        };
+        self.metrics.admitted.add(paths.len() as u64);
         Ok(paths
             .into_iter()
             .map(|p| Route::new(p, public_weights))
@@ -176,6 +284,23 @@ pub fn standard_providers(net: &RoadNetwork, seed: u64) -> Vec<Box<dyn Alternati
         Box::new(PlateauProvider::default()),
         Box::new(DissimilarityProvider::default()),
         Box::new(PenaltyProvider::default()),
+    ]
+}
+
+/// Like [`standard_providers`] but with every provider recording per-call
+/// metrics (calls, latency, candidate funnel, search counters) into
+/// `registry` under its `technique` label. Passing
+/// [`Registry::disabled()`] yields exactly [`standard_providers`].
+pub fn instrumented_providers(
+    net: &RoadNetwork,
+    seed: u64,
+    registry: &Registry,
+) -> Vec<Box<dyn AlternativesProvider>> {
+    vec![
+        Box::new(GoogleLikeProvider::new(net, seed).with_metrics(registry)),
+        Box::new(PlateauProvider::default().with_metrics(registry)),
+        Box::new(DissimilarityProvider::default().with_metrics(registry)),
+        Box::new(PenaltyProvider::default().with_metrics(registry)),
     ]
 }
 
@@ -241,6 +366,62 @@ mod tests {
                 assert_eq!(r.public_cost_ms, r.path.cost_under(net.weights()));
             }
         }
+    }
+
+    #[test]
+    fn instrumented_providers_record_calls_and_search_work() {
+        let net = grid(8);
+        let reg = Registry::new();
+        let providers = instrumented_providers(&net, 42, &reg);
+        let q = AltQuery::paper();
+        for p in &providers {
+            p.alternatives(&net, net.weights(), NodeId(0), NodeId(63), &q)
+                .unwrap();
+        }
+        for kind in ProviderKind::ALL {
+            let labels = &[("technique", kind.slug())][..];
+            assert_eq!(
+                reg.counter_value("arp_technique_calls_total", labels),
+                1,
+                "{kind}"
+            );
+            assert!(
+                reg.counter_value("arp_search_settled_nodes_total", labels) > 0,
+                "{kind} recorded no search work"
+            );
+            assert!(
+                reg.counter_value("arp_search_heap_pops_total", labels) > 0,
+                "{kind} recorded no heap pops"
+            );
+            assert_eq!(reg.counter_value("arp_technique_errors_total", labels), 0);
+        }
+        // Technique-specific internals fired too.
+        assert!(
+            reg.counter_value(
+                "arp_penalty_iterations_total",
+                &[("technique", "penalty")]
+            ) > 0
+        );
+        assert!(
+            reg.counter_value("arp_plateau_found_total", &[("technique", "plateaus")]) > 0
+        );
+        // The whole store renders as Prometheus text.
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE arp_technique_latency_ms histogram"));
+        assert!(text.contains(r#"arp_technique_calls_total{technique="penalty"} 1"#));
+    }
+
+    #[test]
+    fn uninstrumented_providers_record_nothing() {
+        let net = grid(6);
+        let providers = standard_providers(&net, 7);
+        let q = AltQuery::paper();
+        for p in &providers {
+            p.alternatives(&net, net.weights(), NodeId(0), NodeId(35), &q)
+                .unwrap();
+        }
+        // Nothing to assert against a registry — the point is simply that
+        // the detached path works and stays panic-free.
     }
 
     #[test]

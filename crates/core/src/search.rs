@@ -16,6 +16,7 @@ use arp_roadnet::ids::{EdgeId, NodeId};
 use arp_roadnet::weight::{Cost, Weight, INFINITY};
 
 use crate::error::CoreError;
+use crate::metrics::{SearchMetrics, SearchStats};
 use crate::path::Path;
 
 /// Search direction.
@@ -97,6 +98,8 @@ pub struct SearchSpace {
     stamp: Vec<u32>,
     generation: u32,
     heap: BinaryHeap<Reverse<HeapEntry>>,
+    stats: SearchStats,
+    metrics: SearchMetrics,
 }
 
 impl SearchSpace {
@@ -108,10 +111,24 @@ impl SearchSpace {
             stamp: vec![0; net.num_nodes()],
             generation: 0,
             heap: BinaryHeap::new(),
+            stats: SearchStats::default(),
+            metrics: SearchMetrics::default(),
         }
     }
 
+    /// Attaches pre-resolved counters; every subsequent query flushes its
+    /// [`SearchStats`] into them. The default (detached) bundle is free.
+    pub fn set_metrics(&mut self, metrics: SearchMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// Work counters of the most recently completed query.
+    pub fn last_stats(&self) -> SearchStats {
+        self.stats
+    }
+
     fn begin(&mut self, net: &RoadNetwork) {
+        self.stats = SearchStats::default();
         if self.dist.len() != net.num_nodes() {
             self.dist = vec![INFINITY; net.num_nodes()];
             self.parent = vec![EdgeId::INVALID; net.num_nodes()];
@@ -181,13 +198,16 @@ impl SearchSpace {
         self.heap.push(Reverse(HeapEntry(0, source.0)));
 
         while let Some(Reverse(HeapEntry(d, v))) = self.heap.pop() {
+            self.stats.heap_pops += 1;
             if d > self.get_dist(v) {
                 continue; // stale entry
             }
+            self.stats.settled += 1;
             if v == target.0 {
                 break;
             }
             for e in net.out_edges(NodeId(v)) {
+                self.stats.relaxed += 1;
                 let w = weights[e.index()] as Cost;
                 let head = net.head(e).0;
                 let nd = d + w;
@@ -197,6 +217,7 @@ impl SearchSpace {
                 }
             }
         }
+        self.metrics.record(&self.stats);
 
         if self.get_dist(target.0) == INFINITY {
             return Err(CoreError::Unreachable { source, target });
@@ -242,12 +263,15 @@ impl SearchSpace {
         self.heap.push(Reverse(HeapEntry(0, root.0)));
 
         while let Some(Reverse(HeapEntry(d, v))) = self.heap.pop() {
+            self.stats.heap_pops += 1;
             if d > self.get_dist(v) {
                 continue;
             }
+            self.stats.settled += 1;
             match direction {
                 Direction::Forward => {
                     for e in net.out_edges(NodeId(v)) {
+                        self.stats.relaxed += 1;
                         let nd = d + weights[e.index()] as Cost;
                         let head = net.head(e).0;
                         if nd < self.get_dist(head) {
@@ -258,6 +282,7 @@ impl SearchSpace {
                 }
                 Direction::Backward => {
                     for e in net.in_edges(NodeId(v)) {
+                        self.stats.relaxed += 1;
                         let nd = d + weights[e.index()] as Cost;
                         let tail = net.tail(e).0;
                         if nd < self.get_dist(tail) {
@@ -268,6 +293,7 @@ impl SearchSpace {
                 }
             }
         }
+        self.metrics.record(&self.stats);
 
         // Materialize dense arrays for the tree.
         let n = net.num_nodes();
@@ -312,11 +338,14 @@ impl SearchSpace {
         self.heap.push(Reverse(HeapEntry(h(source), source.0)));
 
         while let Some(Reverse(HeapEntry(_, v))) = self.heap.pop() {
+            self.stats.heap_pops += 1;
+            self.stats.settled += 1;
             if v == target.0 {
                 break;
             }
             let d = self.get_dist(v);
             for e in net.out_edges(NodeId(v)) {
+                self.stats.relaxed += 1;
                 let nd = d + weights[e.index()] as Cost;
                 let head = net.head(e).0;
                 if nd < self.get_dist(head) {
@@ -326,6 +355,7 @@ impl SearchSpace {
                 }
             }
         }
+        self.metrics.record(&self.stats);
 
         if self.get_dist(target.0) == INFINITY {
             return Err(CoreError::Unreachable { source, target });
@@ -573,5 +603,38 @@ mod tests {
         let net = grid(3);
         let p = shortest_path(&net, net.weights(), NodeId(0), NodeId(8)).unwrap();
         assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn stats_count_search_work() {
+        let net = grid(4);
+        let mut ws = SearchSpace::new(&net);
+        ws.shortest_path(&net, net.weights(), NodeId(0), NodeId(15))
+            .unwrap();
+        let s = ws.last_stats();
+        assert!(s.settled > 0);
+        assert!(s.settled <= s.heap_pops);
+        // Every settled vertex except the source was reached via an edge.
+        assert!(s.relaxed + 1 >= s.settled);
+    }
+
+    #[test]
+    fn attached_metrics_accumulate_across_queries() {
+        let net = grid(4);
+        let reg = arp_obs::Registry::new();
+        let mut ws = SearchSpace::new(&net);
+        ws.set_metrics(crate::metrics::SearchMetrics::new(
+            &reg,
+            &[("algo", "dijkstra")],
+        ));
+        ws.shortest_path(&net, net.weights(), NodeId(0), NodeId(15))
+            .unwrap();
+        ws.shortest_path(&net, net.weights(), NodeId(15), NodeId(0))
+            .unwrap();
+        let labels = &[("algo", "dijkstra")][..];
+        assert_eq!(reg.counter_value("arp_search_queries_total", labels), 2);
+        assert!(reg.counter_value("arp_search_settled_nodes_total", labels) > 0);
+        assert!(reg.counter_value("arp_search_heap_pops_total", labels) > 0);
+        assert!(reg.counter_value("arp_search_relaxed_edges_total", labels) > 0);
     }
 }

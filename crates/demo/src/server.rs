@@ -8,7 +8,13 @@
 //! * `POST /api/route`    — `{slon, slat, tlon, tlat}` → blinded routes,
 //! * `POST /api/rate`     — `{a, b, c, d, resident, fastest_minutes, comment}`,
 //! * `GET  /api/results`  — per-label rating summaries,
-//! * `GET  /api/results.csv` — the raw response CSV.
+//! * `GET  /api/results.csv` — the raw response CSV,
+//! * `GET  /api/metrics`  — Prometheus text exposition of every counter
+//!   and histogram in the processor's [`arp_obs::Registry`].
+//!
+//! Every request increments `arp_http_requests_total{endpoint,status}` and
+//! feeds `arp_http_request_latency_ms{endpoint}`; unknown paths share the
+//! `other` endpoint label so cardinality stays bounded.
 //!
 //! The request handler is a pure function over `(method, path, body)` so
 //! tests exercise the full API without sockets; `serve` adds the TCP loop.
@@ -17,6 +23,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 
+use arp_obs::{Registry, DEFAULT_LATENCY_BUCKETS_MS};
 use arp_roadnet::geo::Point;
 
 use crate::error::DemoError;
@@ -61,19 +68,64 @@ pub struct DemoApp {
     pub processor: QueryProcessor,
     /// The feedback store.
     pub store: ResponseStore,
+    /// Shared metrics registry (cloned from the processor's, so HTTP and
+    /// technique metrics land in one exposition).
+    registry: Registry,
 }
 
 impl DemoApp {
-    /// Builds the app for a processor.
+    /// Builds the app for a processor, sharing its metrics registry.
     pub fn new(processor: QueryProcessor) -> DemoApp {
+        let registry = processor.registry().clone();
         DemoApp {
             processor,
             store: ResponseStore::new(),
+            registry,
         }
     }
 
-    /// Dispatches one request.
+    /// Maps a request to its bounded-cardinality `endpoint` label.
+    fn endpoint_label(method: &str, path: &str) -> &'static str {
+        match (method, path) {
+            ("GET", "/") => "index",
+            ("GET", "/api/meta") => "meta",
+            ("GET", "/api/network") => "network",
+            ("POST", "/api/route") => "route",
+            ("POST", "/api/rate") => "rate",
+            ("GET", "/api/results") => "results",
+            ("GET", "/api/results.csv") => "results_csv",
+            ("GET", "/api/metrics") => "metrics",
+            _ => "other",
+        }
+    }
+
+    /// Dispatches one request, recording the request count (by endpoint
+    /// and status) and handling latency into the shared registry.
     pub fn handle(&self, method: &str, path: &str, body: &str) -> HttpResponse {
+        let endpoint = Self::endpoint_label(method, path);
+        let timer = self
+            .registry
+            .histogram(
+                "arp_http_request_latency_ms",
+                "Wall-clock time handling one HTTP request, in milliseconds.",
+                &[("endpoint", endpoint)],
+                &DEFAULT_LATENCY_BUCKETS_MS,
+            )
+            .start_timer();
+        let resp = self.dispatch(method, path, body);
+        drop(timer);
+        self.registry
+            .counter(
+                "arp_http_requests_total",
+                "HTTP requests served, by endpoint and status code.",
+                &[("endpoint", endpoint), ("status", &resp.status.to_string())],
+            )
+            .inc();
+        resp
+    }
+
+    /// Routes one request to its endpoint handler.
+    fn dispatch(&self, method: &str, path: &str, body: &str) -> HttpResponse {
         match (method, path) {
             ("GET", "/") => HttpResponse {
                 status: 200,
@@ -89,6 +141,11 @@ impl DemoApp {
                 status: 200,
                 content_type: "text/csv",
                 body: self.store.to_csv(),
+            },
+            ("GET", "/api/metrics") => HttpResponse {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: self.registry.render_prometheus(),
             },
             ("GET", _) | ("POST", _) => {
                 HttpResponse::error(404, format!("no such endpoint {path}"))
@@ -453,6 +510,73 @@ mod tests {
             400
         );
         assert_eq!(app.handle("POST", "/api/rate", r#"{"a": 3}"#).status, 400);
+    }
+
+    #[test]
+    fn metrics_endpoint_exposes_prometheus_text() {
+        let app = app();
+        let ok = app.handle("POST", "/api/route", &route_body(&app));
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        app.handle("GET", "/nope", "");
+
+        let resp = app.handle("GET", "/api/metrics", "");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "text/plain; version=0.0.4");
+        let body = &resp.body;
+
+        // HTTP request metrics from the two calls above.
+        assert!(
+            body.contains(r#"arp_http_requests_total{endpoint="route",status="200"} 1"#),
+            "{body}"
+        );
+        assert!(
+            body.contains(r#"arp_http_requests_total{endpoint="other",status="404"} 1"#),
+            "{body}"
+        );
+        assert!(body.contains("# TYPE arp_http_requests_total counter"));
+        assert!(body.contains("# TYPE arp_http_request_latency_ms histogram"));
+        assert!(
+            body.contains(r#"arp_http_request_latency_ms_bucket{endpoint="route",le="+Inf"} 1"#),
+            "{body}"
+        );
+
+        // Technique metrics flowed through the shared registry.
+        for technique in ["google_like", "plateaus", "dissimilarity", "penalty"] {
+            assert!(
+                body.contains(&format!(
+                    r#"arp_technique_calls_total{{technique="{technique}"}} 1"#
+                )),
+                "{technique}: {body}"
+            );
+        }
+        assert!(body.contains("arp_search_settled_nodes_total{"), "{body}");
+
+        // Valid exposition: every line is a HELP/TYPE comment or a sample
+        // whose last token parses as a number.
+        for line in body.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment: {line}"
+                );
+            } else {
+                let (_, value) = line.rsplit_once(' ').expect("sample line");
+                assert!(value.parse::<f64>().is_ok(), "bad value in {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_endpoint_counts_itself_on_later_scrapes() {
+        let app = app();
+        app.handle("GET", "/api/metrics", "");
+        let resp = app.handle("GET", "/api/metrics", "");
+        assert!(
+            resp.body
+                .contains(r#"arp_http_requests_total{endpoint="metrics",status="200"} 1"#),
+            "{}",
+            resp.body
+        );
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! The recording instruments: counters, gauges, histograms and timers.
+//!
+//! Each instrument is a cheap cloneable handle around an `Option<Arc<_>>`:
+//! `Some` when obtained from an enabled [`crate::Registry`], `None` when
+//! the registry is disabled (every operation is then a no-op). All
+//! recording uses relaxed atomics — the instruments are monotone
+//! accumulators read at scrape time, not synchronization primitives.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fixed-point scale used to accumulate histogram sums in an integer
+/// atomic: 1 unit = 1e-6 of the observed value (for millisecond
+/// observations this is a nanosecond).
+const SUM_SCALE: f64 = 1_000_000.0;
+
+/// A monotonically increasing counter.
+///
+/// Cloning shares the underlying cell. The `Default` handle is detached
+/// (no-op), matching what [`crate::Registry::disabled()`] hands out.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    pub(crate) cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a detached handle).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, stored rows).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    pub(crate) cell: Option<Arc<AtomicI64>>,
+}
+
+impl Gauge {
+    /// Sets the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a detached handle).
+    pub fn get(&self) -> i64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared state of a histogram: fixed bucket upper bounds plus atomic
+/// per-bucket counts, total count and fixed-point sum.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Finite bucket upper bounds, ascending; `+Inf` is implicit.
+    pub(crate) bounds: Vec<f64>,
+    /// Non-cumulative per-bound counts, one per entry of `bounds`.
+    pub(crate) buckets: Vec<AtomicU64>,
+    /// Observations above the last finite bound (the `+Inf` bucket).
+    pub(crate) overflow: AtomicU64,
+    /// Total number of observations.
+    pub(crate) count: AtomicU64,
+    /// Sum of observed values in fixed-point [`SUM_SCALE`] units.
+    pub(crate) sum_fixed: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new(bounds: &[f64]) -> HistogramCore {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
+        bounds.dedup();
+        let buckets = bounds.iter().map(|_| AtomicU64::new(0)).collect();
+        HistogramCore {
+            bounds,
+            buckets,
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_fixed: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn sum(&self) -> f64 {
+        self.sum_fixed.load(Ordering::Relaxed) as f64 / SUM_SCALE
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs, ending with `(+Inf, count)`.
+    pub(crate) fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        let mut out = Vec::with_capacity(self.bounds.len() + 1);
+        for (bound, bucket) in self.bounds.iter().zip(&self.buckets) {
+            cum += bucket.load(Ordering::Relaxed);
+            out.push((*bound, cum));
+        }
+        cum += self.overflow.load(Ordering::Relaxed);
+        out.push((f64::INFINITY, cum));
+        out
+    }
+}
+
+/// A fixed-bucket histogram, typically of latencies in milliseconds.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    pub(crate) core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let Some(core) = &self.core else {
+            return;
+        };
+        match core
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .map(|i| &core.buckets[i])
+        {
+            Some(bucket) => bucket.fetch_add(1, Ordering::Relaxed),
+            None => core.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        core.count.fetch_add(1, Ordering::Relaxed);
+        let fixed = (value.max(0.0) * SUM_SCALE).round() as u64;
+        core.sum_fixed.fetch_add(fixed, Ordering::Relaxed);
+    }
+
+    /// Total number of observations (0 for a detached handle).
+    pub fn count(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all observed values (0.0 for a detached handle).
+    pub fn sum(&self) -> f64 {
+        self.core.as_ref().map_or(0.0, |c| c.sum())
+    }
+
+    /// Starts a span timer that records the elapsed wall-clock time, in
+    /// milliseconds, into this histogram when dropped (or stopped).
+    ///
+    /// On a detached handle the timer never reads the clock, keeping the
+    /// disabled path free of syscalls.
+    pub fn start_timer(&self) -> Timer {
+        Timer {
+            hist: self.clone(),
+            start: self.core.is_some().then(Instant::now),
+        }
+    }
+}
+
+/// A span timer for stage-level latency breakdowns.
+///
+/// Obtained from [`Histogram::start_timer`]; records elapsed milliseconds
+/// into the histogram on drop. Use [`Timer::stop_ms`] to record early and
+/// read the measurement.
+#[derive(Debug)]
+pub struct Timer {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Stops the span now, records it, and returns the elapsed
+    /// milliseconds (0.0 if the timer was detached).
+    pub fn stop_ms(mut self) -> f64 {
+        self.record()
+    }
+
+    /// Discards the span without recording (e.g. on an error path that
+    /// should not pollute the latency distribution).
+    pub fn discard(mut self) {
+        self.start = None;
+    }
+
+    fn record(&mut self) -> f64 {
+        let Some(start) = self.start.take() else {
+            return 0.0;
+        };
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        self.hist.observe(ms);
+        ms
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn detached_instruments_are_noops() {
+        let c = Counter::default();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::default();
+        h.observe(1.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.start_timer().stop_ms(), 0.0);
+    }
+
+    #[test]
+    fn counter_and_gauge_accumulate() {
+        let reg = Registry::new();
+        let c = reg.counter("c_total", "", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // A second resolution of the same key shares the cell.
+        assert_eq!(reg.counter("c_total", "", &[]).get(), 5);
+
+        let g = reg.gauge("g", "", &[]);
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let reg = Registry::new();
+        let h = reg.histogram("h_ms", "", &[], &[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.9, 5.0, 50.0, 5000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 5056.4).abs() < 1e-6);
+        let core = h.core.as_ref().unwrap();
+        let cum = core.cumulative_buckets();
+        assert_eq!(cum.len(), 4);
+        assert_eq!(cum[0], (1.0, 2));
+        assert_eq!(cum[1], (10.0, 3));
+        assert_eq!(cum[2], (100.0, 4));
+        assert_eq!(cum[3].1, 5); // +Inf
+    }
+
+    #[test]
+    fn unsorted_bounds_are_normalized() {
+        let reg = Registry::new();
+        let h = reg.histogram("h2_ms", "", &[], &[100.0, 1.0, f64::INFINITY, 1.0]);
+        let core = h.core.as_ref().unwrap();
+        assert_eq!(core.bounds, vec![1.0, 100.0]);
+    }
+
+    #[test]
+    fn timer_records_into_histogram() {
+        let reg = Registry::new();
+        let h = reg.histogram("t_ms", "", &[], &[1e9]);
+        let ms = h.start_timer().stop_ms();
+        assert!(ms >= 0.0);
+        assert_eq!(h.count(), 1);
+        {
+            let _t = h.start_timer(); // records on drop
+        }
+        assert_eq!(h.count(), 2);
+        h.start_timer().discard();
+        assert_eq!(h.count(), 2);
+    }
+}

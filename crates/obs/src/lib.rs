@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+//! # arp-obs
+//!
+//! Dependency-free observability for the alternative-route-planning
+//! workspace: atomic [`Counter`]s, [`Gauge`]s, fixed-bucket latency
+//! [`Histogram`]s and a lightweight span [`Timer`], all owned by a
+//! global-free [`Registry`] handle that renders the
+//! [Prometheus text exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/)
+//! by pure string formatting.
+//!
+//! The layer is **opt-in**: a [`Registry::disabled()`] handle hands out
+//! no-op instruments whose operations compile down to a branch on a
+//! `None`, so un-instrumented call sites pay nothing measurable. An
+//! enabled registry hands out handles backed by shared atomics; recording
+//! is lock-free (the registry's interior mutex is touched only at
+//! registration and render time).
+//!
+//! ```
+//! use arp_obs::{Registry, DEFAULT_LATENCY_BUCKETS_MS};
+//!
+//! let registry = Registry::new();
+//!
+//! // Instruments are resolved once (cheap lock) and then recorded on
+//! // freely (lock-free). Same (name, labels) -> same underlying cell.
+//! let queries = registry.counter(
+//!     "arp_search_queries_total",
+//!     "Shortest-path queries answered.",
+//!     &[("technique", "penalty")],
+//! );
+//! let latency = registry.histogram(
+//!     "arp_technique_latency_ms",
+//!     "Per-call technique latency in milliseconds.",
+//!     &[("technique", "penalty")],
+//!     &DEFAULT_LATENCY_BUCKETS_MS,
+//! );
+//!
+//! {
+//!     let _timer = latency.start_timer(); // records on drop
+//!     queries.inc();
+//! }
+//!
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("# TYPE arp_search_queries_total counter"));
+//! assert!(text.contains(r#"arp_search_queries_total{technique="penalty"} 1"#));
+//! assert!(text.contains(r#"arp_technique_latency_ms_bucket{technique="penalty",le="+Inf"} 1"#));
+//!
+//! // A disabled registry is free: handles work but record nothing.
+//! let off = Registry::disabled();
+//! off.counter("ignored_total", "", &[]).inc();
+//! assert_eq!(off.render_prometheus(), "");
+//! ```
+
+pub mod instruments;
+pub mod registry;
+pub mod render;
+
+pub use instruments::{Counter, Gauge, Histogram, Timer};
+pub use registry::{Registry, Sample, SampleValue};
+
+/// Default latency histogram bucket upper bounds, in **milliseconds**.
+///
+/// Spans sub-millisecond single searches up to multi-second cold requests;
+/// an implicit `+Inf` bucket is always appended by the histogram itself.
+/// Documented in DESIGN.md §7 — change them there too.
+pub const DEFAULT_LATENCY_BUCKETS_MS: [f64; 14] = [
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 2500.0,
+];

@@ -1,0 +1,311 @@
+//! The metric registry: named families, labeled series, snapshots.
+//!
+//! A [`Registry`] is a cheap cloneable handle; clones share the same
+//! metric store. There is deliberately no global/default registry — every
+//! instrumented component receives its registry explicitly, so tests and
+//! parallel experiments never share state by accident.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64};
+use std::sync::{Arc, Mutex};
+
+use crate::instruments::{Counter, Gauge, Histogram, HistogramCore};
+
+/// What kind of metric a family is (drives the `# TYPE` line).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// Per-family metadata: help text and kind, shared by all label series.
+#[derive(Clone, Debug)]
+pub(crate) struct Family {
+    pub(crate) help: String,
+    pub(crate) kind: MetricKind,
+}
+
+/// One registered series cell.
+#[derive(Clone, Debug)]
+pub(crate) enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+/// Sorted `(key, value)` label pairs identifying a series within a family.
+pub(crate) type LabelSet = Vec<(String, String)>;
+
+#[derive(Debug, Default)]
+pub(crate) struct Inner {
+    pub(crate) families: Mutex<BTreeMap<String, Family>>,
+    pub(crate) series: Mutex<BTreeMap<(String, LabelSet), Cell>>,
+}
+
+/// A global-free handle to a metric store.
+///
+/// Cloning shares the store; [`Registry::disabled()`] (also the `Default`)
+/// is a no-op handle whose instruments record nothing, so instrumentation
+/// can be threaded unconditionally and switched on per call site.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+/// One rendered series in a [`Registry::samples`] snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Family name, e.g. `arp_search_settled_nodes_total`.
+    pub name: String,
+    /// Sorted label pairs, e.g. `[("technique", "penalty")]`.
+    pub labels: Vec<(String, String)>,
+    /// Current value.
+    pub value: SampleValue,
+}
+
+/// The value of a [`Sample`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SampleValue {
+    /// Monotone counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state: total count, sum of observations, and cumulative
+    /// `(upper_bound, count)` buckets ending with `+Inf`.
+    Histogram {
+        /// Total number of observations.
+        count: u64,
+        /// Sum of all observed values.
+        sum: f64,
+        /// Cumulative buckets, last entry has bound `+Inf`.
+        buckets: Vec<(f64, u64)>,
+    },
+}
+
+impl Registry {
+    /// An enabled registry with an empty store.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A disabled registry: hands out no-op instruments, renders nothing.
+    pub fn disabled() -> Registry {
+        Registry { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn normalize(labels: &[(&str, &str)]) -> LabelSet {
+        let mut set: LabelSet = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        set.sort();
+        set
+    }
+
+    /// Registers the family (first writer wins on help text) and returns
+    /// the cell for `(name, labels)`, creating it with `make` if new.
+    /// Returns `None` when the key already exists with a different kind —
+    /// a programming error surfaced by `debug_assert` and, in release, by
+    /// handing back a detached instrument.
+    fn resolve(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Cell,
+    ) -> Option<Cell> {
+        let inner = self.inner.as_ref()?;
+        {
+            let mut families = inner.families.lock().expect("obs families poisoned");
+            let family = families.entry(name.to_string()).or_insert_with(|| Family {
+                help: help.to_string(),
+                kind,
+            });
+            if family.kind != kind {
+                debug_assert!(false, "metric {name:?} re-registered with a different kind");
+                return None;
+            }
+        }
+        let key = (name.to_string(), Self::normalize(labels));
+        let mut series = inner.series.lock().expect("obs series poisoned");
+        Some(series.entry(key).or_insert_with(make).clone())
+    }
+
+    /// A counter for `(name, labels)`; repeated calls share the cell.
+    ///
+    /// By convention counter names end in `_total`.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let cell = self.resolve(name, help, labels, MetricKind::Counter, || {
+            Cell::Counter(Arc::new(AtomicU64::new(0)))
+        });
+        match cell {
+            Some(Cell::Counter(cell)) => Counter { cell: Some(cell) },
+            _ => Counter::default(),
+        }
+    }
+
+    /// A gauge for `(name, labels)`; repeated calls share the cell.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let cell = self.resolve(name, help, labels, MetricKind::Gauge, || {
+            Cell::Gauge(Arc::new(AtomicI64::new(0)))
+        });
+        match cell {
+            Some(Cell::Gauge(cell)) => Gauge { cell: Some(cell) },
+            _ => Gauge::default(),
+        }
+    }
+
+    /// A histogram for `(name, labels)` with the given finite bucket upper
+    /// bounds (`+Inf` is implicit; bounds are sorted and deduplicated).
+    /// The first registration of a series fixes its buckets.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        let cell = self.resolve(name, help, labels, MetricKind::Histogram, || {
+            Cell::Histogram(Arc::new(HistogramCore::new(bounds)))
+        });
+        match cell {
+            Some(Cell::Histogram(core)) => Histogram { core: Some(core) },
+            _ => Histogram::default(),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered series, sorted by
+    /// `(name, labels)` — the programmatic twin of
+    /// [`Registry::render_prometheus`], used by `repro_perf` to print its
+    /// per-technique tables.
+    pub fn samples(&self) -> Vec<Sample> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let series = inner.series.lock().expect("obs series poisoned");
+        series
+            .iter()
+            .map(|((name, labels), cell)| Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match cell {
+                    Cell::Counter(c) => {
+                        SampleValue::Counter(c.load(std::sync::atomic::Ordering::Relaxed))
+                    }
+                    Cell::Gauge(g) => {
+                        SampleValue::Gauge(g.load(std::sync::atomic::Ordering::Relaxed))
+                    }
+                    Cell::Histogram(h) => SampleValue::Histogram {
+                        count: h.count.load(std::sync::atomic::Ordering::Relaxed),
+                        sum: h.sum(),
+                        buckets: h.cumulative_buckets(),
+                    },
+                },
+            })
+            .collect()
+    }
+
+    /// Convenience: the value of the counter `(name, labels)`, or 0.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let Some(inner) = &self.inner else {
+            return 0;
+        };
+        let key = (name.to_string(), Self::normalize(labels));
+        let series = inner.series.lock().expect("obs series poisoned");
+        match series.get(&key) {
+            Some(Cell::Counter(c)) => c.load(std::sync::atomic::Ordering::Relaxed),
+            _ => 0,
+        }
+    }
+
+    /// Renders the whole store in the Prometheus text exposition format
+    /// (see [`crate::render`]). A disabled registry renders `""`.
+    pub fn render_prometheus(&self) -> String {
+        crate::render::prometheus(self)
+    }
+
+    pub(crate) fn inner(&self) -> Option<&Arc<Inner>> {
+        self.inner.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        assert!(!reg.is_enabled());
+        reg.counter("a_total", "", &[]).inc();
+        assert!(reg.samples().is_empty());
+        assert_eq!(reg.counter_value("a_total", &[]), 0);
+        // Default is the disabled registry.
+        assert!(!Registry::default().is_enabled());
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let reg = Registry::new();
+        let clone = reg.clone();
+        reg.counter("shared_total", "", &[("l", "x")]).add(3);
+        assert_eq!(clone.counter_value("shared_total", &[("l", "x")]), 3);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let reg = Registry::new();
+        reg.counter("m_total", "", &[("a", "1"), ("b", "2")]).inc();
+        reg.counter("m_total", "", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(reg.counter_value("m_total", &[("b", "2"), ("a", "1")]), 2);
+        assert_eq!(reg.samples().len(), 1);
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_series() {
+        let reg = Registry::new();
+        reg.counter("m_total", "", &[("t", "x")]).inc();
+        reg.counter("m_total", "", &[("t", "y")]).add(2);
+        let samples = reg.samples();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].value, SampleValue::Counter(1));
+        assert_eq!(samples[1].value, SampleValue::Counter(2));
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn kind_mismatch_yields_detached_handle() {
+        let reg = Registry::new();
+        reg.counter("m_total", "", &[]).inc();
+        let g = reg.gauge("m_total", "", &[]);
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        assert_eq!(reg.counter_value("m_total", &[]), 1);
+    }
+
+    #[test]
+    fn samples_include_histograms() {
+        let reg = Registry::new();
+        let h = reg.histogram("h_ms", "help", &[], &[10.0]);
+        h.observe(3.0);
+        h.observe(30.0);
+        let samples = reg.samples();
+        assert_eq!(samples.len(), 1);
+        let SampleValue::Histogram { count, sum, buckets } = &samples[0].value else {
+            panic!("expected histogram");
+        };
+        assert_eq!(*count, 2);
+        assert!((sum - 33.0).abs() < 1e-6);
+        assert_eq!(buckets[0], (10.0, 1));
+        assert_eq!(buckets[1].1, 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Prometheus text exposition rendering (version 0.0.4), by pure string
+//! formatting — no serialization dependency.
+//!
+//! Families are emitted in name order, each with its `# HELP` / `# TYPE`
+//! header followed by all label series. Histograms expand into cumulative
+//! `_bucket{le=…}` series plus `_sum` and `_count`, exactly as the
+//! Prometheus client libraries do.
+
+use std::fmt::Write as _;
+
+use crate::registry::{Cell, LabelSet, MetricKind, Registry};
+
+/// Escapes a `# HELP` text: backslash and newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double quote and newline.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a label set (optionally with a trailing `le` pair) into
+/// `{a="x",b="y"}`, or `""` when there are no labels at all.
+fn format_labels(labels: &LabelSet, le: Option<f64>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(bound) = le {
+        let text = if bound.is_infinite() {
+            "+Inf".to_string()
+        } else {
+            format!("{bound}")
+        };
+        pairs.push(format!("le=\"{text}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Renders every family and series of `registry` in the Prometheus text
+/// format. A disabled registry renders the empty string.
+pub fn prometheus(registry: &Registry) -> String {
+    let Some(inner) = registry.inner() else {
+        return String::new();
+    };
+    let families = inner.families.lock().expect("obs families poisoned");
+    let series = inner.series.lock().expect("obs series poisoned");
+
+    let mut out = String::new();
+    for (name, family) in families.iter() {
+        let kind = match family.kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        };
+        if !family.help.is_empty() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+        }
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for ((series_name, labels), cell) in series.range((name.clone(), LabelSet::new())..) {
+            if series_name != name {
+                break;
+            }
+            match cell {
+                Cell::Counter(c) => {
+                    let v = c.load(std::sync::atomic::Ordering::Relaxed);
+                    let _ = writeln!(out, "{name}{} {v}", format_labels(labels, None));
+                }
+                Cell::Gauge(g) => {
+                    let v = g.load(std::sync::atomic::Ordering::Relaxed);
+                    let _ = writeln!(out, "{name}{} {v}", format_labels(labels, None));
+                }
+                Cell::Histogram(h) => {
+                    for (bound, cum) in h.cumulative_buckets() {
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            format_labels(labels, Some(bound))
+                        );
+                    }
+                    let _ = writeln!(out, "{name}_sum{} {}", format_labels(labels, None), h.sum());
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {}",
+                        format_labels(labels, None),
+                        h.count.load(std::sync::atomic::Ordering::Relaxed)
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_and_gauges() {
+        let reg = Registry::new();
+        reg.counter("req_total", "Requests served.", &[("endpoint", "/api/route")])
+            .add(7);
+        reg.gauge("rows", "Stored rows.", &[]).set(3);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP req_total Requests served.\n"));
+        assert!(text.contains("# TYPE req_total counter\n"));
+        assert!(text.contains("req_total{endpoint=\"/api/route\"} 7\n"));
+        assert!(text.contains("# TYPE rows gauge\n"));
+        assert!(text.contains("\nrows 3\n"));
+    }
+
+    #[test]
+    fn renders_histogram_expansion() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_ms", "Latency.", &[("t", "x")], &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(500.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE lat_ms histogram\n"));
+        assert!(text.contains("lat_ms_bucket{t=\"x\",le=\"1\"} 1\n"));
+        assert!(text.contains("lat_ms_bucket{t=\"x\",le=\"10\"} 2\n"));
+        assert!(text.contains("lat_ms_bucket{t=\"x\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_ms_sum{t=\"x\"} 505.5\n"));
+        assert!(text.contains("lat_ms_count{t=\"x\"} 3\n"));
+    }
+
+    #[test]
+    fn every_line_is_comment_or_sample() {
+        let reg = Registry::new();
+        reg.counter("a_total", "help", &[("k", "v")]).inc();
+        reg.histogram("b_ms", "h", &[], &[5.0]).observe(1.0);
+        for line in reg.render_prometheus().lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment: {line}"
+                );
+            } else {
+                // `name{labels} value` or `name value`, value parseable.
+                let (_, value) = line.rsplit_once(' ').expect("sample line");
+                assert!(value.parse::<f64>().is_ok(), "bad value in {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter("e_total", "", &[("p", "a\"b\\c\nd")]).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains(r#"e_total{p="a\"b\\c\nd"} 1"#));
+    }
+
+    #[test]
+    fn families_with_shared_prefix_do_not_bleed() {
+        let reg = Registry::new();
+        reg.counter("ab_total", "", &[]).inc();
+        reg.counter("ab_total_more", "", &[]).add(2);
+        let text = reg.render_prometheus();
+        // The `ab_total` family section must contain only its own series.
+        let section: Vec<&str> = text
+            .lines()
+            .skip_while(|l| *l != "# TYPE ab_total counter")
+            .take_while(|l| !l.starts_with("# TYPE ab_total_more"))
+            .collect();
+        assert_eq!(section, vec!["# TYPE ab_total counter", "ab_total 1"]);
+    }
+}

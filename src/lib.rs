@@ -16,6 +16,7 @@
 //! | [`citygen`] | deterministic Melbourne / Dhaka / Copenhagen generators |
 //! | [`osm`] | OSM XML parse/write, rectangle filter, network constructor |
 //! | [`core`] | Dijkstra/A*/SPTs, Penalty, Plateaus, SSVP-D+, Yen, providers |
+//! | [`obs`] | counters/gauges/histograms, Prometheus text exposition |
 //! | [`userstudy`] | participants, sampling, calibration, Tables 1–3, ANOVA |
 //! | [`demo`] | query processor, A–D blinding, HTTP server, response store |
 //!
@@ -46,6 +47,7 @@
 pub use arp_citygen as citygen;
 pub use arp_core as core;
 pub use arp_demo as demo;
+pub use arp_obs as obs;
 pub use arp_osm as osm;
 pub use arp_roadnet as roadnet;
 pub use arp_userstudy as userstudy;
