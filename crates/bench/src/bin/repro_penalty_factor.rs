@@ -1,8 +1,8 @@
 //! Reproduces the penalty-factor recommendation the study adopts:
-//! "As suggested in [4], for the Penalty approach, the penalty that we
+//! "As suggested in \[4\], for the Penalty approach, the penalty that we
 //! apply to each edge is 1.4" (§3).
 //!
-//! Reference [4] (Bader et al.) evaluates penalty factors by the quality
+//! Reference \[4\] (Bader et al.) evaluates penalty factors by the quality
 //! of the resulting *alternative graph*: enough extra road offered
 //! (totalDistance up), routes staying near-optimal (averageDistance low),
 //! and a manageable number of decision points. This binary sweeps the
@@ -23,8 +23,13 @@ use arp_core::similarity::diversity;
 fn main() {
     let city = arp_bench::melbourne_medium();
     let net = &city.network;
-    let queries =
-        arp_bench::random_queries(net, 30, 8 * 60_000, 45 * 60_000, arp_bench::MASTER_SEED ^ 0xFAC7);
+    let queries = arp_bench::random_queries(
+        net,
+        30,
+        8 * 60_000,
+        45 * 60_000,
+        arp_bench::MASTER_SEED ^ 0xFAC7,
+    );
 
     let mut report = String::new();
     let _ = writeln!(
@@ -107,7 +112,8 @@ fn main() {
     let _ = writeln!(
         report,
         "\nknee of the sweep (diversity & totalDistance plateau, k routes delivered): {}",
-        knee.map(|f| format!("{f:.1}")).unwrap_or_else(|| "none".into())
+        knee.map(|f| format!("{f:.1}"))
+            .unwrap_or_else(|| "none".into())
     );
     let reproduced = knee.is_some_and(|f| (1.2..=1.5).contains(&f));
     let _ = writeln!(

@@ -206,24 +206,22 @@ mod tests {
         let b1 = b.add_node(Point::new(0.01, -0.001));
         let t = b.add_node(Point::new(0.02, 0.0));
         for (x, y) in [(s, a1), (a1, t), (s, b1), (b1, t)] {
-            b.add_edge(x, y, EdgeSpec::category(RoadCategory::Primary).with_weight(10_000));
+            b.add_edge(
+                x,
+                y,
+                EdgeSpec::category(RoadCategory::Primary).with_weight(10_000),
+            );
         }
         let net = b.build();
         let top = Path::from_edges(
             &net,
             net.weights(),
-            vec![
-                net.find_edge(s, a1).unwrap(),
-                net.find_edge(a1, t).unwrap(),
-            ],
+            vec![net.find_edge(s, a1).unwrap(), net.find_edge(a1, t).unwrap()],
         );
         let bottom = Path::from_edges(
             &net,
             net.weights(),
-            vec![
-                net.find_edge(s, b1).unwrap(),
-                net.find_edge(b1, t).unwrap(),
-            ],
+            vec![net.find_edge(s, b1).unwrap(), net.find_edge(b1, t).unwrap()],
         );
         (net, top, bottom)
     }

@@ -96,11 +96,11 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::esx::{esx_alternatives, EsxOptions};
     pub use crate::filters::{apply_filters, FilterConfig};
+    pub use crate::metrics::{SearchMetrics, SearchStats, TechniqueMetrics};
     pub use crate::pareto::{pareto_paths, ParetoOptions, ParetoRoute};
     pub use crate::path::Path;
     pub use crate::penalty::{penalty_alternatives, PenaltyOptions};
     pub use crate::plateau::{plateau_alternatives, PlateauOptions};
-    pub use crate::metrics::{SearchMetrics, SearchStats, TechniqueMetrics};
     pub use crate::provider::{
         instrumented_providers, standard_providers, AlternativesProvider, GoogleLikeProvider,
         ProviderKind,

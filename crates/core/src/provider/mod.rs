@@ -396,15 +396,8 @@ mod tests {
             assert_eq!(reg.counter_value("arp_technique_errors_total", labels), 0);
         }
         // Technique-specific internals fired too.
-        assert!(
-            reg.counter_value(
-                "arp_penalty_iterations_total",
-                &[("technique", "penalty")]
-            ) > 0
-        );
-        assert!(
-            reg.counter_value("arp_plateau_found_total", &[("technique", "plateaus")]) > 0
-        );
+        assert!(reg.counter_value("arp_penalty_iterations_total", &[("technique", "penalty")]) > 0);
+        assert!(reg.counter_value("arp_plateau_found_total", &[("technique", "plateaus")]) > 0);
         // The whole store renders as Prometheus text.
         let text = reg.render_prometheus();
         assert!(text.contains("# TYPE arp_technique_latency_ms histogram"));

@@ -1,0 +1,129 @@
+//! The demo's [`RouteBackend`]: how `arp-serve` drives the query
+//! processor.
+//!
+//! Each of the four techniques is one *lane*, in blinding order, so the
+//! serving layer computes them in parallel and caches them independently
+//! — a repeat query recomputes nothing, and a query that shares endpoints
+//! with a cached one recomputes only the lanes that expired.
+
+use std::sync::Arc;
+
+use arp_serve::RouteBackend;
+
+use crate::query::{ApproachRoutes, QueryProcessor, QueryResponse, SnappedQuery};
+
+/// Adapts a [`QueryProcessor`] to the serving layer's lane model.
+pub struct DemoBackend {
+    processor: Arc<QueryProcessor>,
+}
+
+impl DemoBackend {
+    /// Wraps a shared processor.
+    pub fn new(processor: Arc<QueryProcessor>) -> DemoBackend {
+        DemoBackend { processor }
+    }
+
+    /// The wrapped processor.
+    pub fn processor(&self) -> &QueryProcessor {
+        &self.processor
+    }
+}
+
+impl RouteBackend for DemoBackend {
+    type Request = SnappedQuery;
+    type Part = ApproachRoutes;
+    type Response = QueryResponse;
+
+    fn lanes(&self) -> usize {
+        self.processor.technique_slots()
+    }
+
+    fn lane_key(&self, request: &SnappedQuery, lane: usize) -> String {
+        self.processor.slot_cache_key(request, lane)
+    }
+
+    fn compute(&self, request: &SnappedQuery, lane: usize) -> Result<ApproachRoutes, String> {
+        self.processor
+            .compute_slot(request, lane)
+            .map_err(|e| e.to_string())
+    }
+
+    fn assemble(&self, request: &SnappedQuery, parts: Vec<ApproachRoutes>) -> QueryResponse {
+        self.processor.assemble(request, parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arp_citygen::{City, Scale};
+    use arp_roadnet::geo::Point;
+    use arp_serve::{RouteService, ServeConfig, ServeMetrics};
+
+    fn processor() -> Arc<QueryProcessor> {
+        let g = arp_citygen::generate(City::Dhaka, Scale::Small, 9);
+        Arc::new(QueryProcessor::new(g.name.clone(), g.network, 9))
+    }
+
+    fn inner_points(qp: &QueryProcessor) -> (Point, Point) {
+        let bb = qp.network().bbox();
+        (
+            Point::new(
+                bb.min_lon + bb.width_deg() * 0.3,
+                bb.min_lat + bb.height_deg() * 0.6,
+            ),
+            Point::new(
+                bb.min_lon + bb.width_deg() * 0.75,
+                bb.min_lat + bb.height_deg() * 0.75,
+            ),
+        )
+    }
+
+    #[test]
+    fn served_response_matches_the_serial_reference() {
+        let qp = processor();
+        let (a, b) = inner_points(&qp);
+        let serial = qp.process(a, b).unwrap();
+
+        let service = RouteService::with_metrics(
+            DemoBackend::new(Arc::clone(&qp)),
+            ServeConfig::default(),
+            ServeMetrics::default(),
+        );
+        let snapped = qp.snap(a, b).unwrap();
+        let served = service.route(snapped).unwrap();
+
+        assert_eq!(served.source, serial.source);
+        assert_eq!(served.target, serial.target);
+        assert_eq!(served.fastest_minutes, serial.fastest_minutes);
+        assert_eq!(served.approaches.len(), serial.approaches.len());
+        for (x, y) in served.approaches.iter().zip(&serial.approaches) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.routes.len(), y.routes.len());
+            for (rx, ry) in x.routes.iter().zip(&y.routes) {
+                assert_eq!(rx.minutes, ry.minutes);
+                assert_eq!(rx.cost_ms, ry.cost_ms);
+                assert_eq!(rx.polyline, ry.polyline);
+                assert_eq!(rx.color, ry.color);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_keys_cover_city_endpoints_technique_and_k() {
+        let qp = processor();
+        let (a, b) = inner_points(&qp);
+        let q = qp.snap(a, b).unwrap();
+        let backend = DemoBackend::new(Arc::clone(&qp));
+        let keys: Vec<String> = (0..backend.lanes())
+            .map(|l| backend.lane_key(&q, l))
+            .collect();
+        assert_eq!(keys.len(), 4);
+        for key in &keys {
+            assert!(key.starts_with("Dhaka:"), "{key}");
+            assert!(key.contains(&format!(":{}:", q.source.0)), "{key}");
+        }
+        let distinct: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(distinct.len(), 4, "technique must distinguish lane keys");
+    }
+}

@@ -26,6 +26,7 @@
 //! arp_demo::server::serve(app, listener).unwrap();
 //! ```
 
+pub mod backend;
 pub mod blind;
 pub mod error;
 pub mod geojson;
@@ -35,11 +36,12 @@ pub mod query;
 pub mod server;
 pub mod store;
 
+pub use backend::DemoBackend;
 pub use blind::Blinding;
 pub use error::DemoError;
 pub use geojson::response_to_geojson;
-pub use query::{ApproachRoutes, QueryProcessor, QueryResponse, RouteInfo};
-pub use server::{serve, DemoApp, HttpResponse};
+pub use query::{ApproachRoutes, QueryProcessor, QueryResponse, RouteInfo, SnappedQuery};
+pub use server::{serve, serve_with_shutdown, DemoApp, HttpResponse};
 pub use store::{ResponseStore, Submission};
 
 /// Convenient glob import.
@@ -48,6 +50,6 @@ pub mod prelude {
     pub use crate::error::DemoError;
     pub use crate::geojson::response_to_geojson;
     pub use crate::query::{QueryProcessor, QueryResponse};
-    pub use crate::server::{serve, DemoApp, HttpResponse};
+    pub use crate::server::{serve, serve_with_shutdown, DemoApp, HttpResponse};
     pub use crate::store::{ResponseStore, Submission};
 }

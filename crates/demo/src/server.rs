@@ -16,22 +16,39 @@
 //! feeds `arp_http_request_latency_ms{endpoint}`; unknown paths share the
 //! `other` endpoint label so cardinality stays bounded.
 //!
+//! `POST /api/route` runs through the `arp-serve` pipeline: admission
+//! control (overload answers `503` with `Retry-After`), a per-technique
+//! route cache, and parallel technique fan-out on the worker pool. The
+//! serving instruments (`arp_serve_*`) share the processor's registry, so
+//! `/api/metrics` exposes queue depth, shed counts, cache hit rates and
+//! per-stage latencies alongside the technique metrics.
+//!
 //! The request handler is a pure function over `(method, path, body)` so
-//! tests exercise the full API without sockets; `serve` adds the TCP loop.
+//! tests exercise the full API without sockets; `serve` adds the TCP loop
+//! — bounded per-connection threads, load shedding at the accept loop,
+//! and cooperative shutdown via [`ShutdownHandle`].
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use arp_obs::{Registry, DEFAULT_LATENCY_BUCKETS_MS};
 use arp_roadnet::geo::Point;
+use arp_serve::{RouteService, ServeConfig, ServeError, ShutdownHandle};
 
+use crate::backend::DemoBackend;
 use crate::error::DemoError;
 use crate::geojson::response_to_geojson;
 use crate::html;
 use crate::json::{self, Json};
 use crate::query::QueryProcessor;
 use crate::store::{ResponseStore, Submission};
+
+/// Upper bound on concurrently handled TCP connections; the accept loop
+/// answers `503` beyond it instead of spawning without bound.
+pub const MAX_CONNECTIONS: usize = 128;
 
 /// An HTTP response produced by the handler.
 #[derive(Clone, Debug, PartialEq)]
@@ -42,6 +59,8 @@ pub struct HttpResponse {
     pub content_type: &'static str,
     /// Body bytes (UTF-8 text for all our endpoints).
     pub body: String,
+    /// `Retry-After` header value in seconds (load-shedding responses).
+    pub retry_after: Option<u32>,
 }
 
 impl HttpResponse {
@@ -50,6 +69,7 @@ impl HttpResponse {
             status: 200,
             content_type: "application/json",
             body: v.to_string_compact(),
+            retry_after: None,
         }
     }
 
@@ -58,30 +78,54 @@ impl HttpResponse {
             status,
             content_type: "application/json",
             body: Json::object([("error", Json::String(message.into()))]).to_string_compact(),
+            retry_after: None,
         }
+    }
+
+    fn overloaded(retry_after_s: u32) -> HttpResponse {
+        let mut resp = HttpResponse::error(503, "overloaded, please retry");
+        resp.retry_after = Some(retry_after_s);
+        resp
     }
 }
 
 /// The demo application state shared across connections.
 pub struct DemoApp {
     /// The query processor (network + providers + blinding).
-    pub processor: QueryProcessor,
+    pub processor: Arc<QueryProcessor>,
     /// The feedback store.
     pub store: ResponseStore,
-    /// Shared metrics registry (cloned from the processor's, so HTTP and
-    /// technique metrics land in one exposition).
+    /// Shared metrics registry (cloned from the processor's, so HTTP,
+    /// serving and technique metrics land in one exposition).
     registry: Registry,
+    /// The serving pipeline `/api/route` runs through.
+    service: RouteService<DemoBackend>,
 }
 
 impl DemoApp {
-    /// Builds the app for a processor, sharing its metrics registry.
+    /// Builds the app for a processor with the default serving
+    /// configuration, sharing its metrics registry.
     pub fn new(processor: QueryProcessor) -> DemoApp {
+        DemoApp::with_config(processor, ServeConfig::default())
+    }
+
+    /// Builds the app with an explicit serving configuration.
+    pub fn with_config(processor: QueryProcessor, config: ServeConfig) -> DemoApp {
         let registry = processor.registry().clone();
+        let processor = Arc::new(processor);
+        let service =
+            RouteService::new(DemoBackend::new(Arc::clone(&processor)), config, &registry);
         DemoApp {
             processor,
             store: ResponseStore::new(),
             registry,
+            service,
         }
+    }
+
+    /// The serving pipeline (admission, cache, worker pool).
+    pub fn service(&self) -> &RouteService<DemoBackend> {
+        &self.service
     }
 
     /// Maps a request to its bounded-cardinality `endpoint` label.
@@ -131,6 +175,7 @@ impl DemoApp {
                 status: 200,
                 content_type: "text/html; charset=utf-8",
                 body: html::index_page(self.processor.name()),
+                retry_after: None,
             },
             ("GET", "/api/meta") => self.meta(),
             ("GET", "/api/network") => self.network_sample(),
@@ -141,11 +186,13 @@ impl DemoApp {
                 status: 200,
                 content_type: "text/csv",
                 body: self.store.to_csv(),
+                retry_after: None,
             },
             ("GET", "/api/metrics") => HttpResponse {
                 status: 200,
                 content_type: "text/plain; version=0.0.4",
                 body: self.registry.render_prometheus(),
+                retry_after: None,
             },
             ("GET", _) | ("POST", _) => {
                 HttpResponse::error(404, format!("no such endpoint {path}"))
@@ -211,55 +258,72 @@ impl DemoApp {
             Ok(p) => p,
             Err(e) => return HttpResponse::error(400, e.to_string()),
         };
-        match self.processor.process(s, t) {
-            Ok(resp) => {
-                let approaches = resp
-                    .approaches
-                    .iter()
-                    .map(|a| {
-                        let routes = a
-                            .routes
-                            .iter()
-                            .map(|r| {
-                                Json::object([
-                                    ("minutes", Json::Number(r.minutes as f64)),
-                                    ("color", Json::str(r.color)),
-                                    (
-                                        "polyline",
-                                        Json::Array(
-                                            r.polyline
-                                                .iter()
-                                                .map(|p| {
-                                                    Json::Array(vec![
-                                                        Json::Number(p.lon),
-                                                        Json::Number(p.lat),
-                                                    ])
-                                                })
-                                                .collect(),
-                                        ),
-                                    ),
-                                ])
-                            })
-                            .collect();
-                        Json::object([
-                            ("label", Json::str(a.label.to_string())),
-                            ("routes", Json::Array(routes)),
-                        ])
-                    })
-                    .collect();
-                HttpResponse::ok_json(Json::object([
-                    ("fastest_minutes", Json::Number(resp.fastest_minutes as f64)),
-                    ("approaches", Json::Array(approaches)),
-                    ("geojson", Json::str(response_to_geojson(&resp))),
-                ]))
-            }
+        // Normalize to vertices here (client errors stay at the HTTP
+        // layer), then run the snapped query through the serving pipeline.
+        let snapped = match self.processor.snap(s, t) {
+            Ok(q) => q,
             Err(
                 e @ (DemoError::OutOfArea { .. }
                 | DemoError::NoNearbyRoad { .. }
                 | DemoError::SameLocation),
-            ) => HttpResponse::error(400, e.to_string()),
-            Err(e) => HttpResponse::error(500, e.to_string()),
+            ) => return HttpResponse::error(400, e.to_string()),
+            Err(e) => return HttpResponse::error(500, e.to_string()),
+        };
+        match self.service.route(snapped) {
+            Ok(resp) => Self::render_route_response(&resp),
+            Err(ServeError::Overloaded { retry_after_s }) => {
+                HttpResponse::overloaded(retry_after_s)
+            }
+            Err(ServeError::DeadlineExceeded) => {
+                HttpResponse::error(504, "route computation exceeded its deadline")
+            }
+            Err(ServeError::Lane(message)) => HttpResponse::error(500, message),
         }
+    }
+
+    /// Renders a computed response as the `/api/route` JSON. Split from
+    /// [`DemoApp::route`] so tests can compare the served body byte for
+    /// byte against the serial [`QueryProcessor::process`] path.
+    fn render_route_response(resp: &crate::query::QueryResponse) -> HttpResponse {
+        let approaches = resp
+            .approaches
+            .iter()
+            .map(|a| {
+                let routes = a
+                    .routes
+                    .iter()
+                    .map(|r| {
+                        Json::object([
+                            ("minutes", Json::Number(r.minutes as f64)),
+                            ("color", Json::str(r.color)),
+                            (
+                                "polyline",
+                                Json::Array(
+                                    r.polyline
+                                        .iter()
+                                        .map(|p| {
+                                            Json::Array(vec![
+                                                Json::Number(p.lon),
+                                                Json::Number(p.lat),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Json::object([
+                    ("label", Json::str(a.label.to_string())),
+                    ("routes", Json::Array(routes)),
+                ])
+            })
+            .collect();
+        HttpResponse::ok_json(Json::object([
+            ("fastest_minutes", Json::Number(resp.fastest_minutes as f64)),
+            ("approaches", Json::Array(approaches)),
+            ("geojson", Json::str(response_to_geojson(resp))),
+        ]))
     }
 
     fn rate(&self, body: &str) -> HttpResponse {
@@ -362,32 +426,75 @@ fn write_response(stream: &mut TcpStream, resp: &HttpResponse) -> std::io::Resul
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
+    };
+    let retry_after = match resp.retry_after {
+        Some(seconds) => format!("Retry-After: {seconds}\r\n"),
+        None => String::new(),
     };
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
         resp.status,
         reason,
         resp.content_type,
         resp.body.len(),
+        retry_after,
         resp.body
     )?;
     stream.flush()
 }
 
 /// Serves the app on `listener`, one thread per connection, until the
-/// process exits. Returns only on accept errors.
+/// process exits or an accept error occurs. Equivalent to
+/// [`serve_with_shutdown`] with a handle nobody ever triggers.
 pub fn serve(app: Arc<DemoApp>, listener: TcpListener) -> std::io::Result<()> {
+    serve_with_shutdown(app, listener, ShutdownHandle::new())
+}
+
+/// Serves the app on `listener` until `shutdown` is triggered.
+///
+/// Connection handling is bounded: at most [`MAX_CONNECTIONS`] handler
+/// threads run at a time, and connections beyond that are answered `503`
+/// with `Retry-After` on the accept thread instead of spawning without
+/// bound. On shutdown the loop stops accepting, then drains in-flight
+/// connections before returning.
+pub fn serve_with_shutdown(
+    app: Arc<DemoApp>,
+    listener: TcpListener,
+    shutdown: ShutdownHandle,
+) -> std::io::Result<()> {
+    if let Ok(addr) = listener.local_addr() {
+        shutdown.register_listener(addr);
+    }
+    let active = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
+        if shutdown.is_shutdown() {
+            break;
+        }
         let mut stream = stream?;
+        if active.load(Ordering::Acquire) >= MAX_CONNECTIONS {
+            let resp = HttpResponse::overloaded(1);
+            let _ = write_response(&mut stream, &resp);
+            continue;
+        }
+        active.fetch_add(1, Ordering::AcqRel);
         let app = Arc::clone(&app);
+        let active = Arc::clone(&active);
         std::thread::spawn(move || {
             if let Ok(Some((method, path, body))) = read_request(&mut stream) {
                 let resp = app.handle(&method, &path, &body);
                 let _ = write_response(&mut stream, &resp);
             }
+            active.fetch_sub(1, Ordering::AcqRel);
         });
+    }
+    // Graceful drain: wait (bounded) for in-flight handlers to finish.
+    let drain_deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while active.load(Ordering::Acquire) > 0 && std::time::Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(5));
     }
     Ok(())
 }
@@ -587,21 +694,115 @@ mod tests {
     }
 
     #[test]
-    fn real_socket_roundtrip() {
+    fn served_body_is_byte_identical_to_the_serial_path() {
+        let app = app();
+        let body = route_body(&app);
+        let served = app.handle("POST", "/api/route", &body);
+        assert_eq!(served.status, 200, "{}", served.body);
+
+        // The serial reference: snap + process on this thread, rendered by
+        // the same function the handler uses.
+        let req = json::parse(&body).unwrap();
+        let s = Point::new(
+            req.get("slon").unwrap().as_f64().unwrap(),
+            req.get("slat").unwrap().as_f64().unwrap(),
+        );
+        let t = Point::new(
+            req.get("tlon").unwrap().as_f64().unwrap(),
+            req.get("tlat").unwrap().as_f64().unwrap(),
+        );
+        let serial = DemoApp::render_route_response(&app.processor.process(s, t).unwrap());
+        assert_eq!(served.body, serial.body, "fan-out must match serial path");
+
+        // And a repeat request — served from the route cache — is
+        // byte-identical too.
+        let repeat = app.handle("POST", "/api/route", &body);
+        assert_eq!(repeat.body, serial.body, "cached reply must match");
+    }
+
+    #[test]
+    fn route_sheds_with_503_when_admission_is_full() {
+        let g = arp_citygen::generate(City::Melbourne, Scale::Small, 12);
+        let config = arp_serve::ServeConfig {
+            max_inflight: 1,
+            retry_after_s: 2,
+            ..arp_serve::ServeConfig::default()
+        };
+        let app = DemoApp::with_config(QueryProcessor::new(g.name.clone(), g.network, 12), config);
+        // Occupy the only admission slot, then request a route.
+        let _slot = app.service().admission().try_acquire().unwrap();
+        let resp = app.handle("POST", "/api/route", &route_body(&app));
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        assert_eq!(resp.retry_after, Some(2));
+        assert!(resp.body.contains("overloaded"), "{}", resp.body);
+        assert_eq!(
+            app.registry
+                .counter_value("arp_serve_shed_total", &[("reason", "admission_full")]),
+            1
+        );
+    }
+
+    #[test]
+    fn metrics_expose_the_serving_layer() {
+        let app = app();
+        let body = route_body(&app);
+        assert_eq!(app.handle("POST", "/api/route", &body).status, 200);
+        assert_eq!(app.handle("POST", "/api/route", &body).status, 200);
+
+        let text = app.handle("GET", "/api/metrics", "").body;
+        assert!(text.contains("arp_serve_admitted_total 2"), "{text}");
+        // First query misses all four lanes, the repeat hits all four.
+        assert!(text.contains("arp_serve_cache_misses_total 4"), "{text}");
+        assert!(text.contains("arp_serve_cache_hits_total 4"), "{text}");
+        assert!(text.contains("arp_serve_cache_entries 4"), "{text}");
+        assert!(text.contains("arp_serve_queue_depth"), "{text}");
+        assert!(
+            text.contains(r#"arp_serve_stage_latency_ms_bucket{stage="compute",le="+Inf"} 1"#),
+            "{text}"
+        );
+        // The cached repeat ran zero technique computations.
+        assert!(
+            text.contains(r#"arp_technique_calls_total{technique="penalty"} 1"#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn real_socket_roundtrip_with_graceful_shutdown() {
         let app = Arc::new(app());
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        {
+        let shutdown = ShutdownHandle::new();
+        let server = {
             let app = Arc::clone(&app);
-            std::thread::spawn(move || {
-                let _ = serve(app, listener);
-            });
-        }
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || serve_with_shutdown(app, listener, shutdown))
+        };
         let mut stream = TcpStream::connect(addr).unwrap();
         write!(stream, "GET /api/meta HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
         let mut buf = String::new();
         stream.read_to_string(&mut buf).unwrap();
         assert!(buf.starts_with("HTTP/1.1 200 OK"), "{buf}");
         assert!(buf.contains("Melbourne"));
+
+        // The server thread exits cleanly instead of leaking.
+        shutdown.request_shutdown();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn retry_after_header_is_written_on_the_wire() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            write_response(&mut stream, &HttpResponse::overloaded(3)).unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        writer.join().unwrap();
+        assert!(buf.starts_with("HTTP/1.1 503 Service Unavailable"), "{buf}");
+        assert!(buf.contains("Retry-After: 3\r\n"), "{buf}");
     }
 }

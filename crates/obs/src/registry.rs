@@ -300,7 +300,12 @@ mod tests {
         h.observe(30.0);
         let samples = reg.samples();
         assert_eq!(samples.len(), 1);
-        let SampleValue::Histogram { count, sum, buckets } = &samples[0].value else {
+        let SampleValue::Histogram {
+            count,
+            sum,
+            buckets,
+        } = &samples[0].value
+        else {
             panic!("expected histogram");
         };
         assert_eq!(*count, 2);

@@ -106,8 +106,12 @@ mod tests {
     #[test]
     fn renders_counters_and_gauges() {
         let reg = Registry::new();
-        reg.counter("req_total", "Requests served.", &[("endpoint", "/api/route")])
-            .add(7);
+        reg.counter(
+            "req_total",
+            "Requests served.",
+            &[("endpoint", "/api/route")],
+        )
+        .add(7);
         reg.gauge("rows", "Stored rows.", &[]).set(3);
         let text = reg.render_prometheus();
         assert!(text.contains("# HELP req_total Requests served.\n"));

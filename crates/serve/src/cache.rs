@@ -1,0 +1,336 @@
+//! A sharded LRU + TTL cache for computed route results.
+//!
+//! Design notes (DESIGN.md §8 has the policy rationale):
+//!
+//! * **Sharding** — the key hash picks one of N independent shards, each
+//!   behind its own `Mutex`, so concurrent requests rarely contend on the
+//!   same lock. Capacity is split evenly across shards (rounded up), so
+//!   the effective total capacity is `shards * ceil(capacity / shards)` —
+//!   report it via [`ShardedCache::capacity`], never exceed it.
+//! * **LRU** — each shard keeps an intrusive doubly-linked list threaded
+//!   through a slab of entries; get and put are O(1).
+//! * **TTL** — entries carry an absolute expiry in cache-clock
+//!   milliseconds. Time is an explicit `now_ms` argument rather than an
+//!   internal `Instant::now()` so tests (and the property suite) can
+//!   drive a manual clock; the serving layer passes milliseconds since
+//!   its epoch. An entry written at `t` with TTL `ttl` serves hits while
+//!   `now < t + ttl` and counts as *stale* (plus the miss) from then on.
+//!   A TTL of zero disables expiry.
+//! * **Counters** — hits, misses, evictions, stale and a live-entry gauge
+//!   come from [`CacheMetrics`]; detached metrics make all of it free.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use crate::metrics::CacheMetrics;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    expires_at_ms: u64,
+    prev: usize,
+    next: usize,
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Option<Entry<K, V>>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    fn new(capacity: usize) -> Shard<K, V> {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, index: usize) {
+        let (prev, next) = {
+            let entry = self.slots[index].as_ref().expect("unlink of free slot");
+            (entry.prev, entry.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].as_mut().expect("bad prev link").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].as_mut().expect("bad next link").prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, index: usize) {
+        {
+            let entry = self.slots[index].as_mut().expect("push of free slot");
+            entry.prev = NIL;
+            entry.next = self.head;
+        }
+        match self.head {
+            NIL => self.tail = index,
+            h => self.slots[h].as_mut().expect("bad head link").prev = index,
+        }
+        self.head = index;
+    }
+
+    fn remove(&mut self, index: usize) -> Entry<K, V> {
+        self.unlink(index);
+        let entry = self.slots[index].take().expect("double remove");
+        self.map.remove(&entry.key);
+        self.free.push(index);
+        entry
+    }
+
+    fn insert_new(&mut self, entry: Entry<K, V>) {
+        let index = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(entry);
+                i
+            }
+            None => {
+                self.slots.push(Some(entry));
+                self.slots.len() - 1
+            }
+        };
+        let key = self.slots[index]
+            .as_ref()
+            .expect("just inserted")
+            .key
+            .clone();
+        self.map.insert(key, index);
+        self.push_front(index);
+    }
+}
+
+/// A sharded, bounded, time-aware cache. See the module docs for policy.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    ttl_ms: u64,
+    metrics: CacheMetrics,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    /// A cache of roughly `capacity` entries split over `shards` shards
+    /// with per-entry time-to-live `ttl_ms` (zero = never expire). Both
+    /// `capacity` and `shards` are clamped to at least one.
+    pub fn new(
+        capacity: usize,
+        shards: usize,
+        ttl_ms: u64,
+        metrics: CacheMetrics,
+    ) -> ShardedCache<K, V> {
+        let shard_count = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shard_count);
+        ShardedCache {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            ttl_ms: if ttl_ms == 0 { u64::MAX } else { ttl_ms },
+            metrics,
+        }
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let index = (hasher.finish() as usize) % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// Looks up `key` at cache time `now_ms`. A fresh entry is moved to
+    /// the front of its shard's LRU list and its value cloned out; an
+    /// expired entry is removed (counted stale **and** miss).
+    pub fn get(&self, key: &K, now_ms: u64) -> Option<V> {
+        let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+        let Some(&index) = shard.map.get(key) else {
+            self.metrics.misses.inc();
+            return None;
+        };
+        let expired = shard.slots[index]
+            .as_ref()
+            .expect("mapped free slot")
+            .expires_at_ms
+            <= now_ms;
+        if expired {
+            shard.remove(index);
+            self.metrics.entries.add(-1);
+            self.metrics.stale.inc();
+            self.metrics.misses.inc();
+            return None;
+        }
+        shard.unlink(index);
+        shard.push_front(index);
+        let value = shard.slots[index]
+            .as_ref()
+            .expect("mapped free slot")
+            .value
+            .clone();
+        self.metrics.hits.inc();
+        Some(value)
+    }
+
+    /// Stores `value` under `key` at cache time `now_ms`, evicting the
+    /// shard's least-recently-used entry if it is full. Re-putting an
+    /// existing key refreshes both its value and its TTL.
+    pub fn put(&self, key: K, value: V, now_ms: u64) {
+        let expires_at_ms = now_ms.saturating_add(self.ttl_ms);
+        let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+        if let Some(&index) = shard.map.get(&key) {
+            let entry = shard.slots[index].as_mut().expect("mapped free slot");
+            entry.value = value;
+            entry.expires_at_ms = expires_at_ms;
+            shard.unlink(index);
+            shard.push_front(index);
+            return;
+        }
+        if shard.map.len() >= shard.capacity {
+            let tail = shard.tail;
+            debug_assert_ne!(tail, NIL, "full shard with empty LRU list");
+            shard.remove(tail);
+            self.metrics.entries.add(-1);
+            self.metrics.evictions.inc();
+        }
+        shard.insert_new(Entry {
+            key,
+            value,
+            expires_at_ms,
+            prev: NIL,
+            next: NIL,
+        });
+        self.metrics.entries.add(1);
+    }
+
+    /// Live entries across all shards (expired-but-unvisited entries
+    /// count until a `get` removes them).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The effective total capacity (`shards * per-shard capacity`).
+    pub fn capacity(&self) -> usize {
+        self.shards.len()
+            * self.shards[0]
+                .lock()
+                .expect("cache shard poisoned")
+                .capacity
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The cache's metric handles.
+    pub fn metrics(&self) -> &CacheMetrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize, shards: usize, ttl_ms: u64) -> ShardedCache<String, u64> {
+        ShardedCache::new(capacity, shards, ttl_ms, CacheMetrics::default())
+    }
+
+    #[test]
+    fn get_after_put_hits_within_ttl() {
+        let c = cache(8, 2, 100);
+        c.put("a".into(), 1, 0);
+        assert_eq!(c.get(&"a".into(), 50), Some(1));
+        assert_eq!(c.get(&"a".into(), 99), Some(1));
+    }
+
+    #[test]
+    fn expired_entries_miss_and_are_removed() {
+        let c = cache(8, 2, 100);
+        c.put("a".into(), 1, 0);
+        assert_eq!(
+            c.get(&"a".into(), 100),
+            None,
+            "expiry is exclusive of t+ttl"
+        );
+        assert_eq!(c.len(), 0, "expired entry removed on observation");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // One shard so the LRU order is global and observable.
+        let c = cache(2, 1, 0);
+        c.put("a".into(), 1, 0);
+        c.put("b".into(), 2, 1);
+        assert_eq!(c.get(&"a".into(), 2), Some(1)); // a is now most recent
+        c.put("c".into(), 3, 3); // evicts b
+        assert_eq!(c.get(&"b".into(), 4), None);
+        assert_eq!(c.get(&"a".into(), 5), Some(1));
+        assert_eq!(c.get(&"c".into(), 6), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reput_refreshes_value_and_ttl() {
+        let c = cache(4, 1, 100);
+        c.put("a".into(), 1, 0);
+        c.put("a".into(), 2, 80);
+        assert_eq!(c.get(&"a".into(), 150), Some(2), "TTL restarted at re-put");
+        assert_eq!(c.len(), 1, "re-put must not duplicate the key");
+    }
+
+    #[test]
+    fn capacity_never_exceeded_under_churn() {
+        let c = cache(16, 4, 0);
+        for i in 0..500u64 {
+            c.put(format!("k{i}"), i, i);
+            assert!(
+                c.len() <= c.capacity(),
+                "len {} > capacity {}",
+                c.len(),
+                c.capacity()
+            );
+        }
+    }
+
+    #[test]
+    fn counters_track_hits_misses_evictions_stale() {
+        let registry = arp_obs::Registry::new();
+        let metrics = CacheMetrics::new(&registry);
+        let c: ShardedCache<String, u64> = ShardedCache::new(1, 1, 10, metrics);
+        c.put("a".into(), 1, 0);
+        assert_eq!(c.get(&"a".into(), 5), Some(1)); // hit
+        assert_eq!(c.get(&"b".into(), 5), None); // miss
+        c.put("b".into(), 2, 5); // evicts a
+        assert_eq!(c.get(&"b".into(), 20), None); // stale (+miss)
+        assert_eq!(c.metrics().hits.get(), 1);
+        assert_eq!(c.metrics().misses.get(), 2);
+        assert_eq!(c.metrics().evictions.get(), 1);
+        assert_eq!(c.metrics().stale.get(), 1);
+        assert_eq!(c.metrics().entries.get(), 0);
+    }
+
+    #[test]
+    fn zero_ttl_never_expires() {
+        let c = cache(4, 1, 0);
+        c.put("a".into(), 1, 0);
+        assert_eq!(c.get(&"a".into(), u64::MAX - 1), Some(1));
+    }
+}

@@ -1,0 +1,47 @@
+//! `arp-serve` — the production serving layer between the HTTP front-end
+//! and the routing techniques.
+//!
+//! The paper's user study compares four alternative-route techniques on
+//! every query; serving that comparison interactively means computing
+//! four independent route sets per request. This crate turns that shape
+//! into a serving architecture:
+//!
+//! * [`WorkerPool`] + [`BoundedQueue`] — a fixed-size thread pool over a
+//!   bounded MPMC queue (`Mutex` + `Condvar`, std only). Each request
+//!   fans its techniques out as one job per *lane* ([`scatter`]), so a
+//!   request costs roughly the slowest technique instead of their sum.
+//! * [`ShardedCache`] — an LRU + TTL route cache keyed per lane by
+//!   (city, snapped source, snapped target, technique, k), so repeat
+//!   queries bypass recomputation entirely and partially-cached queries
+//!   recompute only their missing lanes.
+//! * [`Admission`] + [`Deadline`] — bounded in-flight requests with load
+//!   shedding (HTTP 503 + `Retry-After`) and per-request deadlines that
+//!   abandon still-queued work.
+//! * [`ShutdownHandle`] — cooperative shutdown for accept loops, so
+//!   servers drain in-flight work and tests do not leak threads.
+//! * [`ServeMetrics`] — queue depth, shed/timeout counters, cache
+//!   hit/miss/eviction/stale counters and per-stage latency histograms,
+//!   all through `arp-obs` and exported by the demo's `/api/metrics`.
+//!
+//! The crate is deliberately backend-agnostic: [`RouteService`] drives
+//! any [`RouteBackend`], and `arp-demo` provides the road-network one.
+//! Request lifecycle: accept → admit → cache probe → fan-out → assemble
+//! (docs/ARCHITECTURE.md walks through it end to end).
+
+#![warn(missing_docs)]
+
+mod admission;
+mod cache;
+mod metrics;
+mod pool;
+mod queue;
+mod service;
+mod shutdown;
+
+pub use admission::{Admission, Deadline, Permit};
+pub use cache::ShardedCache;
+pub use metrics::{CacheMetrics, ServeMetrics};
+pub use pool::{scatter, FanoutError, Job, WorkerPool};
+pub use queue::{BoundedQueue, PushError};
+pub use service::{RouteBackend, RouteService, ServeConfig, ServeError};
+pub use shutdown::ShutdownHandle;

@@ -1,0 +1,215 @@
+//! The serving layer's instrument bundle.
+//!
+//! All handles come pre-resolved from one [`arp_obs::Registry`] so the hot
+//! path never touches the registry lock; `Default` bundles are detached
+//! no-ops (the same convention as `arp-core`'s `TechniqueMetrics`).
+//!
+//! Metric names (all under the `arp_serve_` prefix, documented in
+//! DESIGN.md §8):
+//!
+//! * `arp_serve_queue_depth` — gauge, current worker-queue backlog,
+//! * `arp_serve_inflight_requests` — gauge, admitted route requests,
+//! * `arp_serve_admitted_total` / `arp_serve_shed_total{reason}` /
+//!   `arp_serve_deadline_timeouts_total` — admission outcomes,
+//! * `arp_serve_jobs_total` / `arp_serve_inline_fallback_total` — pool
+//!   work, and fan-out lanes that ran on the requester thread because the
+//!   queue was full,
+//! * `arp_serve_cache_{hits,misses,evictions,stale}_total`,
+//!   `arp_serve_cache_entries` — route-cache behaviour,
+//! * `arp_serve_stage_latency_ms{stage}` — per-stage latency histograms
+//!   (`admit`, `cache_probe`, `compute`, `assemble`),
+//! * `arp_serve_request_latency_ms` — end-to-end latency histogram.
+
+use arp_obs::{Counter, Gauge, Histogram, Registry, DEFAULT_LATENCY_BUCKETS_MS};
+
+/// Counters and gauges describing the sharded route cache.
+#[derive(Clone, Debug, Default)]
+pub struct CacheMetrics {
+    /// Fresh entries served from the cache.
+    pub hits: Counter,
+    /// Lookups that found nothing.
+    pub misses: Counter,
+    /// Entries evicted to make room (LRU).
+    pub evictions: Counter,
+    /// Entries found but past their TTL (counted **in addition** to the
+    /// miss they become).
+    pub stale: Counter,
+    /// Current number of live entries.
+    pub entries: Gauge,
+}
+
+impl CacheMetrics {
+    /// Resolves the cache instruments from `registry`.
+    pub fn new(registry: &Registry) -> CacheMetrics {
+        CacheMetrics {
+            hits: registry.counter(
+                "arp_serve_cache_hits_total",
+                "Route-cache lookups answered by a fresh entry.",
+                &[],
+            ),
+            misses: registry.counter(
+                "arp_serve_cache_misses_total",
+                "Route-cache lookups that found no usable entry.",
+                &[],
+            ),
+            evictions: registry.counter(
+                "arp_serve_cache_evictions_total",
+                "Route-cache entries evicted by the LRU policy.",
+                &[],
+            ),
+            stale: registry.counter(
+                "arp_serve_cache_stale_total",
+                "Route-cache entries found but expired (TTL); each also counts as a miss.",
+                &[],
+            ),
+            entries: registry.gauge(
+                "arp_serve_cache_entries",
+                "Live route-cache entries across all shards.",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Every instrument of the serving layer, resolved once at construction.
+#[derive(Clone, Debug, Default)]
+pub struct ServeMetrics {
+    /// Worker-queue backlog.
+    pub queue_depth: Gauge,
+    /// Route requests currently past admission and not yet answered.
+    pub inflight: Gauge,
+    /// Requests that passed admission.
+    pub admitted: Counter,
+    /// Requests shed because the in-flight bound was reached.
+    pub shed_admission: Counter,
+    /// Fan-out lanes shed because the worker queue was full (the lane then
+    /// runs inline on the requester thread; see `inline_fallback`).
+    pub shed_queue_full: Counter,
+    /// Requests abandoned at their deadline.
+    pub timeouts: Counter,
+    /// Jobs executed by pool workers.
+    pub jobs_executed: Counter,
+    /// Fan-out lanes executed inline because the queue was full.
+    pub inline_fallback: Counter,
+    /// Cache behaviour.
+    pub cache: CacheMetrics,
+    /// Admission latency (time spent acquiring the in-flight permit).
+    pub stage_admit: Histogram,
+    /// Cache-probe latency.
+    pub stage_cache: Histogram,
+    /// Compute latency (fan-out submit to last lane done).
+    pub stage_compute: Histogram,
+    /// Response-assembly latency.
+    pub stage_assemble: Histogram,
+    /// End-to-end request latency.
+    pub total: Histogram,
+}
+
+impl ServeMetrics {
+    /// Resolves every serving instrument from `registry`.
+    pub fn new(registry: &Registry) -> ServeMetrics {
+        let stage = |name: &str| {
+            registry.histogram(
+                "arp_serve_stage_latency_ms",
+                "Per-stage latency of one route request, in milliseconds.",
+                &[("stage", name)],
+                &DEFAULT_LATENCY_BUCKETS_MS,
+            )
+        };
+        ServeMetrics {
+            queue_depth: registry.gauge(
+                "arp_serve_queue_depth",
+                "Jobs waiting in the worker pool's bounded queue.",
+                &[],
+            ),
+            inflight: registry.gauge(
+                "arp_serve_inflight_requests",
+                "Route requests past admission and not yet answered.",
+                &[],
+            ),
+            admitted: registry.counter(
+                "arp_serve_admitted_total",
+                "Route requests that passed admission control.",
+                &[],
+            ),
+            shed_admission: registry.counter(
+                "arp_serve_shed_total",
+                "Route requests shed by the serving layer, by reason.",
+                &[("reason", "admission_full")],
+            ),
+            shed_queue_full: registry.counter(
+                "arp_serve_shed_total",
+                "Route requests shed by the serving layer, by reason.",
+                &[("reason", "queue_full")],
+            ),
+            timeouts: registry.counter(
+                "arp_serve_deadline_timeouts_total",
+                "Route requests abandoned at their deadline.",
+                &[],
+            ),
+            jobs_executed: registry.counter(
+                "arp_serve_jobs_total",
+                "Jobs executed by the worker pool.",
+                &[],
+            ),
+            inline_fallback: registry.counter(
+                "arp_serve_inline_fallback_total",
+                "Fan-out lanes executed inline because the worker queue was full.",
+                &[],
+            ),
+            cache: CacheMetrics::new(registry),
+            stage_admit: stage("admit"),
+            stage_cache: stage("cache_probe"),
+            stage_compute: stage("compute"),
+            stage_assemble: stage("assemble"),
+            total: registry.histogram(
+                "arp_serve_request_latency_ms",
+                "End-to-end latency of one route request through the serving layer.",
+                &[],
+                &DEFAULT_LATENCY_BUCKETS_MS,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_bundle_records_nothing() {
+        let m = ServeMetrics::default();
+        m.admitted.inc();
+        m.queue_depth.set(5);
+        m.cache.hits.inc();
+        assert_eq!(m.admitted.get(), 0);
+        assert_eq!(m.queue_depth.get(), 0);
+        assert_eq!(m.cache.hits.get(), 0);
+    }
+
+    #[test]
+    fn resolved_bundle_lands_in_registry() {
+        let registry = Registry::new();
+        let m = ServeMetrics::new(&registry);
+        m.admitted.inc();
+        m.shed_admission.inc();
+        m.shed_queue_full.add(2);
+        m.cache.hits.add(3);
+        assert_eq!(registry.counter_value("arp_serve_admitted_total", &[]), 1);
+        assert_eq!(
+            registry.counter_value("arp_serve_shed_total", &[("reason", "admission_full")]),
+            1
+        );
+        assert_eq!(
+            registry.counter_value("arp_serve_shed_total", &[("reason", "queue_full")]),
+            2
+        );
+        assert_eq!(registry.counter_value("arp_serve_cache_hits_total", &[]), 3);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("# TYPE arp_serve_shed_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("arp_serve_stage_latency_ms"), "{text}");
+    }
+}

@@ -1,0 +1,377 @@
+//! A fixed-size worker pool and the fan-out primitive built on it.
+//!
+//! The pool runs *technique-level* jobs only: one route request fans out
+//! into one job per alternative-route technique, so a four-technique query
+//! costs roughly `max(technique)` wall-clock instead of their sum. The
+//! requesting thread itself never enters the pool — it submits lanes,
+//! then waits on a condvar with the request's deadline. Keeping request
+//! orchestration off the pool is what rules out the classic deadlock of
+//! request-jobs waiting behind the technique-jobs they spawned.
+//!
+//! Two deliberate degradation paths:
+//!
+//! * **Queue full** — the lane runs *inline* on the requesting thread
+//!   (counted by `arp_serve_inline_fallback_total`). The request slows to
+//!   the serial cost but still succeeds; shedding whole requests is the
+//!   admission layer's job, not the pool's.
+//! * **Deadline hit** — the requester stops waiting and marks the fan-out
+//!   abandoned; still-queued lanes observe the flag and return without
+//!   computing, so a timed-out request stops consuming workers.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::queue::{BoundedQueue, PushError};
+use crate::Deadline;
+use arp_obs::{Counter, Gauge};
+
+/// A unit of work for the pool.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads over a [`BoundedQueue`].
+pub struct WorkerPool {
+    queue: Arc<BoundedQueue<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    jobs_executed: Counter,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one) consuming a queue of at
+    /// most `queue_capacity` pending jobs. `depth` tracks the backlog;
+    /// `jobs_executed` counts completed jobs.
+    pub fn new(
+        workers: usize,
+        queue_capacity: usize,
+        depth: Gauge,
+        jobs_executed: Counter,
+    ) -> WorkerPool {
+        let queue = Arc::new(BoundedQueue::new(queue_capacity, depth));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let executed = jobs_executed.clone();
+                std::thread::Builder::new()
+                    .name(format!("arp-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            // A panicking job must not kill the worker: swallow
+                            // the unwind and keep serving. The fan-out's drop
+                            // guard has already recorded the lane as failed.
+                            let _ = catch_unwind(AssertUnwindSafe(job));
+                            executed.inc();
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            queue,
+            workers,
+            jobs_executed,
+        }
+    }
+
+    /// Enqueues `job`, or hands it back when the queue is full or closed.
+    pub fn submit(&self, job: Job) -> Result<(), (Job, PushError)> {
+        self.queue.try_push(job)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Current backlog length.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Backlog capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Jobs completed so far.
+    pub fn jobs_executed(&self) -> u64 {
+        self.jobs_executed.get()
+    }
+
+    /// Graceful shutdown: close the queue, let the workers drain the
+    /// backlog, and join them.
+    pub fn shutdown(mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Mirrors `shutdown()` for pools dropped without an explicit call
+        // (e.g. on unwind): close and drain so no job is lost.
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// How a fan-out ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FanoutError {
+    /// The deadline expired before every lane finished; still-queued lanes
+    /// were abandoned.
+    DeadlineExceeded,
+    /// A lane panicked (its slot stayed empty).
+    LaneFailed,
+}
+
+struct FanoutState<T> {
+    slots: Mutex<(Vec<Option<T>>, usize)>, // (results, lanes still pending)
+    done: Condvar,
+    abandoned: AtomicBool,
+}
+
+/// Decrements the pending count even if the lane's closure panics, so the
+/// waiting requester is always woken.
+struct LaneGuard<'a, T> {
+    state: &'a FanoutState<T>,
+    completed: bool,
+}
+
+impl<T> Drop for LaneGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.completed {
+            let mut slots = self.state.slots.lock().expect("fan-out poisoned");
+            slots.1 -= 1;
+            drop(slots);
+            self.state.done.notify_all();
+        }
+    }
+}
+
+fn run_lane<T, F>(state: &FanoutState<T>, index: usize, task: F)
+where
+    F: FnOnce() -> T,
+{
+    let mut guard = LaneGuard {
+        state,
+        completed: false,
+    };
+    if state.abandoned.load(Ordering::Acquire) {
+        // The requester already gave up; don't burn a worker on it.
+        return;
+    }
+    let value = task();
+    let mut slots = state.slots.lock().expect("fan-out poisoned");
+    slots.0[index] = Some(value);
+    slots.1 -= 1;
+    drop(slots);
+    guard.completed = true;
+    state.done.notify_all();
+}
+
+/// Runs every task on the pool in parallel and waits for all of them,
+/// bounded by `deadline`. Returns the results in task order.
+///
+/// Per-lane degradation: a task whose submission finds the queue full runs
+/// inline on the calling thread (`inline_fallback` is incremented). If the
+/// deadline expires first, still-queued tasks are abandoned and
+/// [`FanoutError::DeadlineExceeded`] is returned.
+pub fn scatter<T, F>(
+    pool: &WorkerPool,
+    tasks: Vec<F>,
+    deadline: Deadline,
+    inline_fallback: &Counter,
+) -> Result<Vec<T>, FanoutError>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let lanes = tasks.len();
+    if lanes == 0 {
+        return Ok(Vec::new());
+    }
+    let state = Arc::new(FanoutState {
+        slots: Mutex::new(((0..lanes).map(|_| None).collect(), lanes)),
+        done: Condvar::new(),
+        abandoned: AtomicBool::new(false),
+    });
+
+    let mut inline = Vec::new();
+    for (index, task) in tasks.into_iter().enumerate() {
+        let lane_state = Arc::clone(&state);
+        let job: Job = Box::new(move || run_lane(&lane_state, index, task));
+        if let Err((job, _)) = pool.submit(job) {
+            // Queue full (or closing): degrade to serial on this thread
+            // rather than failing the whole request. Run after submitting
+            // the other lanes so they overlap with the inline work.
+            inline.push(job);
+        }
+    }
+    for job in inline {
+        inline_fallback.inc();
+        job();
+    }
+
+    let mut slots = state.slots.lock().expect("fan-out poisoned");
+    while slots.1 > 0 {
+        let Some(remaining) = deadline.remaining() else {
+            state.abandoned.store(true, Ordering::Release);
+            return Err(FanoutError::DeadlineExceeded);
+        };
+        let (guard, timeout) = state
+            .done
+            .wait_timeout(slots, remaining)
+            .expect("fan-out poisoned");
+        slots = guard;
+        if timeout.timed_out() && slots.1 > 0 && deadline.expired() {
+            state.abandoned.store(true, Ordering::Release);
+            return Err(FanoutError::DeadlineExceeded);
+        }
+    }
+    let results: Option<Vec<T>> = slots.0.drain(..).collect();
+    results.ok_or(FanoutError::LaneFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn pool(workers: usize, capacity: usize) -> WorkerPool {
+        WorkerPool::new(workers, capacity, Gauge::default(), Counter::default())
+    }
+
+    #[test]
+    fn scatter_returns_results_in_task_order() {
+        let p = pool(4, 16);
+        let tasks: Vec<_> = (0..8u64).map(|i| move || i * 10).collect();
+        let out = scatter(&p, tasks, Deadline::never(), &Counter::default()).unwrap();
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn scatter_overlaps_lanes_across_workers() {
+        // Four 30 ms lanes on four workers should take well under the
+        // 120 ms serial cost.
+        let p = pool(4, 16);
+        let tasks: Vec<_> = (0..4)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(Duration::from_millis(30));
+                    i
+                }
+            })
+            .collect();
+        let start = std::time::Instant::now();
+        let out = scatter(&p, tasks, Deadline::never(), &Counter::default()).unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert!(
+            start.elapsed() < Duration::from_millis(110),
+            "lanes did not overlap: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn full_queue_degrades_to_inline_execution() {
+        // One worker stuck on a long job + capacity 1 forces later lanes
+        // inline; the fan-out must still complete with correct results.
+        let p = pool(1, 1);
+        assert!(p
+            .submit(Box::new(|| {
+                std::thread::sleep(Duration::from_millis(50));
+            }))
+            .is_ok());
+        let registry = arp_obs::Registry::new();
+        let inline = registry.counter("inline", "", &[]);
+        let tasks: Vec<_> = (0..4u64).map(|i| move || i + 1).collect();
+        let out = scatter(&p, tasks, Deadline::never(), &inline).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert!(
+            inline.get() >= 3,
+            "expected inline fallbacks, got {}",
+            inline.get()
+        );
+    }
+
+    #[test]
+    fn deadline_abandons_queued_lanes() {
+        let p = pool(1, 16);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..6)
+            .map(|_| {
+                let ran = Arc::clone(&ran);
+                move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(40));
+                }
+            })
+            .collect();
+        let err = scatter(
+            &p,
+            tasks,
+            Deadline::after(Duration::from_millis(60)),
+            &Counter::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, FanoutError::DeadlineExceeded);
+        // Let the backlog drain, then check the abandoned lanes never ran.
+        std::thread::sleep(Duration::from_millis(150));
+        assert!(
+            ran.load(Ordering::SeqCst) < 6,
+            "abandoned lanes still executed"
+        );
+    }
+
+    #[test]
+    fn panicking_lane_fails_the_fanout_but_not_the_pool() {
+        let p = pool(2, 16);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("lane boom")),
+            Box::new(|| 3),
+        ];
+        let err = scatter(&p, tasks, Deadline::never(), &Counter::default()).unwrap_err();
+        assert_eq!(err, FanoutError::LaneFailed);
+        // The pool survives and keeps serving.
+        let out = scatter(
+            &p,
+            vec![|| 7u32, || 8u32],
+            Deadline::never(),
+            &Counter::default(),
+        )
+        .unwrap();
+        assert_eq!(out, vec![7, 8]);
+    }
+
+    #[test]
+    fn shutdown_drains_the_backlog() {
+        let p = pool(1, 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let done = Arc::clone(&done);
+            assert!(p
+                .submit(Box::new(move || {
+                    std::thread::sleep(Duration::from_millis(5));
+                    done.fetch_add(1, Ordering::SeqCst);
+                }))
+                .is_ok());
+        }
+        p.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn pool_has_at_least_one_worker() {
+        let p = pool(0, 4);
+        assert_eq!(p.workers(), 1);
+        let out = scatter(&p, vec![|| 42u8], Deadline::never(), &Counter::default()).unwrap();
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -1,0 +1,188 @@
+//! A bounded multi-producer multi-consumer queue on `Mutex` + `Condvar`.
+//!
+//! The queue is the admission boundary of the serving layer: producers
+//! never block — [`BoundedQueue::try_push`] fails fast when the queue is
+//! at capacity so the caller can shed load (HTTP 503) instead of building
+//! an unbounded backlog. Consumers block in [`BoundedQueue::pop`] until
+//! work arrives or the queue is closed and drained, which is what makes
+//! graceful shutdown possible: close, let workers drain the backlog, join.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use arp_obs::Gauge;
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — shed the work.
+    Full,
+    /// The queue was closed — the pool is shutting down.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with fail-fast producers and blocking consumers.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+    depth: Gauge,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` pending items. The `depth`
+    /// gauge tracks the current backlog (detached gauges are free).
+    pub fn new(capacity: usize, depth: Gauge) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            depth,
+        }
+    }
+
+    /// Enqueues `item` without blocking, or says why it cannot.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err((item, PushError::Closed));
+        }
+        if state.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        state.items.push_back(item);
+        self.depth.set(state.items.len() as i64);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (returning it) or the queue is
+    /// closed **and** drained (returning `None` — the consumer's signal
+    /// to exit).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.depth.set(state.items.len() as i64);
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: subsequent pushes fail with [`PushError::Closed`],
+    /// consumers drain the backlog and then observe `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Current backlog length.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the backlog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn queue(capacity: usize) -> BoundedQueue<u32> {
+        BoundedQueue::new(capacity, Gauge::default())
+    }
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = queue(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds() {
+        let q = queue(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err((3, PushError::Full)));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_and_drains() {
+        let q = queue(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err((2, PushError::Closed)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let q = queue(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(9).unwrap();
+        assert_eq!(q.try_push(10), Err((10, PushError::Full)));
+    }
+
+    #[test]
+    fn depth_gauge_tracks_backlog() {
+        let registry = arp_obs::Registry::new();
+        let depth = registry.gauge("d", "", &[]);
+        let q = BoundedQueue::new(8, depth.clone());
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(depth.get(), 2);
+        q.pop();
+        assert_eq!(depth.get(), 1);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q = Arc::new(queue(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give the consumers a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        q.close();
+        let mut results: Vec<Option<u32>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort();
+        assert_eq!(results, vec![None, None, Some(7)]);
+    }
+}

@@ -1,0 +1,443 @@
+//! The route service: admission → cache probe → parallel fan-out →
+//! assembly.
+//!
+//! [`RouteService`] is generic over a [`RouteBackend`] so the serving
+//! machinery stays independent of the demo crate (which depends on this
+//! crate, not the other way round). The backend names its *lanes* — one
+//! per alternative-route technique — and the service:
+//!
+//! 1. **admits** the request or sheds it ([`ServeError::Overloaded`]),
+//! 2. **probes the cache** per lane, so a repeat query recomputes nothing
+//!    and a partially-cached query recomputes only its missing lanes,
+//! 3. **fans out** the missing lanes onto the worker pool
+//!    ([`crate::scatter`]), bounded by the request deadline,
+//! 4. **assembles** the lanes — in lane order, regardless of completion
+//!    order — so the response is byte-identical to the serial path.
+//!
+//! Successful lane results are written back to the cache from the worker
+//! thread that computed them; failed lanes are never cached.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::admission::{Admission, Deadline};
+use crate::cache::ShardedCache;
+use crate::metrics::ServeMetrics;
+use crate::pool::{scatter, FanoutError, WorkerPool};
+use arp_obs::Registry;
+
+/// What a backend must provide for the service to run it.
+///
+/// `Request` is the *normalized* request — for road networks that means
+/// coordinates already snapped to nodes, so every request that resolves
+/// to the same (city, source node, target node, technique, k) tuple
+/// shares cache entries regardless of the raw coordinates sent.
+pub trait RouteBackend: Send + Sync + 'static {
+    /// A normalized route request.
+    type Request: Clone + Send + Sync + 'static;
+    /// One lane's (technique's) computed result.
+    type Part: Clone + Send + 'static;
+    /// The assembled response.
+    type Response;
+
+    /// Number of lanes (techniques) per request.
+    fn lanes(&self) -> usize;
+
+    /// The cache key for `lane` of `request`. Must encode everything the
+    /// lane's result depends on — city, snapped endpoints, technique, k.
+    fn lane_key(&self, request: &Self::Request, lane: usize) -> String;
+
+    /// Computes one lane. Runs on a worker thread.
+    fn compute(&self, request: &Self::Request, lane: usize) -> Result<Self::Part, String>;
+
+    /// Combines the lanes (given in lane order) into the response.
+    fn assemble(&self, request: &Self::Request, parts: Vec<Self::Part>) -> Self::Response;
+}
+
+/// Tunables for the serving layer.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads computing technique lanes.
+    pub workers: usize,
+    /// Bound on queued (not yet running) lane jobs.
+    pub queue_capacity: usize,
+    /// Bound on concurrently admitted route requests.
+    pub max_inflight: usize,
+    /// Total route-cache entries; zero disables the cache.
+    pub cache_capacity: usize,
+    /// Cache shard count.
+    pub cache_shards: usize,
+    /// Cache entry time-to-live; zero means entries never expire.
+    pub cache_ttl: Duration,
+    /// Per-request deadline; zero disables deadlines.
+    pub deadline: Duration,
+    /// The `Retry-After` hint handed to shed clients, in seconds.
+    pub retry_after_s: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_inflight: 32,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            cache_ttl: Duration::from_secs(300),
+            deadline: Duration::from_secs(10),
+            retry_after_s: 1,
+        }
+    }
+}
+
+/// Why the service refused or failed a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Shed at admission: too many requests in flight. Answer HTTP 503
+    /// with `Retry-After: {retry_after_s}`.
+    Overloaded {
+        /// Seconds the client should wait before retrying.
+        retry_after_s: u32,
+    },
+    /// The request's deadline expired before every lane finished.
+    DeadlineExceeded,
+    /// A lane failed; the message is the backend's error.
+    Lane(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { retry_after_s } => {
+                write!(f, "overloaded; retry after {retry_after_s}s")
+            }
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::Lane(message) => write!(f, "lane failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The serving pipeline over one backend. See the module docs for the
+/// request lifecycle.
+pub struct RouteService<B: RouteBackend> {
+    backend: Arc<B>,
+    pool: WorkerPool,
+    cache: Option<Arc<ShardedCache<String, B::Part>>>,
+    admission: Admission,
+    config: ServeConfig,
+    metrics: ServeMetrics,
+    epoch: Instant,
+}
+
+impl<B: RouteBackend> RouteService<B> {
+    /// Builds the service and registers its instruments in `registry`.
+    pub fn new(backend: B, config: ServeConfig, registry: &Registry) -> RouteService<B> {
+        let metrics = ServeMetrics::new(registry);
+        Self::with_metrics(backend, config, metrics)
+    }
+
+    /// Builds the service around pre-resolved (possibly detached) metrics.
+    pub fn with_metrics(backend: B, config: ServeConfig, metrics: ServeMetrics) -> RouteService<B> {
+        let pool = WorkerPool::new(
+            config.workers,
+            config.queue_capacity,
+            metrics.queue_depth.clone(),
+            metrics.jobs_executed.clone(),
+        );
+        let cache = if config.cache_capacity == 0 {
+            None
+        } else {
+            Some(Arc::new(ShardedCache::new(
+                config.cache_capacity,
+                config.cache_shards,
+                config.cache_ttl.as_millis() as u64,
+                metrics.cache.clone(),
+            )))
+        };
+        let admission = Admission::new(config.max_inflight, metrics.inflight.clone());
+        RouteService {
+            backend: Arc::new(backend),
+            pool,
+            cache,
+            admission,
+            config,
+            metrics,
+            epoch: Instant::now(),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Runs one request through the full pipeline.
+    pub fn route(&self, request: B::Request) -> Result<B::Response, ServeError> {
+        let total_timer = self.metrics.total.start_timer();
+
+        // Stage 1: admission.
+        let admit_timer = self.metrics.stage_admit.start_timer();
+        let Some(_permit) = self.admission.try_acquire() else {
+            admit_timer.discard();
+            total_timer.discard();
+            self.metrics.shed_admission.inc();
+            return Err(ServeError::Overloaded {
+                retry_after_s: self.config.retry_after_s,
+            });
+        };
+        admit_timer.stop_ms();
+        self.metrics.admitted.inc();
+        let deadline = Deadline::after(self.config.deadline);
+
+        // Stage 2: per-lane cache probe.
+        let lanes = self.backend.lanes();
+        let cache_timer = self.metrics.stage_cache.start_timer();
+        let mut parts: Vec<Option<B::Part>> = vec![None; lanes];
+        if let Some(cache) = &self.cache {
+            let now_ms = self.now_ms();
+            for (lane, slot) in parts.iter_mut().enumerate() {
+                let key = self.backend.lane_key(&request, lane);
+                *slot = cache.get(&key, now_ms);
+            }
+        }
+        cache_timer.stop_ms();
+
+        // Stage 3: fan out the missing lanes.
+        let missing: Vec<usize> = parts
+            .iter()
+            .enumerate()
+            .filter_map(|(lane, slot)| slot.is_none().then_some(lane))
+            .collect();
+        if !missing.is_empty() {
+            let compute_start = Instant::now();
+            let tasks: Vec<_> = missing
+                .iter()
+                .map(|&lane| {
+                    let backend = Arc::clone(&self.backend);
+                    let cache = self.cache.clone();
+                    let request = request.clone();
+                    let key = self.backend.lane_key(&request, lane);
+                    let epoch = self.epoch;
+                    move || {
+                        let result = backend.compute(&request, lane);
+                        if let (Some(cache), Ok(part)) = (&cache, &result) {
+                            let now_ms = epoch.elapsed().as_millis() as u64;
+                            cache.put(key, part.clone(), now_ms);
+                        }
+                        result
+                    }
+                })
+                .collect();
+            let computed = scatter(&self.pool, tasks, deadline, &self.metrics.inline_fallback)
+                .map_err(|error| match error {
+                    FanoutError::DeadlineExceeded => {
+                        self.metrics.timeouts.inc();
+                        ServeError::DeadlineExceeded
+                    }
+                    FanoutError::LaneFailed => {
+                        ServeError::Lane("technique lane panicked".to_string())
+                    }
+                })?;
+            self.metrics
+                .stage_compute
+                .observe(compute_start.elapsed().as_secs_f64() * 1_000.0);
+            for (lane, result) in missing.into_iter().zip(computed) {
+                parts[lane] = Some(result.map_err(ServeError::Lane)?);
+            }
+        }
+
+        // Stage 4: assemble in lane order.
+        let assemble_timer = self.metrics.stage_assemble.start_timer();
+        let parts: Vec<B::Part> = parts
+            .into_iter()
+            .map(|slot| slot.expect("lane neither cached nor computed"))
+            .collect();
+        let response = self.backend.assemble(&request, parts);
+        assemble_timer.stop_ms();
+        total_timer.stop_ms();
+        Ok(response)
+    }
+
+    /// The backend being served.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The service's metric handles.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The admission gate (for HTTP-layer introspection).
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// Current worker-queue backlog.
+    pub fn queue_len(&self) -> usize {
+        self.pool.queue_len()
+    }
+
+    /// Graceful shutdown: close the job queue, drain it, join the
+    /// workers. (Dropping the service does the same.)
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A backend whose lanes echo the request; used to observe the
+    /// service's caching, shedding and deadline behaviour.
+    struct EchoBackend {
+        lanes: usize,
+        delay: Duration,
+        fail_lane: Option<usize>,
+        computes: AtomicUsize,
+    }
+
+    impl EchoBackend {
+        fn new(lanes: usize) -> EchoBackend {
+            EchoBackend {
+                lanes,
+                delay: Duration::ZERO,
+                fail_lane: None,
+                computes: AtomicUsize::new(0),
+            }
+        }
+
+        fn computes(&self) -> usize {
+            self.computes.load(Ordering::SeqCst)
+        }
+    }
+
+    impl RouteBackend for EchoBackend {
+        type Request = (u32, u32);
+        type Part = String;
+        type Response = String;
+
+        fn lanes(&self) -> usize {
+            self.lanes
+        }
+
+        fn lane_key(&self, request: &(u32, u32), lane: usize) -> String {
+            format!("echo:{}:{}:{lane}", request.0, request.1)
+        }
+
+        fn compute(&self, request: &(u32, u32), lane: usize) -> Result<String, String> {
+            self.computes.fetch_add(1, Ordering::SeqCst);
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            if self.fail_lane == Some(lane) {
+                return Err(format!("lane {lane} refused"));
+            }
+            Ok(format!("lane{lane}({},{})", request.0, request.1))
+        }
+
+        fn assemble(&self, request: &(u32, u32), parts: Vec<String>) -> String {
+            format!("{},{} => {}", request.0, request.1, parts.join("|"))
+        }
+    }
+
+    fn service(backend: EchoBackend, config: ServeConfig) -> RouteService<EchoBackend> {
+        RouteService::with_metrics(backend, config, ServeMetrics::default())
+    }
+
+    #[test]
+    fn lanes_assemble_in_lane_order() {
+        let svc = service(EchoBackend::new(4), ServeConfig::default());
+        let out = svc.route((3, 9)).unwrap();
+        assert_eq!(out, "3,9 => lane0(3,9)|lane1(3,9)|lane2(3,9)|lane3(3,9)");
+        assert_eq!(svc.backend().computes(), 4);
+    }
+
+    #[test]
+    fn repeat_requests_are_served_from_cache() {
+        let registry = Registry::new();
+        let svc = RouteService::new(EchoBackend::new(4), ServeConfig::default(), &registry);
+        let first = svc.route((1, 2)).unwrap();
+        let second = svc.route((1, 2)).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(svc.backend().computes(), 4, "repeat recomputed a lane");
+        assert_eq!(svc.metrics().cache.hits.get(), 4);
+        assert_eq!(svc.metrics().cache.misses.get(), 4);
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_every_time() {
+        let config = ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        };
+        let svc = service(EchoBackend::new(3), config);
+        svc.route((1, 2)).unwrap();
+        svc.route((1, 2)).unwrap();
+        assert_eq!(svc.backend().computes(), 6);
+    }
+
+    #[test]
+    fn admission_full_sheds_with_retry_after() {
+        let config = ServeConfig {
+            max_inflight: 1,
+            retry_after_s: 7,
+            ..ServeConfig::default()
+        };
+        let svc = service(EchoBackend::new(2), config);
+        let _occupied = svc.admission().try_acquire().unwrap();
+        let err = svc.route((1, 2)).unwrap_err();
+        assert_eq!(err, ServeError::Overloaded { retry_after_s: 7 });
+    }
+
+    #[test]
+    fn deadline_expiry_abandons_the_request() {
+        let mut backend = EchoBackend::new(4);
+        backend.delay = Duration::from_millis(80);
+        let config = ServeConfig {
+            workers: 1,
+            deadline: Duration::from_millis(30),
+            ..ServeConfig::default()
+        };
+        let registry = Registry::new();
+        let svc = RouteService::new(backend, config, &registry);
+        let err = svc.route((1, 2)).unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        assert_eq!(svc.metrics().timeouts.get(), 1);
+    }
+
+    #[test]
+    fn lane_errors_propagate_and_are_not_cached() {
+        let mut backend = EchoBackend::new(3);
+        backend.fail_lane = Some(1);
+        let svc = service(backend, ServeConfig::default());
+        let err = svc.route((4, 5)).unwrap_err();
+        assert_eq!(err, ServeError::Lane("lane 1 refused".to_string()));
+        // The failed lane must recompute on retry (only successes cached).
+        let before = svc.backend().computes();
+        let _ = svc.route((4, 5));
+        assert!(svc.backend().computes() > before);
+    }
+
+    #[test]
+    fn expired_entries_force_recomputation() {
+        let config = ServeConfig {
+            cache_ttl: Duration::from_millis(25),
+            ..ServeConfig::default()
+        };
+        let svc = service(EchoBackend::new(2), config);
+        svc.route((1, 2)).unwrap();
+        assert_eq!(svc.backend().computes(), 2);
+        std::thread::sleep(Duration::from_millis(40));
+        svc.route((1, 2)).unwrap();
+        assert_eq!(svc.backend().computes(), 4, "expired lanes must recompute");
+    }
+}

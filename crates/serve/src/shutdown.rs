@@ -1,0 +1,105 @@
+//! Cooperative shutdown signalling for accept loops.
+//!
+//! `TcpListener::accept` has no portable cancellation, so the handle
+//! pairs an atomic flag with a self-connect: `request_shutdown` sets the
+//! flag and then opens (and immediately drops) one TCP connection to the
+//! listener's own address, waking the accept loop so it can observe the
+//! flag and return instead of blocking forever. The HTTP server drains
+//! in-flight connections before returning, which is what lets tests run a
+//! real socket server without leaking its thread.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A cloneable handle that asks a serving loop to stop.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownHandle {
+    requested: Arc<AtomicBool>,
+    listener_addr: Arc<Mutex<Option<SocketAddr>>>,
+}
+
+impl ShutdownHandle {
+    /// A fresh handle with shutdown not yet requested.
+    pub fn new() -> ShutdownHandle {
+        ShutdownHandle::default()
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.requested.load(Ordering::Acquire)
+    }
+
+    /// Records the accept loop's local address so `request_shutdown` can
+    /// wake it. Called by the serving loop once its listener is bound.
+    pub fn register_listener(&self, addr: SocketAddr) {
+        *self.listener_addr.lock().expect("shutdown handle poisoned") = Some(addr);
+    }
+
+    /// Requests shutdown and wakes the registered accept loop (if any) by
+    /// briefly connecting to it. Idempotent.
+    pub fn request_shutdown(&self) {
+        self.requested.store(true, Ordering::Release);
+        let addr = *self.listener_addr.lock().expect("shutdown handle poisoned");
+        if let Some(addr) = addr {
+            // The connection exists only to pop the accept loop out of
+            // `accept()`; errors (loop already gone) are fine.
+            if let Ok(stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+                drop(stream);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn flag_flips_once_requested() {
+        let handle = ShutdownHandle::new();
+        assert!(!handle.is_shutdown());
+        handle.request_shutdown();
+        assert!(handle.is_shutdown());
+        handle.request_shutdown(); // idempotent
+        assert!(handle.is_shutdown());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let handle = ShutdownHandle::new();
+        let clone = handle.clone();
+        handle.request_shutdown();
+        assert!(clone.is_shutdown());
+    }
+
+    #[test]
+    fn request_wakes_a_blocking_accept_loop() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let handle = ShutdownHandle::new();
+        handle.register_listener(listener.local_addr().expect("local addr"));
+        let loop_handle = {
+            let shutdown = handle.clone();
+            std::thread::spawn(move || {
+                let mut accepted = 0u32;
+                loop {
+                    if shutdown.is_shutdown() {
+                        return accepted;
+                    }
+                    match listener.accept() {
+                        Ok(_) => accepted += 1,
+                        Err(_) => return accepted,
+                    }
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        handle.request_shutdown();
+        let accepted = loop_handle.join().expect("accept loop exits");
+        // The wake-up connection itself may or may not be counted depending
+        // on interleaving; the property under test is that the loop exits.
+        assert!(accepted <= 1);
+    }
+}

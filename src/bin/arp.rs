@@ -8,7 +8,7 @@
 //!               [--technique plateaus|penalty|dissimilarity|google|esx|pareto|yen]
 //!               [--k N] [--geojson FILE]
 //! arp study     <city> [--scale ...] [--seed N]
-//! arp serve     <city> [--port P] [--seed N]
+//! arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N]
 //! ```
 
 use std::collections::HashMap;
@@ -20,7 +20,7 @@ use arp_roadnet::weight::ms_to_display_minutes;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  arp generate  <city> [--scale S] [--seed N] [--out FILE]\n  arp export-osm <city> [--scale S] [--seed N] --out FILE\n  arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT [--technique T] [--k N] [--geojson FILE]\n  arp study     <city> [--scale S] [--seed N]\n  arp serve     <city> [--port P] [--seed N]\n\ncities: melbourne | dhaka | copenhagen   scales: tiny | small | medium | large"
+        "usage:\n  arp generate  <city> [--scale S] [--seed N] [--out FILE]\n  arp export-osm <city> [--scale S] [--seed N] --out FILE\n  arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT [--technique T] [--k N] [--geojson FILE]\n  arp study     <city> [--scale S] [--seed N]\n  arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N]\n\ncities: melbourne | dhaka | copenhagen   scales: tiny | small | medium | large"
     );
     std::process::exit(2)
 }
@@ -285,11 +285,28 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
         .get("port")
         .map(|v| v.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(8765);
-    let app = std::sync::Arc::new(DemoApp::new(QueryProcessor::new(
-        name.clone(),
-        net,
-        parse_seed(flags),
-    )));
+    let flag_usize = |key: &str, default: usize| -> usize {
+        flags
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(default)
+    };
+    let defaults = arp_serve::ServeConfig::default();
+    let config = arp_serve::ServeConfig {
+        workers: flag_usize("workers", defaults.workers),
+        queue_capacity: flag_usize("queue", defaults.queue_capacity),
+        // `--cache 0` disables the route cache.
+        cache_capacity: flag_usize("cache", defaults.cache_capacity),
+        ..defaults
+    };
+    println!(
+        "serving config: {} workers, queue {}, cache {} entries",
+        config.workers, config.queue_capacity, config.cache_capacity
+    );
+    let app = std::sync::Arc::new(DemoApp::with_config(
+        QueryProcessor::new(name.clone(), net, parse_seed(flags)),
+        config,
+    ));
     let listener = std::net::TcpListener::bind(("127.0.0.1", port)).unwrap_or_else(|e| {
         eprintln!("cannot bind port {port}: {e}");
         std::process::exit(1);

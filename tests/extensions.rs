@@ -4,9 +4,7 @@
 
 use alt_route_planner::prelude::*;
 use arp_core::altgraph::alt_graph_metrics;
-use arp_core::{
-    turn_aware_shortest_path, ChSearch, ContractionHierarchy, EsxOptions, TurnModel,
-};
+use arp_core::{turn_aware_shortest_path, ChSearch, ContractionHierarchy, EsxOptions, TurnModel};
 use arp_roadnet::spatial::SpatialIndex;
 
 fn city_query() -> (arp_citygen::GeneratedCity, NodeId, NodeId) {
@@ -55,7 +53,11 @@ fn alt_graph_metrics_of_each_technique_are_sane() {
             provider.kind()
         );
         // k=3 routes cannot need more than a handful of decisions.
-        assert!(m.decision_edges <= 3 * paths.len(), "{}: {m:?}", provider.kind());
+        assert!(
+            m.decision_edges <= 3 * paths.len(),
+            "{}: {m:?}",
+            provider.kind()
+        );
     }
 }
 
@@ -64,8 +66,7 @@ fn turn_aware_route_never_turns_more_than_plain() {
     let (g, s, t) = city_query();
     let net = &g.network;
     let plain = shortest_path(net, net.weights(), s, t).unwrap();
-    let aware =
-        turn_aware_shortest_path(net, net.weights(), &TurnModel::default(), s, t).unwrap();
+    let aware = turn_aware_shortest_path(net, net.weights(), &TurnModel::default(), s, t).unwrap();
     // The real guarantee: the turn-aware route minimizes the *penalized*
     // objective, so it must not lose to the plain route under the model.
     let model = TurnModel::default();
@@ -103,8 +104,8 @@ fn esx_and_ch_agree_with_plain_search_on_city() {
     let q = AltQuery::paper();
     let best = shortest_path(net, net.weights(), s, t).unwrap();
 
-    let esx = arp_core::esx_alternatives(net, net.weights(), s, t, &q, &EsxOptions::default())
-        .unwrap();
+    let esx =
+        arp_core::esx_alternatives(net, net.weights(), s, t, &q, &EsxOptions::default()).unwrap();
     assert_eq!(esx[0].cost_ms, best.cost_ms);
 
     let ch = ContractionHierarchy::build(net, net.weights()).unwrap();

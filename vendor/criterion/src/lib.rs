@@ -1,0 +1,225 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors a minimal timing harness with the API its benches use:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurements are honest wall-clock timings (warm-up plus `sample_size`
+//! samples, reporting min/mean/max per iteration) but there is no
+//! statistical analysis, no HTML report, and no saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named benchmark id, optionally parameterized (`name/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark closure with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, id);
+        match Stats::of(&bencher.samples) {
+            Some(stats) => println!(
+                "  {full:<44} {:>12} .. {:>12} .. {:>12}",
+                format_duration(stats.min),
+                format_duration(stats.mean),
+                format_duration(stats.max),
+            ),
+            None => println!("  {full:<44} (no samples)"),
+        }
+    }
+}
+
+struct Stats {
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+}
+
+impl Stats {
+    fn of(samples: &[Duration]) -> Option<Stats> {
+        let (&min, &max) = (samples.iter().min()?, samples.iter().max()?);
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        Some(Stats { min, mean, max })
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `sample_size` timed iterations.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        std::hint::black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        // warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn macros_compose() {
+        fn bench_a(c: &mut Criterion) {
+            c.benchmark_group("a")
+                .bench_function("noop", |b| b.iter(|| 1));
+        }
+        criterion_group!(benches, bench_a);
+        benches();
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,526 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors a minimal deterministic property-testing engine with the API
+//! surface its tests actually use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! * range strategies (`0..n`, `1.0f64..5.0`), tuple strategies up to
+//!   arity 8, [`strategy::Just`], [`arbitrary::any`], [`bool::ANY`],
+//!   and [`collection::vec`],
+//! * the [`proptest!`] macro with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Differences from the real crate: inputs are drawn from a fixed
+//! deterministic stream seeded by the test's name (every run explores the
+//! same cases — failures are always reproducible), and there is **no
+//! shrinking**: a failing case reports its case index and message as-is.
+
+pub mod test_runner {
+    //! Configuration, RNG and failure type for property runs.
+
+    /// Run configuration. Only `cases` is configurable, mirroring the
+    /// `ProptestConfig::with_cases` usage in this workspace.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream feeding every strategy.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A stream seeded from the property's name, so each property
+        /// explores a stable but distinct sequence of cases.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform draw in `[lo, hi)`; `hi > lo` required.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(hi > lo, "empty size range {lo}..{hi}");
+            lo + (self.next_u64() % (hi - lo) as u64) as usize
+        }
+    }
+
+    /// A failed assertion inside a property body.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for producing values of `Self::Value` from the test RNG.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of its value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end - self.start) as u64;
+                    assert!(span > 0, "empty range");
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (s, e) = (*self.start(), *self.end());
+                    let span = (e - s) as u64 + 1;
+                    s + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.next_f64() * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the full-domain strategy for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The full-domain strategy for `T` (supported primitives only).
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any(PhantomData)
+    }
+
+    macro_rules! any_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_uint!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy behind [`ANY`].
+    pub struct BoolAny;
+
+    /// Uniformly random booleans (`proptest::bool::ANY`).
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive-exclusive size window for generated collections.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` of values from `elem`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Glob import bringing the macro-facing API into scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic inputs (default 256,
+/// override with `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = (<$crate::test_runner::Config as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let strategies = ($($strat,)+);
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    ::core::panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property body, failing the case (with an
+/// optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}",
+            l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::deterministic("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3usize..10, x in -2.5f64..2.5) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((-2.5..2.5).contains(&x));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u32..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            for e in &v {
+                prop_assert!(*e < 5);
+            }
+        }
+
+        #[test]
+        fn flat_map_threads_dependencies(
+            (n, v) in (1usize..6).prop_flat_map(|n| {
+                (Just(n), crate::collection::vec(0usize..n, n))
+            })
+        ) {
+            prop_assert_eq!(v.len(), n);
+            for e in v {
+                prop_assert!(e < n);
+            }
+        }
+
+        #[test]
+        fn map_and_any_compose(
+            s in any::<u32>().prop_map(|x| x.to_string()),
+            b in crate::bool::ANY,
+        ) {
+            prop_assert!(s.parse::<u32>().is_ok());
+            prop_assert!(b == (b as u8 == 1));
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_number() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(5))]
+                fn always_fails(_x in 0u32..10) {
+                    prop_assert!(false, "doomed");
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("doomed"), "{msg}");
+        assert!(msg.contains("case 1/5"), "{msg}");
+    }
+}

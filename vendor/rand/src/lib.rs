@@ -1,0 +1,148 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the minimal API surface it actually uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`RngExt::random_range`] /
+//! [`RngExt::random_bool`]. The generator is SplitMix64 — deterministic,
+//! seedable, and statistically fine for synthetic-city generation and
+//! simulated raters (nothing here is cryptographic).
+//!
+//! Every repository seed (city layouts, study samples, benchmark query
+//! sets) is defined against **this** stream; swapping in the real `rand`
+//! would change the generated cities, so this stand-in is authoritative
+//! for the reproduction.
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// A deterministic SplitMix64 generator, mirroring the role of
+    /// `rand::rngs::StdRng` (seedable, portable stream).
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub(crate) fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng {
+            state: seed ^ 0xDEAD_BEEF_CAFE_F00D,
+        }
+    }
+}
+
+/// A range that [`RngExt::random_range`] can sample uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from `self` using `rng`.
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! int_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "empty range");
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                let span = (e - s) as u64 + 1;
+                s + (rng.next_u64() % span) as $t
+            }
+        }
+    };
+}
+int_range!(u32);
+int_range!(u64);
+int_range!(usize);
+int_range!(i32);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> f64 {
+        let (s, e) = (*self.start(), *self.end());
+        s + rng.next_f64() * (e - s)
+    }
+}
+
+/// The sampling methods the workspace calls (a subset of rand's `Rng`).
+pub trait RngExt {
+    /// Uniform draw from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl RngExt for rngs::StdRng {
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3u32..10);
+            assert!((3..10).contains(&v));
+            let w = rng.random_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&w));
+            let u = rng.random_range(5usize..=5);
+            assert_eq!(u, 5);
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_extremes() {
+        let mut rng = rngs::StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+    }
+}
