@@ -14,6 +14,7 @@ use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::ids::{EdgeId, NodeId};
 use arp_roadnet::weight::{Cost, Weight, INFINITY};
 
+use crate::budget::{SearchBudget, CHECK_INTERVAL};
 use crate::error::CoreError;
 use crate::metrics::{SearchMetrics, SearchStats};
 use crate::path::Path;
@@ -31,6 +32,7 @@ pub struct BidirSearch {
     heap_b: BinaryHeap<Reverse<(Cost, u32)>>,
     stats: SearchStats,
     metrics: SearchMetrics,
+    budget: SearchBudget,
 }
 
 impl BidirSearch {
@@ -49,6 +51,7 @@ impl BidirSearch {
             heap_b: BinaryHeap::new(),
             stats: SearchStats::default(),
             metrics: SearchMetrics::default(),
+            budget: SearchBudget::unlimited(),
         }
     }
 
@@ -58,16 +61,42 @@ impl BidirSearch {
         self.metrics = metrics;
     }
 
+    /// Attaches a cooperative [`SearchBudget`], polled every
+    /// [`CHECK_INTERVAL`] combined heap pops; a trip aborts the query
+    /// with [`CoreError::Interrupted`].
+    pub fn set_budget(&mut self, budget: SearchBudget) {
+        self.budget = budget;
+    }
+
+    /// The workspace's current budget.
+    pub fn budget(&self) -> &SearchBudget {
+        &self.budget
+    }
+
     /// Work counters of the most recently completed query.
     pub fn last_stats(&self) -> SearchStats {
         self.stats
     }
 
+    #[inline]
+    fn poll_budget(&mut self, pops: u64) -> Result<(), CoreError> {
+        if self.budget.is_limited() {
+            self.stats.budget_checks += 1;
+            if self.budget.charge(pops) {
+                self.metrics.record(&self.stats);
+                return Err(CoreError::Interrupted);
+            }
+        }
+        Ok(())
+    }
+
     fn begin(&mut self, net: &RoadNetwork) {
         if self.dist_f.len() != net.num_nodes() {
             let metrics = std::mem::take(&mut self.metrics);
+            let budget = std::mem::take(&mut self.budget);
             *self = Self::new(net);
             self.metrics = metrics;
+            self.budget = budget;
         }
         self.stats = SearchStats::default();
         self.generation = self.generation.wrapping_add(1);
@@ -162,6 +191,7 @@ impl BidirSearch {
             });
         }
         self.begin(net);
+        self.poll_budget(0)?;
 
         self.stamp_f[source.index()] = self.generation;
         self.dist_f[source.index()] = 0;
@@ -175,6 +205,7 @@ impl BidirSearch {
 
         let mut best: Cost = INFINITY;
         let mut meet = NodeId::INVALID;
+        let mut pops_since_check: u64 = 0;
 
         loop {
             let key_f = self
@@ -202,6 +233,11 @@ impl BidirSearch {
                     break;
                 };
                 self.stats.heap_pops += 1;
+                pops_since_check += 1;
+                if pops_since_check == CHECK_INTERVAL {
+                    pops_since_check = 0;
+                    self.poll_budget(CHECK_INTERVAL)?;
+                }
                 if d > self.df(v) {
                     continue;
                 }
@@ -228,6 +264,11 @@ impl BidirSearch {
                     break;
                 };
                 self.stats.heap_pops += 1;
+                pops_since_check += 1;
+                if pops_since_check == CHECK_INTERVAL {
+                    pops_since_check = 0;
+                    self.poll_budget(CHECK_INTERVAL)?;
+                }
                 if d > self.db(v) {
                     continue;
                 }
@@ -251,6 +292,9 @@ impl BidirSearch {
             }
         }
 
+        // Account the partial interval so the budget's expansion counter
+        // stays cumulative across queries.
+        self.budget.charge(pops_since_check);
         self.metrics.record(&self.stats);
         if best == INFINITY {
             Err(CoreError::Unreachable { source, target })
@@ -383,6 +427,46 @@ mod tests {
         assert!(s.settled > 0);
         assert!(s.settled <= s.heap_pops);
         assert!(s.relaxed > 0);
+    }
+
+    #[test]
+    fn pre_cancelled_budget_interrupts_the_query() {
+        let net = grid(8);
+        let mut bi = BidirSearch::new(&net);
+        let budget = SearchBudget::new();
+        budget.cancel();
+        bi.set_budget(budget);
+        assert!(matches!(
+            bi.shortest_distance(&net, net.weights(), NodeId(0), NodeId(63)),
+            Err(CoreError::Interrupted)
+        ));
+        assert_eq!(bi.last_stats().heap_pops, 0);
+        // Detaching restores normal behaviour.
+        bi.set_budget(SearchBudget::unlimited());
+        assert!(bi
+            .shortest_distance(&net, net.weights(), NodeId(0), NodeId(63))
+            .is_ok());
+    }
+
+    #[test]
+    fn expansion_cap_accumulates_across_queries() {
+        let net = grid(16);
+        let mut bi = BidirSearch::new(&net);
+        bi.set_budget(SearchBudget::new().with_expansion_cap(CHECK_INTERVAL));
+        // Small queries never hit the in-loop interval check, but their
+        // residual pops accumulate; eventually the entry poll trips.
+        let mut tripped = false;
+        for _ in 0..10_000 {
+            match bi.shortest_distance(&net, net.weights(), NodeId(0), NodeId(255)) {
+                Ok(_) => {}
+                Err(CoreError::Interrupted) => {
+                    tripped = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(tripped, "cumulative expansion cap never tripped");
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Cooperative search budgets: cancellation, deadlines and expansion caps.
+//!
+//! A [`SearchBudget`] is the core's half of cooperative cancellation. The
+//! serving layer (or any caller) hands a budget to a workspace via
+//! `set_budget`; the search kernels then poll it **every
+//! [`CHECK_INTERVAL`] heap pops** — frequent enough that an abandoned
+//! request frees its worker within a fraction of a millisecond of real
+//! search work, rare enough that the check is invisible in profiles. A
+//! tripped budget surfaces as [`crate::CoreError::Interrupted`]; the
+//! technique drivers catch it and return the alternatives they have
+//! already admitted (an *anytime* result) instead of an error.
+//!
+//! Three independent triggers, any of which trips the budget:
+//!
+//! * a **shared cancellation flag** (`Arc<AtomicBool>`) — set by a
+//!   deadline watcher in another thread (e.g. the serving layer's
+//!   fan-out when the request deadline expires);
+//! * an optional **deadline** against an injectable clock — wall time by
+//!   default, a manual millisecond counter in tests, so deadline
+//!   behaviour is testable without sleeping;
+//! * an optional **expansion cap** — a bound on total heap pops charged
+//!   across every search sharing the budget, giving tests a
+//!   deterministic, timing-free way to interrupt mid-technique.
+//!
+//! Once tripped, a budget stays tripped (the flag is sticky): a penalty
+//! loop whose third search hits the deadline will not start a fourth.
+//! The default budget is [`SearchBudget::unlimited`], which is a `None`
+//! inside — polling it is a null check, so uncancelled callers pay
+//! nothing and their results are byte-identical to pre-budget behaviour.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many heap pops a search kernel performs between budget polls.
+///
+/// Charged pops are accounted in units of at most this many, so an
+/// expansion cap or deadline is honoured within one interval of search
+/// work — the "release within one check interval" guarantee.
+pub const CHECK_INTERVAL: u64 = 1024;
+
+/// The clock a budget deadline is measured against.
+#[derive(Clone, Debug)]
+enum BudgetClock {
+    /// Real time: the deadline is `epoch + at_ms` in wall-clock terms.
+    Monotonic(Instant),
+    /// A manual millisecond counter owned by the test driving it.
+    Manual(Arc<AtomicU64>),
+}
+
+#[derive(Clone, Debug)]
+struct BudgetDeadline {
+    at_ms: u64,
+    clock: BudgetClock,
+}
+
+impl BudgetDeadline {
+    fn expired(&self) -> bool {
+        match &self.clock {
+            BudgetClock::Monotonic(epoch) => epoch.elapsed().as_millis() as u64 >= self.at_ms,
+            BudgetClock::Manual(now_ms) => now_ms.load(Ordering::Relaxed) >= self.at_ms,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    cancelled: Arc<AtomicBool>,
+    deadline: Option<BudgetDeadline>,
+    expansion_cap: Option<u64>,
+    expansions: AtomicU64,
+}
+
+impl BudgetInner {
+    fn fresh() -> BudgetInner {
+        BudgetInner {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+            expansion_cap: None,
+            expansions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A shared, cooperative bound on search work. See the module docs.
+///
+/// Cloning a budget shares it: every clone sees the same cancellation
+/// flag and charges the same expansion counter, which is what lets one
+/// request-level budget govern several searches (or several workspaces)
+/// at once.
+#[derive(Clone, Debug, Default)]
+pub struct SearchBudget {
+    inner: Option<Arc<BudgetInner>>,
+}
+
+impl SearchBudget {
+    /// The do-nothing budget: never trips, polling it is a null check.
+    pub fn unlimited() -> SearchBudget {
+        SearchBudget { inner: None }
+    }
+
+    /// A fresh budget with its own cancellation flag and no limits (use
+    /// the `with_*` builders to add them).
+    pub fn new() -> SearchBudget {
+        SearchBudget {
+            inner: Some(Arc::new(BudgetInner::fresh())),
+        }
+    }
+
+    /// A budget driven by an external cancellation flag — typically the
+    /// serving layer's per-request cancel token. Setting `flag` to
+    /// `true` from any thread interrupts every search polling this
+    /// budget within one [`CHECK_INTERVAL`].
+    pub fn with_cancel_flag(flag: Arc<AtomicBool>) -> SearchBudget {
+        SearchBudget {
+            inner: Some(Arc::new(BudgetInner {
+                cancelled: flag,
+                ..BudgetInner::fresh()
+            })),
+        }
+    }
+
+    fn edit(self, apply: impl FnOnce(&mut BudgetInner)) -> SearchBudget {
+        let mut inner = match self.inner {
+            Some(arc) => Arc::try_unwrap(arc).unwrap_or_else(|shared| BudgetInner {
+                cancelled: Arc::clone(&shared.cancelled),
+                deadline: shared.deadline.clone(),
+                expansion_cap: shared.expansion_cap,
+                expansions: AtomicU64::new(shared.expansions.load(Ordering::Relaxed)),
+            }),
+            None => BudgetInner::fresh(),
+        };
+        apply(&mut inner);
+        SearchBudget {
+            inner: Some(Arc::new(inner)),
+        }
+    }
+
+    /// Adds a wall-clock deadline `timeout` from now.
+    pub fn with_deadline(self, timeout: Duration) -> SearchBudget {
+        let deadline = BudgetDeadline {
+            at_ms: timeout.as_millis() as u64,
+            clock: BudgetClock::Monotonic(Instant::now()),
+        };
+        self.edit(|inner| inner.deadline = Some(deadline))
+    }
+
+    /// Adds a deadline at `at_ms` on a **manual clock**: the budget is
+    /// expired once `now_ms` (advanced by the test) reaches `at_ms`. No
+    /// sleeping, no wall time — deterministic deadline tests.
+    pub fn with_manual_deadline(self, now_ms: Arc<AtomicU64>, at_ms: u64) -> SearchBudget {
+        let deadline = BudgetDeadline {
+            at_ms,
+            clock: BudgetClock::Manual(now_ms),
+        };
+        self.edit(|inner| inner.deadline = Some(deadline))
+    }
+
+    /// Adds a cap on total heap pops charged across all searches sharing
+    /// this budget. Accounting happens at [`CHECK_INTERVAL`] granularity,
+    /// so the cap is honoured within one interval.
+    pub fn with_expansion_cap(self, cap: u64) -> SearchBudget {
+        self.edit(|inner| inner.expansion_cap = Some(cap))
+    }
+
+    /// Trips the budget by hand; every search polling it interrupts at
+    /// its next check. No-op on an unlimited budget.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the cancellation flag is set (including by an exhausted
+    /// cap or an expired deadline observed earlier — trips are sticky).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.cancelled.load(Ordering::Relaxed))
+    }
+
+    /// Whether this budget can trip at all (i.e. is not `unlimited`).
+    pub fn is_limited(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Heap pops charged so far (zero for unlimited budgets).
+    pub fn expansions(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.expansions.load(Ordering::Relaxed))
+    }
+
+    /// Charges `pops` heap pops and reports whether the budget is now
+    /// exhausted. This is the kernels' poll: flag first (cheapest),
+    /// then the expansion cap, then the deadline. A cap or deadline
+    /// trip sets the sticky flag so sibling searches stop too.
+    #[inline]
+    pub fn charge(&self, pops: u64) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        if inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(cap) = inner.expansion_cap {
+            let used = inner.expansions.fetch_add(pops, Ordering::Relaxed) + pops;
+            if used >= cap {
+                inner.cancelled.store(true, Ordering::Relaxed);
+                return true;
+            }
+        } else if pops > 0 {
+            inner.expansions.fetch_add(pops, Ordering::Relaxed);
+        }
+        if let Some(deadline) = &inner.deadline {
+            if deadline.expired() {
+                inner.cancelled.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A non-charging poll for technique drivers between rounds: has the
+    /// budget tripped (flag, deadline or already-exhausted cap)?
+    pub fn interrupted(&self) -> bool {
+        self.charge(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = SearchBudget::unlimited();
+        assert!(!b.is_limited());
+        assert!(!b.charge(u64::MAX / 2));
+        assert!(!b.interrupted());
+        assert!(!b.is_cancelled());
+        b.cancel(); // no-op
+        assert!(!b.is_cancelled());
+        assert_eq!(b.expansions(), 0);
+    }
+
+    #[test]
+    fn cancel_flag_trips_and_is_sticky() {
+        let b = SearchBudget::new();
+        assert!(!b.interrupted());
+        b.cancel();
+        assert!(b.interrupted());
+        assert!(b.charge(0));
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn shared_flag_cancels_from_outside() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = SearchBudget::with_cancel_flag(Arc::clone(&flag));
+        assert!(!b.interrupted());
+        flag.store(true, Ordering::Relaxed);
+        assert!(b.interrupted());
+    }
+
+    #[test]
+    fn expansion_cap_trips_at_the_cap_and_sets_the_flag() {
+        let b = SearchBudget::new().with_expansion_cap(3 * CHECK_INTERVAL);
+        assert!(!b.charge(CHECK_INTERVAL));
+        assert!(!b.charge(CHECK_INTERVAL));
+        assert!(b.charge(CHECK_INTERVAL), "third interval reaches the cap");
+        assert!(b.is_cancelled(), "cap trip must be sticky");
+        assert_eq!(b.expansions(), 3 * CHECK_INTERVAL);
+    }
+
+    #[test]
+    fn clones_share_the_expansion_counter() {
+        let a = SearchBudget::new().with_expansion_cap(100);
+        let b = a.clone();
+        assert!(!a.charge(60));
+        assert!(b.charge(60), "clone must see the shared counter");
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn manual_deadline_is_clock_driven() {
+        let clock = Arc::new(AtomicU64::new(0));
+        let b = SearchBudget::new().with_manual_deadline(Arc::clone(&clock), 50);
+        assert!(!b.interrupted());
+        clock.store(49, Ordering::Relaxed);
+        assert!(!b.interrupted());
+        clock.store(50, Ordering::Relaxed);
+        assert!(b.interrupted(), "deadline is inclusive of at_ms");
+        clock.store(0, Ordering::Relaxed);
+        assert!(b.interrupted(), "deadline trip is sticky");
+    }
+
+    #[test]
+    fn wall_clock_deadline_expires() {
+        let b = SearchBudget::new().with_deadline(Duration::ZERO);
+        assert!(b.interrupted(), "zero timeout is already expired");
+        let b = SearchBudget::new().with_deadline(Duration::from_secs(3600));
+        assert!(!b.interrupted());
+    }
+}

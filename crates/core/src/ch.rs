@@ -18,6 +18,7 @@ use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::ids::{EdgeId, NodeId};
 use arp_roadnet::weight::{Cost, Weight, INFINITY};
 
+use crate::budget::{SearchBudget, CHECK_INTERVAL};
 use crate::error::CoreError;
 use crate::metrics::{SearchMetrics, SearchStats};
 use crate::path::Path;
@@ -319,20 +320,28 @@ impl ContractionHierarchy {
     }
 
     /// Runs the bidirectional upward search. Returns
-    /// `(distance, meeting node, fwd labels, bwd labels)`.
+    /// `Ok(None)` when unreachable, `Err(Interrupted)` when `budget`
+    /// trips, otherwise `(distance, meeting node, fwd labels, bwd labels)`.
     #[allow(clippy::type_complexity)]
     fn query(
         &self,
         source: NodeId,
         target: NodeId,
-    ) -> Option<(
-        Cost,
-        u32,
-        Vec<(u32, Cost, ChEdge)>,
-        Vec<(u32, Cost, ChEdge)>,
-    )> {
+        budget: &SearchBudget,
+    ) -> Result<
+        Option<(
+            Cost,
+            u32,
+            Vec<(u32, Cost, ChEdge)>,
+            Vec<(u32, Cost, ChEdge)>,
+        )>,
+        CoreError,
+    > {
         if source == target {
-            return None;
+            return Ok(None);
+        }
+        if budget.interrupted() {
+            return Err(CoreError::Interrupted);
         }
         let sentinel = ChEdge {
             to: u32::MAX,
@@ -358,11 +367,19 @@ impl ContractionHierarchy {
 
         let mut best = INFINITY;
         let mut meet = u32::MAX;
+        let mut pops_since_check: u64 = 0;
         loop {
             let kf = heap_f.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
             let kb = heap_b.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
             if kf.min(kb) >= best {
                 break;
+            }
+            pops_since_check += 1;
+            if pops_since_check == CHECK_INTERVAL {
+                pops_since_check = 0;
+                if budget.charge(CHECK_INTERVAL) {
+                    return Err(CoreError::Interrupted);
+                }
             }
             if kf <= kb && kf != INFINITY {
                 let Some(Reverse((d, v))) = heap_f.pop() else {
@@ -411,10 +428,13 @@ impl ContractionHierarchy {
             }
         }
 
+        // Account the partial interval; the budget's expansion counter
+        // stays cumulative across queries.
+        budget.charge(pops_since_check);
         if best == INFINITY {
-            None
+            Ok(None)
         } else {
-            Some((best, meet, fwd, bwd))
+            Ok(Some((best, meet, fwd, bwd)))
         }
     }
 
@@ -426,6 +446,20 @@ impl ContractionHierarchy {
         source: NodeId,
         target: NodeId,
     ) -> Result<Path, CoreError> {
+        self.shortest_path_within(net, weights, source, target, &SearchBudget::unlimited())
+    }
+
+    /// [`ContractionHierarchy::shortest_path`] under a cooperative
+    /// [`SearchBudget`]: a trip aborts the query phase with
+    /// [`CoreError::Interrupted`].
+    pub fn shortest_path_within(
+        &self,
+        net: &RoadNetwork,
+        weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+        budget: &SearchBudget,
+    ) -> Result<Path, CoreError> {
         if source.index() >= net.num_nodes() {
             return Err(CoreError::InvalidNode(source));
         }
@@ -435,7 +469,7 @@ impl ContractionHierarchy {
         if source == target {
             return Err(CoreError::SameSourceTarget(source));
         }
-        let Some((_, meet, fwd, bwd)) = self.query(source, target) else {
+        let Some((_, meet, fwd, bwd)) = self.query(source, target, budget)? else {
             return Err(CoreError::Unreachable { source, target });
         };
 
@@ -699,6 +733,7 @@ pub struct ChSearch {
     heap_b: BinaryHeap<Reverse<(Cost, u32)>>,
     stats: SearchStats,
     metrics: SearchMetrics,
+    budget: SearchBudget,
 }
 
 impl ChSearch {
@@ -715,6 +750,7 @@ impl ChSearch {
             heap_b: BinaryHeap::new(),
             stats: SearchStats::default(),
             metrics: SearchMetrics::default(),
+            budget: SearchBudget::unlimited(),
         }
     }
 
@@ -724,9 +760,34 @@ impl ChSearch {
         self.metrics = metrics;
     }
 
+    /// Attaches a cooperative [`SearchBudget`], polled every
+    /// [`CHECK_INTERVAL`] heap pops. [`ChSearch::distance`] folds a trip
+    /// into `None`; use [`ChSearch::try_distance`] to tell an interrupted
+    /// query apart from an unreachable pair.
+    pub fn set_budget(&mut self, budget: SearchBudget) {
+        self.budget = budget;
+    }
+
+    /// The workspace's current budget.
+    pub fn budget(&self) -> &SearchBudget {
+        &self.budget
+    }
+
     /// Work counters of the most recently completed query.
     pub fn last_stats(&self) -> SearchStats {
         self.stats
+    }
+
+    #[inline]
+    fn poll_budget(&mut self, pops: u64) -> Result<(), CoreError> {
+        if self.budget.is_limited() {
+            self.stats.budget_checks += 1;
+            if self.budget.charge(pops) {
+                self.metrics.record(&self.stats);
+                return Err(CoreError::Interrupted);
+            }
+        }
+        Ok(())
     }
 
     #[inline]
@@ -749,14 +810,29 @@ impl ChSearch {
 
     /// Exact shortest-path distance, or `None` when unreachable or when
     /// `source == target`.
+    ///
+    /// An attached budget that trips also yields `None`; callers that
+    /// must distinguish use [`ChSearch::try_distance`].
     pub fn distance(
         &mut self,
         ch: &ContractionHierarchy,
         source: NodeId,
         target: NodeId,
     ) -> Option<Cost> {
+        self.try_distance(ch, source, target).unwrap_or(None)
+    }
+
+    /// Budget-aware variant of [`ChSearch::distance`]:
+    /// `Err(`[`CoreError::Interrupted`]`)` when the attached
+    /// [`SearchBudget`] trips mid-query, `Ok(None)` when unreachable.
+    pub fn try_distance(
+        &mut self,
+        ch: &ContractionHierarchy,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<Option<Cost>, CoreError> {
         if source == target || source.index() >= ch.rank.len() || target.index() >= ch.rank.len() {
-            return None;
+            return Ok(None);
         }
         self.stats = SearchStats::default();
         self.generation = self.generation.wrapping_add(1);
@@ -774,8 +850,10 @@ impl ChSearch {
         self.stamp_b[target.index()] = self.generation;
         self.dist_b[target.index()] = 0;
         self.heap_b.push(Reverse((0, target.0)));
+        self.poll_budget(0)?;
 
         let mut best = INFINITY;
+        let mut pops_since_check: u64 = 0;
         loop {
             let kf = self
                 .heap_f
@@ -795,6 +873,11 @@ impl ChSearch {
                     break;
                 };
                 self.stats.heap_pops += 1;
+                pops_since_check += 1;
+                if pops_since_check == CHECK_INTERVAL {
+                    pops_since_check = 0;
+                    self.poll_budget(CHECK_INTERVAL)?;
+                }
                 if d > self.df(v) {
                     continue;
                 }
@@ -817,6 +900,11 @@ impl ChSearch {
                     break;
                 };
                 self.stats.heap_pops += 1;
+                pops_since_check += 1;
+                if pops_since_check == CHECK_INTERVAL {
+                    pops_since_check = 0;
+                    self.poll_budget(CHECK_INTERVAL)?;
+                }
                 if d > self.db(v) {
                     continue;
                 }
@@ -838,8 +926,11 @@ impl ChSearch {
                 break;
             }
         }
+        // Account the partial interval; the budget's expansion counter
+        // stays cumulative across queries.
+        self.budget.charge(pops_since_check);
         self.metrics.record(&self.stats);
-        (best != INFINITY).then_some(best)
+        Ok((best != INFINITY).then_some(best))
     }
 }
 
@@ -898,5 +989,39 @@ mod ch_search_tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_try_distance() {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node(Point::new(i as f64 * 0.01, 0.0)))
+            .collect();
+        for i in 0..3 {
+            b.add_bidirectional(
+                ids[i],
+                ids[i + 1],
+                EdgeSpec::category(RoadCategory::Primary),
+            );
+        }
+        let net = b.build();
+        let ch = ContractionHierarchy::build(&net, net.weights()).unwrap();
+        let mut search = ChSearch::new(&ch);
+        let budget = SearchBudget::new();
+        budget.cancel();
+        search.set_budget(budget);
+        assert!(matches!(
+            search.try_distance(&ch, NodeId(0), NodeId(3)),
+            Err(CoreError::Interrupted)
+        ));
+        // `distance` folds the interruption into None.
+        assert_eq!(search.distance(&ch, NodeId(0), NodeId(3)), None);
+        // The packed-path query honours the budget too.
+        assert!(matches!(
+            ch.shortest_path_within(&net, net.weights(), NodeId(0), NodeId(3), search.budget()),
+            Err(CoreError::Interrupted)
+        ));
+        search.set_budget(SearchBudget::unlimited());
+        assert!(search.distance(&ch, NodeId(0), NodeId(3)).is_some());
     }
 }

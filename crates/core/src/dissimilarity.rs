@@ -53,6 +53,9 @@ pub struct DissimilarityStats {
     pub rejected_non_simple: u64,
     /// Via-paths rejected for insufficient dissimilarity to the result set.
     pub rejected_dissimilar: u64,
+    /// The workspace's [`crate::SearchBudget`] tripped mid-call; the
+    /// returned paths are the alternatives admitted up to that point.
+    pub interrupted: bool,
 }
 
 /// Computes up to `query.k` pairwise-dissimilar paths with SSVP-D+.
@@ -104,11 +107,32 @@ pub fn dissimilarity_alternatives_observed(
     if source == target {
         return Err(CoreError::SameSourceTarget(source));
     }
-    let fwd = ws.shortest_path_tree(net, weights, source, Direction::Forward)?;
+    let fwd = match ws.shortest_path_tree(net, weights, source, Direction::Forward) {
+        Ok(tree) => tree,
+        Err(CoreError::Interrupted) => {
+            // Interrupted before anything was admitted: empty partial.
+            stats.interrupted = true;
+            return Ok(Vec::new());
+        }
+        Err(e) => return Err(e),
+    };
     if !fwd.reached(target) {
         return Err(CoreError::Unreachable { source, target });
     }
-    let bwd = ws.shortest_path_tree(net, weights, target, Direction::Backward)?;
+    let bwd = match ws.shortest_path_tree(net, weights, target, Direction::Backward) {
+        Ok(tree) => tree,
+        Err(CoreError::Interrupted) => {
+            // The forward tree already proves the shortest path; hand it
+            // back as the (sole) partial alternative.
+            stats.interrupted = true;
+            let edges = fwd.path_edges(net, target).unwrap_or_default();
+            if edges.is_empty() {
+                return Ok(Vec::new());
+            }
+            return Ok(vec![Path::from_edges(net, weights, edges)]);
+        }
+        Err(e) => return Err(e),
+    };
     let best = fwd.distance(target);
     let bound = query.cost_bound(best);
 
@@ -135,6 +159,12 @@ pub fn dissimilarity_alternatives_observed(
 
     for &(_via, v) in candidates.iter().take(max_candidates) {
         if accepted.len() >= query.k {
+            break;
+        }
+        // Poll per candidate: materializing and comparing via-paths is
+        // the expensive part of the sweep.
+        if ws.budget().interrupted() {
+            stats.interrupted = true;
             break;
         }
         let v = NodeId(v);

@@ -24,6 +24,10 @@ pub enum CoreError {
         /// Provided overlay length.
         got: usize,
     },
+    /// The search's [`crate::SearchBudget`] tripped (cancellation,
+    /// deadline or expansion cap) before the search finished. Technique
+    /// drivers catch this and return the alternatives admitted so far.
+    Interrupted,
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +46,7 @@ impl fmt::Display for CoreError {
                     "weight overlay has {got} entries, network has {expected} edges"
                 )
             }
+            CoreError::Interrupted => write!(f, "search interrupted by its budget"),
         }
     }
 }

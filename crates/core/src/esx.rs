@@ -16,6 +16,7 @@ use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::ids::{EdgeId, NodeId};
 use arp_roadnet::weight::{Cost, Weight};
 
+use crate::budget::SearchBudget;
 use crate::error::CoreError;
 use crate::path::Path;
 use crate::query::AltQuery;
@@ -51,11 +52,43 @@ pub fn esx_alternatives(
     query: &AltQuery,
     options: &EsxOptions,
 ) -> Result<Vec<Path>, CoreError> {
+    esx_alternatives_budgeted(
+        net,
+        weights,
+        source,
+        target,
+        query,
+        options,
+        &SearchBudget::unlimited(),
+    )
+}
+
+/// [`esx_alternatives`] under a cooperative [`SearchBudget`].
+///
+/// A trip mid-call returns the paths chosen so far (an anytime result);
+/// inspect `budget.is_cancelled()` to tell a partial set apart from a
+/// converged one. A trip before the first path is found returns `Ok`
+/// with an empty set.
+#[allow(clippy::too_many_arguments)]
+pub fn esx_alternatives_budgeted(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    source: NodeId,
+    target: NodeId,
+    query: &AltQuery,
+    options: &EsxOptions,
+    budget: &SearchBudget,
+) -> Result<Vec<Path>, CoreError> {
     if query.k == 0 {
         return Ok(Vec::new());
     }
     let mut ws = SearchSpace::new(net);
-    let best = ws.shortest_path(net, weights, source, target)?;
+    ws.set_budget(budget.clone());
+    let best = match ws.shortest_path(net, weights, source, target) {
+        Ok(p) => p,
+        Err(CoreError::Interrupted) => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
     let bound = query.cost_bound(best.cost_ms);
 
     const BLOCKED: Weight = u32::MAX - 1;
@@ -66,10 +99,19 @@ pub fn esx_alternatives(
     result.push(best);
 
     'outer: while result.len() < query.k {
+        // Poll between candidate generations so a tripped budget stops
+        // the technique before the next recompute.
+        if budget.interrupted() {
+            break;
+        }
         let mut exclusions_this_round = 0usize;
         loop {
-            let Ok(candidate) = ws.shortest_path(net, &overlay, source, target) else {
-                break 'outer; // graph disconnected by exclusions
+            let candidate = match ws.shortest_path(net, &overlay, source, target) {
+                Ok(p) => p,
+                // Interrupted: hand back what is already chosen.
+                Err(CoreError::Interrupted) => break 'outer,
+                // Graph disconnected by exclusions.
+                Err(_) => break 'outer,
             };
             // A candidate that had to use a blocked edge means no real
             // path remains.
@@ -250,6 +292,38 @@ mod tests {
             &EsxOptions::default(),
         )
         .is_err());
+    }
+
+    #[test]
+    fn budgeted_call_returns_partial_prefix() {
+        let net = grid(8);
+        let q = AltQuery::paper();
+        let full = esx_alternatives(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &q,
+            &EsxOptions::default(),
+        )
+        .unwrap();
+        assert!(full.len() > 1);
+        // Cap of one pop: the first search completes (residual charge),
+        // the sticky trip stops the loop before the second candidate.
+        let budget = SearchBudget::new().with_expansion_cap(1);
+        let partial = esx_alternatives_budgeted(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &q,
+            &EsxOptions::default(),
+            &budget,
+        )
+        .unwrap();
+        assert!(budget.is_cancelled());
+        assert_eq!(partial.len(), 1);
+        assert_eq!(partial[0].edges, full[0].edges);
     }
 
     #[test]

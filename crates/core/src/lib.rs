@@ -48,6 +48,7 @@
 pub mod admissibility;
 pub mod altgraph;
 pub mod bidir;
+pub mod budget;
 pub mod ch;
 pub mod dissimilarity;
 pub mod error;
@@ -70,10 +71,11 @@ pub use admissibility::{
     admissibility, admissible_share, AdmissibilityCriteria, AdmissibilityReport,
 };
 pub use bidir::BidirSearch;
+pub use budget::SearchBudget;
 pub use ch::{ChConfig, ChSearch, ContractionHierarchy};
 pub use dissimilarity::{dissimilarity_alternatives, DissimilarityOptions, DissimilarityStats};
 pub use error::CoreError;
-pub use esx::{esx_alternatives, EsxOptions};
+pub use esx::{esx_alternatives, esx_alternatives_budgeted, EsxOptions};
 pub use filters::{apply_filters, FilterConfig};
 pub use metrics::{SearchMetrics, SearchStats, TechniqueMetrics};
 pub use pareto::{pareto_paths, ParetoOptions, ParetoRoute};
@@ -82,16 +84,18 @@ pub use penalty::{penalty_alternatives, PenaltyOptions, PenaltyStats};
 pub use plateau::{find_plateaus, plateau_alternatives, Plateau, PlateauOptions, PlateauStats};
 pub use provider::{
     instrumented_providers, standard_providers, AlternativesProvider, DissimilarityProvider,
-    GoogleLikeProvider, PenaltyProvider, PlateauProvider, ProviderKind, TrafficModel,
+    GoogleLikeProvider, PenaltyProvider, PlateauProvider, ProviderKind, ProviderOutcome,
+    TrafficModel,
 };
 pub use query::{AltQuery, Route};
 pub use search::{shortest_path, Direction, SearchSpace, ShortestPathTree};
 pub use turns::{turn_aware_shortest_path, TurnModel};
-pub use yen::yen_k_shortest_paths;
+pub use yen::{yen_k_shortest_paths, yen_k_shortest_paths_budgeted};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::bidir::BidirSearch;
+    pub use crate::budget::SearchBudget;
     pub use crate::dissimilarity::{dissimilarity_alternatives, DissimilarityOptions};
     pub use crate::error::CoreError;
     pub use crate::esx::{esx_alternatives, EsxOptions};
@@ -103,7 +107,7 @@ pub mod prelude {
     pub use crate::plateau::{plateau_alternatives, PlateauOptions};
     pub use crate::provider::{
         instrumented_providers, standard_providers, AlternativesProvider, GoogleLikeProvider,
-        ProviderKind,
+        ProviderKind, ProviderOutcome,
     };
     pub use crate::query::{AltQuery, Route};
     pub use crate::search::{shortest_path, Direction, SearchSpace};

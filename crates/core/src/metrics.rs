@@ -30,6 +30,10 @@ pub struct SearchStats {
     pub settled: u64,
     /// Edges inspected for relaxation from settled vertices.
     pub relaxed: u64,
+    /// [`crate::SearchBudget`] polls performed (one per
+    /// [`crate::budget::CHECK_INTERVAL`] heap pops, plus one on entry) —
+    /// the overhead knob of cooperative cancellation.
+    pub budget_checks: u64,
 }
 
 impl SearchStats {
@@ -38,6 +42,7 @@ impl SearchStats {
         self.heap_pops += other.heap_pops;
         self.settled += other.settled;
         self.relaxed += other.relaxed;
+        self.budget_checks += other.budget_checks;
     }
 }
 
@@ -53,6 +58,7 @@ pub struct SearchMetrics {
     settled: Counter,
     heap_pops: Counter,
     relaxed: Counter,
+    budget_checks: Counter,
 }
 
 impl SearchMetrics {
@@ -80,6 +86,11 @@ impl SearchMetrics {
                 "Edges inspected for relaxation by searches.",
                 labels,
             ),
+            budget_checks: registry.counter(
+                "arp_search_budget_checks_total",
+                "Cooperative-cancellation budget polls performed by searches.",
+                labels,
+            ),
         }
     }
 
@@ -90,6 +101,7 @@ impl SearchMetrics {
         self.settled.add(stats.settled);
         self.heap_pops.add(stats.heap_pops);
         self.relaxed.add(stats.relaxed);
+        self.budget_checks.add(stats.budget_checks);
     }
 }
 
@@ -103,6 +115,7 @@ impl SearchMetrics {
 pub struct TechniqueMetrics {
     pub(crate) calls: Counter,
     pub(crate) errors: Counter,
+    pub(crate) interrupted: Counter,
     pub(crate) latency: Histogram,
     pub(crate) generated: Counter,
     pub(crate) admitted: Counter,
@@ -140,6 +153,12 @@ impl TechniqueMetrics {
             errors: registry.counter(
                 "arp_technique_errors_total",
                 "Alternative-route queries that returned an error.",
+                labels,
+            ),
+            interrupted: registry.counter(
+                "arp_technique_interrupted_total",
+                "Alternative-route queries cut short by their budget \
+                 (partial routes were returned; not counted as errors).",
                 labels,
             ),
             latency: registry.histogram(
@@ -231,18 +250,21 @@ mod tests {
             heap_pops: 1,
             settled: 2,
             relaxed: 3,
+            budget_checks: 1,
         };
         a.accumulate(&SearchStats {
             heap_pops: 10,
             settled: 20,
             relaxed: 30,
+            budget_checks: 4,
         });
         assert_eq!(
             a,
             SearchStats {
                 heap_pops: 11,
                 settled: 22,
-                relaxed: 33
+                relaxed: 33,
+                budget_checks: 5,
             }
         );
     }
@@ -254,6 +276,7 @@ mod tests {
             heap_pops: 5,
             settled: 5,
             relaxed: 5,
+            ..SearchStats::default()
         });
         let t = TechniqueMetrics::default();
         let timer = t.begin_call();
@@ -268,11 +291,13 @@ mod tests {
             heap_pops: 7,
             settled: 6,
             relaxed: 20,
+            budget_checks: 2,
         });
         m.record(&SearchStats {
             heap_pops: 3,
             settled: 3,
             relaxed: 9,
+            budget_checks: 1,
         });
         let labels = &[("algo", "dijkstra")][..];
         assert_eq!(reg.counter_value("arp_search_queries_total", labels), 2);
@@ -284,6 +309,10 @@ mod tests {
         assert_eq!(
             reg.counter_value("arp_search_relaxed_edges_total", labels),
             29
+        );
+        assert_eq!(
+            reg.counter_value("arp_search_budget_checks_total", labels),
+            3
         );
     }
 }

@@ -55,6 +55,9 @@ pub struct PenaltyStats {
     pub rejected_similarity: u64,
     /// Candidates rejected for revisiting a vertex.
     pub rejected_non_simple: u64,
+    /// The workspace's [`crate::SearchBudget`] tripped mid-call; the
+    /// returned paths are the alternatives admitted up to that point.
+    pub interrupted: bool,
 }
 
 /// Computes up to `query.k` alternative paths with the penalty method.
@@ -108,7 +111,16 @@ pub fn penalty_alternatives_observed(
     // Private penalized overlay.
     let mut overlay: Vec<Weight> = weights.to_vec();
 
-    let best = ws.shortest_path(net, weights, source, target)?;
+    let best = match ws.shortest_path(net, weights, source, target) {
+        Ok(p) => p,
+        Err(CoreError::Interrupted) => {
+            // Nothing admitted yet: an interrupted call is not an error,
+            // it just has no partial routes to hand back.
+            stats.interrupted = true;
+            return Ok(Vec::new());
+        }
+        Err(e) => return Err(e),
+    };
     let bound = query.cost_bound(best.cost_ms);
     stats.candidates += 1;
 
@@ -123,8 +135,19 @@ pub fn penalty_alternatives_observed(
         if accepted.len() >= query.k {
             break;
         }
-        let Ok(candidate) = ws.shortest_path(net, &overlay, source, target) else {
+        // Poll between rounds so a budget tripped by a sibling search (or
+        // the deadline) stops the technique before the next re-search.
+        if ws.budget().interrupted() {
+            stats.interrupted = true;
             break;
+        }
+        let candidate = match ws.shortest_path(net, &overlay, source, target) {
+            Ok(p) => p,
+            Err(CoreError::Interrupted) => {
+                stats.interrupted = true;
+                break;
+            }
+            Err(_) => break,
         };
         stats.iterations += 1;
         stats.candidates += 1;
@@ -378,6 +401,52 @@ mod tests {
             + stats.rejected_similarity
             + stats.rejected_non_simple;
         assert_eq!(stats.candidates, paths.len() as u64 + rejected);
+    }
+
+    #[test]
+    fn interrupted_call_returns_admitted_prefix() {
+        use crate::budget::SearchBudget;
+
+        let net = grid(8);
+        let q = AltQuery::paper();
+        // Uninterrupted reference run.
+        let full = penalty_alternatives(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &q,
+            &PenaltyOptions::default(),
+        )
+        .unwrap();
+        assert!(full.len() > 1);
+
+        // Cancel after the first search: the technique must return the
+        // shortest path alone and flag the interruption, not error out.
+        let mut ws = SearchSpace::new(&net);
+        let mut stats = PenaltyStats::default();
+        // Expansion cap of one pop: the initial search completes (its
+        // residual pops are only charged at the end), the cap then trips
+        // sticky, and the between-rounds poll stops the second round.
+        ws.set_budget(SearchBudget::new().with_expansion_cap(1));
+        let partial = penalty_alternatives_observed(
+            &mut ws,
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &q,
+            &PenaltyOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(stats.interrupted);
+        assert!(partial.len() < full.len());
+        assert!(!partial.is_empty(), "shortest path already admitted");
+        // Admission order is deterministic: the partial run is a prefix.
+        for (got, want) in partial.iter().zip(full.iter()) {
+            assert_eq!(got.edges, want.edges);
+        }
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub struct PlateauStats {
     pub rejected_similarity: u64,
     /// Completed paths rejected for revisiting a vertex.
     pub rejected_non_simple: u64,
+    /// The workspace's [`crate::SearchBudget`] tripped mid-call; the
+    /// returned paths are the alternatives admitted up to that point.
+    pub interrupted: bool,
 }
 
 /// Finds all plateaus of the tree pair, unsorted.
@@ -179,11 +182,32 @@ pub fn plateau_alternatives_observed(
     if source == target {
         return Err(CoreError::SameSourceTarget(source));
     }
-    let fwd = ws.shortest_path_tree(net, weights, source, Direction::Forward)?;
+    let fwd = match ws.shortest_path_tree(net, weights, source, Direction::Forward) {
+        Ok(tree) => tree,
+        Err(CoreError::Interrupted) => {
+            // Interrupted before anything was admitted: empty partial.
+            stats.interrupted = true;
+            return Ok(Vec::new());
+        }
+        Err(e) => return Err(e),
+    };
     if !fwd.reached(target) {
         return Err(CoreError::Unreachable { source, target });
     }
-    let bwd = ws.shortest_path_tree(net, weights, target, Direction::Backward)?;
+    let bwd = match ws.shortest_path_tree(net, weights, target, Direction::Backward) {
+        Ok(tree) => tree,
+        Err(CoreError::Interrupted) => {
+            // The forward tree already proves the shortest path; hand it
+            // back as the (sole) partial alternative.
+            stats.interrupted = true;
+            let edges = fwd.path_edges(net, target).unwrap_or_default();
+            if edges.is_empty() {
+                return Ok(Vec::new());
+            }
+            return Ok(vec![Path::from_edges(net, weights, edges)]);
+        }
+        Err(e) => return Err(e),
+    };
     let best_cost = fwd.distance(target);
     let bound = query.cost_bound(best_cost);
     let min_weight = (best_cost as f64 * options.min_plateau_fraction) as Cost;
@@ -201,6 +225,12 @@ pub fn plateau_alternatives_observed(
     let mut accepted: Vec<Path> = Vec::with_capacity(query.k);
     for pl in &plateaus {
         if accepted.len() >= query.k {
+            break;
+        }
+        // Poll per sweep iteration: completing paths costs tree walks and
+        // similarity checks, so a tripped budget stops the sweep too.
+        if ws.budget().interrupted() {
+            stats.interrupted = true;
             break;
         }
         stats.candidates += 1;
@@ -455,6 +485,36 @@ mod tests {
             + stats.rejected_similarity
             + stats.rejected_non_simple;
         assert!(stats.candidates >= paths.len() as u64 + rejected);
+    }
+
+    #[test]
+    fn interrupted_after_forward_tree_returns_shortest_path() {
+        use crate::budget::SearchBudget;
+
+        let net = grid(8);
+        let mut ws = SearchSpace::new(&net);
+        // Cap of one pop: the forward tree completes (residual pops are
+        // charged at the end), the cap trips sticky, and the backward
+        // tree's entry poll interrupts.
+        ws.set_budget(SearchBudget::new().with_expansion_cap(1));
+        let mut stats = PlateauStats::default();
+        let partial = plateau_alternatives_observed(
+            &mut ws,
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(63),
+            &AltQuery::paper(),
+            &PlateauOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(stats.interrupted);
+        assert_eq!(partial.len(), 1, "shortest path is the partial result");
+        let direct =
+            crate::search::shortest_path(&net, net.weights(), NodeId(0), NodeId(63)).unwrap();
+        assert_eq!(partial[0].cost_ms, direct.cost_ms);
+        assert_eq!(partial[0].edges, direct.edges);
     }
 
     #[test]

@@ -26,7 +26,8 @@ use crate::plateau::{plateau_alternatives_observed, PlateauOptions, PlateauStats
 use crate::query::{AltQuery, Route};
 use crate::search::SearchSpace;
 
-use super::{AlternativesProvider, ProviderKind};
+use super::{AlternativesProvider, ProviderKind, ProviderOutcome};
+use crate::budget::SearchBudget;
 
 /// Deterministic synthetic traffic model producing a private copy of the
 /// edge weights.
@@ -196,14 +197,15 @@ impl AlternativesProvider for GoogleLikeProvider {
         ProviderKind::GoogleLike
     }
 
-    fn alternatives(
+    fn alternatives_with_budget(
         &self,
         net: &RoadNetwork,
         public_weights: &[Weight],
         source: NodeId,
         target: NodeId,
         query: &AltQuery,
-    ) -> Result<Vec<Route>, CoreError> {
+        budget: &SearchBudget,
+    ) -> Result<ProviderOutcome, CoreError> {
         if self.private_weights.len() != net.num_edges() {
             self.metrics.errors.inc();
             return Err(CoreError::WeightLengthMismatch {
@@ -214,6 +216,7 @@ impl AlternativesProvider for GoogleLikeProvider {
         let _timer = self.metrics.begin_call();
         let mut ws = SearchSpace::new(net);
         ws.set_metrics(self.metrics.search().clone());
+        ws.set_budget(budget.clone());
         // Optimize on the PRIVATE data…
         let mut stats = PlateauStats::default();
         let result = plateau_alternatives_observed(
@@ -234,14 +237,27 @@ impl AlternativesProvider for GoogleLikeProvider {
                 return Err(e);
             }
         };
-        let paths = apply_filters(net, &self.private_weights, paths, query.k, &self.filters);
+        // The commercial post-filters probe local optimality with extra
+        // point-to-point searches; skip them on an interrupted call and
+        // serve the raw partial instead.
+        let paths = if stats.interrupted {
+            paths
+        } else {
+            apply_filters(net, &self.private_weights, paths, query.k, &self.filters)
+        };
         self.metrics.admitted.add(paths.len() as u64);
         // …but report routes priced on the public data, like the paper's
         // query processor does for Google's routes.
-        Ok(paths
+        let routes: Vec<Route> = paths
             .into_iter()
             .map(|p| Route::new(p, public_weights))
-            .collect())
+            .collect();
+        if stats.interrupted {
+            self.metrics.interrupted.inc();
+            Ok(ProviderOutcome::Interrupted { partial: routes })
+        } else {
+            Ok(ProviderOutcome::Complete(routes))
+        }
     }
 }
 

@@ -13,6 +13,7 @@ use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::ids::NodeId;
 use arp_roadnet::weight::Weight;
 
+use crate::budget::SearchBudget;
 use crate::dissimilarity::{
     dissimilarity_alternatives_observed, DissimilarityOptions, DissimilarityStats,
 };
@@ -76,6 +77,37 @@ impl std::fmt::Display for ProviderKind {
     }
 }
 
+/// Result of a budgeted provider call: either the technique converged, or
+/// its [`SearchBudget`] tripped and these are the routes admitted up to
+/// that point (an *anytime* partial, possibly empty).
+#[derive(Clone, Debug)]
+pub enum ProviderOutcome {
+    /// The technique ran to completion.
+    Complete(Vec<Route>),
+    /// The budget tripped (cancellation, deadline or expansion cap)
+    /// before the technique converged.
+    Interrupted {
+        /// Routes admitted before the trip, in the technique's usual
+        /// admission order.
+        partial: Vec<Route>,
+    },
+}
+
+impl ProviderOutcome {
+    /// The routes, whether or not the call converged.
+    pub fn routes(self) -> Vec<Route> {
+        match self {
+            ProviderOutcome::Complete(routes) => routes,
+            ProviderOutcome::Interrupted { partial } => partial,
+        }
+    }
+
+    /// Whether the call was cut short by its budget.
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, ProviderOutcome::Interrupted { .. })
+    }
+}
+
 /// A technique that answers alternative-route queries.
 pub trait AlternativesProvider: Send + Sync {
     /// Which approach this is.
@@ -93,7 +125,31 @@ pub trait AlternativesProvider: Send + Sync {
         source: NodeId,
         target: NodeId,
         query: &AltQuery,
-    ) -> Result<Vec<Route>, CoreError>;
+    ) -> Result<Vec<Route>, CoreError> {
+        self.alternatives_with_budget(
+            net,
+            public_weights,
+            source,
+            target,
+            query,
+            &SearchBudget::unlimited(),
+        )
+        .map(|outcome| outcome.routes())
+    }
+
+    /// Like [`AlternativesProvider::alternatives`] but under a cooperative
+    /// [`SearchBudget`]: every internal search polls `budget`, and a trip
+    /// mid-call yields [`ProviderOutcome::Interrupted`] carrying the
+    /// routes admitted so far rather than an error.
+    fn alternatives_with_budget(
+        &self,
+        net: &RoadNetwork,
+        public_weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+        query: &AltQuery,
+        budget: &SearchBudget,
+    ) -> Result<ProviderOutcome, CoreError>;
 }
 
 /// The Plateaus provider.
@@ -118,17 +174,19 @@ impl AlternativesProvider for PlateauProvider {
         ProviderKind::Plateaus
     }
 
-    fn alternatives(
+    fn alternatives_with_budget(
         &self,
         net: &RoadNetwork,
         public_weights: &[Weight],
         source: NodeId,
         target: NodeId,
         query: &AltQuery,
-    ) -> Result<Vec<Route>, CoreError> {
+        budget: &SearchBudget,
+    ) -> Result<ProviderOutcome, CoreError> {
         let _timer = self.metrics.begin_call();
         let mut ws = SearchSpace::new(net);
         ws.set_metrics(self.metrics.search().clone());
+        ws.set_budget(budget.clone());
         let mut stats = PlateauStats::default();
         let result = plateau_alternatives_observed(
             &mut ws,
@@ -149,10 +207,16 @@ impl AlternativesProvider for PlateauProvider {
             }
         };
         self.metrics.admitted.add(paths.len() as u64);
-        Ok(paths
+        let routes: Vec<Route> = paths
             .into_iter()
             .map(|p| Route::new(p, public_weights))
-            .collect())
+            .collect();
+        if stats.interrupted {
+            self.metrics.interrupted.inc();
+            Ok(ProviderOutcome::Interrupted { partial: routes })
+        } else {
+            Ok(ProviderOutcome::Complete(routes))
+        }
     }
 }
 
@@ -178,17 +242,19 @@ impl AlternativesProvider for PenaltyProvider {
         ProviderKind::Penalty
     }
 
-    fn alternatives(
+    fn alternatives_with_budget(
         &self,
         net: &RoadNetwork,
         public_weights: &[Weight],
         source: NodeId,
         target: NodeId,
         query: &AltQuery,
-    ) -> Result<Vec<Route>, CoreError> {
+        budget: &SearchBudget,
+    ) -> Result<ProviderOutcome, CoreError> {
         let _timer = self.metrics.begin_call();
         let mut ws = SearchSpace::new(net);
         ws.set_metrics(self.metrics.search().clone());
+        ws.set_budget(budget.clone());
         let mut stats = PenaltyStats::default();
         let result = penalty_alternatives_observed(
             &mut ws,
@@ -209,10 +275,16 @@ impl AlternativesProvider for PenaltyProvider {
             }
         };
         self.metrics.admitted.add(paths.len() as u64);
-        Ok(paths
+        let routes: Vec<Route> = paths
             .into_iter()
             .map(|p| Route::new(p, public_weights))
-            .collect())
+            .collect();
+        if stats.interrupted {
+            self.metrics.interrupted.inc();
+            Ok(ProviderOutcome::Interrupted { partial: routes })
+        } else {
+            Ok(ProviderOutcome::Complete(routes))
+        }
     }
 }
 
@@ -238,17 +310,19 @@ impl AlternativesProvider for DissimilarityProvider {
         ProviderKind::Dissimilarity
     }
 
-    fn alternatives(
+    fn alternatives_with_budget(
         &self,
         net: &RoadNetwork,
         public_weights: &[Weight],
         source: NodeId,
         target: NodeId,
         query: &AltQuery,
-    ) -> Result<Vec<Route>, CoreError> {
+        budget: &SearchBudget,
+    ) -> Result<ProviderOutcome, CoreError> {
         let _timer = self.metrics.begin_call();
         let mut ws = SearchSpace::new(net);
         ws.set_metrics(self.metrics.search().clone());
+        ws.set_budget(budget.clone());
         let mut stats = DissimilarityStats::default();
         let result = dissimilarity_alternatives_observed(
             &mut ws,
@@ -269,10 +343,16 @@ impl AlternativesProvider for DissimilarityProvider {
             }
         };
         self.metrics.admitted.add(paths.len() as u64);
-        Ok(paths
+        let routes: Vec<Route> = paths
             .into_iter()
             .map(|p| Route::new(p, public_weights))
-            .collect())
+            .collect();
+        if stats.interrupted {
+            self.metrics.interrupted.inc();
+            Ok(ProviderOutcome::Interrupted { partial: routes })
+        } else {
+            Ok(ProviderOutcome::Complete(routes))
+        }
     }
 }
 
@@ -415,6 +495,65 @@ mod tests {
         }
         // Nothing to assert against a registry — the point is simply that
         // the detached path works and stays panic-free.
+    }
+
+    #[test]
+    fn interrupted_calls_count_as_interrupted_not_errors() {
+        let net = grid(8);
+        let reg = Registry::new();
+        let providers = instrumented_providers(&net, 42, &reg);
+        let q = AltQuery::paper();
+        for p in &providers {
+            // A pre-cancelled budget: every provider must return an
+            // Interrupted outcome (with whatever partial it has), not Err.
+            let budget = SearchBudget::new();
+            budget.cancel();
+            let outcome = p
+                .alternatives_with_budget(&net, net.weights(), NodeId(0), NodeId(63), &q, &budget)
+                .unwrap_or_else(|e| panic!("{} errored on cancellation: {e}", p.kind()));
+            assert!(outcome.is_interrupted(), "{}", p.kind());
+            assert!(outcome.routes().is_empty(), "nothing was admitted");
+        }
+        for kind in ProviderKind::ALL {
+            let labels = &[("technique", kind.slug())][..];
+            assert_eq!(
+                reg.counter_value("arp_technique_interrupted_total", labels),
+                1,
+                "{kind}"
+            );
+            assert_eq!(
+                reg.counter_value("arp_technique_errors_total", labels),
+                0,
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_outcome_matches_unbudgeted_routes_when_unlimited() {
+        let net = grid(8);
+        let q = AltQuery::paper();
+        for p in standard_providers(&net, 42) {
+            let direct = p
+                .alternatives(&net, net.weights(), NodeId(0), NodeId(63), &q)
+                .unwrap();
+            let outcome = p
+                .alternatives_with_budget(
+                    &net,
+                    net.weights(),
+                    NodeId(0),
+                    NodeId(63),
+                    &q,
+                    &SearchBudget::unlimited(),
+                )
+                .unwrap();
+            assert!(!outcome.is_interrupted());
+            let routes = outcome.routes();
+            assert_eq!(routes.len(), direct.len(), "{}", p.kind());
+            for (a, b) in routes.iter().zip(direct.iter()) {
+                assert_eq!(a.path.edges, b.path.edges, "{}", p.kind());
+            }
+        }
     }
 
     #[test]

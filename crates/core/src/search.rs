@@ -15,6 +15,7 @@ use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::ids::{EdgeId, NodeId};
 use arp_roadnet::weight::{Cost, Weight, INFINITY};
 
+use crate::budget::{SearchBudget, CHECK_INTERVAL};
 use crate::error::CoreError;
 use crate::metrics::{SearchMetrics, SearchStats};
 use crate::path::Path;
@@ -100,6 +101,7 @@ pub struct SearchSpace {
     heap: BinaryHeap<Reverse<HeapEntry>>,
     stats: SearchStats,
     metrics: SearchMetrics,
+    budget: SearchBudget,
 }
 
 impl SearchSpace {
@@ -113,6 +115,7 @@ impl SearchSpace {
             heap: BinaryHeap::new(),
             stats: SearchStats::default(),
             metrics: SearchMetrics::default(),
+            budget: SearchBudget::unlimited(),
         }
     }
 
@@ -122,9 +125,38 @@ impl SearchSpace {
         self.metrics = metrics;
     }
 
+    /// Attaches a cooperative [`SearchBudget`]; every subsequent query
+    /// polls it each [`CHECK_INTERVAL`] heap pops and returns
+    /// [`CoreError::Interrupted`] once it trips. The default
+    /// ([`SearchBudget::unlimited`]) never trips and costs nothing.
+    pub fn set_budget(&mut self, budget: SearchBudget) {
+        self.budget = budget;
+    }
+
+    /// The workspace's current budget (shared; cancelling it from another
+    /// clone interrupts searches running here).
+    pub fn budget(&self) -> &SearchBudget {
+        &self.budget
+    }
+
     /// Work counters of the most recently completed query.
     pub fn last_stats(&self) -> SearchStats {
         self.stats
+    }
+
+    /// Polls the budget, charging `pops` heap pops. On a trip the current
+    /// stats are flushed and the query aborts with
+    /// [`CoreError::Interrupted`]. Free for unlimited budgets.
+    #[inline]
+    fn poll_budget(&mut self, pops: u64) -> Result<(), CoreError> {
+        if self.budget.is_limited() {
+            self.stats.budget_checks += 1;
+            if self.budget.charge(pops) {
+                self.metrics.record(&self.stats);
+                return Err(CoreError::Interrupted);
+            }
+        }
+        Ok(())
     }
 
     fn begin(&mut self, net: &RoadNetwork) {
@@ -194,11 +226,18 @@ impl SearchSpace {
         Self::check_endpoints(net, source, target)?;
         Self::check_weights(net, weights)?;
         self.begin(net);
+        self.poll_budget(0)?;
         self.set(source.0, 0, EdgeId::INVALID);
         self.heap.push(Reverse(HeapEntry(0, source.0)));
 
+        let mut pops_since_check: u64 = 0;
         while let Some(Reverse(HeapEntry(d, v))) = self.heap.pop() {
             self.stats.heap_pops += 1;
+            pops_since_check += 1;
+            if pops_since_check == CHECK_INTERVAL {
+                pops_since_check = 0;
+                self.poll_budget(CHECK_INTERVAL)?;
+            }
             if d > self.get_dist(v) {
                 continue; // stale entry
             }
@@ -217,6 +256,7 @@ impl SearchSpace {
                 }
             }
         }
+        self.budget.charge(pops_since_check); // account the partial interval
         self.metrics.record(&self.stats);
 
         if self.get_dist(target.0) == INFINITY {
@@ -259,11 +299,18 @@ impl SearchSpace {
         }
         Self::check_weights(net, weights)?;
         self.begin(net);
+        self.poll_budget(0)?;
         self.set(root.0, 0, EdgeId::INVALID);
         self.heap.push(Reverse(HeapEntry(0, root.0)));
 
+        let mut pops_since_check: u64 = 0;
         while let Some(Reverse(HeapEntry(d, v))) = self.heap.pop() {
             self.stats.heap_pops += 1;
+            pops_since_check += 1;
+            if pops_since_check == CHECK_INTERVAL {
+                pops_since_check = 0;
+                self.poll_budget(CHECK_INTERVAL)?;
+            }
             if d > self.get_dist(v) {
                 continue;
             }
@@ -293,6 +340,7 @@ impl SearchSpace {
                 }
             }
         }
+        self.budget.charge(pops_since_check); // account the partial interval
         self.metrics.record(&self.stats);
 
         // Materialize dense arrays for the tree.
@@ -334,11 +382,18 @@ impl SearchSpace {
         };
 
         self.begin(net);
+        self.poll_budget(0)?;
         self.set(source.0, 0, EdgeId::INVALID);
         self.heap.push(Reverse(HeapEntry(h(source), source.0)));
 
+        let mut pops_since_check: u64 = 0;
         while let Some(Reverse(HeapEntry(_, v))) = self.heap.pop() {
             self.stats.heap_pops += 1;
+            pops_since_check += 1;
+            if pops_since_check == CHECK_INTERVAL {
+                pops_since_check = 0;
+                self.poll_budget(CHECK_INTERVAL)?;
+            }
             self.stats.settled += 1;
             if v == target.0 {
                 break;
@@ -355,6 +410,7 @@ impl SearchSpace {
                 }
             }
         }
+        self.budget.charge(pops_since_check); // account the partial interval
         self.metrics.record(&self.stats);
 
         if self.get_dist(target.0) == INFINITY {
@@ -636,5 +692,100 @@ mod tests {
         assert!(reg.counter_value("arp_search_settled_nodes_total", labels) > 0);
         assert!(reg.counter_value("arp_search_heap_pops_total", labels) > 0);
         assert!(reg.counter_value("arp_search_relaxed_edges_total", labels) > 0);
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing() {
+        let net = grid(5);
+        let mut plain = SearchSpace::new(&net);
+        let mut budgeted = SearchSpace::new(&net);
+        budgeted.set_budget(SearchBudget::unlimited());
+        let a = plain
+            .shortest_path(&net, net.weights(), NodeId(0), NodeId(24))
+            .unwrap();
+        let b = budgeted
+            .shortest_path(&net, net.weights(), NodeId(0), NodeId(24))
+            .unwrap();
+        assert_eq!(a.edges, b.edges, "uncancelled paths must be byte-identical");
+        assert_eq!(budgeted.last_stats().budget_checks, 0);
+    }
+
+    #[test]
+    fn pre_cancelled_budget_interrupts_before_any_work() {
+        let net = grid(4);
+        let mut ws = SearchSpace::new(&net);
+        let budget = SearchBudget::new();
+        budget.cancel();
+        ws.set_budget(budget);
+        assert_eq!(
+            ws.shortest_path(&net, net.weights(), NodeId(0), NodeId(15)),
+            Err(CoreError::Interrupted)
+        );
+        assert_eq!(ws.last_stats().heap_pops, 0, "released with zero pops");
+    }
+
+    #[test]
+    fn expansion_cap_interrupts_within_one_check_interval() {
+        // 4096 nodes: a full tree search far exceeds two intervals.
+        let net = grid(64);
+        let mut ws = SearchSpace::new(&net);
+        ws.set_budget(SearchBudget::new().with_expansion_cap(2 * CHECK_INTERVAL));
+        let err = ws
+            .shortest_path_tree(&net, net.weights(), NodeId(0), Direction::Forward)
+            .unwrap_err();
+        assert_eq!(err, CoreError::Interrupted);
+        let s = ws.last_stats();
+        assert!(
+            s.heap_pops <= 2 * CHECK_INTERVAL,
+            "must stop within one interval of the cap, popped {}",
+            s.heap_pops
+        );
+        assert!(s.budget_checks >= 2);
+    }
+
+    #[test]
+    fn manual_clock_deadline_interrupts_the_next_poll() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let net = grid(8);
+        let clock = Arc::new(AtomicU64::new(0));
+        let mut ws = SearchSpace::new(&net);
+        ws.set_budget(SearchBudget::new().with_manual_deadline(Arc::clone(&clock), 10));
+        // Clock before the deadline: the search completes normally.
+        ws.shortest_path(&net, net.weights(), NodeId(0), NodeId(63))
+            .unwrap();
+        // Advance the injected clock past the deadline: the very next
+        // poll interrupts, releasing the worker with zero pops.
+        clock.store(10, Ordering::Relaxed);
+        assert_eq!(
+            ws.shortest_path(&net, net.weights(), NodeId(0), NodeId(63)),
+            Err(CoreError::Interrupted)
+        );
+        assert_eq!(ws.last_stats().heap_pops, 0);
+    }
+
+    #[test]
+    fn cancellation_from_another_thread_is_observed() {
+        let net = grid(16);
+        let budget = SearchBudget::new();
+        let shared = budget.clone();
+        let worker = std::thread::spawn(move || {
+            let mut ws = SearchSpace::new(&net);
+            ws.set_budget(shared);
+            // Keep searching until the owner cancels (bounded retries so a
+            // regression fails instead of hanging).
+            for _ in 0..1_000_000 {
+                match ws.shortest_path_tree(&net, net.weights(), NodeId(0), Direction::Forward) {
+                    Ok(_) => continue,
+                    Err(CoreError::Interrupted) => return true,
+                    Err(_) => return false,
+                }
+            }
+            false
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        budget.cancel();
+        assert!(worker.join().unwrap(), "worker observed the cancellation");
     }
 }

@@ -13,6 +13,7 @@ use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::ids::{EdgeId, NodeId};
 use arp_roadnet::weight::{Cost, Weight};
 
+use crate::budget::SearchBudget;
 use crate::error::CoreError;
 use crate::path::Path;
 use crate::search::SearchSpace;
@@ -27,11 +28,33 @@ pub fn yen_k_shortest_paths(
     target: NodeId,
     k: usize,
 ) -> Result<Vec<Path>, CoreError> {
+    yen_k_shortest_paths_budgeted(net, weights, source, target, k, &SearchBudget::unlimited())
+}
+
+/// [`yen_k_shortest_paths`] under a cooperative [`SearchBudget`].
+///
+/// A trip mid-call returns the paths found so far (still in ascending
+/// cost order); inspect `budget.is_cancelled()` to tell a partial set
+/// apart from a converged one. A trip before the first path is found
+/// returns `Ok` with an empty set.
+pub fn yen_k_shortest_paths_budgeted(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    budget: &SearchBudget,
+) -> Result<Vec<Path>, CoreError> {
     if k == 0 {
         return Ok(Vec::new());
     }
     let mut ws = SearchSpace::new(net);
-    let best = ws.shortest_path(net, weights, source, target)?;
+    ws.set_budget(budget.clone());
+    let best = match ws.shortest_path(net, weights, source, target) {
+        Ok(p) => p,
+        Err(CoreError::Interrupted) => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
 
     let mut result: Vec<Path> = vec![best];
     // Candidate heap keyed by cost; set for dedup.
@@ -42,7 +65,13 @@ pub fn yen_k_shortest_paths(
     let mut overlay = weights.to_vec();
     const BLOCKED: Weight = u32::MAX - 1;
 
-    while result.len() < k {
+    'rounds: while result.len() < k {
+        // Poll between candidate generations: each round runs up to
+        // |prev| spur searches, so this is where a tripped budget stops
+        // the algorithm with the paths found so far.
+        if budget.interrupted() {
+            break;
+        }
         let prev = result.last().unwrap().clone();
         // Spur from every vertex of the previous path except the target.
         for i in 0..prev.edges.len() {
@@ -88,7 +117,13 @@ pub fn yen_k_shortest_paths(
                 overlay[e.index()] = weights[e.index()];
             }
 
-            let Ok(spur_path) = spur else { continue };
+            let spur_path = match spur {
+                Ok(p) => p,
+                // An interrupted spur search would silently bias the
+                // candidate set; stop the whole round instead.
+                Err(CoreError::Interrupted) => break 'rounds,
+                Err(_) => continue,
+            };
             // Reject spur paths that used a blocked edge (possible when no
             // alternative existed and the search paid the huge weight).
             if spur_path.cost_ms >= BLOCKED as Cost {
@@ -237,6 +272,22 @@ mod tests {
             let plat_div = crate::similarity::diversity(&plat, net.weights());
             assert!(plat_div >= yen_div, "plateau {plat_div} vs yen {yen_div}");
         }
+    }
+
+    #[test]
+    fn budgeted_call_returns_ascending_partial() {
+        let net = grid(5);
+        let full = yen_k_shortest_paths(&net, net.weights(), NodeId(0), NodeId(24), 6).unwrap();
+        assert_eq!(full.len(), 6);
+        // Cap of one pop: the first search completes (residual charge),
+        // the sticky trip stops the round loop before any spur search.
+        let budget = SearchBudget::new().with_expansion_cap(1);
+        let partial =
+            yen_k_shortest_paths_budgeted(&net, net.weights(), NodeId(0), NodeId(24), 6, &budget)
+                .unwrap();
+        assert!(budget.is_cancelled());
+        assert_eq!(partial.len(), 1);
+        assert_eq!(partial[0].edges, full[0].edges);
     }
 
     #[test]

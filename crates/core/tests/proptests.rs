@@ -251,6 +251,54 @@ proptest! {
     }
 
     #[test]
+    fn interrupted_runs_are_prefixes_of_full_runs(
+        ((n, chords), cap) in (arb_scc_graph(), 1u64..4096),
+    ) {
+        // Cooperative cancellation must be *anytime*: a run interrupted at
+        // an arbitrary expansion cap returns a prefix of the uninterrupted
+        // run's routes — same admission order, byte-identical edges —
+        // never a different or reordered set.
+        let net = build(n, &chords);
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let q = AltQuery::paper();
+
+        let full = penalty_alternatives(
+            &net, net.weights(), s, t, &q, &PenaltyOptions::default(),
+        ).unwrap();
+        let mut ws = SearchSpace::new(&net);
+        ws.set_budget(SearchBudget::new().with_expansion_cap(cap));
+        let partial = arp_core::penalty::penalty_alternatives_with(
+            &mut ws, &net, net.weights(), s, t, &q, &PenaltyOptions::default(),
+        ).unwrap();
+        prop_assert!(partial.len() <= full.len(), "penalty grew under a budget");
+        for (p, f) in partial.iter().zip(full.iter()) {
+            prop_assert_eq!(&p.edges, &f.edges, "penalty partial is not a prefix");
+        }
+
+        let full = yen_k_shortest_paths(&net, net.weights(), s, t, 4).unwrap();
+        let budget = SearchBudget::new().with_expansion_cap(cap);
+        let partial = arp_core::yen_k_shortest_paths_budgeted(
+            &net, net.weights(), s, t, 4, &budget,
+        ).unwrap();
+        prop_assert!(partial.len() <= full.len(), "yen grew under a budget");
+        for (p, f) in partial.iter().zip(full.iter()) {
+            prop_assert_eq!(&p.edges, &f.edges, "yen partial is not a prefix");
+        }
+
+        let full = esx_alternatives(
+            &net, net.weights(), s, t, &q, &EsxOptions::default(),
+        ).unwrap();
+        let budget = SearchBudget::new().with_expansion_cap(cap);
+        let partial = arp_core::esx_alternatives_budgeted(
+            &net, net.weights(), s, t, &q, &EsxOptions::default(), &budget,
+        ).unwrap();
+        prop_assert!(partial.len() <= full.len(), "esx grew under a budget");
+        for (p, f) in partial.iter().zip(full.iter()) {
+            prop_assert_eq!(&p.edges, &f.edges, "esx partial is not a prefix");
+        }
+    }
+
+    #[test]
     fn pareto_frontier_contains_optimum((n, chords) in arb_scc_graph()) {
         let net = build(n, &chords);
         let t = NodeId((n - 1) as u32);

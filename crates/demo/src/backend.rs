@@ -8,7 +8,8 @@
 
 use std::sync::Arc;
 
-use arp_serve::RouteBackend;
+use arp_core::SearchBudget;
+use arp_serve::{CancelToken, LaneOutcome, RouteBackend};
 
 use crate::query::{ApproachRoutes, QueryProcessor, QueryResponse, SnappedQuery};
 
@@ -50,6 +51,32 @@ impl RouteBackend for DemoBackend {
 
     fn assemble(&self, request: &SnappedQuery, parts: Vec<ApproachRoutes>) -> QueryResponse {
         self.processor.assemble(request, parts)
+    }
+
+    fn compute_cancellable(
+        &self,
+        request: &SnappedQuery,
+        lane: usize,
+        token: &CancelToken,
+    ) -> Result<LaneOutcome<ApproachRoutes>, String> {
+        // The serving layer's cancel token becomes the technique's search
+        // budget: a tripped deadline stops the in-flight search within one
+        // budget-check interval, and the routes admitted so far come back
+        // as a truncated lane.
+        let budget = SearchBudget::with_cancel_flag(token.flag());
+        match self.processor.compute_slot_budgeted(request, lane, &budget) {
+            Ok((part, true)) => Ok(LaneOutcome::Truncated(part)),
+            Ok((part, false)) => Ok(LaneOutcome::Complete(part)),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    fn assemble_partial(
+        &self,
+        request: &SnappedQuery,
+        parts: Vec<Option<ApproachRoutes>>,
+    ) -> Option<QueryResponse> {
+        self.processor.assemble_partial(request, parts)
     }
 }
 
@@ -105,6 +132,67 @@ mod tests {
                 assert_eq!(rx.cost_ms, ry.cost_ms);
                 assert_eq!(rx.polyline, ry.polyline);
                 assert_eq!(rx.color, ry.color);
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_token_truncates_lanes_and_partial_assembly_marks_it() {
+        let qp = processor();
+        let (a, b) = inner_points(&qp);
+        let q = qp.snap(a, b).unwrap();
+        let backend = DemoBackend::new(Arc::clone(&qp));
+
+        // A lane that finished before the deadline…
+        let full = backend.compute(&q, 0).unwrap();
+        // …and one whose token was already tripped when it started: the
+        // budget interrupts it immediately, yielding an empty partial.
+        let token = CancelToken::new();
+        token.cancel();
+        let outcome = backend.compute_cancellable(&q, 1, &token).unwrap();
+        let LaneOutcome::Truncated(partial) = outcome else {
+            panic!("cancelled lane must come back truncated");
+        };
+        assert!(partial.routes.is_empty());
+
+        // Partial assembly keeps the blind A-D structure and flags the
+        // truncation; abandoned slots keep their label with no routes.
+        let full_routes = full.routes.len();
+        let parts = vec![Some(full), Some(partial), None, None];
+        let resp = qp.assemble_partial(&q, parts).expect("one lane finished");
+        assert!(resp.truncated);
+        assert_eq!(resp.approaches.len(), 4);
+        assert_eq!(resp.approaches[0].routes.len(), full_routes);
+        assert!(resp.approaches[2].routes.is_empty());
+        let labels: Vec<char> = resp.approaches.iter().map(|a| a.label).collect();
+        assert_eq!(labels, vec!['A', 'B', 'C', 'D']);
+
+        // Nothing finished at all → no partial response; the serving
+        // layer degrades that to DeadlineExceeded (HTTP 504).
+        assert!(qp
+            .assemble_partial(&q, vec![None, None, None, None])
+            .is_none());
+    }
+
+    #[test]
+    fn untripped_token_leaves_lanes_complete_and_identical() {
+        let qp = processor();
+        let (a, b) = inner_points(&qp);
+        let q = qp.snap(a, b).unwrap();
+        let backend = DemoBackend::new(Arc::clone(&qp));
+        let token = CancelToken::new();
+        for lane in 0..backend.lanes() {
+            let plain = backend.compute(&q, lane).unwrap();
+            let LaneOutcome::Complete(budgeted) =
+                backend.compute_cancellable(&q, lane, &token).unwrap()
+            else {
+                panic!("untripped lane {lane} must complete");
+            };
+            assert_eq!(plain.label, budgeted.label);
+            assert_eq!(plain.routes.len(), budgeted.routes.len());
+            for (x, y) in plain.routes.iter().zip(&budgeted.routes) {
+                assert_eq!(x.cost_ms, y.cost_ms);
+                assert_eq!(x.polyline, y.polyline);
             }
         }
     }

@@ -322,6 +322,11 @@ impl DemoApp {
         HttpResponse::ok_json(Json::object([
             ("fastest_minutes", Json::Number(resp.fastest_minutes as f64)),
             ("approaches", Json::Array(approaches)),
+            // A deadline-truncated response is still a 200 — the client
+            // gets every route that finished, flagged so the UI can say
+            // "some alternatives were cut short". 504 is reserved for
+            // requests where nothing finished at all.
+            ("truncated", Json::Bool(resp.truncated)),
             ("geojson", Json::str(response_to_geojson(resp))),
         ]))
     }

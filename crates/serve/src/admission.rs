@@ -32,15 +32,15 @@ impl Deadline {
         Deadline { at: None }
     }
 
-    /// A deadline `timeout` from now. A zero timeout means "no deadline"
-    /// (the config's way of disabling deadlines).
+    /// A deadline `timeout` from now. A zero timeout is **already
+    /// expired** — "no time at all", not "no deadline". Callers that mean
+    /// "disabled" must say so explicitly with [`Deadline::never`]; the
+    /// config layer makes that translation once (see
+    /// [`crate::service::ServeConfig::request_deadline`]) instead of every
+    /// timing primitive re-interpreting zero.
     pub fn after(timeout: Duration) -> Deadline {
-        if timeout.is_zero() {
-            Deadline::never()
-        } else {
-            Deadline {
-                at: Some(Instant::now() + timeout),
-            }
+        Deadline {
+            at: Some(Instant::now() + timeout),
         }
     }
 
@@ -209,10 +209,13 @@ mod tests {
     fn deadline_semantics() {
         assert!(!Deadline::never().expired());
         assert!(Deadline::never().remaining().is_some());
-        assert!(
-            !Deadline::after(Duration::ZERO).expired(),
-            "zero = disabled"
-        );
+        // Zero is "no time at all", not "disabled": the request was dead
+        // on arrival. Disabling deadlines is the config layer's job
+        // (`ServeConfig::request_deadline` maps a zero setting to
+        // `Deadline::never()`).
+        let zero = Deadline::after(Duration::ZERO);
+        assert!(zero.expired(), "zero = already expired");
+        assert!(zero.remaining().is_none());
         let d = Deadline::after(Duration::from_millis(10));
         assert!(!d.expired());
         std::thread::sleep(Duration::from_millis(15));

@@ -333,4 +333,33 @@ mod tests {
         c.put("a".into(), 1, 0);
         assert_eq!(c.get(&"a".into(), u64::MAX - 1), Some(1));
     }
+
+    #[test]
+    fn ttl_boundary_is_exclusive_and_reput_refreshes_expiry() {
+        // Audit of the documented policy: an entry written at `t` with TTL
+        // `ttl` is fresh while `now < t + ttl`, stale at exactly `t + ttl`,
+        // and a re-put restarts that window without double-counting the
+        // entries gauge.
+        let registry = arp_obs::Registry::new();
+        let metrics = CacheMetrics::new(&registry);
+        let c: ShardedCache<String, u64> = ShardedCache::new(4, 1, 100, metrics);
+        c.put("a".into(), 1, 0);
+        assert_eq!(c.metrics().entries.get(), 1);
+        // Last fresh instant is t + ttl - 1.
+        assert_eq!(c.get(&"a".into(), 99), Some(1));
+        assert_eq!(c.metrics().stale.get(), 0);
+        // Re-put just before expiry restarts the TTL: fresh through 198.
+        c.put("a".into(), 2, 99);
+        assert_eq!(c.metrics().entries.get(), 1, "re-put must not double count");
+        assert_eq!(c.get(&"a".into(), 198), Some(2));
+        assert_eq!(c.get(&"a".into(), 199), None, "stale at exactly t + ttl");
+        assert_eq!(c.metrics().stale.get(), 1);
+        assert_eq!(c.metrics().misses.get(), 1);
+        assert_eq!(
+            c.metrics().entries.get(),
+            0,
+            "stale removal decrements the gauge"
+        );
+        assert_eq!(c.metrics().hits.get(), 2);
+    }
 }

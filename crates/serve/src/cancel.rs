@@ -1,0 +1,78 @@
+//! Cooperative cancellation tokens.
+//!
+//! A [`CancelToken`] is a shared flag the serving layer trips when a
+//! request's deadline expires. Lanes that are *queued* never start (the
+//! fan-out's abandoned flag already covered that); lanes that are
+//! *running* observe the token — directly, or through a search budget
+//! built over the same flag (`arp-core`'s `SearchBudget::with_cancel_flag`
+//! polls it every few thousand heap pops) — and return early with
+//! whatever partial result they have. Tripping is **sticky**: once
+//! cancelled, a token stays cancelled.
+//!
+//! The serving crate deliberately does not depend on the routing core, so
+//! this type only carries the flag; the backend decides what "observe"
+//! means for its computation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A sticky, shareable cancellation flag. Cloning shares the flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trips the token. Every clone (and everything built over
+    /// [`CancelToken::flag`]) observes the trip; it cannot be undone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The underlying flag, for handing to machinery that polls an
+    /// `AtomicBool` directly (e.g. a search budget).
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_trip() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        assert!(!observer.is_cancelled());
+        token.cancel();
+        assert!(observer.is_cancelled());
+        assert!(observer.flag().load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_idempotent() {
+        let token = CancelToken::new();
+        token.cancel();
+        token.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn flag_handed_out_before_the_trip_still_observes_it() {
+        let token = CancelToken::new();
+        let flag = token.flag();
+        token.cancel();
+        assert!(flag.load(Ordering::Acquire));
+    }
+}

@@ -15,8 +15,13 @@
 //!   queries bypass recomputation entirely and partially-cached queries
 //!   recompute only their missing lanes.
 //! * [`Admission`] + [`Deadline`] — bounded in-flight requests with load
-//!   shedding (HTTP 503 + `Retry-After`) and per-request deadlines that
-//!   abandon still-queued work.
+//!   shedding (HTTP 503 + `Retry-After`) and per-request deadlines.
+//! * [`CancelToken`] + [`scatter_cancellable`] — cooperative cancellation
+//!   of *in-flight* work: an expired deadline trips a per-request token
+//!   that running lanes observe (via a search budget in the real
+//!   backend), so a timed-out request frees its workers within one
+//!   budget-check interval and the client gets whatever routes finished
+//!   (a truncated `200`) instead of a full-cost late response.
 //! * [`ShutdownHandle`] — cooperative shutdown for accept loops, so
 //!   servers drain in-flight work and tests do not leak threads.
 //! * [`ServeMetrics`] — queue depth, shed/timeout counters, cache
@@ -32,6 +37,7 @@
 
 mod admission;
 mod cache;
+mod cancel;
 mod metrics;
 mod pool;
 mod queue;
@@ -40,8 +46,9 @@ mod shutdown;
 
 pub use admission::{Admission, Deadline, Permit};
 pub use cache::ShardedCache;
+pub use cancel::CancelToken;
 pub use metrics::{CacheMetrics, ServeMetrics};
-pub use pool::{scatter, FanoutError, Job, WorkerPool};
+pub use pool::{scatter, scatter_cancellable, Fanout, FanoutError, Job, WorkerPool};
 pub use queue::{BoundedQueue, PushError};
-pub use service::{RouteBackend, RouteService, ServeConfig, ServeError};
+pub use service::{LaneOutcome, RouteBackend, RouteService, ServeConfig, ServeError};
 pub use shutdown::ShutdownHandle;

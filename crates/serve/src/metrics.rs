@@ -11,6 +11,10 @@
 //! * `arp_serve_inflight_requests` — gauge, admitted route requests,
 //! * `arp_serve_admitted_total` / `arp_serve_shed_total{reason}` /
 //!   `arp_serve_deadline_timeouts_total` — admission outcomes,
+//! * `arp_serve_cancellations_total` — requests whose deadline tripped
+//!   the cooperative cancel token (in-flight lanes interrupted; the
+//!   client may still get a truncated response, so this is **not** a
+//!   subset of `deadline_timeouts_total`),
 //! * `arp_serve_jobs_total` / `arp_serve_inline_fallback_total` — pool
 //!   work, and fan-out lanes that ran on the requester thread because the
 //!   queue was full,
@@ -85,8 +89,12 @@ pub struct ServeMetrics {
     /// Fan-out lanes shed because the worker queue was full (the lane then
     /// runs inline on the requester thread; see `inline_fallback`).
     pub shed_queue_full: Counter,
-    /// Requests abandoned at their deadline.
+    /// Requests abandoned at their deadline with nothing to serve.
     pub timeouts: Counter,
+    /// Requests whose deadline tripped the cooperative cancel token,
+    /// interrupting in-flight lanes. Counted whether or not a truncated
+    /// response could still be served.
+    pub cancellations: Counter,
     /// Jobs executed by pool workers.
     pub jobs_executed: Counter,
     /// Fan-out lanes executed inline because the queue was full.
@@ -144,7 +152,12 @@ impl ServeMetrics {
             ),
             timeouts: registry.counter(
                 "arp_serve_deadline_timeouts_total",
-                "Route requests abandoned at their deadline.",
+                "Route requests abandoned at their deadline with nothing to serve.",
+                &[],
+            ),
+            cancellations: registry.counter(
+                "arp_serve_cancellations_total",
+                "Route requests whose deadline tripped the cooperative cancel token.",
                 &[],
             ),
             jobs_executed: registry.counter(
@@ -195,7 +208,12 @@ mod tests {
         m.shed_admission.inc();
         m.shed_queue_full.add(2);
         m.cache.hits.add(3);
+        m.cancellations.inc();
         assert_eq!(registry.counter_value("arp_serve_admitted_total", &[]), 1);
+        assert_eq!(
+            registry.counter_value("arp_serve_cancellations_total", &[]),
+            1
+        );
         assert_eq!(
             registry.counter_value("arp_serve_shed_total", &[("reason", "admission_full")]),
             1

@@ -23,6 +23,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use std::time::Duration;
+
+use crate::cancel::CancelToken;
 use crate::queue::{BoundedQueue, PushError};
 use crate::Deadline;
 use arp_obs::{Counter, Gauge};
@@ -237,11 +240,124 @@ where
     results.ok_or(FanoutError::LaneFailed)
 }
 
+/// The outcome of a cancellable fan-out (see [`scatter_cancellable`]).
+#[derive(Debug)]
+pub struct Fanout<T> {
+    /// Per-lane results in task order. `None` means the lane panicked,
+    /// was abandoned while queued, or did not stop within the grace
+    /// period after cancellation.
+    pub slots: Vec<Option<T>>,
+    /// Whether the deadline expired before every lane finished (and the
+    /// cancel token was therefore tripped).
+    pub deadline_hit: bool,
+}
+
+/// [`scatter`]'s cancellation-aware sibling: runs every task on the pool,
+/// bounded by `deadline`, and on expiry **trips `token`** instead of
+/// walking away from running lanes.
+///
+/// The three-rung degradation ladder (DESIGN.md §8):
+///
+/// 1. still-*queued* lanes observe the abandoned flag and never start;
+/// 2. *running* lanes observe the tripped token (typically through a
+///    search budget built over [`CancelToken::flag`]) and return a
+///    partial result, which is collected during a bounded `grace` wait —
+///    one budget-check interval is enough for a cooperative lane;
+/// 3. lanes that still haven't stopped when the grace expires are left
+///    behind (their slot stays `None`) so the requester's latency is
+///    bounded even over a non-cooperative backend.
+///
+/// Unlike [`scatter`] this never fails: the caller decides what a partial
+/// [`Fanout`] is worth. With no deadline pressure the slots are exactly
+/// `scatter`'s results.
+pub fn scatter_cancellable<T, F>(
+    pool: &WorkerPool,
+    tasks: Vec<F>,
+    deadline: Deadline,
+    token: &CancelToken,
+    grace: Duration,
+    inline_fallback: &Counter,
+) -> Fanout<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let lanes = tasks.len();
+    if lanes == 0 {
+        return Fanout {
+            slots: Vec::new(),
+            deadline_hit: false,
+        };
+    }
+    let state = Arc::new(FanoutState {
+        slots: Mutex::new(((0..lanes).map(|_| None).collect(), lanes)),
+        done: Condvar::new(),
+        abandoned: AtomicBool::new(false),
+    });
+
+    let mut inline = Vec::new();
+    for (index, task) in tasks.into_iter().enumerate() {
+        let lane_state = Arc::clone(&state);
+        let job: Job = Box::new(move || run_lane(&lane_state, index, task));
+        if let Err((job, _)) = pool.submit(job) {
+            inline.push(job);
+        }
+    }
+    for job in inline {
+        inline_fallback.inc();
+        job();
+    }
+
+    let mut deadline_hit = false;
+    let mut slots = state.slots.lock().expect("fan-out poisoned");
+    while slots.1 > 0 {
+        let Some(remaining) = deadline.remaining() else {
+            deadline_hit = true;
+            break;
+        };
+        let (guard, timeout) = state
+            .done
+            .wait_timeout(slots, remaining)
+            .expect("fan-out poisoned");
+        slots = guard;
+        if timeout.timed_out() && slots.1 > 0 && deadline.expired() {
+            deadline_hit = true;
+            break;
+        }
+    }
+    if deadline_hit {
+        state.abandoned.store(true, Ordering::Release);
+        token.cancel();
+        // Grace wait: collect the partials of lanes that observe the trip.
+        // A zero grace does not wait at all (`Deadline::after(ZERO)` is
+        // already expired).
+        let grace_deadline = Deadline::after(grace);
+        while slots.1 > 0 {
+            let Some(remaining) = grace_deadline.remaining() else {
+                break;
+            };
+            let (guard, _) = state
+                .done
+                .wait_timeout(slots, remaining)
+                .expect("fan-out poisoned");
+            slots = guard;
+        }
+    }
+    // Take each slot individually, keeping the vector's length: a lane
+    // that outlives the grace period still writes into its (now unread)
+    // slot, so the backing vector must stay sized for it.
+    let results: Vec<Option<T>> = slots.0.iter_mut().map(Option::take).collect();
+    drop(slots);
+    Fanout {
+        slots: results,
+        deadline_hit,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
-    use std::time::Duration;
 
     fn pool(workers: usize, capacity: usize) -> WorkerPool {
         WorkerPool::new(workers, capacity, Gauge::default(), Counter::default())
@@ -373,5 +489,90 @@ mod tests {
         assert_eq!(p.workers(), 1);
         let out = scatter(&p, vec![|| 42u8], Deadline::never(), &Counter::default()).unwrap();
         assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn cancellable_scatter_without_pressure_matches_scatter() {
+        let p = pool(4, 16);
+        let token = CancelToken::new();
+        let tasks: Vec<_> = (0..6u64).map(|i| move || i * 2).collect();
+        let out = scatter_cancellable(
+            &p,
+            tasks,
+            Deadline::never(),
+            &token,
+            Duration::from_millis(100),
+            &Counter::default(),
+        );
+        assert!(!out.deadline_hit);
+        assert!(!token.is_cancelled());
+        let values: Vec<u64> = out.slots.into_iter().map(Option::unwrap).collect();
+        assert_eq!(values, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn deadline_trips_the_token_and_collects_cooperative_partials() {
+        // One worker: lane 0 runs, lanes 1-2 queue behind it. Lane 0
+        // cooperates — it polls the token and returns a partial marker —
+        // so the fan-out gets its result during the grace wait, while the
+        // queued lanes are abandoned outright.
+        let p = pool(1, 16);
+        let token = CancelToken::new();
+        let lane0 = token.clone();
+        let mut tasks: Vec<Box<dyn FnOnce() -> &'static str + Send>> = vec![Box::new(move || {
+            for _ in 0..1000 {
+                if lane0.is_cancelled() {
+                    return "partial";
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            "complete"
+        })];
+        for _ in 0..2 {
+            tasks.push(Box::new(|| "queued"));
+        }
+        let out = scatter_cancellable(
+            &p,
+            tasks,
+            Deadline::after(Duration::from_millis(30)),
+            &token,
+            Duration::from_millis(500),
+            &Counter::default(),
+        );
+        assert!(out.deadline_hit);
+        assert!(token.is_cancelled());
+        assert_eq!(
+            out.slots[0],
+            Some("partial"),
+            "running lane observed the trip"
+        );
+        assert_eq!(out.slots[1], None, "queued lane was abandoned");
+        assert_eq!(out.slots[2], None, "queued lane was abandoned");
+    }
+
+    #[test]
+    fn zero_grace_does_not_wait_for_non_cooperative_lanes() {
+        let p = pool(1, 16);
+        let token = CancelToken::new();
+        let tasks: Vec<_> = vec![|| {
+            std::thread::sleep(Duration::from_millis(120));
+            7u8
+        }];
+        let start = std::time::Instant::now();
+        let out = scatter_cancellable(
+            &p,
+            tasks,
+            Deadline::after(Duration::from_millis(10)),
+            &token,
+            Duration::ZERO,
+            &Counter::default(),
+        );
+        assert!(out.deadline_hit);
+        assert_eq!(out.slots, vec![None]);
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "zero grace must not wait out the lane: {:?}",
+            start.elapsed()
+        );
     }
 }

@@ -35,16 +35,22 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
-    /// A queue admitting at most `capacity` pending items. The `depth`
-    /// gauge tracks the current backlog (detached gauges are free).
+    /// A queue admitting at most `capacity` pending items (clamped to at
+    /// least one). The `depth` gauge tracks the current backlog (detached
+    /// gauges are free).
     pub fn new(capacity: usize, depth: Gauge) -> BoundedQueue<T> {
+        // Clamp once, then derive both the admission bound and the backing
+        // store's pre-allocation from the same value. Clamping them
+        // independently let `capacity == 0` admit one item into a
+        // zero-capacity allocation.
+        let capacity = capacity.max(1);
         BoundedQueue {
             state: Mutex::new(State {
                 items: VecDeque::with_capacity(capacity.min(1024)),
                 closed: false,
             }),
             available: Condvar::new(),
-            capacity: capacity.max(1),
+            capacity,
             depth,
         }
     }
@@ -153,6 +159,12 @@ mod tests {
         assert_eq!(q.capacity(), 1);
         q.try_push(9).unwrap();
         assert_eq!(q.try_push(10), Err((10, PushError::Full)));
+        // Regression: the clamped single slot must be fully usable — pop
+        // frees it and a new push is admitted again.
+        assert_eq!(q.pop(), Some(9));
+        q.try_push(11).unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(11));
     }
 
     #[test]

@@ -16,15 +16,36 @@
 //!
 //! Successful lane results are written back to the cache from the worker
 //! thread that computed them; failed lanes are never cached.
+//!
+//! Deadlines act **cooperatively** on in-flight work: when a request's
+//! deadline expires, the service trips a per-request [`CancelToken`] that
+//! running lanes observe (through a search budget in the real backend),
+//! collects whatever partials they hand back within a bounded grace
+//! period, and serves a *truncated* response if at least one lane has
+//! something to show — reserving [`ServeError::DeadlineExceeded`] for
+//! requests where nothing finished. DESIGN.md §8 documents the full
+//! cancellation ladder.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::admission::{Admission, Deadline};
 use crate::cache::ShardedCache;
+use crate::cancel::CancelToken;
 use crate::metrics::ServeMetrics;
-use crate::pool::{scatter, FanoutError, WorkerPool};
+use crate::pool::{scatter_cancellable, WorkerPool};
 use arp_obs::Registry;
+
+/// How one lane ended under cooperative cancellation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LaneOutcome<P> {
+    /// The lane ran to completion; the part is cacheable.
+    Complete(P),
+    /// The lane was interrupted and returns the partial work it had
+    /// admitted so far. Never cached — the truncation is an artifact of
+    /// this request's deadline, not a property of the query.
+    Truncated(P),
+}
 
 /// What a backend must provide for the service to run it.
 ///
@@ -52,6 +73,39 @@ pub trait RouteBackend: Send + Sync + 'static {
 
     /// Combines the lanes (given in lane order) into the response.
     fn assemble(&self, request: &Self::Request, parts: Vec<Self::Part>) -> Self::Response;
+
+    /// Computes one lane under a cancel token. Cooperative backends build
+    /// their search budget over [`CancelToken::flag`] so a tripped token
+    /// stops the search within one budget-check interval and the lane
+    /// returns [`LaneOutcome::Truncated`] with its partial work.
+    ///
+    /// The default ignores the token and delegates to
+    /// [`RouteBackend::compute`] — correct, but a deadline then frees the
+    /// worker only once the lane finishes on its own.
+    fn compute_cancellable(
+        &self,
+        request: &Self::Request,
+        lane: usize,
+        token: &CancelToken,
+    ) -> Result<LaneOutcome<Self::Part>, String> {
+        let _ = token;
+        self.compute(request, lane).map(LaneOutcome::Complete)
+    }
+
+    /// Assembles a **truncated** response from whatever lanes finished
+    /// (`None` = the lane was abandoned, interrupted without a partial,
+    /// or failed). Returning `None` declares nothing worth serving, and
+    /// the request degrades to [`ServeError::DeadlineExceeded`].
+    ///
+    /// The default refuses: backends opt in to partial responses.
+    fn assemble_partial(
+        &self,
+        request: &Self::Request,
+        parts: Vec<Option<Self::Part>>,
+    ) -> Option<Self::Response> {
+        let _ = (request, parts);
+        None
+    }
 }
 
 /// Tunables for the serving layer.
@@ -69,8 +123,13 @@ pub struct ServeConfig {
     pub cache_shards: usize,
     /// Cache entry time-to-live; zero means entries never expire.
     pub cache_ttl: Duration,
-    /// Per-request deadline; zero disables deadlines.
+    /// Per-request deadline; zero disables deadlines (see
+    /// [`ServeConfig::request_deadline`]).
     pub deadline: Duration,
+    /// How long an expired request waits for its interrupted lanes to
+    /// hand back partial results. One search-budget check interval is
+    /// enough for a cooperative backend; zero collects nothing.
+    pub cancel_grace: Duration,
     /// The `Retry-After` hint handed to shed clients, in seconds.
     pub retry_after_s: u32,
 }
@@ -85,7 +144,22 @@ impl Default for ServeConfig {
             cache_shards: 8,
             cache_ttl: Duration::from_secs(300),
             deadline: Duration::from_secs(10),
+            cancel_grace: Duration::from_millis(100),
             retry_after_s: 1,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The per-request [`Deadline`]. This is the **single** place where a
+    /// zero setting is read as "deadlines disabled" and mapped to
+    /// [`Deadline::never`]; the `Deadline` type itself treats a zero
+    /// timeout literally (already expired).
+    pub fn request_deadline(&self) -> Deadline {
+        if self.deadline.is_zero() {
+            Deadline::never()
+        } else {
+            Deadline::after(self.deadline)
         }
     }
 }
@@ -188,7 +262,7 @@ impl<B: RouteBackend> RouteService<B> {
         };
         admit_timer.stop_ms();
         self.metrics.admitted.inc();
-        let deadline = Deadline::after(self.config.deadline);
+        let deadline = self.config.request_deadline();
 
         // Stage 2: per-lane cache probe.
         let lanes = self.backend.lanes();
@@ -203,14 +277,18 @@ impl<B: RouteBackend> RouteService<B> {
         }
         cache_timer.stop_ms();
 
-        // Stage 3: fan out the missing lanes.
+        // Stage 3: fan out the missing lanes under a per-request cancel
+        // token. On deadline expiry the token is tripped; cooperative
+        // lanes hand back partials within the grace period.
         let missing: Vec<usize> = parts
             .iter()
             .enumerate()
             .filter_map(|(lane, slot)| slot.is_none().then_some(lane))
             .collect();
+        let mut truncated = false;
         if !missing.is_empty() {
             let compute_start = Instant::now();
+            let token = CancelToken::new();
             let tasks: Vec<_> = missing
                 .iter()
                 .map(|&lane| {
@@ -219,9 +297,12 @@ impl<B: RouteBackend> RouteService<B> {
                     let request = request.clone();
                     let key = self.backend.lane_key(&request, lane);
                     let epoch = self.epoch;
+                    let token = token.clone();
                     move || {
-                        let result = backend.compute(&request, lane);
-                        if let (Some(cache), Ok(part)) = (&cache, &result) {
+                        let result = backend.compute_cancellable(&request, lane, &token);
+                        // Only complete lanes are cached: a truncated part
+                        // reflects this request's deadline, not the query.
+                        if let (Some(cache), Ok(LaneOutcome::Complete(part))) = (&cache, &result) {
                             let now_ms = epoch.elapsed().as_millis() as u64;
                             cache.put(key, part.clone(), now_ms);
                         }
@@ -229,31 +310,72 @@ impl<B: RouteBackend> RouteService<B> {
                     }
                 })
                 .collect();
-            let computed = scatter(&self.pool, tasks, deadline, &self.metrics.inline_fallback)
-                .map_err(|error| match error {
-                    FanoutError::DeadlineExceeded => {
-                        self.metrics.timeouts.inc();
-                        ServeError::DeadlineExceeded
-                    }
-                    FanoutError::LaneFailed => {
-                        ServeError::Lane("technique lane panicked".to_string())
-                    }
-                })?;
+            let fanout = scatter_cancellable(
+                &self.pool,
+                tasks,
+                deadline,
+                &token,
+                self.config.cancel_grace,
+                &self.metrics.inline_fallback,
+            );
             self.metrics
                 .stage_compute
                 .observe(compute_start.elapsed().as_secs_f64() * 1_000.0);
-            for (lane, result) in missing.into_iter().zip(computed) {
-                parts[lane] = Some(result.map_err(ServeError::Lane)?);
+            if fanout.deadline_hit {
+                self.metrics.cancellations.inc();
+                truncated = true;
+                for (lane, slot) in missing.into_iter().zip(fanout.slots) {
+                    // Lane errors and abandoned lanes degrade to missing
+                    // parts under deadline pressure; the assembly below
+                    // decides whether what remains is worth serving.
+                    if let Some(Ok(LaneOutcome::Complete(part) | LaneOutcome::Truncated(part))) =
+                        slot
+                    {
+                        parts[lane] = Some(part);
+                    }
+                }
+            } else {
+                for (lane, slot) in missing.into_iter().zip(fanout.slots) {
+                    match slot {
+                        Some(Ok(LaneOutcome::Complete(part))) => parts[lane] = Some(part),
+                        Some(Ok(LaneOutcome::Truncated(part))) => {
+                            // Interrupted without deadline pressure (e.g. a
+                            // backend-side expansion cap): still a partial
+                            // response, but not a cancellation.
+                            truncated = true;
+                            parts[lane] = Some(part);
+                        }
+                        Some(Err(message)) => return Err(ServeError::Lane(message)),
+                        None => {
+                            return Err(ServeError::Lane("technique lane panicked".to_string()))
+                        }
+                    }
+                }
             }
         }
 
         // Stage 4: assemble in lane order.
         let assemble_timer = self.metrics.stage_assemble.start_timer();
-        let parts: Vec<B::Part> = parts
-            .into_iter()
-            .map(|slot| slot.expect("lane neither cached nor computed"))
-            .collect();
-        let response = self.backend.assemble(&request, parts);
+        let response = if truncated {
+            match self.backend.assemble_partial(&request, parts) {
+                Some(response) => response,
+                None => {
+                    // Nothing finished (or the backend refuses partials):
+                    // the request degrades to a timeout, never a
+                    // full-cost late response.
+                    assemble_timer.discard();
+                    total_timer.discard();
+                    self.metrics.timeouts.inc();
+                    return Err(ServeError::DeadlineExceeded);
+                }
+            }
+        } else {
+            let parts: Vec<B::Part> = parts
+                .into_iter()
+                .map(|slot| slot.expect("lane neither cached nor computed"))
+                .collect();
+            self.backend.assemble(&request, parts)
+        };
         assemble_timer.stop_ms();
         total_timer.stop_ms();
         Ok(response)
@@ -425,6 +547,137 @@ mod tests {
         let before = svc.backend().computes();
         let _ = svc.route((4, 5));
         assert!(svc.backend().computes() > before);
+    }
+
+    /// A cooperative backend: lane 0 answers immediately, other lanes
+    /// poll the cancel token every millisecond for `spin` and return
+    /// `Truncated` as soon as it trips.
+    struct CooperativeBackend {
+        lanes: usize,
+        spin: Duration,
+    }
+
+    impl RouteBackend for CooperativeBackend {
+        type Request = (u32, u32);
+        type Part = String;
+        type Response = (String, bool);
+
+        fn lanes(&self) -> usize {
+            self.lanes
+        }
+
+        fn lane_key(&self, request: &(u32, u32), lane: usize) -> String {
+            format!("coop:{}:{}:{lane}", request.0, request.1)
+        }
+
+        fn compute(&self, _request: &(u32, u32), lane: usize) -> Result<String, String> {
+            Ok(format!("lane{lane}"))
+        }
+
+        fn compute_cancellable(
+            &self,
+            _request: &(u32, u32),
+            lane: usize,
+            token: &CancelToken,
+        ) -> Result<LaneOutcome<String>, String> {
+            if lane == 0 {
+                return Ok(LaneOutcome::Complete("lane0".to_string()));
+            }
+            let start = Instant::now();
+            while start.elapsed() < self.spin {
+                if token.is_cancelled() {
+                    return Ok(LaneOutcome::Truncated(format!("lane{lane}-partial")));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(LaneOutcome::Complete(format!("lane{lane}")))
+        }
+
+        fn assemble(&self, _request: &(u32, u32), parts: Vec<String>) -> (String, bool) {
+            (parts.join("|"), false)
+        }
+
+        fn assemble_partial(
+            &self,
+            _request: &(u32, u32),
+            parts: Vec<Option<String>>,
+        ) -> Option<(String, bool)> {
+            let present: Vec<String> = parts.into_iter().flatten().collect();
+            if present.is_empty() {
+                return None;
+            }
+            Some((present.join("|"), true))
+        }
+    }
+
+    #[test]
+    fn deadline_with_cooperative_backend_serves_truncated_response() {
+        let backend = CooperativeBackend {
+            lanes: 3,
+            spin: Duration::from_secs(5),
+        };
+        let config = ServeConfig {
+            workers: 4,
+            cache_capacity: 0,
+            deadline: Duration::from_millis(40),
+            cancel_grace: Duration::from_millis(500),
+            ..ServeConfig::default()
+        };
+        let registry = Registry::new();
+        let svc = RouteService::new(backend, config, &registry);
+        let start = Instant::now();
+        let (body, truncated) = svc.route((1, 2)).unwrap();
+        assert!(truncated, "deadline pressure must mark the response");
+        assert!(body.contains("lane0"), "the finished lane is served");
+        assert!(body.contains("partial"), "interrupted partials are served");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "cancellation must beat the 5 s spin: {:?}",
+            start.elapsed()
+        );
+        assert_eq!(svc.metrics().cancellations.get(), 1);
+        assert_eq!(
+            svc.metrics().timeouts.get(),
+            0,
+            "truncated 200, not a timeout"
+        );
+    }
+
+    #[test]
+    fn tripped_deadline_frees_its_worker_for_other_requests() {
+        // One worker, two lanes: lane 0 is instant, lane 1 spins
+        // cooperatively for up to 5 s under a 40 ms deadline. Request A's
+        // tripped deadline must free the worker; request B right behind
+        // it then gets its own lane 0 computed (a truncated Ok). If A's
+        // lane were still spinning, B's lanes would never start and B
+        // would degrade to DeadlineExceeded.
+        let backend = CooperativeBackend {
+            lanes: 2,
+            spin: Duration::from_secs(5),
+        };
+        let config = ServeConfig {
+            workers: 1,
+            cache_capacity: 0,
+            deadline: Duration::from_millis(40),
+            cancel_grace: Duration::from_millis(500),
+            ..ServeConfig::default()
+        };
+        let registry = Registry::new();
+        let svc = RouteService::new(backend, config, &registry);
+        let (body_a, truncated_a) = svc.route((9, 9)).unwrap();
+        assert!(truncated_a);
+        assert!(body_a.contains("lane0"));
+        let start = Instant::now();
+        let (body_b, _) = svc
+            .route((1, 1))
+            .expect("worker was not freed by A's cancellation");
+        assert!(body_b.contains("lane0"), "B's fast lane must have run");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "worker still busy: {:?}",
+            start.elapsed()
+        );
+        assert_eq!(svc.metrics().cancellations.get(), 2);
     }
 
     #[test]

@@ -220,6 +220,7 @@ fn cmd_route(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
         let resp = arp_demo::query::QueryResponse {
             source: s,
             target: t,
+            truncated: false,
             fastest_minutes: paths
                 .first()
                 .map(|p| ms_to_display_minutes(p.cost_under(weights)))
