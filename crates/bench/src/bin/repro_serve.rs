@@ -19,7 +19,7 @@ use arp_citygen::Scale;
 use arp_demo::backend::DemoBackend;
 use arp_demo::query::{QueryProcessor, SnappedQuery};
 use arp_obs::Registry;
-use arp_serve::{CancelToken, LaneOutcome, RouteBackend, RouteService, ServeConfig};
+use arp_serve::{CancelToken, LaneError, LaneOutcome, RouteBackend, RouteService, ServeConfig};
 
 /// Client threads issuing requests concurrently.
 const CLIENTS: usize = 4;
@@ -168,7 +168,7 @@ impl RouteBackend for SpinBackend {
         _request: &u32,
         _lane: usize,
         token: &CancelToken,
-    ) -> Result<LaneOutcome<()>, String> {
+    ) -> Result<LaneOutcome<()>, LaneError> {
         let start = Instant::now();
         while start.elapsed() < self.work {
             if self.cooperative && token.is_cancelled() {

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use arp_core::SearchBudget;
-use arp_serve::{CancelToken, LaneOutcome, RouteBackend};
+use arp_serve::{CancelToken, LaneError, LaneOutcome, LaneStatus, RouteBackend};
 
 use crate::query::{ApproachRoutes, QueryProcessor, QueryResponse, SnappedQuery};
 
@@ -39,6 +39,13 @@ impl RouteBackend for DemoBackend {
         self.processor.technique_slots()
     }
 
+    fn lane_name(&self, lane: usize) -> String {
+        // The technique slug (server-side identity: breakers, metrics,
+        // `lane.<slug>` failpoints). Responses only ever carry the blind
+        // label.
+        self.processor.slot_technique(lane).to_string()
+    }
+
     fn lane_key(&self, request: &SnappedQuery, lane: usize) -> String {
         self.processor.slot_cache_key(request, lane)
     }
@@ -58,7 +65,7 @@ impl RouteBackend for DemoBackend {
         request: &SnappedQuery,
         lane: usize,
         token: &CancelToken,
-    ) -> Result<LaneOutcome<ApproachRoutes>, String> {
+    ) -> Result<LaneOutcome<ApproachRoutes>, LaneError> {
         // The serving layer's cancel token becomes the technique's search
         // budget: a tripped deadline stops the in-flight search within one
         // budget-check interval, and the routes admitted so far come back
@@ -67,7 +74,10 @@ impl RouteBackend for DemoBackend {
         match self.processor.compute_slot_budgeted(request, lane, &budget) {
             Ok((part, true)) => Ok(LaneOutcome::Truncated(part)),
             Ok((part, false)) => Ok(LaneOutcome::Complete(part)),
-            Err(e) => Err(e.to_string()),
+            // Transience follows the error: an interrupted search or an
+            // I/O failure earns a retry, an unroutable query does not.
+            Err(e) if e.is_transient() => Err(LaneError::transient(e.to_string())),
+            Err(e) => Err(LaneError::permanent(e.to_string())),
         }
     }
 
@@ -77,6 +87,15 @@ impl RouteBackend for DemoBackend {
         parts: Vec<Option<ApproachRoutes>>,
     ) -> Option<QueryResponse> {
         self.processor.assemble_partial(request, parts)
+    }
+
+    fn assemble_degraded(
+        &self,
+        request: &SnappedQuery,
+        parts: Vec<Option<ApproachRoutes>>,
+        statuses: &[LaneStatus],
+    ) -> Option<QueryResponse> {
+        self.processor.assemble_degraded(request, parts, statuses)
     }
 }
 

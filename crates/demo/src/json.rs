@@ -30,6 +30,12 @@ impl Json {
         Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
+    /// An object with runtime-computed keys (per-label lane status,
+    /// per-technique breaker states).
+    pub fn object_of(pairs: impl IntoIterator<Item = (String, Json)>) -> Json {
+        Json::Object(pairs.into_iter().collect())
+    }
+
     /// A string value.
     pub fn str(s: impl Into<String>) -> Json {
         Json::String(s.into())

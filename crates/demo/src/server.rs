@@ -10,18 +10,28 @@
 //! * `GET  /api/results`  — per-label rating summaries,
 //! * `GET  /api/results.csv` — the raw response CSV,
 //! * `GET  /api/metrics`  — Prometheus text exposition of every counter
-//!   and histogram in the processor's [`arp_obs::Registry`].
+//!   and histogram in the processor's [`arp_obs::Registry`],
+//! * `GET  /api/health`   — serving health: verdict, queue pressure,
+//!   per-technique breaker states, cache occupancy.
 //!
 //! Every request increments `arp_http_requests_total{endpoint,status}` and
 //! feeds `arp_http_request_latency_ms{endpoint}`; unknown paths share the
 //! `other` endpoint label so cardinality stays bounded.
 //!
 //! `POST /api/route` runs through the `arp-serve` pipeline: admission
-//! control (overload answers `503` with `Retry-After`), a per-technique
-//! route cache, and parallel technique fan-out on the worker pool. The
+//! control (overload answers `503` with an adaptive `Retry-After`), a
+//! per-technique route cache, and parallel technique fan-out on the
+//! worker pool with per-lane failure isolation — a failed or panicked
+//! technique degrades its lane instead of the whole request, so the
+//! response stays `200` while at least one technique produced routes
+//! (`502` when all of them failed, `504` when the deadline passed with
+//! nothing to serve). Degraded responses carry `"degraded": true` and a
+//! `"lane_status"` map keyed by blind label; healthy responses omit both
+//! keys and stay byte-identical to the fault-free wire format. The
 //! serving instruments (`arp_serve_*`) share the processor's registry, so
-//! `/api/metrics` exposes queue depth, shed counts, cache hit rates and
-//! per-stage latencies alongside the technique metrics.
+//! `/api/metrics` exposes queue depth, shed counts, cache hit rates,
+//! lane failures, retries and breaker states alongside the technique
+//! metrics.
 //!
 //! The request handler is a pure function over `(method, path, body)` so
 //! tests exercise the full API without sockets; `serve` adds the TCP loop
@@ -73,19 +83,46 @@ impl HttpResponse {
         }
     }
 
-    fn error(status: u16, message: impl Into<String>) -> HttpResponse {
+    /// The one error-rendering path: every non-200 reply — client 400s,
+    /// the serving ladder's 502/503/504 — goes through here, so the body
+    /// shape (`{"error": …}`) and the optional `Retry-After` header stay
+    /// uniform across endpoints.
+    fn render_error(
+        status: u16,
+        message: impl Into<String>,
+        retry_after: Option<u32>,
+    ) -> HttpResponse {
         HttpResponse {
             status,
             content_type: "application/json",
             body: Json::object([("error", Json::String(message.into()))]).to_string_compact(),
-            retry_after: None,
+            retry_after,
         }
     }
 
+    fn error(status: u16, message: impl Into<String>) -> HttpResponse {
+        HttpResponse::render_error(status, message, None)
+    }
+
     fn overloaded(retry_after_s: u32) -> HttpResponse {
-        let mut resp = HttpResponse::error(503, "overloaded, please retry");
-        resp.retry_after = Some(retry_after_s);
-        resp
+        HttpResponse::render_error(503, "overloaded, please retry", Some(retry_after_s))
+    }
+
+    /// Maps the serving pipeline's failure ladder onto HTTP statuses:
+    /// 503 (shed, with an adaptive `Retry-After`), 504 (deadline, nothing
+    /// finished), 502 (every technique lane failed).
+    fn serve_error(err: &ServeError) -> HttpResponse {
+        match err {
+            ServeError::Overloaded { retry_after_s } => HttpResponse::overloaded(*retry_after_s),
+            ServeError::DeadlineExceeded => {
+                HttpResponse::render_error(504, "route computation exceeded its deadline", None)
+            }
+            ServeError::AllLanesFailed { reasons } => HttpResponse::render_error(
+                502,
+                format!("all technique lanes failed: {reasons}"),
+                None,
+            ),
+        }
     }
 }
 
@@ -139,6 +176,7 @@ impl DemoApp {
             ("GET", "/api/results") => "results",
             ("GET", "/api/results.csv") => "results_csv",
             ("GET", "/api/metrics") => "metrics",
+            ("GET", "/api/health") => "health",
             _ => "other",
         }
     }
@@ -194,6 +232,7 @@ impl DemoApp {
                 body: self.registry.render_prometheus(),
                 retry_after: None,
             },
+            ("GET", "/api/health") => self.health(),
             ("GET", _) | ("POST", _) => {
                 HttpResponse::error(404, format!("no such endpoint {path}"))
             }
@@ -260,6 +299,16 @@ impl DemoApp {
         };
         // Normalize to vertices here (client errors stay at the HTTP
         // layer), then run the snapped query through the serving pipeline.
+        // `backend.snap` is the pre-fan-out failpoint: an injected error
+        // models the normalization dependency failing outright.
+        if let Err(message) = self
+            .service
+            .config()
+            .faults
+            .fire(arp_serve::sites::BACKEND_SNAP)
+        {
+            return HttpResponse::error(500, message);
+        }
         let snapped = match self.processor.snap(s, t) {
             Ok(q) => q,
             Err(
@@ -271,13 +320,7 @@ impl DemoApp {
         };
         match self.service.route(snapped) {
             Ok(resp) => Self::render_route_response(&resp),
-            Err(ServeError::Overloaded { retry_after_s }) => {
-                HttpResponse::overloaded(retry_after_s)
-            }
-            Err(ServeError::DeadlineExceeded) => {
-                HttpResponse::error(504, "route computation exceeded its deadline")
-            }
-            Err(ServeError::Lane(message)) => HttpResponse::error(500, message),
+            Err(e) => HttpResponse::serve_error(&e),
         }
     }
 
@@ -319,7 +362,7 @@ impl DemoApp {
                 ])
             })
             .collect();
-        HttpResponse::ok_json(Json::object([
+        let mut fields = vec![
             ("fastest_minutes", Json::Number(resp.fastest_minutes as f64)),
             ("approaches", Json::Array(approaches)),
             // A deadline-truncated response is still a 200 — the client
@@ -328,7 +371,24 @@ impl DemoApp {
             // requests where nothing finished at all.
             ("truncated", Json::Bool(resp.truncated)),
             ("geojson", Json::str(response_to_geojson(resp))),
-        ]))
+        ];
+        // Degraded responses (a lane failed or its breaker was open) name
+        // the affected approaches by blind label only — the technique
+        // behind each label stays hidden from the study participant.
+        // Healthy responses omit both keys, keeping them byte-identical
+        // to the pre-fault-tolerance wire format.
+        if resp.degraded {
+            fields.push(("degraded", Json::Bool(true)));
+            fields.push((
+                "lane_status",
+                Json::object_of(
+                    resp.lane_status
+                        .iter()
+                        .map(|(label, status)| (label.to_string(), Json::str(status.as_str()))),
+                ),
+            ));
+        }
+        HttpResponse::ok_json(Json::object(fields))
     }
 
     fn rate(&self, body: &str) -> HttpResponse {
@@ -362,6 +422,51 @@ impl DemoApp {
                 ("total_responses", Json::Number(self.store.len() as f64)),
             ])),
             Err(e) => HttpResponse::error(400, e.to_string()),
+        }
+    }
+
+    /// `GET /api/health` — the serving pipeline's liveness snapshot for
+    /// load balancers and operators: queue pressure, inflight count,
+    /// per-technique breaker states and cache occupancy. `ready` and
+    /// `degraded` answer 200 (still taking traffic); `unhealthy` (every
+    /// breaker open) answers 503 so a balancer rotates the instance out.
+    ///
+    /// This is an operator endpoint, not a participant-facing one, so it
+    /// names techniques directly — the blinding only governs `/api/route`
+    /// responses.
+    fn health(&self) -> HttpResponse {
+        let report = self.service.health();
+        let status = match report.verdict {
+            arp_serve::HealthVerdict::Unhealthy => 503,
+            _ => 200,
+        };
+        let breakers = Json::object_of(
+            report
+                .lanes
+                .iter()
+                .map(|l| (l.technique.clone(), Json::str(l.breaker.as_str()))),
+        );
+        let body = Json::object([
+            ("status", Json::str(report.verdict.as_str())),
+            ("queue_depth", Json::Number(report.queue_depth as f64)),
+            ("queue_capacity", Json::Number(report.queue_capacity as f64)),
+            ("inflight", Json::Number(report.inflight as f64)),
+            ("max_inflight", Json::Number(report.max_inflight as f64)),
+            ("breakers", breakers),
+            (
+                "cache",
+                Json::object([
+                    ("entries", Json::Number(report.cache_entries as f64)),
+                    ("hits", Json::Number(report.cache_hits as f64)),
+                    ("misses", Json::Number(report.cache_misses as f64)),
+                ]),
+            ),
+        ]);
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: body.to_string_compact(),
+            retry_after: None,
         }
     }
 
@@ -431,6 +536,7 @@ fn write_response(stream: &mut TcpStream, resp: &HttpResponse) -> std::io::Resul
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Internal Server Error",
@@ -738,7 +844,9 @@ mod tests {
         let _slot = app.service().admission().try_acquire().unwrap();
         let resp = app.handle("POST", "/api/route", &route_body(&app));
         assert_eq!(resp.status, 503, "{}", resp.body);
-        assert_eq!(resp.retry_after, Some(2));
+        // The hint is adaptive: admission is saturated (ratio 1.0) and the
+        // queue idle (0.0), so base 2s scales by 1 + 4 * 0.5 to 6s.
+        assert_eq!(resp.retry_after, Some(6));
         assert!(resp.body.contains("overloaded"), "{}", resp.body);
         assert_eq!(
             app.registry
@@ -793,6 +901,124 @@ mod tests {
         // The server thread exits cleanly instead of leaking.
         shutdown.request_shutdown();
         server.join().unwrap().unwrap();
+    }
+
+    /// The regression this PR exists for: a panicking technique used to
+    /// fail the whole request with a 500. Now the panic is contained to
+    /// its lane and the other three techniques' routes are still served.
+    #[test]
+    fn panicking_lane_still_serves_the_other_techniques_over_http() {
+        let g = arp_citygen::generate(City::Melbourne, Scale::Small, 12);
+        let config = arp_serve::ServeConfig {
+            faults: arp_serve::FaultPlan::parse("lane.google_like=panic").unwrap(),
+            ..arp_serve::ServeConfig::default()
+        };
+        let app = DemoApp::with_config(QueryProcessor::new(g.name.clone(), g.network, 12), config);
+        let resp = app.handle("POST", "/api/route", &route_body(&app));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+
+        let v = json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("degraded").and_then(Json::as_bool), Some(true));
+        let approaches = v.get("approaches").unwrap().as_array().unwrap();
+        assert_eq!(approaches.len(), 4, "blind A-D structure is preserved");
+        let served = approaches
+            .iter()
+            .filter(|a| !a.get("routes").unwrap().as_array().unwrap().is_empty())
+            .count();
+        assert_eq!(served, 3, "three healthy lanes, one failed: {}", resp.body);
+
+        // The lane-status map is keyed by blind label only and marks
+        // exactly the panicked lane as failed.
+        let status = v.get("lane_status").unwrap();
+        let failed: Vec<&str> = ["A", "B", "C", "D"]
+            .iter()
+            .filter(|l| status.get(l).and_then(Json::as_str) == Some("failed"))
+            .copied()
+            .collect();
+        assert_eq!(failed.len(), 1, "{}", resp.body);
+        assert!(!resp.body.contains("google_like"), "blinding leaked");
+    }
+
+    /// Healthy responses must not carry the degraded keys — the wire
+    /// format with faults disabled is byte-for-byte the pre-existing one.
+    #[test]
+    fn healthy_responses_omit_the_degraded_keys() {
+        let app = app();
+        let resp = app.handle("POST", "/api/route", &route_body(&app));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = json::parse(&resp.body).unwrap();
+        assert!(v.get("degraded").is_none(), "{}", resp.body);
+        assert!(v.get("lane_status").is_none(), "{}", resp.body);
+    }
+
+    #[test]
+    fn injected_snap_fault_is_a_500() {
+        let g = arp_citygen::generate(City::Melbourne, Scale::Small, 12);
+        let config = arp_serve::ServeConfig {
+            faults: arp_serve::FaultPlan::parse("backend.snap=error:snap store down").unwrap(),
+            ..arp_serve::ServeConfig::default()
+        };
+        let app = DemoApp::with_config(QueryProcessor::new(g.name.clone(), g.network, 12), config);
+        let resp = app.handle("POST", "/api/route", &route_body(&app));
+        assert_eq!(resp.status, 500, "{}", resp.body);
+        assert!(resp.body.contains("snap store down"), "{}", resp.body);
+    }
+
+    #[test]
+    fn health_endpoint_reports_ready_with_closed_breakers() {
+        let app = app();
+        let resp = app.handle("GET", "/api/health", "");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ready"));
+        let breakers = v.get("breakers").unwrap();
+        for technique in ["google_like", "plateaus", "dissimilarity", "penalty"] {
+            assert_eq!(
+                breakers.get(technique).and_then(Json::as_str),
+                Some("closed"),
+                "{}",
+                resp.body
+            );
+        }
+        assert!(v.get("queue_capacity").unwrap().as_f64().unwrap() > 0.0);
+        assert!(v.get("max_inflight").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(v.get("inflight").unwrap().as_f64(), Some(0.0));
+    }
+
+    /// A permanently failing lane trips its breaker; `/api/health` then
+    /// degrades the verdict and names the open breaker.
+    #[test]
+    fn health_endpoint_degrades_when_a_breaker_opens() {
+        let g = arp_citygen::generate(City::Melbourne, Scale::Small, 12);
+        let config = arp_serve::ServeConfig {
+            faults: arp_serve::FaultPlan::parse("lane.penalty=error:backend gone").unwrap(),
+            breaker: arp_serve::BreakerConfig {
+                window: 8,
+                min_volume: 2,
+                error_rate: 0.5,
+                ..arp_serve::BreakerConfig::default()
+            },
+            ..arp_serve::ServeConfig::default()
+        };
+        let app = DemoApp::with_config(QueryProcessor::new(g.name.clone(), g.network, 12), config);
+        let body = route_body(&app);
+        for _ in 0..3 {
+            let resp = app.handle("POST", "/api/route", &body);
+            assert_eq!(resp.status, 200, "{}", resp.body);
+        }
+        let resp = app.handle("GET", "/api/health", "");
+        assert_eq!(resp.status, 200, "degraded still serves: {}", resp.body);
+        let v = json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("degraded"));
+        assert_eq!(
+            v.get("breakers")
+                .unwrap()
+                .get("penalty")
+                .and_then(Json::as_str),
+            Some("open"),
+            "{}",
+            resp.body
+        );
     }
 
     #[test]

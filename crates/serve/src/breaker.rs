@@ -1,0 +1,381 @@
+//! Per-technique circuit breakers.
+//!
+//! A [`CircuitBreaker`] watches the recent outcomes of one technique
+//! lane through a sliding window of the last `window` computations and
+//! short-circuits the lane when it is evidently broken, so a failing
+//! technique stops queueing doomed work while the other three keep
+//! serving routes. The state machine is the classic one:
+//!
+//! ```text
+//! Closed ──(error rate ≥ threshold over ≥ min_volume outcomes)──▶ Open
+//!   ▲                                                              │
+//!   │ probe succeeds                               cooldown elapses│
+//!   └───────────── HalfOpen ◀───────────────────────────────────────┘
+//!                     │ probe fails
+//!                     └──────────▶ Open (cooldown restarts)
+//! ```
+//!
+//! * **Closed** — lanes run normally; every outcome is recorded into the
+//!   window. Crossing the error-rate threshold (with at least
+//!   `min_volume` outcomes in the window, so a single early failure
+//!   cannot trip an idle breaker) opens the circuit.
+//! * **Open** — [`CircuitBreaker::try_acquire`] refuses instantly; the
+//!   lane is reported `open_circuit` without consuming a worker. After
+//!   `cooldown_ms` the next acquire becomes the **single** half-open
+//!   probe.
+//! * **HalfOpen** — exactly one probe is in flight; concurrent acquires
+//!   are refused. The probe's success closes the circuit (window reset);
+//!   its failure re-opens it and restarts the cooldown. The breaker
+//!   never transitions Open → Closed without a half-open probe
+//!   succeeding first (property-tested).
+//!
+//! Time is an explicit `now_ms` argument (the same convention as the
+//! route cache), so tests drive a manual clock and never sleep.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use arp_obs::{Counter, Gauge};
+
+/// Breaker tunables, shared by every lane of a service.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Sliding window length, in outcomes (at least 1).
+    pub window: usize,
+    /// Minimum outcomes in the window before the error rate can trip the
+    /// breaker.
+    pub min_volume: usize,
+    /// Error-rate threshold in `[0, 1]`; at or above it the breaker
+    /// opens.
+    pub error_rate: f64,
+    /// How long an open breaker refuses before allowing one half-open
+    /// probe, in milliseconds.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            window: 32,
+            min_volume: 8,
+            error_rate: 0.5,
+            cooldown_ms: 5_000,
+        }
+    }
+}
+
+/// The breaker's externally visible state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: lanes run and outcomes are recorded.
+    Closed,
+    /// Broken: lanes short-circuit without running.
+    Open,
+    /// Probing: one trial lane is in flight to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable string for responses and health reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Numeric encoding for the `arp_serve_breaker_state` gauge
+    /// (0 closed, 1 half-open, 2 open).
+    fn gauge_value(&self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    /// Most recent outcomes, `true` = failure; bounded by
+    /// `config.window`.
+    window: VecDeque<bool>,
+    /// Failures currently in the window (kept exact under eviction).
+    failures: usize,
+    /// When the breaker last opened.
+    opened_at_ms: u64,
+    /// Whether the half-open probe has been handed out.
+    probe_inflight: bool,
+}
+
+/// A sliding-window circuit breaker for one technique lane.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+    /// `arp_serve_breaker_state{technique}` mirror.
+    state_gauge: Gauge,
+    /// `arp_serve_breaker_transitions_total` (shared across lanes).
+    transitions: Counter,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with detached instruments.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker::with_instruments(config, Gauge::default(), Counter::default())
+    }
+
+    /// A closed breaker mirroring its state into `state_gauge` and
+    /// counting transitions into `transitions`.
+    pub fn with_instruments(
+        config: BreakerConfig,
+        state_gauge: Gauge,
+        transitions: Counter,
+    ) -> CircuitBreaker {
+        let config = BreakerConfig {
+            window: config.window.max(1),
+            min_volume: config.min_volume.max(1),
+            ..config
+        };
+        state_gauge.set(BreakerState::Closed.gauge_value());
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                window: VecDeque::with_capacity(config.window.max(1)),
+                failures: 0,
+                opened_at_ms: 0,
+                probe_inflight: false,
+            }),
+            state_gauge,
+            transitions,
+        }
+    }
+
+    fn transition(&self, inner: &mut BreakerInner, to: BreakerState) {
+        if inner.state != to {
+            inner.state = to;
+            self.state_gauge.set(to.gauge_value());
+            self.transitions.inc();
+        }
+    }
+
+    /// Whether a lane may run now. `false` means short-circuit it as
+    /// `open_circuit` — the breaker is open (cooldown running) or a
+    /// half-open probe is already in flight. When the cooldown has
+    /// elapsed, the first acquire becomes the half-open probe and
+    /// returns `true`.
+    pub fn try_acquire(&self, now_ms: u64) -> bool {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now_ms >= inner.opened_at_ms.saturating_add(self.config.cooldown_ms) {
+                    self.transition(&mut inner, BreakerState::HalfOpen);
+                    inner.probe_inflight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_inflight {
+                    false
+                } else {
+                    inner.probe_inflight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a successful lane outcome.
+    pub fn record_success(&self, now_ms: u64) {
+        let _ = now_ms;
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Closed => Self::push(&self.config, &mut inner, false),
+            BreakerState::HalfOpen => {
+                // The probe came back healthy: close and start fresh.
+                inner.probe_inflight = false;
+                inner.window.clear();
+                inner.failures = 0;
+                self.transition(&mut inner, BreakerState::Closed);
+            }
+            // A straggler from before the trip; the circuit already
+            // decided, so late good news changes nothing.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed lane outcome, opening the circuit when the
+    /// window's error rate crosses the threshold.
+    pub fn record_failure(&self, now_ms: u64) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Closed => {
+                Self::push(&self.config, &mut inner, true);
+                let volume = inner.window.len();
+                let rate = inner.failures as f64 / volume as f64;
+                if volume >= self.config.min_volume && rate >= self.config.error_rate {
+                    inner.opened_at_ms = now_ms;
+                    inner.probe_inflight = false;
+                    self.transition(&mut inner, BreakerState::Open);
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: back to open, cooldown restarts.
+                inner.probe_inflight = false;
+                inner.opened_at_ms = now_ms;
+                self.transition(&mut inner, BreakerState::Open);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn push(config: &BreakerConfig, inner: &mut BreakerInner, failed: bool) {
+        if inner.window.len() == config.window && inner.window.pop_front() == Some(true) {
+            inner.failures -= 1;
+        }
+        inner.window.push_back(failed);
+        if failed {
+            inner.failures += 1;
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker poisoned").state
+    }
+
+    /// Failures currently inside the sliding window.
+    pub fn window_failures(&self) -> usize {
+        self.inner.lock().expect("breaker poisoned").failures
+    }
+
+    /// Outcomes currently inside the sliding window.
+    pub fn window_volume(&self) -> usize {
+        self.inner.lock().expect("breaker poisoned").window.len()
+    }
+
+    /// The breaker's configuration.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(min_volume: usize, error_rate: f64, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            min_volume,
+            error_rate,
+            cooldown_ms,
+        })
+    }
+
+    #[test]
+    fn stays_closed_below_min_volume() {
+        let b = breaker(4, 0.5, 100);
+        b.record_failure(0);
+        b.record_failure(1);
+        b.record_failure(2);
+        assert_eq!(b.state(), BreakerState::Closed, "below min volume");
+        b.record_failure(3);
+        assert_eq!(b.state(), BreakerState::Open, "volume + rate reached");
+    }
+
+    #[test]
+    fn open_refuses_until_cooldown_then_probes_once() {
+        let b = breaker(2, 0.5, 100);
+        b.record_failure(0);
+        b.record_failure(1);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.try_acquire(50), "cooldown still running");
+        assert!(b.try_acquire(101), "cooldown elapsed: the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.try_acquire(102), "only one probe at a time");
+    }
+
+    #[test]
+    fn successful_probe_closes_and_resets_the_window() {
+        let b = breaker(2, 0.5, 100);
+        b.record_failure(0);
+        b.record_failure(1);
+        assert!(b.try_acquire(150));
+        b.record_success(151);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.window_volume(), 0, "window resets on recovery");
+        // One fresh failure cannot re-open: the old failures are gone.
+        b.record_failure(152);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_restarts_the_cooldown() {
+        let b = breaker(2, 0.5, 100);
+        b.record_failure(0);
+        b.record_failure(1);
+        assert!(b.try_acquire(150));
+        b.record_failure(200);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.try_acquire(250), "cooldown restarted at 200");
+        assert!(b.try_acquire(301));
+    }
+
+    #[test]
+    fn window_eviction_forgets_old_failures() {
+        // Window 8, threshold 50%: 4 early failures followed by 8
+        // successes must leave a clean window that cannot trip.
+        let b = breaker(8, 0.5, 100);
+        for i in 0..3 {
+            b.record_failure(i);
+        }
+        for i in 3..11 {
+            b.record_success(i);
+        }
+        assert_eq!(b.window_failures(), 0, "old failures evicted");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn late_success_after_open_is_ignored() {
+        let b = breaker(2, 0.5, 100);
+        b.record_failure(0);
+        b.record_failure(1);
+        assert_eq!(b.state(), BreakerState::Open);
+        b.record_success(2); // straggler lane finishing after the trip
+        assert_eq!(b.state(), BreakerState::Open, "no Open→Closed shortcut");
+    }
+
+    #[test]
+    fn instruments_mirror_state_and_transitions() {
+        let registry = arp_obs::Registry::new();
+        let gauge = registry.gauge("state", "", &[]);
+        let transitions = registry.counter("transitions", "", &[]);
+        let b = CircuitBreaker::with_instruments(
+            BreakerConfig {
+                window: 4,
+                min_volume: 2,
+                error_rate: 0.5,
+                cooldown_ms: 100,
+            },
+            gauge.clone(),
+            transitions.clone(),
+        );
+        assert_eq!(gauge.get(), 0);
+        b.record_failure(0);
+        b.record_failure(1);
+        assert_eq!(gauge.get(), 2, "open encodes as 2");
+        assert!(b.try_acquire(200));
+        assert_eq!(gauge.get(), 1, "half-open encodes as 1");
+        b.record_success(201);
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(transitions.get(), 3, "closed→open→half_open→closed");
+    }
+}

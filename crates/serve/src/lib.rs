@@ -27,6 +27,13 @@
 //! * [`ServeMetrics`] — queue depth, shed/timeout counters, cache
 //!   hit/miss/eviction/stale counters and per-stage latency histograms,
 //!   all through `arp-obs` and exported by the demo's `/api/metrics`.
+//! * **Fault tolerance** (DESIGN.md §9) — [`FaultPlan`] failpoint
+//!   injection (zero-overhead when disabled), per-technique
+//!   [`CircuitBreaker`]s, a deadline-aware [`RetryPolicy`], and a
+//!   degraded-response ladder: a failed or panicked lane is retried,
+//!   then marked [`LaneStatus::Failed`] while the other techniques'
+//!   routes are still served. [`RouteService::health`] snapshots it all
+//!   for `/api/health`.
 //!
 //! The crate is deliberately backend-agnostic: [`RouteService`] drives
 //! any [`RouteBackend`], and `arp-demo` provides the road-network one.
@@ -36,19 +43,28 @@
 #![warn(missing_docs)]
 
 mod admission;
+mod breaker;
 mod cache;
 mod cancel;
+mod fault;
 mod metrics;
 mod pool;
 mod queue;
+mod retry;
 mod service;
 mod shutdown;
 
-pub use admission::{Admission, Deadline, Permit};
+pub use admission::{adaptive_retry_after, Admission, Deadline, Permit};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::ShardedCache;
 pub use cancel::CancelToken;
+pub use fault::{sites, FaultKind, FaultPlan};
 pub use metrics::{CacheMetrics, ServeMetrics};
 pub use pool::{scatter, scatter_cancellable, Fanout, FanoutError, Job, WorkerPool};
 pub use queue::{BoundedQueue, PushError};
-pub use service::{LaneOutcome, RouteBackend, RouteService, ServeConfig, ServeError};
+pub use retry::{LaneLatency, RetryPolicy, RetryState};
+pub use service::{
+    HealthReport, HealthVerdict, LaneError, LaneHealth, LaneOutcome, LaneStatus, RouteBackend,
+    RouteService, ServeConfig, ServeError,
+};
 pub use shutdown::ShutdownHandle;

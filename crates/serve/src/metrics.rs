@@ -23,6 +23,17 @@
 //! * `arp_serve_stage_latency_ms{stage}` — per-stage latency histograms
 //!   (`admit`, `cache_probe`, `compute`, `assemble`),
 //! * `arp_serve_request_latency_ms` — end-to-end latency histogram.
+//!
+//! The fault-tolerance layer (DESIGN.md §9) adds:
+//!
+//! * `arp_serve_degraded_responses_total` — responses served with at
+//!   least one failed or breaker-open lane,
+//! * `arp_serve_lane_failures_total{technique,reason}` and
+//!   `arp_serve_retries_total{technique,outcome}` — resolved per lane by
+//!   the service (the technique names come from the backend),
+//! * `arp_serve_breaker_state{technique}` /
+//!   `arp_serve_breaker_transitions_total` — circuit-breaker telemetry,
+//! * `arp_serve_faults_injected_total{site,kind}` — injected failpoints.
 
 use arp_obs::{Counter, Gauge, Histogram, Registry, DEFAULT_LATENCY_BUCKETS_MS};
 
@@ -99,6 +110,10 @@ pub struct ServeMetrics {
     pub jobs_executed: Counter,
     /// Fan-out lanes executed inline because the queue was full.
     pub inline_fallback: Counter,
+    /// Responses served degraded: at least one lane failed or was
+    /// short-circuited by its open breaker, and the rest were served
+    /// anyway.
+    pub degraded: Counter,
     /// Cache behaviour.
     pub cache: CacheMetrics,
     /// Admission latency (time spent acquiring the in-flight permit).
@@ -168,6 +183,11 @@ impl ServeMetrics {
             inline_fallback: registry.counter(
                 "arp_serve_inline_fallback_total",
                 "Fan-out lanes executed inline because the worker queue was full.",
+                &[],
+            ),
+            degraded: registry.counter(
+                "arp_serve_degraded_responses_total",
+                "Responses served with at least one failed or breaker-open lane.",
                 &[],
             ),
             cache: CacheMetrics::new(registry),

@@ -6,16 +6,30 @@
 //! crate, not the other way round). The backend names its *lanes* — one
 //! per alternative-route technique — and the service:
 //!
-//! 1. **admits** the request or sheds it ([`ServeError::Overloaded`]),
+//! 1. **admits** the request or sheds it ([`ServeError::Overloaded`],
+//!    with an adaptive `Retry-After` hint scaled by queue pressure),
 //! 2. **probes the cache** per lane, so a repeat query recomputes nothing
 //!    and a partially-cached query recomputes only its missing lanes,
 //! 3. **fans out** the missing lanes onto the worker pool
-//!    ([`crate::scatter`]), bounded by the request deadline,
+//!    ([`crate::scatter`]), bounded by the request deadline — but only
+//!    lanes whose **circuit breaker** admits them; an open breaker
+//!    short-circuits its lane instantly instead of queueing doomed work,
 //! 4. **assembles** the lanes — in lane order, regardless of completion
 //!    order — so the response is byte-identical to the serial path.
 //!
 //! Successful lane results are written back to the cache from the worker
-//! thread that computed them; failed lanes are never cached.
+//! thread that computed them; failed and truncated lanes are never
+//! cached.
+//!
+//! **Failure isolation.** A lane that errors or panics no longer fails
+//! the request: it is retried once (under a per-request retry budget,
+//! with decorrelated-jitter backoff, and only when the deadline has
+//! headroom for the lane's expected duration — see [`crate::retry`]),
+//! and on final failure it is marked [`LaneStatus::Failed`] while the
+//! other techniques' routes are still assembled and served as a
+//! *degraded* response. Only when **every** lane fails does the request
+//! error ([`ServeError::AllLanesFailed`], HTTP 502). DESIGN.md §9
+//! documents the full degraded-response ladder.
 //!
 //! Deadlines act **cooperatively** on in-flight work: when a request's
 //! deadline expires, the service trips a per-request [`CancelToken`] that
@@ -23,20 +37,26 @@
 //! collects whatever partials they hand back within a bounded grace
 //! period, and serves a *truncated* response if at least one lane has
 //! something to show — reserving [`ServeError::DeadlineExceeded`] for
-//! requests where nothing finished. DESIGN.md §8 documents the full
+//! requests where nothing finished. DESIGN.md §8 documents the
 //! cancellation ladder.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::admission::{Admission, Deadline};
+use crate::admission::{adaptive_retry_after, Admission, Deadline};
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::cache::ShardedCache;
 use crate::cancel::CancelToken;
+use crate::fault::{sites, FaultPlan};
 use crate::metrics::ServeMetrics;
-use crate::pool::{scatter_cancellable, WorkerPool};
-use arp_obs::Registry;
+use crate::pool::{scatter_cancellable, Fanout, WorkerPool};
+use crate::retry::{LaneLatency, RetryPolicy, RetryState};
+use arp_obs::{Counter, Registry};
 
-/// How one lane ended under cooperative cancellation.
+/// How one lane ended under cooperative cancellation and failure
+/// isolation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LaneOutcome<P> {
     /// The lane ran to completion; the part is cacheable.
@@ -45,6 +65,98 @@ pub enum LaneOutcome<P> {
     /// admitted so far. Never cached — the truncation is an artifact of
     /// this request's deadline, not a property of the query.
     Truncated(P),
+    /// The lane failed outright with no partial to show. Equivalent to
+    /// returning a transient [`LaneError`], for backends that prefer to
+    /// report failure in-band.
+    Failed {
+        /// Why the lane failed.
+        reason: String,
+    },
+}
+
+/// A lane failure, carrying whether a retry could plausibly succeed.
+///
+/// Permanent failures (a malformed query fails identically on every
+/// attempt) are never retried; transient ones (an injected fault, a
+/// flaky dependency, a panicked worker) get one more chance under the
+/// request's retry budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneError {
+    /// The backend's error message.
+    pub message: String,
+    /// Whether retrying might succeed.
+    pub transient: bool,
+}
+
+impl LaneError {
+    /// A failure worth retrying.
+    pub fn transient(message: impl Into<String>) -> LaneError {
+        LaneError {
+            message: message.into(),
+            transient: true,
+        }
+    }
+
+    /// A failure that would repeat identically; never retried.
+    pub fn permanent(message: impl Into<String>) -> LaneError {
+        LaneError {
+            message: message.into(),
+            transient: false,
+        }
+    }
+}
+
+impl From<String> for LaneError {
+    /// Bare-string errors are treated as transient: one wasted retry is
+    /// cheaper than never retrying a recoverable fault.
+    fn from(message: String) -> LaneError {
+        LaneError::transient(message)
+    }
+}
+
+impl From<&str> for LaneError {
+    fn from(message: &str) -> LaneError {
+        LaneError::transient(message)
+    }
+}
+
+impl std::fmt::Display for LaneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Per-lane verdict carried by a degraded response (the response's
+/// `lane_status` map).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneStatus {
+    /// The lane completed normally (computed or cached).
+    Ok,
+    /// The lane was cut short by the deadline; its routes are a prefix.
+    Truncated,
+    /// The lane failed (error or panic) after exhausting its retry.
+    Failed,
+    /// The lane's circuit breaker was open; it was never attempted.
+    OpenCircuit,
+}
+
+impl LaneStatus {
+    /// Stable string for response rendering (`ok | truncated | failed |
+    /// open_circuit`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LaneStatus::Ok => "ok",
+            LaneStatus::Truncated => "truncated",
+            LaneStatus::Failed => "failed",
+            LaneStatus::OpenCircuit => "open_circuit",
+        }
+    }
+
+    /// Whether this status degrades the response (a failure, as opposed
+    /// to deadline truncation).
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, LaneStatus::Failed | LaneStatus::OpenCircuit)
+    }
 }
 
 /// What a backend must provide for the service to run it.
@@ -63,6 +175,13 @@ pub trait RouteBackend: Send + Sync + 'static {
 
     /// Number of lanes (techniques) per request.
     fn lanes(&self) -> usize;
+
+    /// A stable, human-readable name for `lane` (the technique slug).
+    /// Names the lane's circuit breaker, failure metrics and failpoint
+    /// site (`lane.<name>`).
+    fn lane_name(&self, lane: usize) -> String {
+        format!("lane{lane}")
+    }
 
     /// The cache key for `lane` of `request`. Must encode everything the
     /// lane's result depends on — city, snapped endpoints, technique, k.
@@ -87,15 +206,18 @@ pub trait RouteBackend: Send + Sync + 'static {
         request: &Self::Request,
         lane: usize,
         token: &CancelToken,
-    ) -> Result<LaneOutcome<Self::Part>, String> {
+    ) -> Result<LaneOutcome<Self::Part>, LaneError> {
         let _ = token;
-        self.compute(request, lane).map(LaneOutcome::Complete)
+        self.compute(request, lane)
+            .map(LaneOutcome::Complete)
+            .map_err(LaneError::from)
     }
 
-    /// Assembles a **truncated** response from whatever lanes finished
+    /// Assembles a **partial** response from whatever lanes finished
     /// (`None` = the lane was abandoned, interrupted without a partial,
     /// or failed). Returning `None` declares nothing worth serving, and
-    /// the request degrades to [`ServeError::DeadlineExceeded`].
+    /// the request degrades to [`ServeError::DeadlineExceeded`] (or
+    /// [`ServeError::AllLanesFailed`] when no deadline was involved).
     ///
     /// The default refuses: backends opt in to partial responses.
     fn assemble_partial(
@@ -105,6 +227,21 @@ pub trait RouteBackend: Send + Sync + 'static {
     ) -> Option<Self::Response> {
         let _ = (request, parts);
         None
+    }
+
+    /// Assembles a **degraded** response: like
+    /// [`RouteBackend::assemble_partial`], but handed the per-lane
+    /// [`LaneStatus`] verdicts so the response can carry its
+    /// `lane_status` map and `degraded` flag. The default discards the
+    /// statuses and delegates to `assemble_partial`.
+    fn assemble_degraded(
+        &self,
+        request: &Self::Request,
+        parts: Vec<Option<Self::Part>>,
+        statuses: &[LaneStatus],
+    ) -> Option<Self::Response> {
+        let _ = statuses;
+        self.assemble_partial(request, parts)
     }
 }
 
@@ -130,8 +267,16 @@ pub struct ServeConfig {
     /// hand back partial results. One search-budget check interval is
     /// enough for a cooperative backend; zero collects nothing.
     pub cancel_grace: Duration,
-    /// The `Retry-After` hint handed to shed clients, in seconds.
+    /// Base `Retry-After` hint for shed clients, in seconds. The hint
+    /// actually sent is scaled by queue/in-flight pressure and clamped
+    /// to [1, 30] s (see [`adaptive_retry_after`]).
     pub retry_after_s: u32,
+    /// The failpoint plan (disabled by default; see [`FaultPlan`]).
+    pub faults: FaultPlan,
+    /// Per-request lane retry policy.
+    pub retry: RetryPolicy,
+    /// Per-technique circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServeConfig {
@@ -146,6 +291,9 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(10),
             cancel_grace: Duration::from_millis(100),
             retry_after_s: 1,
+            faults: FaultPlan::disabled(),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -170,13 +318,19 @@ pub enum ServeError {
     /// Shed at admission: too many requests in flight. Answer HTTP 503
     /// with `Retry-After: {retry_after_s}`.
     Overloaded {
-        /// Seconds the client should wait before retrying.
+        /// Seconds the client should wait before retrying (adaptive,
+        /// clamped to [1, 30]).
         retry_after_s: u32,
     },
     /// The request's deadline expired before every lane finished.
     DeadlineExceeded,
-    /// A lane failed; the message is the backend's error.
-    Lane(String),
+    /// Every lane failed (errors, panics or open breakers) — or the
+    /// backend refused to assemble what little survived. Answer HTTP
+    /// 502: the service is up, its techniques are not.
+    AllLanesFailed {
+        /// The failed lanes' reasons, joined for the error body.
+        reasons: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -186,12 +340,218 @@ impl std::fmt::Display for ServeError {
                 write!(f, "overloaded; retry after {retry_after_s}s")
             }
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
-            ServeError::Lane(message) => write!(f, "lane failed: {message}"),
+            ServeError::AllLanesFailed { reasons } => {
+                write!(f, "all technique lanes failed: {reasons}")
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Health verdict for load balancers and operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthVerdict {
+    /// Fully serving: no breaker open, queue has room.
+    Ready,
+    /// Serving with reduced capability: some breaker open or the worker
+    /// queue is saturated.
+    Degraded,
+    /// Not usefully serving: every technique's breaker is open.
+    Unhealthy,
+}
+
+impl HealthVerdict {
+    /// Stable string for the health endpoint.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HealthVerdict::Ready => "ready",
+            HealthVerdict::Degraded => "degraded",
+            HealthVerdict::Unhealthy => "unhealthy",
+        }
+    }
+}
+
+/// One lane's health entry.
+#[derive(Clone, Debug)]
+pub struct LaneHealth {
+    /// The lane's technique name.
+    pub technique: String,
+    /// Its breaker state.
+    pub breaker: BreakerState,
+}
+
+/// A point-in-time health snapshot of the service (the `/api/health`
+/// payload).
+#[derive(Clone, Debug)]
+pub struct HealthReport {
+    /// Overall verdict.
+    pub verdict: HealthVerdict,
+    /// Jobs waiting in the worker queue.
+    pub queue_depth: usize,
+    /// The queue's capacity.
+    pub queue_capacity: usize,
+    /// Requests currently admitted.
+    pub inflight: usize,
+    /// The admission bound.
+    pub max_inflight: usize,
+    /// Per-lane breaker states.
+    pub lanes: Vec<LaneHealth>,
+    /// Live route-cache entries.
+    pub cache_entries: i64,
+    /// Route-cache hits so far.
+    pub cache_hits: u64,
+    /// Route-cache misses so far.
+    pub cache_misses: u64,
+}
+
+/// Per-lane runtime state: breaker, latency estimate and instruments.
+struct LaneRuntime {
+    name: String,
+    /// Precomputed failpoint site (`lane.<name>`).
+    site: String,
+    breaker: CircuitBreaker,
+    latency: LaneLatency,
+    /// `arp_serve_lane_failures_total{technique,reason}`.
+    fail_error: Counter,
+    fail_panic: Counter,
+    fail_abandoned: Counter,
+    fail_open_circuit: Counter,
+    /// `arp_serve_retries_total{technique,outcome}`.
+    retry_success: Counter,
+    retry_failure: Counter,
+}
+
+impl LaneRuntime {
+    fn new(name: String, config: &BreakerConfig, registry: Option<&Registry>) -> LaneRuntime {
+        let site = sites::lane(&name);
+        let (breaker, fail, retry) = match registry {
+            Some(registry) => {
+                let failures = |reason: &str| {
+                    registry.counter(
+                        "arp_serve_lane_failures_total",
+                        "Technique lanes that failed, by technique and reason.",
+                        &[("technique", name.as_str()), ("reason", reason)],
+                    )
+                };
+                let retries = |outcome: &str| {
+                    registry.counter(
+                        "arp_serve_retries_total",
+                        "Lane retries attempted, by technique and outcome.",
+                        &[("technique", name.as_str()), ("outcome", outcome)],
+                    )
+                };
+                let breaker = CircuitBreaker::with_instruments(
+                    *config,
+                    registry.gauge(
+                        "arp_serve_breaker_state",
+                        "Circuit-breaker state per technique (0 closed, 1 half-open, 2 open).",
+                        &[("technique", name.as_str())],
+                    ),
+                    registry.counter(
+                        "arp_serve_breaker_transitions_total",
+                        "Circuit-breaker state transitions across all techniques.",
+                        &[],
+                    ),
+                );
+                (
+                    breaker,
+                    [
+                        failures("error"),
+                        failures("panic"),
+                        failures("abandoned"),
+                        failures("open_circuit"),
+                    ],
+                    [retries("success"), retries("failure")],
+                )
+            }
+            None => (
+                CircuitBreaker::new(*config),
+                std::array::from_fn(|_| Counter::default()),
+                std::array::from_fn(|_| Counter::default()),
+            ),
+        };
+        let [fail_error, fail_panic, fail_abandoned, fail_open_circuit] = fail;
+        let [retry_success, retry_failure] = retry;
+        LaneRuntime {
+            name,
+            site,
+            breaker,
+            latency: LaneLatency::new(),
+            fail_error,
+            fail_panic,
+            fail_abandoned,
+            fail_open_circuit,
+            retry_success,
+            retry_failure,
+        }
+    }
+}
+
+/// How one fan-out attempt of a lane ended (the fan-out's slot type).
+enum LaneReply<P> {
+    /// The backend returned an outcome; the `u64` is the attempt's
+    /// wall-clock duration in milliseconds (feeds the lane's latency
+    /// estimate).
+    Outcome(LaneOutcome<P>, u64),
+    /// The backend returned an error.
+    Errored(LaneError),
+    /// The attempt panicked (contained by the attempt's catch_unwind).
+    Panicked(String),
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "lane panicked".to_string()
+    }
+}
+
+/// Everything one lane attempt needs, owned so it can run on a worker
+/// thread or inline on the requester (for retries).
+struct LaneAttempt<B: RouteBackend> {
+    backend: Arc<B>,
+    cache: Option<Arc<ShardedCache<String, B::Part>>>,
+    faults: FaultPlan,
+    site: String,
+    key: String,
+    epoch: Instant,
+    lane: usize,
+    token: CancelToken,
+    request: B::Request,
+}
+
+impl<B: RouteBackend> LaneAttempt<B> {
+    /// Runs the attempt: fire the lane's failpoint, compute, cache a
+    /// complete result. Panics (real or injected) are contained here so
+    /// a panicking technique is indistinguishable from an erroring one
+    /// at the fan-out layer.
+    fn run(&self) -> LaneReply<B::Part> {
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.faults.fire(&self.site).map_err(LaneError::transient)?;
+            self.backend
+                .compute_cancellable(&self.request, self.lane, &self.token)
+        }));
+        match result {
+            Ok(Ok(outcome)) => {
+                // Only complete lanes are cached: a truncated part
+                // reflects this request's deadline, a failure is not a
+                // result at all.
+                if let (Some(cache), LaneOutcome::Complete(part)) = (&self.cache, &outcome) {
+                    let now_ms = self.epoch.elapsed().as_millis() as u64;
+                    cache.put(self.key.clone(), part.clone(), now_ms);
+                }
+                LaneReply::Outcome(outcome, start.elapsed().as_millis() as u64)
+            }
+            Ok(Err(error)) => LaneReply::Errored(error),
+            Err(payload) => LaneReply::Panicked(panic_message(payload.as_ref())),
+        }
+    }
+}
 
 /// The serving pipeline over one backend. See the module docs for the
 /// request lifecycle.
@@ -202,6 +562,9 @@ pub struct RouteService<B: RouteBackend> {
     admission: Admission,
     config: ServeConfig,
     metrics: ServeMetrics,
+    lanes: Vec<LaneRuntime>,
+    /// Monotonic request sequence; decorrelates retry jitter streams.
+    seq: AtomicU64,
     epoch: Instant,
 }
 
@@ -209,11 +572,23 @@ impl<B: RouteBackend> RouteService<B> {
     /// Builds the service and registers its instruments in `registry`.
     pub fn new(backend: B, config: ServeConfig, registry: &Registry) -> RouteService<B> {
         let metrics = ServeMetrics::new(registry);
-        Self::with_metrics(backend, config, metrics)
+        Self::build(backend, config, metrics, Some(registry))
     }
 
     /// Builds the service around pre-resolved (possibly detached) metrics.
     pub fn with_metrics(backend: B, config: ServeConfig, metrics: ServeMetrics) -> RouteService<B> {
+        Self::build(backend, config, metrics, None)
+    }
+
+    fn build(
+        backend: B,
+        mut config: ServeConfig,
+        metrics: ServeMetrics,
+        registry: Option<&Registry>,
+    ) -> RouteService<B> {
+        if let Some(registry) = registry {
+            config.faults = config.faults.clone().attach_metrics(registry);
+        }
         let pool = WorkerPool::new(
             config.workers,
             config.queue_capacity,
@@ -231,6 +606,9 @@ impl<B: RouteBackend> RouteService<B> {
             )))
         };
         let admission = Admission::new(config.max_inflight, metrics.inflight.clone());
+        let lanes = (0..backend.lanes())
+            .map(|lane| LaneRuntime::new(backend.lane_name(lane), &config.breaker, registry))
+            .collect();
         RouteService {
             backend: Arc::new(backend),
             pool,
@@ -238,12 +616,28 @@ impl<B: RouteBackend> RouteService<B> {
             admission,
             config,
             metrics,
+            lanes,
+            seq: AtomicU64::new(0),
             epoch: Instant::now(),
         }
     }
 
     fn now_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn attempt(&self, lane: usize, request: &B::Request, token: &CancelToken) -> LaneAttempt<B> {
+        LaneAttempt {
+            backend: Arc::clone(&self.backend),
+            cache: self.cache.clone(),
+            faults: self.config.faults.clone(),
+            site: self.lanes[lane].site.clone(),
+            key: self.backend.lane_key(request, lane),
+            epoch: self.epoch,
+            lane,
+            token: token.clone(),
+            request: request.clone(),
+        }
     }
 
     /// Runs one request through the full pipeline.
@@ -257,128 +651,347 @@ impl<B: RouteBackend> RouteService<B> {
             total_timer.discard();
             self.metrics.shed_admission.inc();
             return Err(ServeError::Overloaded {
-                retry_after_s: self.config.retry_after_s,
+                retry_after_s: adaptive_retry_after(
+                    self.config.retry_after_s,
+                    self.admission.inflight(),
+                    self.admission.max_inflight(),
+                    self.pool.queue_len(),
+                    self.pool.queue_capacity(),
+                ),
             });
         };
         admit_timer.stop_ms();
         self.metrics.admitted.inc();
         let deadline = self.config.request_deadline();
 
-        // Stage 2: per-lane cache probe.
+        // Stage 2: per-lane cache probe. An injected `cache.get` error
+        // degrades the probe to a full miss — the cache is an
+        // optimization, never a dependency.
         let lanes = self.backend.lanes();
         let cache_timer = self.metrics.stage_cache.start_timer();
         let mut parts: Vec<Option<B::Part>> = vec![None; lanes];
         if let Some(cache) = &self.cache {
-            let now_ms = self.now_ms();
-            for (lane, slot) in parts.iter_mut().enumerate() {
-                let key = self.backend.lane_key(&request, lane);
-                *slot = cache.get(&key, now_ms);
+            if self.config.faults.fire(sites::CACHE_GET).is_ok() {
+                let now_ms = self.now_ms();
+                for (lane, slot) in parts.iter_mut().enumerate() {
+                    let key = self.backend.lane_key(&request, lane);
+                    *slot = cache.get(&key, now_ms);
+                }
             }
         }
         cache_timer.stop_ms();
 
-        // Stage 3: fan out the missing lanes under a per-request cancel
-        // token. On deadline expiry the token is tripped; cooperative
-        // lanes hand back partials within the grace period.
+        // Stage 3: fan out the missing lanes — gated per lane by its
+        // circuit breaker — under a per-request cancel token. On deadline
+        // expiry the token is tripped; cooperative lanes hand back
+        // partials within the grace period.
         let missing: Vec<usize> = parts
             .iter()
             .enumerate()
             .filter_map(|(lane, slot)| slot.is_none().then_some(lane))
             .collect();
+        let mut statuses: Vec<LaneStatus> = vec![LaneStatus::Ok; lanes];
+        let mut failures: Vec<(usize, String)> = Vec::new();
         let mut truncated = false;
+        let mut deadline_hit = false;
         if !missing.is_empty() {
+            let now = self.now_ms();
+            let mut runnable: Vec<usize> = Vec::with_capacity(missing.len());
+            for &lane in &missing {
+                if self.lanes[lane].breaker.try_acquire(now) {
+                    runnable.push(lane);
+                } else {
+                    // Open breaker: short-circuit without consuming a
+                    // worker or a queue slot.
+                    statuses[lane] = LaneStatus::OpenCircuit;
+                    self.lanes[lane].fail_open_circuit.inc();
+                    failures.push((lane, format!("{}: circuit open", self.lanes[lane].name)));
+                }
+            }
+
             let compute_start = Instant::now();
             let token = CancelToken::new();
-            let tasks: Vec<_> = missing
+            let attempts: Vec<LaneAttempt<B>> = runnable
                 .iter()
-                .map(|&lane| {
-                    let backend = Arc::clone(&self.backend);
-                    let cache = self.cache.clone();
-                    let request = request.clone();
-                    let key = self.backend.lane_key(&request, lane);
-                    let epoch = self.epoch;
-                    let token = token.clone();
-                    move || {
-                        let result = backend.compute_cancellable(&request, lane, &token);
-                        // Only complete lanes are cached: a truncated part
-                        // reflects this request's deadline, not the query.
-                        if let (Some(cache), Ok(LaneOutcome::Complete(part))) = (&cache, &result) {
-                            let now_ms = epoch.elapsed().as_millis() as u64;
-                            cache.put(key, part.clone(), now_ms);
-                        }
-                        result
-                    }
-                })
+                .map(|&lane| self.attempt(lane, &request, &token))
                 .collect();
-            let fanout = scatter_cancellable(
-                &self.pool,
-                tasks,
-                deadline,
-                &token,
-                self.config.cancel_grace,
-                &self.metrics.inline_fallback,
-            );
+            // An injected `queue.push` error simulates a refused queue:
+            // every lane degrades to inline execution, exactly like the
+            // real queue-full fallback.
+            let fanout: Fanout<LaneReply<B::Part>> =
+                if self.config.faults.fire(sites::QUEUE_PUSH).is_err() {
+                    let slots = attempts
+                        .into_iter()
+                        .map(|attempt| {
+                            self.metrics.inline_fallback.inc();
+                            Some(attempt.run())
+                        })
+                        .collect();
+                    Fanout {
+                        slots,
+                        deadline_hit: false,
+                    }
+                } else {
+                    let tasks: Vec<_> = attempts
+                        .into_iter()
+                        .map(|attempt| move || attempt.run())
+                        .collect();
+                    scatter_cancellable(
+                        &self.pool,
+                        tasks,
+                        deadline,
+                        &token,
+                        self.config.cancel_grace,
+                        &self.metrics.inline_fallback,
+                    )
+                };
             self.metrics
                 .stage_compute
                 .observe(compute_start.elapsed().as_secs_f64() * 1_000.0);
-            if fanout.deadline_hit {
+
+            deadline_hit = fanout.deadline_hit;
+            if deadline_hit {
                 self.metrics.cancellations.inc();
                 truncated = true;
-                for (lane, slot) in missing.into_iter().zip(fanout.slots) {
-                    // Lane errors and abandoned lanes degrade to missing
-                    // parts under deadline pressure; the assembly below
-                    // decides whether what remains is worth serving.
-                    if let Some(Ok(LaneOutcome::Complete(part) | LaneOutcome::Truncated(part))) =
-                        slot
-                    {
+            }
+            let mut retry_state: Option<RetryState> = None;
+            for (lane, slot) in runnable.into_iter().zip(fanout.slots) {
+                let runtime = &self.lanes[lane];
+                match slot {
+                    Some(LaneReply::Outcome(LaneOutcome::Complete(part), ms)) => {
+                        runtime.latency.observe_ms(ms);
+                        runtime.breaker.record_success(self.now_ms());
                         parts[lane] = Some(part);
                     }
-                }
-            } else {
-                for (lane, slot) in missing.into_iter().zip(fanout.slots) {
-                    match slot {
-                        Some(Ok(LaneOutcome::Complete(part))) => parts[lane] = Some(part),
-                        Some(Ok(LaneOutcome::Truncated(part))) => {
-                            // Interrupted without deadline pressure (e.g. a
-                            // backend-side expansion cap): still a partial
-                            // response, but not a cancellation.
-                            truncated = true;
-                            parts[lane] = Some(part);
-                        }
-                        Some(Err(message)) => return Err(ServeError::Lane(message)),
-                        None => {
-                            return Err(ServeError::Lane("technique lane panicked".to_string()))
+                    Some(LaneReply::Outcome(LaneOutcome::Truncated(part), _)) => {
+                        // Interrupted — under deadline pressure, or by a
+                        // backend-side expansion cap. Either way a
+                        // partial response, not a lane failure.
+                        truncated = true;
+                        statuses[lane] = LaneStatus::Truncated;
+                        runtime.breaker.record_success(self.now_ms());
+                        parts[lane] = Some(part);
+                    }
+                    Some(LaneReply::Outcome(LaneOutcome::Failed { reason }, _)) => {
+                        self.lane_failed(
+                            lane,
+                            LaneError::transient(reason),
+                            &runtime.fail_error,
+                            deadline_hit,
+                            &deadline,
+                            &request,
+                            &mut retry_state,
+                            &mut parts,
+                            &mut statuses,
+                            &mut truncated,
+                            &mut failures,
+                        );
+                    }
+                    Some(LaneReply::Errored(error)) => {
+                        self.lane_failed(
+                            lane,
+                            error,
+                            &runtime.fail_error,
+                            deadline_hit,
+                            &deadline,
+                            &request,
+                            &mut retry_state,
+                            &mut parts,
+                            &mut statuses,
+                            &mut truncated,
+                            &mut failures,
+                        );
+                    }
+                    Some(LaneReply::Panicked(message)) => {
+                        self.lane_failed(
+                            lane,
+                            LaneError::transient(format!("lane panicked: {message}")),
+                            &runtime.fail_panic,
+                            deadline_hit,
+                            &deadline,
+                            &request,
+                            &mut retry_state,
+                            &mut parts,
+                            &mut statuses,
+                            &mut truncated,
+                            &mut failures,
+                        );
+                    }
+                    None => {
+                        if deadline_hit {
+                            // Abandoned while queued, or a straggler that
+                            // outlived the grace period: a deadline
+                            // artifact, part of the truncation.
+                            statuses[lane] = LaneStatus::Truncated;
+                        } else {
+                            statuses[lane] = LaneStatus::Failed;
+                            runtime.fail_abandoned.inc();
+                            failures.push((lane, format!("{}: lane abandoned", runtime.name)));
                         }
                     }
                 }
             }
         }
 
-        // Stage 4: assemble in lane order.
+        // Stage 4: assemble in lane order. The fully-healthy path calls
+        // the plain `assemble` so its response stays byte-identical to
+        // the serial reference; anything else goes through the degraded
+        // ladder.
+        let degraded = statuses.iter().any(LaneStatus::is_degraded);
         let assemble_timer = self.metrics.stage_assemble.start_timer();
-        let response = if truncated {
-            match self.backend.assemble_partial(&request, parts) {
-                Some(response) => response,
-                None => {
-                    // Nothing finished (or the backend refuses partials):
-                    // the request degrades to a timeout, never a
-                    // full-cost late response.
-                    assemble_timer.discard();
-                    total_timer.discard();
-                    self.metrics.timeouts.inc();
-                    return Err(ServeError::DeadlineExceeded);
-                }
-            }
-        } else {
+        let response = if !truncated && !degraded {
             let parts: Vec<B::Part> = parts
                 .into_iter()
                 .map(|slot| slot.expect("lane neither cached nor computed"))
                 .collect();
             self.backend.assemble(&request, parts)
+        } else {
+            match self.backend.assemble_degraded(&request, parts, &statuses) {
+                Some(response) => {
+                    if degraded {
+                        self.metrics.degraded.inc();
+                    }
+                    response
+                }
+                None => {
+                    // Nothing worth serving (or the backend refuses
+                    // partials). A tripped deadline degrades to a
+                    // timeout; pure lane failure is a bad gateway.
+                    assemble_timer.discard();
+                    total_timer.discard();
+                    if deadline_hit || (truncated && !degraded) {
+                        self.metrics.timeouts.inc();
+                        return Err(ServeError::DeadlineExceeded);
+                    }
+                    let reasons = if failures.is_empty() {
+                        "no lane produced a result".to_string()
+                    } else {
+                        failures
+                            .iter()
+                            .map(|(_, reason)| reason.as_str())
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    };
+                    return Err(ServeError::AllLanesFailed { reasons });
+                }
+            }
         };
         assemble_timer.stop_ms();
         total_timer.stop_ms();
         Ok(response)
+    }
+
+    /// Handles one lane's final-attempt failure: record it, then retry
+    /// once if the failure is transient, the request still has retry
+    /// budget, the breaker admits the attempt, and the deadline has
+    /// headroom for the lane's expected duration.
+    #[allow(clippy::too_many_arguments)]
+    fn lane_failed(
+        &self,
+        lane: usize,
+        error: LaneError,
+        failure_counter: &Counter,
+        deadline_hit: bool,
+        deadline: &Deadline,
+        request: &B::Request,
+        retry_state: &mut Option<RetryState>,
+        parts: &mut [Option<B::Part>],
+        statuses: &mut [LaneStatus],
+        truncated: &mut bool,
+        failures: &mut Vec<(usize, String)>,
+    ) {
+        let runtime = &self.lanes[lane];
+        runtime.breaker.record_failure(self.now_ms());
+        failure_counter.inc();
+
+        if error.transient && !deadline_hit {
+            let state = retry_state.get_or_insert_with(|| {
+                RetryState::new(self.config.retry, self.seq.fetch_add(1, Ordering::Relaxed))
+            });
+            if let Some(backoff) = state.next_attempt(deadline, runtime.latency.estimate_ms()) {
+                if runtime.breaker.try_acquire(self.now_ms()) {
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    let token = CancelToken::new();
+                    match self.attempt(lane, request, &token).run() {
+                        LaneReply::Outcome(LaneOutcome::Complete(part), ms) => {
+                            runtime.latency.observe_ms(ms);
+                            runtime.retry_success.inc();
+                            runtime.breaker.record_success(self.now_ms());
+                            parts[lane] = Some(part);
+                            statuses[lane] = LaneStatus::Ok;
+                            return;
+                        }
+                        LaneReply::Outcome(LaneOutcome::Truncated(part), _) => {
+                            runtime.retry_success.inc();
+                            runtime.breaker.record_success(self.now_ms());
+                            parts[lane] = Some(part);
+                            statuses[lane] = LaneStatus::Truncated;
+                            *truncated = true;
+                            return;
+                        }
+                        LaneReply::Outcome(LaneOutcome::Failed { reason }, _)
+                        | LaneReply::Errored(LaneError {
+                            message: reason, ..
+                        })
+                        | LaneReply::Panicked(reason) => {
+                            runtime.retry_failure.inc();
+                            runtime.breaker.record_failure(self.now_ms());
+                            statuses[lane] = LaneStatus::Failed;
+                            failures.push((lane, format!("{}: {reason}", runtime.name)));
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        statuses[lane] = LaneStatus::Failed;
+        failures.push((lane, format!("{}: {}", runtime.name, error.message)));
+    }
+
+    /// A point-in-time health snapshot: queue depth, in-flight count,
+    /// per-technique breaker states and cache statistics, with an
+    /// overall verdict (every breaker open → unhealthy; any breaker open
+    /// or the queue saturated → degraded; otherwise ready).
+    pub fn health(&self) -> HealthReport {
+        let lanes: Vec<LaneHealth> = self
+            .lanes
+            .iter()
+            .map(|runtime| LaneHealth {
+                technique: runtime.name.clone(),
+                breaker: runtime.breaker.state(),
+            })
+            .collect();
+        let open = lanes
+            .iter()
+            .filter(|l| l.breaker == BreakerState::Open)
+            .count();
+        let queue_depth = self.pool.queue_len();
+        let queue_capacity = self.pool.queue_capacity();
+        let verdict = if !lanes.is_empty() && open == lanes.len() {
+            HealthVerdict::Unhealthy
+        } else if open > 0 || queue_depth >= queue_capacity {
+            HealthVerdict::Degraded
+        } else {
+            HealthVerdict::Ready
+        };
+        HealthReport {
+            verdict,
+            queue_depth,
+            queue_capacity,
+            inflight: self.admission.inflight(),
+            max_inflight: self.admission.max_inflight(),
+            lanes,
+            cache_entries: self.metrics.cache.entries.get(),
+            cache_hits: self.metrics.cache.hits.get(),
+            cache_misses: self.metrics.cache.misses.get(),
+        }
+    }
+
+    /// The breaker state of one lane (for tests and introspection).
+    pub fn breaker_state(&self, lane: usize) -> BreakerState {
+        self.lanes[lane].breaker.state()
     }
 
     /// The backend being served.
@@ -419,11 +1032,18 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// A backend whose lanes echo the request; used to observe the
-    /// service's caching, shedding and deadline behaviour.
+    /// service's caching, shedding, deadline and failure behaviour.
     struct EchoBackend {
         lanes: usize,
         delay: Duration,
+        /// Fails on every attempt.
         fail_lane: Option<usize>,
+        /// Panics on every attempt.
+        panic_lane: Option<usize>,
+        /// Fails while `flaky_failures` is positive (each failed attempt
+        /// decrements it), then succeeds — a recoverable fault.
+        flaky_lane: Option<usize>,
+        flaky_failures: AtomicUsize,
         computes: AtomicUsize,
     }
 
@@ -433,6 +1053,9 @@ mod tests {
                 lanes,
                 delay: Duration::ZERO,
                 fail_lane: None,
+                panic_lane: None,
+                flaky_lane: None,
+                flaky_failures: AtomicUsize::new(0),
                 computes: AtomicUsize::new(0),
             }
         }
@@ -463,16 +1086,55 @@ mod tests {
             if self.fail_lane == Some(lane) {
                 return Err(format!("lane {lane} refused"));
             }
+            if self.panic_lane == Some(lane) {
+                panic!("lane {lane} exploded");
+            }
+            if self.flaky_lane == Some(lane)
+                && self
+                    .flaky_failures
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+            {
+                return Err(format!("lane {lane} flaked"));
+            }
             Ok(format!("lane{lane}({},{})", request.0, request.1))
         }
 
         fn assemble(&self, request: &(u32, u32), parts: Vec<String>) -> String {
             format!("{},{} => {}", request.0, request.1, parts.join("|"))
         }
+
+        fn assemble_degraded(
+            &self,
+            request: &(u32, u32),
+            parts: Vec<Option<String>>,
+            statuses: &[LaneStatus],
+        ) -> Option<String> {
+            let present: Vec<String> = parts.into_iter().flatten().collect();
+            if present.is_empty() {
+                return None;
+            }
+            let status: Vec<&str> = statuses.iter().map(LaneStatus::as_str).collect();
+            Some(format!(
+                "{},{} => {} [{}]",
+                request.0,
+                request.1,
+                present.join("|"),
+                status.join(",")
+            ))
+        }
     }
 
     fn service(backend: EchoBackend, config: ServeConfig) -> RouteService<EchoBackend> {
         RouteService::with_metrics(backend, config, ServeMetrics::default())
+    }
+
+    /// A retry policy that never retries — for tests counting attempts.
+    fn no_retries() -> RetryPolicy {
+        RetryPolicy {
+            budget: 0,
+            ..RetryPolicy::default()
+        }
     }
 
     #[test]
@@ -508,7 +1170,7 @@ mod tests {
     }
 
     #[test]
-    fn admission_full_sheds_with_retry_after() {
+    fn admission_full_sheds_with_adaptive_retry_after() {
         let config = ServeConfig {
             max_inflight: 1,
             retry_after_s: 7,
@@ -517,16 +1179,20 @@ mod tests {
         let svc = service(EchoBackend::new(2), config);
         let _occupied = svc.admission().try_acquire().unwrap();
         let err = svc.route((1, 2)).unwrap_err();
-        assert_eq!(err, ServeError::Overloaded { retry_after_s: 7 });
+        // Admission saturated (1/1), queue empty: pressure 0.5 → 3× base.
+        assert_eq!(err, ServeError::Overloaded { retry_after_s: 21 });
     }
 
     #[test]
     fn deadline_expiry_abandons_the_request() {
         let mut backend = EchoBackend::new(4);
         backend.delay = Duration::from_millis(80);
+        // Zero grace: the non-cooperative 80 ms lanes cannot land a
+        // partial after the 30 ms deadline, so there is nothing to serve.
         let config = ServeConfig {
             workers: 1,
             deadline: Duration::from_millis(30),
+            cancel_grace: Duration::ZERO,
             ..ServeConfig::default()
         };
         let registry = Registry::new();
@@ -537,16 +1203,236 @@ mod tests {
     }
 
     #[test]
-    fn lane_errors_propagate_and_are_not_cached() {
+    fn failed_lane_degrades_the_response_instead_of_failing_it() {
         let mut backend = EchoBackend::new(3);
         backend.fail_lane = Some(1);
+        let registry = Registry::new();
+        let svc = RouteService::new(backend, ServeConfig::default(), &registry);
+        let out = svc.route((4, 5)).unwrap();
+        assert_eq!(
+            out, "4,5 => lane0(4,5)|lane2(4,5) [ok,failed,ok]",
+            "the healthy lanes are served, the failed one is marked"
+        );
+        assert_eq!(svc.metrics().degraded.get(), 1);
+        assert_eq!(
+            registry.counter_value(
+                "arp_serve_lane_failures_total",
+                &[("technique", "lane1"), ("reason", "error")]
+            ),
+            1
+        );
+        assert_eq!(
+            registry.counter_value(
+                "arp_serve_retries_total",
+                &[("technique", "lane1"), ("outcome", "failure")]
+            ),
+            1,
+            "the transient failure earned exactly one (failed) retry"
+        );
+        // 3 lanes + 1 retry of the failing lane.
+        assert_eq!(svc.backend().computes(), 4);
+        // The failed lane was never cached: a repeat recomputes it (and
+        // retries it once more) while the healthy lanes come from cache.
+        svc.route((4, 5)).unwrap();
+        assert_eq!(svc.backend().computes(), 6);
+    }
+
+    /// Regression: a panicking technique used to fail the whole request
+    /// (`ServeError::Lane`). It must degrade instead — HTTP 200 with the
+    /// other techniques' routes.
+    #[test]
+    fn panicking_lane_still_serves_the_other_techniques() {
+        let mut backend = EchoBackend::new(4);
+        backend.panic_lane = Some(2);
+        let registry = Registry::new();
+        let config = ServeConfig {
+            retry: no_retries(),
+            ..ServeConfig::default()
+        };
+        let svc = RouteService::new(backend, config, &registry);
+        let out = svc.route((7, 8)).unwrap();
+        assert_eq!(
+            out,
+            "7,8 => lane0(7,8)|lane1(7,8)|lane3(7,8) [ok,ok,failed,ok]"
+        );
+        assert_eq!(
+            registry.counter_value(
+                "arp_serve_lane_failures_total",
+                &[("technique", "lane2"), ("reason", "panic")]
+            ),
+            1
+        );
+        // The pool survives: an untouched request still serves cleanly.
+        let clean = svc.route((1, 1)).unwrap();
+        assert!(clean.contains("lane0(1,1)"));
+    }
+
+    #[test]
+    fn retry_recovers_a_transient_failure_and_stays_healthy() {
+        let mut backend = EchoBackend::new(3);
+        backend.flaky_lane = Some(1);
+        backend.flaky_failures = AtomicUsize::new(1);
+        let registry = Registry::new();
+        let svc = RouteService::new(backend, ServeConfig::default(), &registry);
+        let out = svc.route((2, 6)).unwrap();
+        assert_eq!(
+            out, "2,6 => lane0(2,6)|lane1(2,6)|lane2(2,6)",
+            "a recovered retry must yield the healthy, non-degraded response"
+        );
+        assert_eq!(svc.metrics().degraded.get(), 0);
+        assert_eq!(
+            registry.counter_value(
+                "arp_serve_retries_total",
+                &[("technique", "lane1"), ("outcome", "success")]
+            ),
+            1
+        );
+        assert_eq!(svc.backend().computes(), 4, "3 lanes + 1 retry");
+    }
+
+    #[test]
+    fn all_lanes_failing_is_a_bad_gateway() {
+        let mut backend = EchoBackend::new(1);
+        backend.fail_lane = Some(0);
         let svc = service(backend, ServeConfig::default());
-        let err = svc.route((4, 5)).unwrap_err();
-        assert_eq!(err, ServeError::Lane("lane 1 refused".to_string()));
-        // The failed lane must recompute on retry (only successes cached).
+        let err = svc.route((1, 2)).unwrap_err();
+        match err {
+            ServeError::AllLanesFailed { reasons } => {
+                assert!(reasons.contains("refused"), "{reasons}");
+            }
+            other => panic!("expected AllLanesFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaker_opens_and_short_circuits_the_broken_lane() {
+        let mut backend = EchoBackend::new(2);
+        backend.fail_lane = Some(0);
+        let registry = Registry::new();
+        let config = ServeConfig {
+            cache_capacity: 0,
+            retry: no_retries(),
+            breaker: BreakerConfig {
+                window: 8,
+                min_volume: 3,
+                error_rate: 0.5,
+                cooldown_ms: 60_000,
+            },
+            ..ServeConfig::default()
+        };
+        let svc = RouteService::new(backend, config, &registry);
+        for i in 0..3 {
+            let out = svc.route((i, i)).unwrap();
+            assert!(out.contains("[failed,ok]"), "{out}");
+        }
+        assert_eq!(svc.breaker_state(0), BreakerState::Open);
         let before = svc.backend().computes();
-        let _ = svc.route((4, 5));
-        assert!(svc.backend().computes() > before);
+        let out = svc.route((9, 9)).unwrap();
+        assert!(
+            out.contains("[open_circuit,ok]"),
+            "short-circuited lane must be reported as open_circuit: {out}"
+        );
+        assert_eq!(
+            svc.backend().computes(),
+            before + 1,
+            "the open lane must not consume worker time"
+        );
+        assert_eq!(
+            registry.counter_value(
+                "arp_serve_lane_failures_total",
+                &[("technique", "lane0"), ("reason", "open_circuit")]
+            ),
+            1
+        );
+        assert!(registry.counter_value("arp_serve_breaker_transitions_total", &[]) >= 1);
+        let health = svc.health();
+        assert_eq!(health.verdict, HealthVerdict::Degraded);
+        assert_eq!(health.lanes[0].breaker, BreakerState::Open);
+        assert_eq!(health.lanes[1].breaker, BreakerState::Closed);
+    }
+
+    #[test]
+    fn health_reports_unhealthy_when_every_breaker_is_open() {
+        let mut backend = EchoBackend::new(1);
+        backend.fail_lane = Some(0);
+        let config = ServeConfig {
+            cache_capacity: 0,
+            retry: no_retries(),
+            breaker: BreakerConfig {
+                window: 4,
+                min_volume: 1,
+                error_rate: 0.1,
+                cooldown_ms: 60_000,
+            },
+            ..ServeConfig::default()
+        };
+        let svc = service(backend, config);
+        assert_eq!(svc.health().verdict, HealthVerdict::Ready);
+        let _ = svc.route((1, 2));
+        assert_eq!(svc.health().verdict, HealthVerdict::Unhealthy);
+        // With its only breaker open the request cannot be served at all.
+        let err = svc.route((3, 4)).unwrap_err();
+        match err {
+            ServeError::AllLanesFailed { reasons } => {
+                assert!(reasons.contains("circuit open"), "{reasons}");
+            }
+            other => panic!("expected AllLanesFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_lane_fault_degrades_and_counts() {
+        let registry = Registry::new();
+        let config = ServeConfig {
+            faults: FaultPlan::parse("lane.lane0=error:chaos").unwrap(),
+            retry: no_retries(),
+            ..ServeConfig::default()
+        };
+        let svc = RouteService::new(EchoBackend::new(2), config, &registry);
+        let out = svc.route((5, 5)).unwrap();
+        assert!(out.contains("[failed,ok]"), "{out}");
+        assert_eq!(
+            registry.counter_value(
+                "arp_serve_faults_injected_total",
+                &[("site", "lane.lane0"), ("kind", "error")]
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn injected_cache_outage_degrades_to_a_full_miss() {
+        let config = ServeConfig {
+            faults: FaultPlan::parse("cache.get=error").unwrap(),
+            ..ServeConfig::default()
+        };
+        let svc = service(EchoBackend::new(2), config);
+        let a = svc.route((1, 2)).unwrap();
+        let b = svc.route((1, 2)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            svc.backend().computes(),
+            4,
+            "a failed cache probe must recompute, not fail the request"
+        );
+    }
+
+    #[test]
+    fn injected_queue_outage_runs_lanes_inline() {
+        let registry = Registry::new();
+        let config = ServeConfig {
+            faults: FaultPlan::parse("queue.push=error").unwrap(),
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        };
+        let svc = RouteService::new(EchoBackend::new(3), config, &registry);
+        let out = svc.route((3, 3)).unwrap();
+        assert_eq!(out, "3,3 => lane0(3,3)|lane1(3,3)|lane2(3,3)");
+        assert_eq!(
+            svc.metrics().inline_fallback.get(),
+            3,
+            "every lane must degrade to inline execution"
+        );
     }
 
     /// A cooperative backend: lane 0 answers immediately, other lanes
@@ -579,7 +1465,7 @@ mod tests {
             _request: &(u32, u32),
             lane: usize,
             token: &CancelToken,
-        ) -> Result<LaneOutcome<String>, String> {
+        ) -> Result<LaneOutcome<String>, LaneError> {
             if lane == 0 {
                 return Ok(LaneOutcome::Complete("lane0".to_string()));
             }
@@ -640,6 +1526,11 @@ mod tests {
             svc.metrics().timeouts.get(),
             0,
             "truncated 200, not a timeout"
+        );
+        assert_eq!(
+            svc.metrics().degraded.get(),
+            0,
+            "truncation is not degradation: no lane failed"
         );
     }
 

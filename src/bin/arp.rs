@@ -9,6 +9,7 @@
 //!               [--k N] [--geojson FILE]
 //! arp study     <city> [--scale ...] [--seed N]
 //! arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N]
+//!               [--faults SPEC]  (e.g. `lane.penalty=flaky:0.2,cache.get=error:down`)
 //! ```
 
 use std::collections::HashMap;
@@ -20,7 +21,7 @@ use arp_roadnet::weight::ms_to_display_minutes;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  arp generate  <city> [--scale S] [--seed N] [--out FILE]\n  arp export-osm <city> [--scale S] [--seed N] --out FILE\n  arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT [--technique T] [--k N] [--geojson FILE]\n  arp study     <city> [--scale S] [--seed N]\n  arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N]\n\ncities: melbourne | dhaka | copenhagen   scales: tiny | small | medium | large"
+        "usage:\n  arp generate  <city> [--scale S] [--seed N] [--out FILE]\n  arp export-osm <city> [--scale S] [--seed N] --out FILE\n  arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT [--technique T] [--k N] [--geojson FILE]\n  arp study     <city> [--scale S] [--seed N]\n  arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N] [--faults SPEC]\n\ncities: melbourne | dhaka | copenhagen   scales: tiny | small | medium | large"
     );
     std::process::exit(2)
 }
@@ -221,6 +222,8 @@ fn cmd_route(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
             source: s,
             target: t,
             truncated: false,
+            degraded: false,
+            lane_status: Vec::new(),
             fastest_minutes: paths
                 .first()
                 .map(|p| ms_to_display_minutes(p.cost_under(weights)))
@@ -293,16 +296,35 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
             .unwrap_or(default)
     };
     let defaults = arp_serve::ServeConfig::default();
+    // `--faults 'lane.penalty=flaky:0.2,cache.get=error:down'` arms
+    // failpoints for chaos drills; absent, injection costs one branch.
+    let faults = flags
+        .get("faults")
+        .map(|spec| {
+            arp_serve::FaultPlan::parse(spec).unwrap_or_else(|e| {
+                eprintln!("bad --faults spec: {e}");
+                usage()
+            })
+        })
+        .unwrap_or_default();
     let config = arp_serve::ServeConfig {
         workers: flag_usize("workers", defaults.workers),
         queue_capacity: flag_usize("queue", defaults.queue_capacity),
         // `--cache 0` disables the route cache.
         cache_capacity: flag_usize("cache", defaults.cache_capacity),
+        faults,
         ..defaults
     };
     println!(
-        "serving config: {} workers, queue {}, cache {} entries",
-        config.workers, config.queue_capacity, config.cache_capacity
+        "serving config: {} workers, queue {}, cache {} entries{}",
+        config.workers,
+        config.queue_capacity,
+        config.cache_capacity,
+        if config.faults.is_enabled() {
+            ", fault injection ARMED"
+        } else {
+            ""
+        }
     );
     let app = std::sync::Arc::new(DemoApp::with_config(
         QueryProcessor::new(name.clone(), net, parse_seed(flags)),
