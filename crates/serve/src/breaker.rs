@@ -212,6 +212,17 @@ impl CircuitBreaker {
 
     /// Records a failed lane outcome, opening the circuit when the
     /// window's error rate crosses the threshold.
+    ///
+    /// This is also the correct call when an admitted lane's outcome is
+    /// **unknown** — abandoned while queued, or a straggler that outlived
+    /// the cancellation grace period. Every `try_acquire` that returned
+    /// `true` must eventually be answered by `record_success` or
+    /// `record_failure`: in `HalfOpen` that answer is what releases the
+    /// single probe, so an unanswered probe would leave the breaker
+    /// refusing every future acquire forever. Treating "unknown" as a
+    /// failure re-opens the circuit (cooldown restarts) instead of
+    /// leaking the probe, and in `Closed` it doubles as a slow-call
+    /// signal so a persistently hanging lane still trips its breaker.
     pub fn record_failure(&self, now_ms: u64) {
         let mut inner = self.inner.lock().expect("breaker poisoned");
         match inner.state {

@@ -143,8 +143,12 @@ impl FaultPlan {
                 .map(|f| Failpoint {
                     site: f.site.clone(),
                     kind: f.kind.clone(),
-                    hits: AtomicU64::new(0),
-                    fired: AtomicU64::new(0),
+                    // Carry the untouched sites' progress over (as
+                    // `attach_metrics` does): re-arming one site must not
+                    // reset the deterministic flaky streams or fired
+                    // counts of the others.
+                    hits: AtomicU64::new(f.hits.load(Ordering::Relaxed)),
+                    fired: AtomicU64::new(f.fired.load(Ordering::Relaxed)),
                     injected: f.injected.clone(),
                 })
                 .collect(),
@@ -390,6 +394,26 @@ mod tests {
         assert!(FaultPlan::parse("s=delay:abc").is_err());
         // The empty spec is the disabled plan, not an error.
         assert_eq!(FaultPlan::parse("").map(|p| p.is_enabled()), Ok(false));
+    }
+
+    #[test]
+    fn with_preserves_untouched_sites_progress() {
+        // Arming a new site must not reset the others: their fired counts
+        // survive, and a flaky stream continues where it left off rather
+        // than replaying its prefix.
+        let plan = FaultPlan::disabled().with("lane.a", FaultKind::Error("x".into()));
+        let _ = plan.fire("lane.a");
+        let plan = plan.with("lane.b", FaultKind::Panic);
+        assert_eq!(plan.injected_at("lane.a"), 1, "fired count reset by with()");
+
+        let flaky = || FaultKind::Flaky { p: 0.5, seed: 9 };
+        let reference = FaultPlan::disabled().with("lane.z", flaky());
+        let expected: Vec<bool> = (0..40).map(|_| reference.fire("lane.z").is_err()).collect();
+        let plan = FaultPlan::disabled().with("lane.z", flaky());
+        let mut observed: Vec<bool> = (0..20).map(|_| plan.fire("lane.z").is_err()).collect();
+        let plan = plan.with("lane.b", FaultKind::Panic);
+        observed.extend((0..20).map(|_| plan.fire("lane.z").is_err()));
+        assert_eq!(observed, expected, "flaky stream restarted by with()");
     }
 
     #[test]

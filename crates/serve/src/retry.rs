@@ -107,6 +107,14 @@ impl RetryState {
         }
     }
 
+    /// Gives back one unit of budget consumed by [`RetryState::next_attempt`]
+    /// when the attempt was refused downstream before it ran (the lane's
+    /// circuit breaker said no). A refused retry costs nothing, so it must
+    /// not starve a later lane of its retry.
+    pub fn refund(&mut self) {
+        self.remaining = (self.remaining + 1).min(self.policy.budget);
+    }
+
     /// Decorrelated jitter: `min(cap, uniform(base, 3·prev))`, drawn
     /// deterministically from the seeded stream.
     fn draw_backoff(&mut self) -> Duration {
@@ -196,6 +204,27 @@ mod tests {
         );
         // The same deadline easily fits a 1 ms lane.
         assert!(state.next_attempt(&deadline, 1).is_some());
+    }
+
+    #[test]
+    fn refund_restores_budget_without_exceeding_it() {
+        let policy = RetryPolicy {
+            budget: 1,
+            ..RetryPolicy::default()
+        };
+        let mut state = RetryState::new(policy, 0);
+        let deadline = Deadline::never();
+        assert!(state.next_attempt(&deadline, 1).is_some());
+        assert_eq!(state.remaining(), 0);
+        // The breaker refused the attempt: the budget comes back and a
+        // later lane can still retry.
+        state.refund();
+        assert_eq!(state.remaining(), 1);
+        assert!(state.next_attempt(&deadline, 1).is_some());
+        // Refunding cannot mint budget beyond the policy's cap.
+        state.refund();
+        state.refund();
+        assert_eq!(state.remaining(), 1);
     }
 
     #[test]

@@ -818,6 +818,16 @@ impl<B: RouteBackend> RouteService<B> {
                         );
                     }
                     None => {
+                        // The lane's outcome is unknown: it acquired its
+                        // breaker (possibly as the half-open probe) but
+                        // never reported back. The breaker must still get
+                        // an answer — otherwise a half-open probe leaks
+                        // and the lane stays open_circuit forever — and
+                        // "unknown" conservatively counts as a failure,
+                        // which also lets a persistently hanging lane
+                        // trip its circuit instead of eating the full
+                        // deadline on every request.
+                        runtime.breaker.record_failure(self.now_ms());
                         if deadline_hit {
                             // Abandoned while queued, or a straggler that
                             // outlived the grace period: a deadline
@@ -913,37 +923,70 @@ impl<B: RouteBackend> RouteService<B> {
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
                     }
+                    // The retry runs under the *residual* request deadline,
+                    // through the same cancellable fan-out as a first
+                    // attempt: if the headroom estimate was wrong (the
+                    // latency EWMA starts at zero), the deadline trips the
+                    // retry's token and truncates it like any other lane
+                    // instead of blocking the requester indefinitely.
                     let token = CancelToken::new();
-                    match self.attempt(lane, request, &token).run() {
-                        LaneReply::Outcome(LaneOutcome::Complete(part), ms) => {
+                    let attempt = self.attempt(lane, request, &token);
+                    let fanout: Fanout<LaneReply<B::Part>> = scatter_cancellable(
+                        &self.pool,
+                        vec![move || attempt.run()],
+                        *deadline,
+                        &token,
+                        self.config.cancel_grace,
+                        &self.metrics.inline_fallback,
+                    );
+                    match fanout.slots.into_iter().next().flatten() {
+                        Some(LaneReply::Outcome(LaneOutcome::Complete(part), ms)) => {
                             runtime.latency.observe_ms(ms);
                             runtime.retry_success.inc();
                             runtime.breaker.record_success(self.now_ms());
                             parts[lane] = Some(part);
                             statuses[lane] = LaneStatus::Ok;
-                            return;
                         }
-                        LaneReply::Outcome(LaneOutcome::Truncated(part), _) => {
+                        Some(LaneReply::Outcome(LaneOutcome::Truncated(part), _)) => {
                             runtime.retry_success.inc();
                             runtime.breaker.record_success(self.now_ms());
                             parts[lane] = Some(part);
                             statuses[lane] = LaneStatus::Truncated;
                             *truncated = true;
-                            return;
                         }
-                        LaneReply::Outcome(LaneOutcome::Failed { reason }, _)
-                        | LaneReply::Errored(LaneError {
+                        Some(LaneReply::Outcome(LaneOutcome::Failed { reason }, _))
+                        | Some(LaneReply::Errored(LaneError {
                             message: reason, ..
-                        })
-                        | LaneReply::Panicked(reason) => {
+                        }))
+                        | Some(LaneReply::Panicked(reason)) => {
                             runtime.retry_failure.inc();
                             runtime.breaker.record_failure(self.now_ms());
                             statuses[lane] = LaneStatus::Failed;
                             failures.push((lane, format!("{}: {reason}", runtime.name)));
-                            return;
+                        }
+                        None => {
+                            // The retry ran out of deadline with nothing
+                            // to show (or was abandoned). Outcome unknown:
+                            // record a breaker failure, which releases any
+                            // half-open probe the retry may hold.
+                            runtime.retry_failure.inc();
+                            runtime.breaker.record_failure(self.now_ms());
+                            statuses[lane] = LaneStatus::Failed;
+                            failures.push((
+                                lane,
+                                format!(
+                                    "{}: {} (retry exceeded the deadline)",
+                                    runtime.name, error.message
+                                ),
+                            ));
                         }
                     }
+                    return;
                 }
+                // The breaker refused the retry before anything ran: no
+                // retry cost was incurred, so the budget unit goes back
+                // for the request's other lanes.
+                state.refund();
             }
         }
         statuses[lane] = LaneStatus::Failed;
@@ -1378,6 +1421,253 @@ mod tests {
             }
             other => panic!("expected AllLanesFailed, got {other:?}"),
         }
+    }
+
+    /// Lane 0 misbehaves according to `mode` — 0 = fail fast, 1 = hang
+    /// non-cooperatively (longer than deadline + grace, so its fan-out
+    /// slot comes back `None`), 2 = succeed. Lane 1 always succeeds
+    /// instantly.
+    struct MoodyBackend {
+        mode: AtomicUsize,
+    }
+
+    impl RouteBackend for MoodyBackend {
+        type Request = (u32, u32);
+        type Part = String;
+        type Response = String;
+
+        fn lanes(&self) -> usize {
+            2
+        }
+
+        fn lane_key(&self, request: &(u32, u32), lane: usize) -> String {
+            format!("moody:{}:{}:{lane}", request.0, request.1)
+        }
+
+        fn compute(&self, _request: &(u32, u32), lane: usize) -> Result<String, String> {
+            if lane == 0 {
+                match self.mode.load(Ordering::SeqCst) {
+                    0 => return Err("lane 0 refused".to_string()),
+                    1 => std::thread::sleep(Duration::from_millis(300)),
+                    _ => {}
+                }
+            }
+            Ok(format!("lane{lane}"))
+        }
+
+        fn assemble(&self, _request: &(u32, u32), parts: Vec<String>) -> String {
+            parts.join("|")
+        }
+
+        fn assemble_degraded(
+            &self,
+            _request: &(u32, u32),
+            parts: Vec<Option<String>>,
+            statuses: &[LaneStatus],
+        ) -> Option<String> {
+            let present: Vec<String> = parts.into_iter().flatten().collect();
+            if present.is_empty() {
+                return None;
+            }
+            let status: Vec<&str> = statuses.iter().map(LaneStatus::as_str).collect();
+            Some(format!("{} [{}]", present.join("|"), status.join(",")))
+        }
+    }
+
+    /// Regression: a half-open probe whose lane came back `None`
+    /// (abandoned or straggling past the grace period) used to leave
+    /// `probe_inflight` set forever, wedging the lane as `open_circuit`
+    /// until restart. The unknown outcome must re-open the breaker —
+    /// releasing the probe — so the lane can recover.
+    #[test]
+    fn abandoned_half_open_probe_reopens_the_breaker_instead_of_leaking() {
+        let backend = MoodyBackend {
+            mode: AtomicUsize::new(0),
+        };
+        let config = ServeConfig {
+            workers: 4,
+            cache_capacity: 0,
+            deadline: Duration::from_millis(40),
+            cancel_grace: Duration::from_millis(10),
+            retry: no_retries(),
+            breaker: BreakerConfig {
+                window: 4,
+                min_volume: 1,
+                error_rate: 0.1,
+                cooldown_ms: 1,
+            },
+            ..ServeConfig::default()
+        };
+        let svc = RouteService::with_metrics(backend, config, ServeMetrics::default());
+
+        // A fast failure opens the breaker (min volume 1).
+        let out = svc.route((1, 1)).unwrap();
+        assert!(out.contains("[failed,ok]"), "{out}");
+        assert_eq!(svc.breaker_state(0), BreakerState::Open);
+
+        // After the cooldown the next request holds the half-open probe —
+        // and hangs past deadline + grace, so the probe's outcome is
+        // unknown (`None` slot). The breaker must re-open, not stay
+        // half-open with the probe leaked.
+        svc.backend().mode.store(1, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(5));
+        let out = svc.route((2, 2)).unwrap();
+        assert!(out.contains("[truncated,ok]"), "{out}");
+        assert_eq!(
+            svc.breaker_state(0),
+            BreakerState::Open,
+            "an unknown probe outcome must re-open the breaker"
+        );
+
+        // The lane recovers: after another cooldown the probe runs, comes
+        // back healthy, and closes the circuit. With a leaked probe this
+        // request would short-circuit as open_circuit forever.
+        svc.backend().mode.store(2, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(5));
+        let out = svc.route((3, 3)).unwrap();
+        assert!(out.contains("lane0"), "the probe lane must run: {out}");
+        assert_eq!(svc.breaker_state(0), BreakerState::Closed);
+    }
+
+    /// A lane that never answers within deadline + grace must still feed
+    /// its breaker: hangs are failures too, or a persistently hanging
+    /// technique would consume a worker plus the full deadline on every
+    /// request without ever tripping its circuit.
+    #[test]
+    fn hanging_lane_eventually_trips_its_breaker() {
+        let backend = MoodyBackend {
+            mode: AtomicUsize::new(1),
+        };
+        let config = ServeConfig {
+            workers: 6,
+            cache_capacity: 0,
+            deadline: Duration::from_millis(30),
+            cancel_grace: Duration::ZERO,
+            retry: no_retries(),
+            breaker: BreakerConfig {
+                window: 4,
+                min_volume: 2,
+                error_rate: 0.5,
+                cooldown_ms: 60_000,
+            },
+            ..ServeConfig::default()
+        };
+        let svc = RouteService::with_metrics(backend, config, ServeMetrics::default());
+        for i in 0..2 {
+            let out = svc.route((i, i)).unwrap();
+            assert!(out.contains("[truncated,ok]"), "{out}");
+        }
+        assert_eq!(
+            svc.breaker_state(0),
+            BreakerState::Open,
+            "hanging outcomes must count as breaker failures"
+        );
+        let out = svc.route((9, 9)).unwrap();
+        assert!(out.contains("[open_circuit,ok]"), "{out}");
+    }
+
+    /// Lane 1's first attempt fails fast (transiently); its retry spins
+    /// cooperatively — polling the cancel token — for up to 5 s. Lane 0
+    /// answers instantly.
+    struct RetryCoopBackend {
+        attempts: AtomicUsize,
+    }
+
+    impl RouteBackend for RetryCoopBackend {
+        type Request = (u32, u32);
+        type Part = String;
+        type Response = (String, bool);
+
+        fn lanes(&self) -> usize {
+            2
+        }
+
+        fn lane_key(&self, request: &(u32, u32), lane: usize) -> String {
+            format!("retrycoop:{}:{}:{lane}", request.0, request.1)
+        }
+
+        fn compute(&self, _request: &(u32, u32), lane: usize) -> Result<String, String> {
+            Ok(format!("lane{lane}"))
+        }
+
+        fn compute_cancellable(
+            &self,
+            _request: &(u32, u32),
+            lane: usize,
+            token: &CancelToken,
+        ) -> Result<LaneOutcome<String>, LaneError> {
+            if lane == 0 {
+                return Ok(LaneOutcome::Complete("lane0".to_string()));
+            }
+            if self.attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                return Err(LaneError::transient("first attempt flaked"));
+            }
+            let start = Instant::now();
+            while start.elapsed() < Duration::from_secs(5) {
+                if token.is_cancelled() {
+                    return Ok(LaneOutcome::Truncated("lane1-partial".to_string()));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(LaneOutcome::Complete("lane1-late".to_string()))
+        }
+
+        fn assemble(&self, _request: &(u32, u32), parts: Vec<String>) -> (String, bool) {
+            (parts.join("|"), false)
+        }
+
+        fn assemble_partial(
+            &self,
+            _request: &(u32, u32),
+            parts: Vec<Option<String>>,
+        ) -> Option<(String, bool)> {
+            let present: Vec<String> = parts.into_iter().flatten().collect();
+            if present.is_empty() {
+                return None;
+            }
+            Some((present.join("|"), true))
+        }
+    }
+
+    /// Regression: the retry used to run inline with a fresh cancel token
+    /// that nothing ever tripped, so a slow retry could block the request
+    /// arbitrarily past its deadline. It must be truncated by the residual
+    /// deadline like a first attempt.
+    #[test]
+    fn retry_is_bounded_by_the_request_deadline() {
+        let backend = RetryCoopBackend {
+            attempts: AtomicUsize::new(0),
+        };
+        let registry = Registry::new();
+        let config = ServeConfig {
+            workers: 4,
+            cache_capacity: 0,
+            deadline: Duration::from_millis(60),
+            cancel_grace: Duration::from_millis(500),
+            ..ServeConfig::default()
+        };
+        let svc = RouteService::new(backend, config, &registry);
+        let start = Instant::now();
+        let (body, truncated) = svc.route((1, 2)).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "the deadline must truncate the retry, not wait out its 5 s spin: {:?}",
+            start.elapsed()
+        );
+        assert!(truncated, "a deadline-truncated retry marks the response");
+        assert!(body.contains("lane0"), "{body}");
+        assert!(
+            body.contains("lane1-partial"),
+            "the retry's cooperative partial is served: {body}"
+        );
+        assert_eq!(
+            registry.counter_value(
+                "arp_serve_retries_total",
+                &[("technique", "lane1"), ("outcome", "success")]
+            ),
+            1,
+            "a truncated retry that produced a partial counts as a success"
+        );
     }
 
     #[test]
