@@ -37,12 +37,21 @@ fn row_total(report: &mut String, name: &str, ms: f64, shortcuts: usize) {
     );
 }
 
+/// Total settled nodes recorded across the four technique lanes.
+fn total_settled(registry: &arp_obs::Registry) -> u64 {
+    ["google_like", "plateaus", "dissimilarity", "penalty"]
+        .iter()
+        .map(|t| registry.counter_value("arp_search_settled_nodes_total", &[("technique", t)]))
+        .sum()
+}
+
 fn main() {
     let mut report = String::new();
     let _ = writeln!(
         report,
         "Wall-clock per-query timings (ms), 8 queries x 5 reps, release build"
     );
+    let mut substrate_lines: Vec<String> = Vec::new();
 
     for city_kind in City::ALL {
         let city = arp_bench::generate_city(city_kind, Scale::Small);
@@ -223,6 +232,71 @@ fn main() {
         }
         let _ = writeln!(report, "  search work over {} queries:", queries.len());
         report.push_str(&arp_bench::metrics_snapshot(&registry));
+
+        // Substrate on/off comparison: total settled nodes per request
+        // across the four technique lanes. The "on" column charges the
+        // substrate's own two tree builds once per request, exactly as
+        // the serving layer accounts them.
+        let off_registry = arp_obs::Registry::new();
+        let off_providers = instrumented_providers(&net, arp_bench::MASTER_SEED, &off_registry);
+        for provider in &off_providers {
+            for &(s, t, _) in &queries {
+                let _ = provider.alternatives_with_budget(
+                    &net,
+                    net.weights(),
+                    s,
+                    t,
+                    &q,
+                    &SearchBudget::unlimited(),
+                );
+            }
+        }
+        let settled_off = total_settled(&off_registry);
+
+        let on_registry = arp_obs::Registry::new();
+        let on_providers = instrumented_providers(&net, arp_bench::MASTER_SEED, &on_registry);
+        let mut substrate_settled = 0u64;
+        for &(s, t, _) in &queries {
+            let sub = SearchSubstrate::build(&net, net.weights(), s, t, &SearchBudget::unlimited())
+                .expect("benchmark queries are routable");
+            substrate_settled += sub.build_stats().settled;
+            let ctx = ProviderContext::with_substrate(&sub);
+            for provider in &on_providers {
+                let _ = provider.alternatives_in_context(
+                    &net,
+                    net.weights(),
+                    s,
+                    t,
+                    &q,
+                    &SearchBudget::unlimited(),
+                    &ctx,
+                );
+            }
+        }
+        let settled_on = total_settled(&on_registry) + substrate_settled;
+        let n_queries = queries.len() as u64;
+        let reduction = 100.0 * (1.0 - settled_on as f64 / settled_off as f64);
+        substrate_lines.push(format!(
+            "  {:<14} {:>12} {:>12} {:>11.1}%",
+            city.name,
+            settled_off / n_queries,
+            settled_on / n_queries,
+            reduction
+        ));
+    }
+
+    let _ = writeln!(
+        report,
+        "\nSubstrate on/off sweep (settled nodes per request, four lanes; \
+         'on' includes the shared build):"
+    );
+    let _ = writeln!(
+        report,
+        "  {:<14} {:>12} {:>12} {:>12}",
+        "city", "off", "on", "reduction"
+    );
+    for line in &substrate_lines {
+        let _ = writeln!(report, "{line}");
     }
 
     println!("{report}");

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use arp_citygen::Scale;
 use arp_demo::backend::DemoBackend;
-use arp_demo::query::{QueryProcessor, SnappedQuery};
+use arp_demo::query::{PreparedQuery, QueryProcessor, SnappedQuery};
 use arp_obs::Registry;
 use arp_serve::{CancelToken, LaneError, LaneOutcome, RouteBackend, RouteService, ServeConfig};
 
@@ -88,7 +88,9 @@ fn main() {
                         let mut latencies_ms = Vec::new();
                         for request in requests.iter().skip(client).step_by(CLIENTS) {
                             let t0 = Instant::now();
-                            service.route(*request).expect("route request");
+                            service
+                                .route(PreparedQuery::new(*request))
+                                .expect("route request");
                             latencies_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
                         }
                         latencies_ms

@@ -15,10 +15,11 @@ use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::ids::NodeId;
 use arp_roadnet::weight::{Weight, INFINITY};
 
+use crate::budget::SearchBudget;
 use crate::error::CoreError;
 use crate::path::Path;
 use crate::query::AltQuery;
-use crate::search::{Direction, SearchSpace};
+use crate::search::{Direction, SearchSpace, ShortestPathTree};
 use crate::similarity::dissimilarity_to_set;
 
 /// Options specific to the SSVP-D+ algorithm.
@@ -133,6 +134,69 @@ pub fn dissimilarity_alternatives_observed(
         }
         Err(e) => return Err(e),
     };
+    Ok(sweep_via_nodes(
+        net,
+        weights,
+        query,
+        options,
+        stats,
+        &fwd,
+        &bwd,
+        ws.budget(),
+    ))
+}
+
+/// Like [`dissimilarity_alternatives_observed`], but reusing a prepared
+/// tree pair — typically a [`crate::substrate::SearchSubstrate`]'s —
+/// instead of growing one per call. `budget` governs the sweep's
+/// cooperative polls only; the tree-building cost was paid by whoever
+/// grew the trees. The sweep itself is the exact code the
+/// self-computing path runs, so results are byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn dissimilarity_alternatives_from_trees(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    query: &AltQuery,
+    options: &DissimilarityOptions,
+    stats: &mut DissimilarityStats,
+    fwd: &ShortestPathTree,
+    bwd: &ShortestPathTree,
+    budget: &SearchBudget,
+) -> Result<Vec<Path>, CoreError> {
+    *stats = DissimilarityStats::default();
+    if query.k == 0 {
+        return Ok(Vec::new());
+    }
+    let (source, target) = (fwd.root, bwd.root);
+    if source == target {
+        return Err(CoreError::SameSourceTarget(source));
+    }
+    debug_assert_eq!(fwd.direction, Direction::Forward);
+    debug_assert_eq!(bwd.direction, Direction::Backward);
+    if !fwd.reached(target) {
+        return Err(CoreError::Unreachable { source, target });
+    }
+    Ok(sweep_via_nodes(
+        net, weights, query, options, stats, fwd, bwd, budget,
+    ))
+}
+
+/// The tree-independent tail of SSVP-D+: visit via-nodes in ascending
+/// via-path length and admit pairwise-dissimilar paths. Shared verbatim
+/// by [`dissimilarity_alternatives_observed`] (self-computed trees) and
+/// [`dissimilarity_alternatives_from_trees`] (substrate-fed trees).
+#[allow(clippy::too_many_arguments)]
+fn sweep_via_nodes(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    query: &AltQuery,
+    options: &DissimilarityOptions,
+    stats: &mut DissimilarityStats,
+    fwd: &ShortestPathTree,
+    bwd: &ShortestPathTree,
+    budget: &SearchBudget,
+) -> Vec<Path> {
+    let target = bwd.root;
     let best = fwd.distance(target);
     let bound = query.cost_bound(best);
 
@@ -163,7 +227,7 @@ pub fn dissimilarity_alternatives_observed(
         }
         // Poll per candidate: materializing and comparing via-paths is
         // the expensive part of the sweep.
-        if ws.budget().interrupted() {
+        if budget.interrupted() {
             stats.interrupted = true;
             break;
         }
@@ -201,7 +265,7 @@ pub fn dissimilarity_alternatives_observed(
             stats.rejected_dissimilar += 1;
         }
     }
-    Ok(accepted)
+    accepted
 }
 
 #[cfg(test)]

@@ -89,6 +89,68 @@ pub fn esx_alternatives_budgeted(
         Err(CoreError::Interrupted) => return Ok(Vec::new()),
         Err(e) => return Err(e),
     };
+    Ok(esx_rounds(
+        &mut ws, net, weights, source, target, query, options, budget, best,
+    ))
+}
+
+/// Like [`esx_alternatives_budgeted`], but seeded with a prepared base
+/// optimal route — typically a
+/// [`crate::substrate::SearchSubstrate`]'s — instead of searching for
+/// it first. Only the initial full Dijkstra is saved; the
+/// exclusion-and-recompute rounds are the exact code the self-computing
+/// path runs, so results are byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn esx_alternatives_from_base(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    source: NodeId,
+    target: NodeId,
+    query: &AltQuery,
+    options: &EsxOptions,
+    budget: &SearchBudget,
+    base: &Path,
+) -> Result<Vec<Path>, CoreError> {
+    if query.k == 0 {
+        return Ok(Vec::new());
+    }
+    if source == target {
+        return Err(CoreError::SameSourceTarget(source));
+    }
+    debug_assert_eq!(base.source(), source);
+    debug_assert_eq!(base.target(), target);
+    let mut ws = SearchSpace::new(net);
+    ws.set_budget(budget.clone());
+    Ok(esx_rounds(
+        &mut ws,
+        net,
+        weights,
+        source,
+        target,
+        query,
+        options,
+        budget,
+        base.clone(),
+    ))
+}
+
+/// The search-independent tail of ESX: grow the result set shortest
+/// first, excluding the heaviest shared edge of over-overlapping
+/// candidates. Shared verbatim by [`esx_alternatives_budgeted`]
+/// (self-computed base) and [`esx_alternatives_from_base`]
+/// (substrate-fed base).
+#[allow(clippy::too_many_arguments)]
+fn esx_rounds(
+    ws: &mut SearchSpace,
+    net: &RoadNetwork,
+    weights: &[Weight],
+    source: NodeId,
+    target: NodeId,
+    query: &AltQuery,
+    options: &EsxOptions,
+    budget: &SearchBudget,
+    best: Path,
+) -> Vec<Path> {
     let bound = query.cost_bound(best.cost_ms);
 
     const BLOCKED: Weight = u32::MAX - 1;
@@ -160,7 +222,7 @@ pub fn esx_alternatives_budgeted(
             overlay[heaviest.index()] = BLOCKED;
         }
     }
-    Ok(result)
+    result
 }
 
 #[cfg(test)]

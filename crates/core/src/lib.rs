@@ -6,6 +6,10 @@
 //!
 //! * a reusable shortest-path engine ([`search`]): Dijkstra with
 //!   generation-stamped labels, A*, forward/backward shortest-path trees,
+//! * a per-request shared search [`substrate`]: both trees plus the base
+//!   optimal route computed once and handed to every technique through an
+//!   optional [`ProviderContext`], so the four-way fan-out stops
+//!   recomputing the same Dijkstra work per lane,
 //! * the three published techniques the study compares —
 //!   [`penalty`] (§2.1), [`plateau`] (§2.2) and [`dissimilarity`]
 //!   (SSVP-D+, §2.3) — plus [`yen`]'s algorithm as the classic baseline
@@ -64,6 +68,7 @@ pub mod quality;
 pub mod query;
 pub mod search;
 pub mod similarity;
+pub mod substrate;
 pub mod turns;
 pub mod yen;
 
@@ -73,15 +78,25 @@ pub use admissibility::{
 pub use bidir::BidirSearch;
 pub use budget::SearchBudget;
 pub use ch::{ChConfig, ChSearch, ContractionHierarchy};
-pub use dissimilarity::{dissimilarity_alternatives, DissimilarityOptions, DissimilarityStats};
+pub use dissimilarity::{
+    dissimilarity_alternatives, dissimilarity_alternatives_from_trees, DissimilarityOptions,
+    DissimilarityStats,
+};
 pub use error::CoreError;
-pub use esx::{esx_alternatives, esx_alternatives_budgeted, EsxOptions};
+pub use esx::{
+    esx_alternatives, esx_alternatives_budgeted, esx_alternatives_from_base, EsxOptions,
+};
 pub use filters::{apply_filters, FilterConfig};
 pub use metrics::{SearchMetrics, SearchStats, TechniqueMetrics};
 pub use pareto::{pareto_paths, ParetoOptions, ParetoRoute};
 pub use path::Path;
-pub use penalty::{penalty_alternatives, PenaltyOptions, PenaltyStats};
-pub use plateau::{find_plateaus, plateau_alternatives, Plateau, PlateauOptions, PlateauStats};
+pub use penalty::{
+    penalty_alternatives, penalty_alternatives_from_base, PenaltyOptions, PenaltyStats,
+};
+pub use plateau::{
+    find_plateaus, plateau_alternatives, plateau_alternatives_from_trees, Plateau, PlateauOptions,
+    PlateauStats,
+};
 pub use provider::{
     instrumented_providers, standard_providers, AlternativesProvider, DissimilarityProvider,
     GoogleLikeProvider, PenaltyProvider, PlateauProvider, ProviderKind, ProviderOutcome,
@@ -89,6 +104,7 @@ pub use provider::{
 };
 pub use query::{AltQuery, Route};
 pub use search::{shortest_path, Direction, SearchSpace, ShortestPathTree};
+pub use substrate::{ProviderContext, SearchSubstrate};
 pub use turns::{turn_aware_shortest_path, TurnModel};
 pub use yen::{yen_k_shortest_paths, yen_k_shortest_paths_budgeted};
 
@@ -111,5 +127,6 @@ pub mod prelude {
     };
     pub use crate::query::{AltQuery, Route};
     pub use crate::search::{shortest_path, Direction, SearchSpace};
+    pub use crate::substrate::{ProviderContext, SearchSubstrate};
     pub use crate::yen::yen_k_shortest_paths;
 }

@@ -108,9 +108,6 @@ pub fn penalty_alternatives_observed(
     if query.k == 0 {
         return Ok(Vec::new());
     }
-    // Private penalized overlay.
-    let mut overlay: Vec<Weight> = weights.to_vec();
-
     let best = match ws.shortest_path(net, weights, source, target) {
         Ok(p) => p,
         Err(CoreError::Interrupted) => {
@@ -121,6 +118,70 @@ pub fn penalty_alternatives_observed(
         }
         Err(e) => return Err(e),
     };
+    Ok(penalty_rounds(
+        ws, net, weights, source, target, query, options, stats, best,
+    ))
+}
+
+/// Like [`penalty_alternatives_observed`], but seeded with a prepared
+/// base optimal route — typically a
+/// [`crate::substrate::SearchSubstrate`]'s — instead of searching for it
+/// first. The penalized re-search iterations still run through `ws`
+/// (and its budget); only the initial full Dijkstra is saved. The
+/// rounds themselves are the exact code the self-computing path runs,
+/// so results are byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn penalty_alternatives_from_base(
+    ws: &mut SearchSpace,
+    net: &RoadNetwork,
+    weights: &[Weight],
+    source: NodeId,
+    target: NodeId,
+    query: &AltQuery,
+    options: &PenaltyOptions,
+    stats: &mut PenaltyStats,
+    base: &Path,
+) -> Result<Vec<Path>, CoreError> {
+    *stats = PenaltyStats::default();
+    if query.k == 0 {
+        return Ok(Vec::new());
+    }
+    if source == target {
+        return Err(CoreError::SameSourceTarget(source));
+    }
+    debug_assert_eq!(base.source(), source);
+    debug_assert_eq!(base.target(), target);
+    Ok(penalty_rounds(
+        ws,
+        net,
+        weights,
+        source,
+        target,
+        query,
+        options,
+        stats,
+        base.clone(),
+    ))
+}
+
+/// The search-independent tail of the technique: penalize the base
+/// route and iterate re-searches on the private overlay. Shared
+/// verbatim by [`penalty_alternatives_observed`] (self-computed base)
+/// and [`penalty_alternatives_from_base`] (substrate-fed base).
+#[allow(clippy::too_many_arguments)]
+fn penalty_rounds(
+    ws: &mut SearchSpace,
+    net: &RoadNetwork,
+    weights: &[Weight],
+    source: NodeId,
+    target: NodeId,
+    query: &AltQuery,
+    options: &PenaltyOptions,
+    stats: &mut PenaltyStats,
+    best: Path,
+) -> Vec<Path> {
+    // Private penalized overlay.
+    let mut overlay: Vec<Weight> = weights.to_vec();
     let bound = query.cost_bound(best.cost_ms);
     stats.candidates += 1;
 
@@ -184,7 +245,7 @@ pub fn penalty_alternatives_observed(
         }
         accepted.push(candidate);
     }
-    Ok(accepted)
+    accepted
 }
 
 fn penalize(

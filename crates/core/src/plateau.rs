@@ -16,6 +16,7 @@ use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::ids::{EdgeId, NodeId};
 use arp_roadnet::weight::{Cost, Weight};
 
+use crate::budget::SearchBudget;
 use crate::error::CoreError;
 use crate::path::Path;
 use crate::query::AltQuery;
@@ -208,11 +209,74 @@ pub fn plateau_alternatives_observed(
         }
         Err(e) => return Err(e),
     };
+    Ok(sweep_plateaus(
+        net,
+        weights,
+        query,
+        options,
+        stats,
+        &fwd,
+        &bwd,
+        ws.budget(),
+    ))
+}
+
+/// Like [`plateau_alternatives_observed`], but reusing a prepared tree
+/// pair — typically a [`crate::substrate::SearchSubstrate`]'s — instead
+/// of growing one per call. `budget` governs the sweep's cooperative
+/// polls only; the tree-building cost was paid by whoever grew the
+/// trees. The sweep itself is the exact code the self-computing path
+/// runs, so results are byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn plateau_alternatives_from_trees(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    query: &AltQuery,
+    options: &PlateauOptions,
+    stats: &mut PlateauStats,
+    fwd: &ShortestPathTree,
+    bwd: &ShortestPathTree,
+    budget: &SearchBudget,
+) -> Result<Vec<Path>, CoreError> {
+    *stats = PlateauStats::default();
+    if query.k == 0 {
+        return Ok(Vec::new());
+    }
+    let (source, target) = (fwd.root, bwd.root);
+    if source == target {
+        return Err(CoreError::SameSourceTarget(source));
+    }
+    debug_assert_eq!(fwd.direction, Direction::Forward);
+    debug_assert_eq!(bwd.direction, Direction::Backward);
+    if !fwd.reached(target) {
+        return Err(CoreError::Unreachable { source, target });
+    }
+    Ok(sweep_plateaus(
+        net, weights, query, options, stats, fwd, bwd, budget,
+    ))
+}
+
+/// The tree-independent tail of the technique: rank the tree pair's
+/// plateaus and complete the top ones into full paths. Shared verbatim
+/// by [`plateau_alternatives_observed`] (self-computed trees) and
+/// [`plateau_alternatives_from_trees`] (substrate-fed trees).
+#[allow(clippy::too_many_arguments)]
+fn sweep_plateaus(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    query: &AltQuery,
+    options: &PlateauOptions,
+    stats: &mut PlateauStats,
+    fwd: &ShortestPathTree,
+    bwd: &ShortestPathTree,
+    budget: &SearchBudget,
+) -> Vec<Path> {
+    let (source, target) = (fwd.root, bwd.root);
     let best_cost = fwd.distance(target);
     let bound = query.cost_bound(best_cost);
     let min_weight = (best_cost as f64 * options.min_plateau_fraction) as Cost;
 
-    let mut plateaus = find_plateaus(net, &fwd, &bwd);
+    let mut plateaus = find_plateaus(net, fwd, bwd);
     stats.plateaus_found = plateaus.len() as u64;
     // Rank plateaus by weight (longest first) — "longer plateaus result in
     // more meaningful alternative paths".
@@ -229,7 +293,7 @@ pub fn plateau_alternatives_observed(
         }
         // Poll per sweep iteration: completing paths costs tree walks and
         // similarity checks, so a tripped budget stops the sweep too.
-        if ws.budget().interrupted() {
+        if budget.interrupted() {
             stats.interrupted = true;
             break;
         }
@@ -275,7 +339,7 @@ pub fn plateau_alternatives_observed(
     // The plateau containing the whole shortest path guarantees at least
     // one result; keep results sorted by cost for presentation.
     accepted.sort_by_key(|p| p.cost_ms);
-    Ok(accepted)
+    accepted
 }
 
 #[cfg(test)]

@@ -15,14 +15,21 @@ use arp_roadnet::weight::Weight;
 
 use crate::budget::SearchBudget;
 use crate::dissimilarity::{
-    dissimilarity_alternatives_observed, DissimilarityOptions, DissimilarityStats,
+    dissimilarity_alternatives_from_trees, dissimilarity_alternatives_observed,
+    DissimilarityOptions, DissimilarityStats,
 };
 use crate::error::CoreError;
 use crate::metrics::TechniqueMetrics;
-use crate::penalty::{penalty_alternatives_observed, PenaltyOptions, PenaltyStats};
-use crate::plateau::{plateau_alternatives_observed, PlateauOptions, PlateauStats};
+use crate::path::Path;
+use crate::penalty::{
+    penalty_alternatives_from_base, penalty_alternatives_observed, PenaltyOptions, PenaltyStats,
+};
+use crate::plateau::{
+    plateau_alternatives_from_trees, plateau_alternatives_observed, PlateauOptions, PlateauStats,
+};
 use crate::query::{AltQuery, Route};
 use crate::search::SearchSpace;
+use crate::substrate::ProviderContext;
 
 pub use google_like::{GoogleLikeProvider, TrafficModel};
 
@@ -150,6 +157,58 @@ pub trait AlternativesProvider: Send + Sync {
         query: &AltQuery,
         budget: &SearchBudget,
     ) -> Result<ProviderOutcome, CoreError>;
+
+    /// Like [`AlternativesProvider::alternatives_with_budget`], but
+    /// handed an optional per-request [`ProviderContext`] carrying
+    /// shared search artifacts
+    /// ([`crate::substrate::SearchSubstrate`]).
+    ///
+    /// Providers that can reuse the substrate skip the corresponding
+    /// searches — Plateaus and Dissimilarity take the tree pair, Penalty
+    /// takes the base route. The Google-like provider keeps the default:
+    /// its search runs on *private* weights, so the substrate's trees
+    /// (built on the public overlay) would be wrong for it; only the
+    /// shared OSM re-costing pass (pricing via [`Route::new`]) applies.
+    /// The default — and every provider handed an empty or mismatched
+    /// context — delegates to the self-computing path, so the routes
+    /// returned are byte-identical either way.
+    #[allow(clippy::too_many_arguments)]
+    fn alternatives_in_context(
+        &self,
+        net: &RoadNetwork,
+        public_weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+        query: &AltQuery,
+        budget: &SearchBudget,
+        ctx: &ProviderContext<'_>,
+    ) -> Result<ProviderOutcome, CoreError> {
+        let _ = ctx;
+        self.alternatives_with_budget(net, public_weights, source, target, query, budget)
+    }
+}
+
+/// Prices accepted paths on the public weights and wraps them in the
+/// call's outcome, recording the admission and interruption counters —
+/// the shared epilogue of every local provider, on both the
+/// self-computing and the substrate-fed path.
+fn price_outcome(
+    metrics: &TechniqueMetrics,
+    public_weights: &[Weight],
+    paths: Vec<Path>,
+    interrupted: bool,
+) -> ProviderOutcome {
+    metrics.admitted.add(paths.len() as u64);
+    let routes: Vec<Route> = paths
+        .into_iter()
+        .map(|p| Route::new(p, public_weights))
+        .collect();
+    if interrupted {
+        metrics.interrupted.inc();
+        ProviderOutcome::Interrupted { partial: routes }
+    } else {
+        ProviderOutcome::Complete(routes)
+    }
 }
 
 /// The Plateaus provider.
@@ -206,17 +265,62 @@ impl AlternativesProvider for PlateauProvider {
                 return Err(e);
             }
         };
-        self.metrics.admitted.add(paths.len() as u64);
-        let routes: Vec<Route> = paths
-            .into_iter()
-            .map(|p| Route::new(p, public_weights))
-            .collect();
-        if stats.interrupted {
-            self.metrics.interrupted.inc();
-            Ok(ProviderOutcome::Interrupted { partial: routes })
-        } else {
-            Ok(ProviderOutcome::Complete(routes))
-        }
+        Ok(price_outcome(
+            &self.metrics,
+            public_weights,
+            paths,
+            stats.interrupted,
+        ))
+    }
+
+    fn alternatives_in_context(
+        &self,
+        net: &RoadNetwork,
+        public_weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+        query: &AltQuery,
+        budget: &SearchBudget,
+        ctx: &ProviderContext<'_>,
+    ) -> Result<ProviderOutcome, CoreError> {
+        // Reuse the substrate's forward/backward tree pair; a missing or
+        // mismatched substrate falls back to growing our own.
+        let Some(sub) = ctx.substrate_for(net, source, target) else {
+            return self.alternatives_with_budget(
+                net,
+                public_weights,
+                source,
+                target,
+                query,
+                budget,
+            );
+        };
+        let _timer = self.metrics.begin_call();
+        let mut stats = PlateauStats::default();
+        let result = plateau_alternatives_from_trees(
+            net,
+            public_weights,
+            query,
+            &self.options,
+            &mut stats,
+            sub.forward(),
+            sub.backward(),
+            budget,
+        );
+        self.metrics.record_plateau(&stats);
+        let paths = match result {
+            Ok(paths) => paths,
+            Err(e) => {
+                self.metrics.errors.inc();
+                return Err(e);
+            }
+        };
+        Ok(price_outcome(
+            &self.metrics,
+            public_weights,
+            paths,
+            stats.interrupted,
+        ))
     }
 }
 
@@ -274,17 +378,66 @@ impl AlternativesProvider for PenaltyProvider {
                 return Err(e);
             }
         };
-        self.metrics.admitted.add(paths.len() as u64);
-        let routes: Vec<Route> = paths
-            .into_iter()
-            .map(|p| Route::new(p, public_weights))
-            .collect();
-        if stats.interrupted {
-            self.metrics.interrupted.inc();
-            Ok(ProviderOutcome::Interrupted { partial: routes })
-        } else {
-            Ok(ProviderOutcome::Complete(routes))
-        }
+        Ok(price_outcome(
+            &self.metrics,
+            public_weights,
+            paths,
+            stats.interrupted,
+        ))
+    }
+
+    fn alternatives_in_context(
+        &self,
+        net: &RoadNetwork,
+        public_weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+        query: &AltQuery,
+        budget: &SearchBudget,
+        ctx: &ProviderContext<'_>,
+    ) -> Result<ProviderOutcome, CoreError> {
+        // Reuse the substrate's base optimal route as iteration zero; the
+        // penalized re-searches still run here, under this call's budget.
+        let Some(sub) = ctx.substrate_for(net, source, target) else {
+            return self.alternatives_with_budget(
+                net,
+                public_weights,
+                source,
+                target,
+                query,
+                budget,
+            );
+        };
+        let _timer = self.metrics.begin_call();
+        let mut ws = SearchSpace::new(net);
+        ws.set_metrics(self.metrics.search().clone());
+        ws.set_budget(budget.clone());
+        let mut stats = PenaltyStats::default();
+        let result = penalty_alternatives_from_base(
+            &mut ws,
+            net,
+            public_weights,
+            source,
+            target,
+            query,
+            &self.options,
+            &mut stats,
+            sub.base_route(),
+        );
+        self.metrics.record_penalty(&stats);
+        let paths = match result {
+            Ok(paths) => paths,
+            Err(e) => {
+                self.metrics.errors.inc();
+                return Err(e);
+            }
+        };
+        Ok(price_outcome(
+            &self.metrics,
+            public_weights,
+            paths,
+            stats.interrupted,
+        ))
     }
 }
 
@@ -342,17 +495,63 @@ impl AlternativesProvider for DissimilarityProvider {
                 return Err(e);
             }
         };
-        self.metrics.admitted.add(paths.len() as u64);
-        let routes: Vec<Route> = paths
-            .into_iter()
-            .map(|p| Route::new(p, public_weights))
-            .collect();
-        if stats.interrupted {
-            self.metrics.interrupted.inc();
-            Ok(ProviderOutcome::Interrupted { partial: routes })
-        } else {
-            Ok(ProviderOutcome::Complete(routes))
-        }
+        Ok(price_outcome(
+            &self.metrics,
+            public_weights,
+            paths,
+            stats.interrupted,
+        ))
+    }
+
+    fn alternatives_in_context(
+        &self,
+        net: &RoadNetwork,
+        public_weights: &[Weight],
+        source: NodeId,
+        target: NodeId,
+        query: &AltQuery,
+        budget: &SearchBudget,
+        ctx: &ProviderContext<'_>,
+    ) -> Result<ProviderOutcome, CoreError> {
+        // Reuse the substrate's tree pair for the via-node sweep's
+        // distance arrays; a missing or mismatched substrate falls back
+        // to growing our own.
+        let Some(sub) = ctx.substrate_for(net, source, target) else {
+            return self.alternatives_with_budget(
+                net,
+                public_weights,
+                source,
+                target,
+                query,
+                budget,
+            );
+        };
+        let _timer = self.metrics.begin_call();
+        let mut stats = DissimilarityStats::default();
+        let result = dissimilarity_alternatives_from_trees(
+            net,
+            public_weights,
+            query,
+            &self.options,
+            &mut stats,
+            sub.forward(),
+            sub.backward(),
+            budget,
+        );
+        self.metrics.record_dissimilarity(&stats);
+        let paths = match result {
+            Ok(paths) => paths,
+            Err(e) => {
+                self.metrics.errors.inc();
+                return Err(e);
+            }
+        };
+        Ok(price_outcome(
+            &self.metrics,
+            public_weights,
+            paths,
+            stats.interrupted,
+        ))
     }
 }
 

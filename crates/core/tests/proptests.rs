@@ -5,6 +5,7 @@ use arp_core::prelude::*;
 use arp_core::quality;
 use arp_core::search::Direction;
 use arp_core::similarity;
+use arp_core::{DissimilarityStats, PenaltyStats, PlateauStats};
 use arp_roadnet::prelude::*;
 use proptest::prelude::*;
 
@@ -295,6 +296,67 @@ proptest! {
         prop_assert!(partial.len() <= full.len(), "esx grew under a budget");
         for (p, f) in partial.iter().zip(full.iter()) {
             prop_assert_eq!(&p.edges, &f.edges, "esx partial is not a prefix");
+        }
+    }
+
+    #[test]
+    fn substrate_fed_techniques_match_self_computed((n, chords) in arb_scc_graph()) {
+        // The shared-substrate path must be *byte-identical* to the
+        // self-computed path for every consumer: same routes, same edges,
+        // same costs, same admission order. This is what lets the serving
+        // layer hand one substrate to all lanes without changing a single
+        // response byte (DESIGN.md §8).
+        let net = build(n, &chords);
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let q = AltQuery::paper();
+        let budget = SearchBudget::unlimited();
+        let sub = arp_core::SearchSubstrate::build(&net, net.weights(), s, t, &budget).unwrap();
+
+        let solo = plateau_alternatives(&net, net.weights(), s, t, &q, &PlateauOptions::default()).unwrap();
+        let mut pstats = PlateauStats::default();
+        let fed = arp_core::plateau_alternatives_from_trees(
+            &net, net.weights(), &q, &PlateauOptions::default(), &mut pstats,
+            sub.forward(), sub.backward(), &budget,
+        ).unwrap();
+        prop_assert_eq!(solo.len(), fed.len(), "plateau count differs");
+        for (a, b) in solo.iter().zip(fed.iter()) {
+            prop_assert_eq!(&a.edges, &b.edges, "plateau edges differ");
+            prop_assert_eq!(a.cost_ms, b.cost_ms, "plateau cost differs");
+        }
+
+        let solo = dissimilarity_alternatives(&net, net.weights(), s, t, &q, &DissimilarityOptions::default()).unwrap();
+        let mut dstats = DissimilarityStats::default();
+        let fed = arp_core::dissimilarity_alternatives_from_trees(
+            &net, net.weights(), &q, &DissimilarityOptions::default(), &mut dstats,
+            sub.forward(), sub.backward(), &budget,
+        ).unwrap();
+        prop_assert_eq!(solo.len(), fed.len(), "dissimilarity count differs");
+        for (a, b) in solo.iter().zip(fed.iter()) {
+            prop_assert_eq!(&a.edges, &b.edges, "dissimilarity edges differ");
+            prop_assert_eq!(a.cost_ms, b.cost_ms, "dissimilarity cost differs");
+        }
+
+        let solo = penalty_alternatives(&net, net.weights(), s, t, &q, &PenaltyOptions::default()).unwrap();
+        let mut ws = SearchSpace::new(&net);
+        let mut nstats = PenaltyStats::default();
+        let fed = arp_core::penalty_alternatives_from_base(
+            &mut ws, &net, net.weights(), s, t, &q, &PenaltyOptions::default(),
+            &mut nstats, sub.base_route(),
+        ).unwrap();
+        prop_assert_eq!(solo.len(), fed.len(), "penalty count differs");
+        for (a, b) in solo.iter().zip(fed.iter()) {
+            prop_assert_eq!(&a.edges, &b.edges, "penalty edges differ");
+            prop_assert_eq!(a.cost_ms, b.cost_ms, "penalty cost differs");
+        }
+
+        let solo = esx_alternatives(&net, net.weights(), s, t, &q, &EsxOptions::default()).unwrap();
+        let fed = arp_core::esx_alternatives_from_base(
+            &net, net.weights(), s, t, &q, &EsxOptions::default(), &budget, sub.base_route(),
+        ).unwrap();
+        prop_assert_eq!(solo.len(), fed.len(), "esx count differs");
+        for (a, b) in solo.iter().zip(fed.iter()) {
+            prop_assert_eq!(&a.edges, &b.edges, "esx edges differ");
+            prop_assert_eq!(a.cost_ms, b.cost_ms, "esx cost differs");
         }
     }
 

@@ -9,9 +9,9 @@
 use std::sync::Arc;
 
 use arp_core::SearchBudget;
-use arp_serve::{CancelToken, LaneError, LaneOutcome, LaneStatus, RouteBackend};
+use arp_serve::{CancelToken, Deadline, LaneError, LaneOutcome, LaneStatus, RouteBackend};
 
-use crate::query::{ApproachRoutes, QueryProcessor, QueryResponse, SnappedQuery};
+use crate::query::{ApproachRoutes, PreparedQuery, QueryProcessor, QueryResponse};
 
 /// Adapts a [`QueryProcessor`] to the serving layer's lane model.
 pub struct DemoBackend {
@@ -31,7 +31,7 @@ impl DemoBackend {
 }
 
 impl RouteBackend for DemoBackend {
-    type Request = SnappedQuery;
+    type Request = PreparedQuery;
     type Part = ApproachRoutes;
     type Response = QueryResponse;
 
@@ -46,23 +46,51 @@ impl RouteBackend for DemoBackend {
         self.processor.slot_technique(lane).to_string()
     }
 
-    fn lane_key(&self, request: &SnappedQuery, lane: usize) -> String {
-        self.processor.slot_cache_key(request, lane)
+    fn lane_key(&self, request: &PreparedQuery, lane: usize) -> String {
+        // Keyed on the snapped endpoints only: the substrate is derived
+        // state, and the cache probe runs before `prepare` anyway.
+        self.processor.slot_cache_key(&request.snapped, lane)
     }
 
-    fn compute(&self, request: &SnappedQuery, lane: usize) -> Result<ApproachRoutes, String> {
+    fn prepare(
+        &self,
+        mut request: PreparedQuery,
+        token: &CancelToken,
+        deadline: &Deadline,
+    ) -> PreparedQuery {
+        // Build the shared substrate once, under the same cancel token the
+        // lanes observe plus whatever headroom the deadline leaves. A
+        // build that cannot finish (tripped token, expired or zero-headroom
+        // deadline, unroutable pair) leaves `substrate` as `None` and the
+        // lanes self-compute — the pre-substrate behaviour.
+        if request.substrate.is_none() {
+            let mut budget = SearchBudget::with_cancel_flag(token.flag());
+            if !deadline.is_unbounded() {
+                match deadline.remaining() {
+                    Some(headroom) => budget = budget.with_deadline(headroom),
+                    // Already expired: don't start a doomed build.
+                    None => return request,
+                }
+            }
+            request.substrate = self.processor.prepare_substrate(&request.snapped, &budget);
+        }
+        request
+    }
+
+    fn compute(&self, request: &PreparedQuery, lane: usize) -> Result<ApproachRoutes, String> {
         self.processor
-            .compute_slot(request, lane)
+            .compute_slot_prepared(request, lane, &SearchBudget::unlimited())
+            .map(|(part, _)| part)
             .map_err(|e| e.to_string())
     }
 
-    fn assemble(&self, request: &SnappedQuery, parts: Vec<ApproachRoutes>) -> QueryResponse {
-        self.processor.assemble(request, parts)
+    fn assemble(&self, request: &PreparedQuery, parts: Vec<ApproachRoutes>) -> QueryResponse {
+        self.processor.assemble(&request.snapped, parts)
     }
 
     fn compute_cancellable(
         &self,
-        request: &SnappedQuery,
+        request: &PreparedQuery,
         lane: usize,
         token: &CancelToken,
     ) -> Result<LaneOutcome<ApproachRoutes>, LaneError> {
@@ -71,7 +99,7 @@ impl RouteBackend for DemoBackend {
         // budget-check interval, and the routes admitted so far come back
         // as a truncated lane.
         let budget = SearchBudget::with_cancel_flag(token.flag());
-        match self.processor.compute_slot_budgeted(request, lane, &budget) {
+        match self.processor.compute_slot_prepared(request, lane, &budget) {
             Ok((part, true)) => Ok(LaneOutcome::Truncated(part)),
             Ok((part, false)) => Ok(LaneOutcome::Complete(part)),
             // Transience follows the error: an interrupted search or an
@@ -83,19 +111,20 @@ impl RouteBackend for DemoBackend {
 
     fn assemble_partial(
         &self,
-        request: &SnappedQuery,
+        request: &PreparedQuery,
         parts: Vec<Option<ApproachRoutes>>,
     ) -> Option<QueryResponse> {
-        self.processor.assemble_partial(request, parts)
+        self.processor.assemble_partial(&request.snapped, parts)
     }
 
     fn assemble_degraded(
         &self,
-        request: &SnappedQuery,
+        request: &PreparedQuery,
         parts: Vec<Option<ApproachRoutes>>,
         statuses: &[LaneStatus],
     ) -> Option<QueryResponse> {
-        self.processor.assemble_degraded(request, parts, statuses)
+        self.processor
+            .assemble_degraded(&request.snapped, parts, statuses)
     }
 }
 
@@ -137,7 +166,7 @@ mod tests {
             ServeMetrics::default(),
         );
         let snapped = qp.snap(a, b).unwrap();
-        let served = service.route(snapped).unwrap();
+        let served = service.route(PreparedQuery::new(snapped)).unwrap();
 
         assert_eq!(served.source, serial.source);
         assert_eq!(served.target, serial.target);
@@ -160,15 +189,16 @@ mod tests {
         let qp = processor();
         let (a, b) = inner_points(&qp);
         let q = qp.snap(a, b).unwrap();
+        let prepared = PreparedQuery::new(q);
         let backend = DemoBackend::new(Arc::clone(&qp));
 
         // A lane that finished before the deadline…
-        let full = backend.compute(&q, 0).unwrap();
+        let full = backend.compute(&prepared, 0).unwrap();
         // …and one whose token was already tripped when it started: the
         // budget interrupts it immediately, yielding an empty partial.
         let token = CancelToken::new();
         token.cancel();
-        let outcome = backend.compute_cancellable(&q, 1, &token).unwrap();
+        let outcome = backend.compute_cancellable(&prepared, 1, &token).unwrap();
         let LaneOutcome::Truncated(partial) = outcome else {
             panic!("cancelled lane must come back truncated");
         };
@@ -198,12 +228,14 @@ mod tests {
         let qp = processor();
         let (a, b) = inner_points(&qp);
         let q = qp.snap(a, b).unwrap();
+        let prepared = PreparedQuery::new(q);
         let backend = DemoBackend::new(Arc::clone(&qp));
         let token = CancelToken::new();
         for lane in 0..backend.lanes() {
-            let plain = backend.compute(&q, lane).unwrap();
-            let LaneOutcome::Complete(budgeted) =
-                backend.compute_cancellable(&q, lane, &token).unwrap()
+            let plain = backend.compute(&prepared, lane).unwrap();
+            let LaneOutcome::Complete(budgeted) = backend
+                .compute_cancellable(&prepared, lane, &token)
+                .unwrap()
             else {
                 panic!("untripped lane {lane} must complete");
             };
@@ -217,13 +249,163 @@ mod tests {
     }
 
     #[test]
-    fn lane_keys_cover_city_endpoints_technique_and_k() {
+    fn prepare_builds_the_substrate_and_lanes_reuse_it() {
         let qp = processor();
         let (a, b) = inner_points(&qp);
         let q = qp.snap(a, b).unwrap();
         let backend = DemoBackend::new(Arc::clone(&qp));
+        let token = CancelToken::new();
+
+        let prepared = backend.prepare(PreparedQuery::new(q), &token, &Deadline::never());
+        assert!(prepared.substrate.is_some(), "healthy build must succeed");
+        assert_eq!(
+            qp.registry()
+                .counter_value("arp_substrate_builds_total", &[]),
+            1
+        );
+
+        // Every lane computes identically to the self-computed path, and
+        // the three substrate consumers count their reuse.
+        for lane in 0..backend.lanes() {
+            let fed = backend.compute(&prepared, lane).unwrap();
+            let solo = qp.compute_slot(&q, lane).unwrap();
+            assert_eq!(fed.label, solo.label);
+            assert_eq!(fed.routes.len(), solo.routes.len());
+            for (x, y) in fed.routes.iter().zip(&solo.routes) {
+                assert_eq!(x.cost_ms, y.cost_ms);
+                assert_eq!(x.polyline, y.polyline);
+            }
+        }
+        for technique in ["plateaus", "dissimilarity", "penalty"] {
+            assert_eq!(
+                qp.registry()
+                    .counter_value("arp_substrate_reuse_total", &[("technique", technique)]),
+                1,
+                "{technique}"
+            );
+        }
+        assert_eq!(
+            qp.registry()
+                .counter_value("arp_substrate_reuse_total", &[("technique", "google_like")]),
+            0,
+            "the Google-like lane runs on private weights and never reuses"
+        );
+        // Re-resolving the gauge returns the same shared instrument.
+        let saved = qp
+            .registry()
+            .gauge("arp_substrate_saved_settled_nodes", "", &[]);
+        assert!(saved.get() > 0, "reuse must record settled-node savings");
+    }
+
+    #[test]
+    fn tripped_token_or_expired_deadline_skips_the_build() {
+        let qp = processor();
+        let (a, b) = inner_points(&qp);
+        let q = qp.snap(a, b).unwrap();
+        let backend = DemoBackend::new(Arc::clone(&qp));
+
+        // Zero-headroom deadline: the build is not even started.
+        let token = CancelToken::new();
+        let prepared = backend.prepare(
+            PreparedQuery::new(q),
+            &token,
+            &Deadline::after(std::time::Duration::ZERO),
+        );
+        assert!(prepared.substrate.is_none());
+        assert_eq!(
+            qp.registry()
+                .counter_value("arp_substrate_builds_total", &[]),
+            0
+        );
+
+        // Already-tripped token: the build starts, trips at its first
+        // budget check, and the lanes fall back to self-computing.
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        let prepared = backend.prepare(PreparedQuery::new(q), &tripped, &Deadline::never());
+        assert!(prepared.substrate.is_none());
+        assert_eq!(
+            qp.registry()
+                .counter_value("arp_substrate_build_failures_total", &[]),
+            1
+        );
+        // The fallback path still serves: a fresh budget computes the lane.
+        let fresh = CancelToken::new();
+        let outcome = backend.compute_cancellable(&prepared, 0, &fresh).unwrap();
+        assert!(matches!(outcome, LaneOutcome::Complete(_)));
+    }
+
+    #[test]
+    fn disconnected_pair_degrades_per_lane_without_panicking() {
+        use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+
+        // Two components: {0,1} and {2,3}, no edges between them.
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Point::new(144.00, -37.00));
+        let n1 = b.add_node(Point::new(144.01, -37.00));
+        let n2 = b.add_node(Point::new(144.20, -37.20));
+        let n3 = b.add_node(Point::new(144.21, -37.20));
+        b.add_bidirectional(n0, n1, EdgeSpec::default());
+        b.add_bidirectional(n2, n3, EdgeSpec::default());
+        let net = b.build();
+        let qp = Arc::new(QueryProcessor::new("Islands", net, 1));
+        let backend = DemoBackend::new(Arc::clone(&qp));
+        let q = crate::query::SnappedQuery {
+            source: n0,
+            target: n2,
+        };
+
+        // The substrate build fails cleanly (counted, not propagated)…
+        let token = CancelToken::new();
+        let prepared = backend.prepare(PreparedQuery::new(q), &token, &Deadline::never());
+        assert!(prepared.substrate.is_none());
+        assert_eq!(
+            qp.registry()
+                .counter_value("arp_substrate_build_failures_total", &[]),
+            1
+        );
+        // …and each lane reports its own permanent error, exactly like
+        // the pre-substrate pipeline.
+        for lane in 0..backend.lanes() {
+            let err = backend
+                .compute_cancellable(&prepared, lane, &token)
+                .expect_err("unroutable pair must fail the lane");
+            assert!(!err.transient, "Unreachable is permanent, not retryable");
+        }
+
+        // End to end: the serving layer answers with an error response,
+        // never a panic.
+        let service = RouteService::with_metrics(
+            DemoBackend::new(Arc::clone(&qp)),
+            ServeConfig::default(),
+            ServeMetrics::default(),
+        );
+        assert!(service.route(PreparedQuery::new(q)).is_err());
+    }
+
+    #[test]
+    fn same_endpoint_pair_yields_no_substrate() {
+        let qp = processor();
+        let (a, b) = inner_points(&qp);
+        let q = qp.snap(a, b).unwrap();
+        let same = crate::query::SnappedQuery {
+            source: q.source,
+            target: q.source,
+        };
+        assert!(qp
+            .prepare_substrate(&same, &arp_core::SearchBudget::unlimited())
+            .is_none());
+    }
+
+    #[test]
+    fn lane_keys_cover_city_endpoints_technique_and_k() {
+        let qp = processor();
+        let (a, b) = inner_points(&qp);
+        let q = qp.snap(a, b).unwrap();
+        let prepared = PreparedQuery::new(q);
+        let backend = DemoBackend::new(Arc::clone(&qp));
         let keys: Vec<String> = (0..backend.lanes())
-            .map(|l| backend.lane_key(&q, l))
+            .map(|l| backend.lane_key(&prepared, l))
             .collect();
         assert_eq!(keys.len(), 4);
         for key in &keys {

@@ -40,7 +40,9 @@ pub use backend::DemoBackend;
 pub use blind::Blinding;
 pub use error::DemoError;
 pub use geojson::response_to_geojson;
-pub use query::{ApproachRoutes, QueryProcessor, QueryResponse, RouteInfo, SnappedQuery};
+pub use query::{
+    ApproachRoutes, PreparedQuery, QueryProcessor, QueryResponse, RouteInfo, SnappedQuery,
+};
 pub use server::{serve, serve_with_shutdown, DemoApp, HttpResponse};
 pub use store::{ResponseStore, Submission};
 

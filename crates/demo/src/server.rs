@@ -318,7 +318,10 @@ impl DemoApp {
             ) => return HttpResponse::error(400, e.to_string()),
             Err(e) => return HttpResponse::error(500, e.to_string()),
         };
-        match self.service.route(snapped) {
+        match self
+            .service
+            .route(crate::query::PreparedQuery::new(snapped))
+        {
             Ok(resp) => Self::render_route_response(&resp),
             Err(e) => HttpResponse::serve_error(&e),
         }

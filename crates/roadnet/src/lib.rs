@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # arp-roadnet
 //!
 //! Road-network substrate for the alternative-route-planning study.

@@ -67,6 +67,17 @@ impl Deadline {
             Some(at) => Instant::now() >= at,
         }
     }
+
+    /// Whether this is a never-expiring deadline ([`Deadline::never`]).
+    ///
+    /// [`Deadline::remaining`] deliberately blurs the distinction by
+    /// returning a large wait chunk for `never` — right for condvar
+    /// loops, wrong for callers that would turn the chunk into a *real*
+    /// time budget (e.g. a search deadline). Those callers check here
+    /// first.
+    pub fn is_unbounded(&self) -> bool {
+        self.at.is_none()
+    }
 }
 
 /// An adaptive `Retry-After` hint for shed requests.

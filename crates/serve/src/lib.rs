@@ -37,8 +37,9 @@
 //!
 //! The crate is deliberately backend-agnostic: [`RouteService`] drives
 //! any [`RouteBackend`], and `arp-demo` provides the road-network one.
-//! Request lifecycle: accept → admit → cache probe → fan-out → assemble
-//! (docs/ARCHITECTURE.md walks through it end to end).
+//! Request lifecycle: accept → admit → cache probe → prepare (shared
+//! substrate) → fan-out → assemble (docs/ARCHITECTURE.md walks through
+//! it end to end).
 
 #![warn(missing_docs)]
 

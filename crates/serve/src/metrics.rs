@@ -21,7 +21,9 @@
 //! * `arp_serve_cache_{hits,misses,evictions,stale}_total`,
 //!   `arp_serve_cache_entries` — route-cache behaviour,
 //! * `arp_serve_stage_latency_ms{stage}` — per-stage latency histograms
-//!   (`admit`, `cache_probe`, `compute`, `assemble`),
+//!   (`admit`, `cache_probe`, `prepare`, `compute`, `assemble`; the
+//!   `prepare` stage is the shared-substrate build, see
+//!   [`crate::RouteBackend::prepare`]),
 //! * `arp_serve_request_latency_ms` — end-to-end latency histogram.
 //!
 //! The fault-tolerance layer (DESIGN.md §9) adds:
@@ -120,6 +122,10 @@ pub struct ServeMetrics {
     pub stage_admit: Histogram,
     /// Cache-probe latency.
     pub stage_cache: Histogram,
+    /// Shared-preparation latency ([`crate::RouteBackend::prepare`] —
+    /// the substrate build in the demo backend). Observed only for
+    /// requests with at least one runnable lane.
+    pub stage_prepare: Histogram,
     /// Compute latency (fan-out submit to last lane done).
     pub stage_compute: Histogram,
     /// Response-assembly latency.
@@ -193,6 +199,7 @@ impl ServeMetrics {
             cache: CacheMetrics::new(registry),
             stage_admit: stage("admit"),
             stage_cache: stage("cache_probe"),
+            stage_prepare: stage("prepare"),
             stage_compute: stage("compute"),
             stage_assemble: stage("assemble"),
             total: registry.histogram(

@@ -10,11 +10,15 @@
 //!    with an adaptive `Retry-After` hint scaled by queue pressure),
 //! 2. **probes the cache** per lane, so a repeat query recomputes nothing
 //!    and a partially-cached query recomputes only its missing lanes,
-//! 3. **fans out** the missing lanes onto the worker pool
+//! 3. **prepares** shared per-request artifacts once
+//!    ([`RouteBackend::prepare`] — the demo backend builds the search
+//!    substrate every technique lane then reads), skipped entirely when
+//!    no lane will run,
+//! 4. **fans out** the missing lanes onto the worker pool
 //!    ([`crate::scatter`]), bounded by the request deadline — but only
 //!    lanes whose **circuit breaker** admits them; an open breaker
 //!    short-circuits its lane instantly instead of queueing doomed work,
-//! 4. **assembles** the lanes — in lane order, regardless of completion
+//! 5. **assembles** the lanes — in lane order, regardless of completion
 //!    order — so the response is byte-identical to the serial path.
 //!
 //! Successful lane results are written back to the cache from the worker
@@ -185,7 +189,38 @@ pub trait RouteBackend: Send + Sync + 'static {
 
     /// The cache key for `lane` of `request`. Must encode everything the
     /// lane's result depends on — city, snapped endpoints, technique, k.
+    /// Must not depend on anything [`RouteBackend::prepare`] adds: the
+    /// cache probe runs *before* preparation (a fully-cached request
+    /// never prepares anything).
     fn lane_key(&self, request: &Self::Request, lane: usize) -> String;
+
+    /// Prepares shared per-request artifacts **once**, before the lanes
+    /// fan out — in the demo backend this builds the
+    /// `arp_core::substrate::SearchSubstrate` (forward + backward
+    /// shortest-path trees and the base route) that every technique lane
+    /// then reads instead of recomputing.
+    ///
+    /// Called only when at least one lane will actually run: fully
+    /// cached requests and requests whose every missing lane is
+    /// short-circuited by an open breaker skip preparation entirely.
+    /// `token` is the same per-request [`CancelToken`] the lanes
+    /// observe, and `deadline` is the request deadline — cooperative
+    /// backends bound the preparation by both so an expiring request
+    /// aborts its preparation (and falls back to per-lane
+    /// self-computation) instead of finishing it pointlessly.
+    ///
+    /// Returns the request, augmented with whatever was prepared; the
+    /// augmented request is what the lanes, retries and assembly see.
+    /// The default is the identity — backends opt in.
+    fn prepare(
+        &self,
+        request: Self::Request,
+        token: &CancelToken,
+        deadline: &Deadline,
+    ) -> Self::Request {
+        let _ = (token, deadline);
+        request
+    }
 
     /// Computes one lane. Runs on a worker thread.
     fn compute(&self, request: &Self::Request, lane: usize) -> Result<Self::Part, String>;
@@ -641,7 +676,7 @@ impl<B: RouteBackend> RouteService<B> {
     }
 
     /// Runs one request through the full pipeline.
-    pub fn route(&self, request: B::Request) -> Result<B::Response, ServeError> {
+    pub fn route(&self, mut request: B::Request) -> Result<B::Response, ServeError> {
         let total_timer = self.metrics.total.start_timer();
 
         // Stage 1: admission.
@@ -709,8 +744,18 @@ impl<B: RouteBackend> RouteService<B> {
                 }
             }
 
-            let compute_start = Instant::now();
+            // Stage 3a: shared preparation, once per request — but only
+            // when something will actually run. The backend sees the
+            // same cancel token the lanes observe, so a deadline that
+            // expires mid-preparation aborts it cooperatively.
             let token = CancelToken::new();
+            if !runnable.is_empty() {
+                let prepare_timer = self.metrics.stage_prepare.start_timer();
+                request = self.backend.prepare(request, &token, &deadline);
+                prepare_timer.stop_ms();
+            }
+
+            let compute_start = Instant::now();
             let attempts: Vec<LaneAttempt<B>> = runnable
                 .iter()
                 .map(|&lane| self.attempt(lane, &request, &token))
