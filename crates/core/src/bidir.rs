@@ -12,7 +12,7 @@ use std::collections::BinaryHeap;
 
 use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::ids::{EdgeId, NodeId};
-use arp_roadnet::weight::{Cost, Weight, INFINITY};
+use arp_roadnet::weight::{Cost, Weight, WeightView, CLOSED, INFINITY};
 
 use crate::budget::{SearchBudget, CHECK_INTERVAL};
 use crate::error::CoreError;
@@ -168,6 +168,29 @@ impl BidirSearch {
         Ok(Path::from_edges(net, weights, edges))
     }
 
+    /// [`BidirSearch::shortest_distance`] over any [`WeightView`] (e.g. a
+    /// live-traffic epoch snapshot).
+    pub fn shortest_distance_view<V: WeightView + ?Sized>(
+        &mut self,
+        net: &RoadNetwork,
+        view: &V,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<Cost, CoreError> {
+        self.shortest_distance(net, view.column(), source, target)
+    }
+
+    /// [`BidirSearch::shortest_path`] over any [`WeightView`].
+    pub fn shortest_path_view<V: WeightView + ?Sized>(
+        &mut self,
+        net: &RoadNetwork,
+        view: &V,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<Path, CoreError> {
+        self.shortest_path(net, view.column(), source, target)
+    }
+
     fn run(
         &mut self,
         net: &RoadNetwork,
@@ -244,8 +267,12 @@ impl BidirSearch {
                 self.stats.settled += 1;
                 for e in net.out_edges(NodeId(v)) {
                     self.stats.relaxed += 1;
+                    let w = weights[e.index()];
+                    if w == CLOSED {
+                        continue; // incident closure
+                    }
                     let head = net.head(e).0;
-                    let nd = d + weights[e.index()] as Cost;
+                    let nd = d + w as Cost;
                     if nd < self.df(head) {
                         self.stamp_f[head as usize] = self.generation;
                         self.dist_f[head as usize] = nd;
@@ -275,8 +302,12 @@ impl BidirSearch {
                 self.stats.settled += 1;
                 for e in net.in_edges(NodeId(v)) {
                     self.stats.relaxed += 1;
+                    let w = weights[e.index()];
+                    if w == CLOSED {
+                        continue; // incident closure
+                    }
                     let tail = net.tail(e).0;
-                    let nd = d + weights[e.index()] as Cost;
+                    let nd = d + w as Cost;
                     if nd < self.db(tail) {
                         self.stamp_b[tail as usize] = self.generation;
                         self.dist_b[tail as usize] = nd;
@@ -414,6 +445,33 @@ mod tests {
         assert!(matches!(
             bi.shortest_distance(&net, net.weights(), NodeId(0), NodeId(9)),
             Err(CoreError::InvalidNode(_))
+        ));
+    }
+
+    #[test]
+    fn closed_edges_block_both_directions() {
+        let net = grid(4);
+        let mut bi = BidirSearch::new(&net);
+        let base = bi
+            .shortest_path(&net, net.weights(), NodeId(0), NodeId(15))
+            .unwrap();
+        // Close every edge the base route used; the search must reroute
+        // (the grid has parallel paths) and never traverse a closed edge.
+        let mut overlay = net.weights().to_vec();
+        for &e in &base.edges {
+            overlay[e.index()] = CLOSED;
+        }
+        let alt = bi
+            .shortest_path_view(&net, &overlay, NodeId(0), NodeId(15))
+            .unwrap();
+        for &e in &alt.edges {
+            assert_ne!(overlay[e.index()], CLOSED);
+        }
+        // Close everything: unreachable, not a panic.
+        let all_closed = vec![CLOSED; net.num_edges()];
+        assert!(matches!(
+            bi.shortest_distance_view(&net, &all_closed, NodeId(0), NodeId(15)),
+            Err(CoreError::Unreachable { .. })
         ));
     }
 

@@ -16,7 +16,7 @@ use std::collections::BinaryHeap;
 
 use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::ids::{EdgeId, NodeId};
-use arp_roadnet::weight::{Cost, Weight, INFINITY};
+use arp_roadnet::weight::{Cost, Weight, WeightView, CLOSED, INFINITY};
 
 use crate::budget::{SearchBudget, CHECK_INTERVAL};
 use crate::error::CoreError;
@@ -84,7 +84,10 @@ impl OverlayGraph {
         let mut bwd: Vec<Vec<ChEdge>> = vec![Vec::new(); n];
         for e in net.edges() {
             let (t, h) = (net.tail(e).0, net.head(e).0);
-            if t == h {
+            if t == h || weights[e.index()] == CLOSED {
+                // Self-loops never help; closed edges (live-traffic
+                // incidents) are excluded at build so no shortcut can
+                // tunnel through a closure.
                 continue;
             }
             let edge = ChEdge {
@@ -196,6 +199,16 @@ impl ContractionHierarchy {
     /// Builds the hierarchy for `net` under `weights`.
     pub fn build(net: &RoadNetwork, weights: &[Weight]) -> Result<ContractionHierarchy, CoreError> {
         Self::build_with(net, weights, &ChConfig::default())
+    }
+
+    /// [`ContractionHierarchy::build`] over any [`WeightView`] (e.g. a
+    /// live-traffic epoch snapshot). The index is valid only for the
+    /// epoch it was built on; a tick requires a rebuild.
+    pub fn build_view<V: WeightView + ?Sized>(
+        net: &RoadNetwork,
+        view: &V,
+    ) -> Result<ContractionHierarchy, CoreError> {
+        Self::build(net, view.column())
     }
 
     /// Builds with explicit parameters.
@@ -601,6 +614,32 @@ mod tests {
                 assert_eq!(got, expect, "{s}->{t}");
             }
         }
+    }
+
+    #[test]
+    fn closed_edges_are_excluded_from_the_index() {
+        let net = grid(4);
+        let ws_base = ContractionHierarchy::build(&net, net.weights())
+            .unwrap()
+            .distance(NodeId(0), NodeId(15))
+            .expect("open grid is connected");
+        // Close every out-edge of the source except one: routes must
+        // avoid closures entirely (no shortcut tunnels through).
+        let mut overlay = net.weights().to_vec();
+        let first_out: Vec<EdgeId> = net.out_edges(NodeId(0)).collect();
+        overlay[first_out[0].index()] = CLOSED;
+        let ch = ContractionHierarchy::build_view(&net, &overlay).unwrap();
+        let p = ch
+            .shortest_path(&net, &overlay, NodeId(0), NodeId(15))
+            .unwrap();
+        for &e in &p.edges {
+            assert_ne!(overlay[e.index()], CLOSED);
+        }
+        assert!(p.cost_ms >= ws_base);
+        // Fully-closed graph: unreachable, not a panic.
+        let all_closed = vec![CLOSED; net.num_edges()];
+        let ch = ContractionHierarchy::build(&net, &all_closed).unwrap();
+        assert_eq!(ch.distance(NodeId(0), NodeId(15)), None);
     }
 
     #[test]

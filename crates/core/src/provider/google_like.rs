@@ -14,10 +14,12 @@
 //! §4.2 (overlap pruning, local optimality, comfort ranking), then priced
 //! on the public weights by the caller like every other provider.
 
+use std::borrow::Cow;
+
 use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::geo::Point;
 use arp_roadnet::ids::{EdgeId, NodeId};
-use arp_roadnet::weight::Weight;
+use arp_roadnet::weight::{Weight, CLOSED};
 
 use crate::error::CoreError;
 use crate::filters::{apply_filters, FilterConfig};
@@ -214,6 +216,24 @@ impl AlternativesProvider for GoogleLikeProvider {
             });
         }
         let _timer = self.metrics.begin_call();
+        // Closures are physical ground truth, not a travel-time estimate:
+        // an edge hard-closed in the public column (a live-traffic
+        // incident) is closed for this provider too, even though its
+        // *factors* diverge — a commercial provider disagrees about how
+        // slow a road is, not about whether it exists. Without closures
+        // the private table is borrowed untouched, keeping the
+        // no-overlay path byte-identical to the pre-traffic pipeline.
+        let private: Cow<'_, [Weight]> = if public_weights.contains(&CLOSED) {
+            Cow::Owned(
+                self.private_weights
+                    .iter()
+                    .zip(public_weights)
+                    .map(|(&p, &pub_w)| if pub_w == CLOSED { CLOSED } else { p })
+                    .collect(),
+            )
+        } else {
+            Cow::Borrowed(self.private_weights.as_slice())
+        };
         let mut ws = SearchSpace::new(net);
         ws.set_metrics(self.metrics.search().clone());
         ws.set_budget(budget.clone());
@@ -222,7 +242,7 @@ impl AlternativesProvider for GoogleLikeProvider {
         let result = plateau_alternatives_observed(
             &mut ws,
             net,
-            &self.private_weights,
+            &private,
             source,
             target,
             query,
@@ -243,7 +263,7 @@ impl AlternativesProvider for GoogleLikeProvider {
         let paths = if stats.interrupted {
             paths
         } else {
-            apply_filters(net, &self.private_weights, paths, query.k, &self.filters)
+            apply_filters(net, &private, paths, query.k, &self.filters)
         };
         self.metrics.admitted.add(paths.len() as u64);
         // …but report routes priced on the public data, like the paper's
@@ -378,6 +398,35 @@ mod tests {
             found_mismatch,
             "traffic model too weak: no route choice ever flipped"
         );
+    }
+
+    /// A hard closure in the public column (a live-traffic incident) binds
+    /// the private search too: the provider disagrees about travel times,
+    /// never about whether a road physically exists.
+    #[test]
+    fn public_closures_bind_the_private_search() {
+        use arp_roadnet::weight::CLOSED;
+
+        let net = grid(4);
+        let p = GoogleLikeProvider::new(&net, 99);
+        let q = AltQuery::paper();
+        let target = NodeId(15);
+        let mut weights = net.weights().to_vec();
+        for e in net.edges() {
+            if net.head(e) == target {
+                weights[e.index()] = CLOSED;
+            }
+        }
+        assert!(
+            p.alternatives(&net, &weights, NodeId(0), target, &q)
+                .is_err(),
+            "all roads into the target are closed; the private table must not route"
+        );
+        // And with no closures present the private table is untouched —
+        // routes match the closure-free call exactly.
+        let plain = p.alternatives(&net, net.weights(), NodeId(0), target, &q);
+        let again = p.alternatives(&net, net.weights(), NodeId(0), target, &q);
+        assert_eq!(plain.unwrap(), again.unwrap());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::collections::BinaryHeap;
 
 use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::ids::{EdgeId, NodeId};
-use arp_roadnet::weight::{Cost, Weight, INFINITY};
+use arp_roadnet::weight::{Cost, Weight, WeightView, CLOSED, INFINITY};
 
 use crate::budget::{SearchBudget, CHECK_INTERVAL};
 use crate::error::CoreError;
@@ -247,9 +247,12 @@ impl SearchSpace {
             }
             for e in net.out_edges(NodeId(v)) {
                 self.stats.relaxed += 1;
-                let w = weights[e.index()] as Cost;
+                let w = weights[e.index()];
+                if w == CLOSED {
+                    continue; // incident closure: the edge is not traversable
+                }
                 let head = net.head(e).0;
-                let nd = d + w;
+                let nd = d + w as Cost;
                 if nd < self.get_dist(head) {
                     self.set(head, nd, e);
                     self.heap.push(Reverse(HeapEntry(nd, head)));
@@ -319,7 +322,11 @@ impl SearchSpace {
                 Direction::Forward => {
                     for e in net.out_edges(NodeId(v)) {
                         self.stats.relaxed += 1;
-                        let nd = d + weights[e.index()] as Cost;
+                        let w = weights[e.index()];
+                        if w == CLOSED {
+                            continue;
+                        }
+                        let nd = d + w as Cost;
                         let head = net.head(e).0;
                         if nd < self.get_dist(head) {
                             self.set(head, nd, e);
@@ -330,7 +337,11 @@ impl SearchSpace {
                 Direction::Backward => {
                     for e in net.in_edges(NodeId(v)) {
                         self.stats.relaxed += 1;
-                        let nd = d + weights[e.index()] as Cost;
+                        let w = weights[e.index()];
+                        if w == CLOSED {
+                            continue;
+                        }
+                        let nd = d + w as Cost;
                         let tail = net.tail(e).0;
                         if nd < self.get_dist(tail) {
                             self.set(tail, nd, e);
@@ -401,7 +412,11 @@ impl SearchSpace {
             let d = self.get_dist(v);
             for e in net.out_edges(NodeId(v)) {
                 self.stats.relaxed += 1;
-                let nd = d + weights[e.index()] as Cost;
+                let w = weights[e.index()];
+                if w == CLOSED {
+                    continue;
+                }
+                let nd = d + w as Cost;
                 let head = net.head(e).0;
                 if nd < self.get_dist(head) {
                     self.set(head, nd, e);
@@ -425,6 +440,51 @@ impl SearchSpace {
         }
         edges.reverse();
         Ok(Path::from_edges(net, weights, edges))
+    }
+
+    /// [`SearchSpace::shortest_path`] over any [`WeightView`] (e.g. a
+    /// live-traffic epoch snapshot).
+    pub fn shortest_path_view<V: WeightView + ?Sized>(
+        &mut self,
+        net: &RoadNetwork,
+        view: &V,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<Path, CoreError> {
+        self.shortest_path(net, view.column(), source, target)
+    }
+
+    /// [`SearchSpace::shortest_distance`] over any [`WeightView`].
+    pub fn shortest_distance_view<V: WeightView + ?Sized>(
+        &mut self,
+        net: &RoadNetwork,
+        view: &V,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<Cost, CoreError> {
+        self.shortest_distance(net, view.column(), source, target)
+    }
+
+    /// [`SearchSpace::shortest_path_tree`] over any [`WeightView`].
+    pub fn shortest_path_tree_view<V: WeightView + ?Sized>(
+        &mut self,
+        net: &RoadNetwork,
+        view: &V,
+        root: NodeId,
+        direction: Direction,
+    ) -> Result<ShortestPathTree, CoreError> {
+        self.shortest_path_tree(net, view.column(), root, direction)
+    }
+
+    /// [`SearchSpace::astar`] over any [`WeightView`].
+    pub fn astar_view<V: WeightView + ?Sized>(
+        &mut self,
+        net: &RoadNetwork,
+        view: &V,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<Path, CoreError> {
+        self.astar(net, view.column(), source, target)
     }
 }
 
@@ -574,6 +634,64 @@ mod tests {
         assert_ne!(alt.edges, base.edges);
         // Cost on ORIGINAL weights is at least the shortest.
         assert!(alt.cost_under(net.weights()) >= base.cost_ms);
+    }
+
+    #[test]
+    fn closed_edges_are_not_traversable() {
+        // Path graph 0 -> 1 -> 2; close the only edge into 2.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(0.01, 0.0));
+        let d = b.add_node(Point::new(0.02, 0.0));
+        b.add_edge(a, c, EdgeSpec::default());
+        b.add_edge(c, d, EdgeSpec::default());
+        let net = b.build();
+        let mut ws = SearchSpace::new(&net);
+        ws.shortest_path(&net, net.weights(), NodeId(0), NodeId(2))
+            .unwrap();
+        let mut overlay = net.weights().to_vec();
+        overlay[1] = CLOSED;
+        assert!(matches!(
+            ws.shortest_path(&net, &overlay, NodeId(0), NodeId(2)),
+            Err(CoreError::Unreachable { .. })
+        ));
+        assert!(matches!(
+            ws.astar(&net, &overlay, NodeId(0), NodeId(2)),
+            Err(CoreError::Unreachable { .. })
+        ));
+        let fwd = ws
+            .shortest_path_tree(&net, &overlay, NodeId(0), Direction::Forward)
+            .unwrap();
+        assert!(!fwd.reached(NodeId(2)));
+        let bwd = ws
+            .shortest_path_tree(&net, &overlay, NodeId(2), Direction::Backward)
+            .unwrap();
+        assert!(!bwd.reached(NodeId(0)));
+    }
+
+    #[test]
+    fn view_entry_points_match_slice_entry_points() {
+        let net = grid(4);
+        let mut ws = SearchSpace::new(&net);
+        let by_slice = ws
+            .shortest_path(&net, net.weights(), NodeId(0), NodeId(15))
+            .unwrap();
+        let column: Vec<Weight> = net.weights().to_vec();
+        let by_view = ws
+            .shortest_path_view(&net, &column, NodeId(0), NodeId(15))
+            .unwrap();
+        assert_eq!(by_slice.edges, by_view.edges);
+        assert_eq!(
+            ws.shortest_distance_view(&net, &column, NodeId(0), NodeId(15))
+                .unwrap(),
+            by_slice.cost_ms
+        );
+        let a = ws.astar_view(&net, &column, NodeId(0), NodeId(15)).unwrap();
+        assert_eq!(a.cost_ms, by_slice.cost_ms);
+        let tree = ws
+            .shortest_path_tree_view(&net, &column, NodeId(0), Direction::Forward)
+            .unwrap();
+        assert_eq!(tree.distance(NodeId(15)), by_slice.cost_ms);
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub struct SearchSubstrate {
     target: NodeId,
     num_nodes: usize,
     num_edges: usize,
+    epoch: u64,
     forward: ShortestPathTree,
     backward: ShortestPathTree,
     base: Path,
@@ -106,11 +107,27 @@ impl SearchSubstrate {
             target,
             num_nodes: net.num_nodes(),
             num_edges: net.num_edges(),
+            epoch: 0,
             forward,
             backward,
             base,
             build_stats,
         })
+    }
+
+    /// Stamps the substrate with the traffic **epoch** of the weight
+    /// column it was built on (0 = the base, un-overlaid weights).
+    /// [`SearchSubstrate::matches`] then rejects reuse across epochs,
+    /// turning the "keep overlay and substrate paired" contract from a
+    /// convention into a checked guard.
+    pub fn with_epoch(mut self, epoch: u64) -> SearchSubstrate {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The traffic epoch this substrate was built on.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The request's source vertex (the forward tree's root).
@@ -159,17 +176,20 @@ impl SearchSubstrate {
     }
 
     /// Whether this substrate answers (`source`, `target`) on a network
-    /// of the same shape. Providers call this before reusing an injected
-    /// substrate and self-compute on a mismatch, so a stale or misrouted
-    /// substrate degrades to correct (if slower) behaviour instead of
-    /// wrong routes. The *weight overlay* is not fingerprinted (that
-    /// would cost O(E) per check); keeping overlay and substrate paired
-    /// is the supplier's contract.
-    pub fn matches(&self, net: &RoadNetwork, source: NodeId, target: NodeId) -> bool {
+    /// of the same shape **at `epoch`**. Providers call this before
+    /// reusing an injected substrate and self-compute on a mismatch, so
+    /// a stale or misrouted substrate degrades to correct (if slower)
+    /// behaviour instead of wrong routes. The epoch check rejects
+    /// cross-epoch reuse after a live-traffic tick; within one epoch the
+    /// *weight overlay* is still not fingerprinted (that would cost O(E)
+    /// per check) — keeping overlay and substrate paired is the
+    /// supplier's contract.
+    pub fn matches(&self, net: &RoadNetwork, source: NodeId, target: NodeId, epoch: u64) -> bool {
         self.source == source
             && self.target == target
             && self.num_nodes == net.num_nodes()
             && self.num_edges == net.num_edges()
+            && self.epoch == epoch
     }
 }
 
@@ -183,31 +203,55 @@ impl SearchSubstrate {
 pub struct ProviderContext<'a> {
     /// The shared substrate, if one was prepared for this request.
     pub substrate: Option<&'a SearchSubstrate>,
+    /// The traffic epoch the *request* is pinned to (0 = base weights).
+    /// [`ProviderContext::substrate_for`] only hands out the substrate
+    /// when its own epoch stamp matches, so a substrate prepared before
+    /// a live-traffic tick is never mixed into a post-tick request.
+    pub epoch: u64,
 }
 
 impl<'a> ProviderContext<'a> {
     /// A context carrying nothing: providers self-compute.
     pub fn empty() -> ProviderContext<'static> {
-        ProviderContext { substrate: None }
-    }
-
-    /// A context carrying a prepared substrate.
-    pub fn with_substrate(substrate: &'a SearchSubstrate) -> ProviderContext<'a> {
         ProviderContext {
-            substrate: Some(substrate),
+            substrate: None,
+            epoch: 0,
         }
     }
 
-    /// The substrate, but only if it matches this call's endpoints and
-    /// network shape ([`SearchSubstrate::matches`]); `None` otherwise,
-    /// which sends the provider down its self-computing path.
+    /// A context carrying a prepared substrate (epoch 0 = base weights).
+    pub fn with_substrate(substrate: &'a SearchSubstrate) -> ProviderContext<'a> {
+        ProviderContext {
+            substrate: Some(substrate),
+            epoch: 0,
+        }
+    }
+
+    /// A context carrying a prepared substrate for a request pinned to
+    /// `epoch`. The substrate must carry the same stamp
+    /// ([`SearchSubstrate::with_epoch`]) to be reused.
+    pub fn with_substrate_at_epoch(
+        substrate: &'a SearchSubstrate,
+        epoch: u64,
+    ) -> ProviderContext<'a> {
+        ProviderContext {
+            substrate: Some(substrate),
+            epoch,
+        }
+    }
+
+    /// The substrate, but only if it matches this call's endpoints,
+    /// network shape and the request's epoch
+    /// ([`SearchSubstrate::matches`]); `None` otherwise, which sends the
+    /// provider down its self-computing path.
     pub fn substrate_for(
         &self,
         net: &RoadNetwork,
         source: NodeId,
         target: NodeId,
     ) -> Option<&'a SearchSubstrate> {
-        self.substrate.filter(|s| s.matches(net, source, target))
+        self.substrate
+            .filter(|s| s.matches(net, source, target, self.epoch))
     }
 }
 
@@ -354,5 +398,27 @@ mod tests {
         assert!(ctx.substrate_for(&other, s, t).is_none());
         // The empty context never offers one.
         assert!(ProviderContext::empty().substrate_for(&net, s, t).is_none());
+    }
+
+    #[test]
+    fn cross_epoch_reuse_is_rejected() {
+        let net = grid(6);
+        let (s, t) = (NodeId(0), NodeId(35));
+        let sub = SearchSubstrate::build(&net, net.weights(), s, t, &SearchBudget::unlimited())
+            .unwrap()
+            .with_epoch(7);
+        assert_eq!(sub.epoch(), 7);
+        assert!(sub.matches(&net, s, t, 7));
+        assert!(!sub.matches(&net, s, t, 8), "post-tick reuse must fail");
+        assert!(!sub.matches(&net, s, t, 0));
+        // The context only offers the substrate at its own epoch.
+        let ctx = ProviderContext::with_substrate_at_epoch(&sub, 7);
+        assert!(ctx.substrate_for(&net, s, t).is_some());
+        let stale = ProviderContext::with_substrate_at_epoch(&sub, 8);
+        assert!(stale.substrate_for(&net, s, t).is_none());
+        // The epoch-0 constructor pairs only with epoch-0 substrates.
+        assert!(ProviderContext::with_substrate(&sub)
+            .substrate_for(&net, s, t)
+            .is_none());
     }
 }

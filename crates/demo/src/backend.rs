@@ -47,9 +47,14 @@ impl RouteBackend for DemoBackend {
     }
 
     fn lane_key(&self, request: &PreparedQuery, lane: usize) -> String {
-        // Keyed on the snapped endpoints only: the substrate is derived
-        // state, and the cache probe runs before `prepare` anyway.
-        self.processor.slot_cache_key(&request.snapped, lane)
+        // Keyed on the snapped endpoints plus the request's pinned traffic
+        // epoch: a tick moves every key forward, so stale routes can never
+        // be served while untouched shards simply age out. The substrate is
+        // derived state and stays out of the key; the cache probe runs
+        // before `prepare` anyway, which is exactly why the epoch is pinned
+        // at request construction rather than in `prepare`.
+        self.processor
+            .slot_cache_key_at(&request.snapped, lane, request.epoch())
     }
 
     fn prepare(
@@ -72,7 +77,8 @@ impl RouteBackend for DemoBackend {
                     None => return request,
                 }
             }
-            request.substrate = self.processor.prepare_substrate(&request.snapped, &budget);
+            let substrate = self.processor.prepare_substrate(&request, &budget);
+            request.substrate = substrate;
         }
         request
     }
@@ -85,7 +91,9 @@ impl RouteBackend for DemoBackend {
     }
 
     fn assemble(&self, request: &PreparedQuery, parts: Vec<ApproachRoutes>) -> QueryResponse {
-        self.processor.assemble(&request.snapped, parts)
+        let mut response = self.processor.assemble(&request.snapped, parts);
+        response.epoch = request.epoch();
+        response
     }
 
     fn compute_cancellable(
@@ -114,7 +122,9 @@ impl RouteBackend for DemoBackend {
         request: &PreparedQuery,
         parts: Vec<Option<ApproachRoutes>>,
     ) -> Option<QueryResponse> {
-        self.processor.assemble_partial(&request.snapped, parts)
+        let mut response = self.processor.assemble_partial(&request.snapped, parts)?;
+        response.epoch = request.epoch();
+        Some(response)
     }
 
     fn assemble_degraded(
@@ -123,8 +133,11 @@ impl RouteBackend for DemoBackend {
         parts: Vec<Option<ApproachRoutes>>,
         statuses: &[LaneStatus],
     ) -> Option<QueryResponse> {
-        self.processor
-            .assemble_degraded(&request.snapped, parts, statuses)
+        let mut response = self
+            .processor
+            .assemble_degraded(&request.snapped, parts, statuses)?;
+        response.epoch = request.epoch();
+        Some(response)
     }
 }
 
@@ -393,7 +406,10 @@ mod tests {
             target: q.source,
         };
         assert!(qp
-            .prepare_substrate(&same, &arp_core::SearchBudget::unlimited())
+            .prepare_substrate(
+                &PreparedQuery::new(same),
+                &arp_core::SearchBudget::unlimited()
+            )
             .is_none());
     }
 

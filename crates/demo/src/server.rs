@@ -12,7 +12,13 @@
 //! * `GET  /api/metrics`  — Prometheus text exposition of every counter
 //!   and histogram in the processor's [`arp_obs::Registry`],
 //! * `GET  /api/health`   — serving health: verdict, queue pressure,
-//!   per-technique breaker states, cache occupancy.
+//!   per-technique breaker states, cache occupancy, and the live-traffic
+//!   state (current graph epoch, overlay size, active closures),
+//! * `POST /api/traffic`  — applies a traffic delta (either raw grammar,
+//!   `cat:primary*1.8; close:412@3`, or wrapped as `{"delta": "…"}`);
+//!   success bumps the graph epoch atomically, so subsequent routes see
+//!   the new weights while in-flight requests finish on the epoch they
+//!   pinned at admission.
 //!
 //! Every request increments `arp_http_requests_total{endpoint,status}` and
 //! feeds `arp_http_request_latency_ms{endpoint}`; unknown paths share the
@@ -177,6 +183,7 @@ impl DemoApp {
             ("GET", "/api/results.csv") => "results_csv",
             ("GET", "/api/metrics") => "metrics",
             ("GET", "/api/health") => "health",
+            ("POST", "/api/traffic") => "traffic",
             _ => "other",
         }
     }
@@ -233,6 +240,7 @@ impl DemoApp {
                 retry_after: None,
             },
             ("GET", "/api/health") => self.health(),
+            ("POST", "/api/traffic") => self.traffic(body),
             ("GET", _) | ("POST", _) => {
                 HttpResponse::error(404, format!("no such endpoint {path}"))
             }
@@ -318,10 +326,11 @@ impl DemoApp {
             ) => return HttpResponse::error(400, e.to_string()),
             Err(e) => return HttpResponse::error(500, e.to_string()),
         };
-        match self
-            .service
-            .route(crate::query::PreparedQuery::new(snapped))
-        {
+        // Pin the current traffic epoch *here*, before the serving
+        // pipeline's cache probe: the lane keys fold the epoch in, so a
+        // tick that lands after this line can never hand this request a
+        // route computed under different weights (and vice versa).
+        match self.service.route(self.processor.prepare_query(snapped)) {
             Ok(resp) => Self::render_route_response(&resp),
             Err(e) => HttpResponse::serve_error(&e),
         }
@@ -373,6 +382,10 @@ impl DemoApp {
             // "some alternatives were cut short". 504 is reserved for
             // requests where nothing finished at all.
             ("truncated", Json::Bool(resp.truncated)),
+            // The traffic epoch every route in this response was computed
+            // under — one value for the whole response, because the epoch
+            // is pinned per request, never per lane.
+            ("epoch", Json::Number(resp.epoch as f64)),
             ("geojson", Json::str(response_to_geojson(resp))),
         ];
         // Degraded responses (a lane failed or its breaker was open) name
@@ -392,6 +405,56 @@ impl DemoApp {
             ));
         }
         HttpResponse::ok_json(Json::object(fields))
+    }
+
+    /// `POST /api/traffic` — ingests a traffic delta and bumps the graph
+    /// epoch atomically.
+    ///
+    /// The body is either raw delta grammar
+    /// (`cat:primary*1.8; close:412@3; reopen:9; clear`) or a JSON object
+    /// `{"delta": "<grammar>"}` — the JSON form exists so callers already
+    /// speaking JSON to this API never need a second content type. A
+    /// delta is all-or-nothing: one invalid statement rejects the whole
+    /// body with a 400 and the epoch does not move. On success the reply
+    /// carries the new epoch, the number of operations applied, and the
+    /// closure count; the route cache's logical invalidations are
+    /// recorded against `arp_serve_cache_epoch_invalidations_total`.
+    ///
+    /// Operator endpoint: like `/api/health` it is not participant-facing
+    /// and does not touch the blinding.
+    fn traffic(&self, body: &str) -> HttpResponse {
+        let text = match json::parse(body) {
+            Ok(v) => match v.get("delta").and_then(Json::as_str) {
+                Some(s) => s.to_string(),
+                None => {
+                    return HttpResponse::error(
+                        400,
+                        "JSON body must carry a \"delta\" string (or send raw delta grammar)",
+                    )
+                }
+            },
+            // Not JSON: treat the body as raw delta grammar.
+            Err(_) => body.to_string(),
+        };
+        let delta = match arp_traffic::TrafficDelta::parse(&text) {
+            Ok(d) => d,
+            Err(e) => return HttpResponse::error(400, e.to_string()),
+        };
+        match self.processor.traffic().apply_delta(&delta) {
+            Ok(outcome) => {
+                self.service.note_epoch_invalidations();
+                HttpResponse::ok_json(Json::object([
+                    ("epoch", Json::Number(outcome.epoch as f64)),
+                    ("applied", Json::Number(outcome.applied as f64)),
+                    ("expired", Json::Number(outcome.expired as f64)),
+                    (
+                        "closures_active",
+                        Json::Number(outcome.closures_active as f64),
+                    ),
+                ]))
+            }
+            Err(e) => HttpResponse::error(400, e.to_string()),
+        }
     }
 
     fn rate(&self, body: &str) -> HttpResponse {
@@ -439,6 +502,7 @@ impl DemoApp {
     /// responses.
     fn health(&self) -> HttpResponse {
         let report = self.service.health();
+        let snapshot = self.processor.traffic().snapshot();
         let status = match report.verdict {
             arp_serve::HealthVerdict::Unhealthy => 503,
             _ => 200,
@@ -462,6 +526,14 @@ impl DemoApp {
                     ("entries", Json::Number(report.cache_entries as f64)),
                     ("hits", Json::Number(report.cache_hits as f64)),
                     ("misses", Json::Number(report.cache_misses as f64)),
+                ]),
+            ),
+            (
+                "traffic",
+                Json::object([
+                    ("epoch", Json::Number(snapshot.epoch() as f64)),
+                    ("overlay_size", Json::Number(snapshot.overlay_size() as f64)),
+                    ("closures_active", Json::Number(snapshot.closures() as f64)),
                 ]),
             ),
         ]);
@@ -1021,6 +1093,127 @@ mod tests {
             Some("open"),
             "{}",
             resp.body
+        );
+    }
+
+    /// A delta through `POST /api/traffic` bumps the epoch, logically
+    /// invalidates every cached route (they were keyed under the old
+    /// epoch), and the next route request recomputes under — and reports
+    /// — the new epoch.
+    #[test]
+    fn traffic_endpoint_bumps_the_epoch_and_invalidates_cached_routes() {
+        let app = app();
+        let body = route_body(&app);
+
+        let first = app.handle("POST", "/api/route", &body);
+        assert_eq!(first.status, 200, "{}", first.body);
+        let v = json::parse(&first.body).unwrap();
+        assert_eq!(v.get("epoch").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(
+            app.registry
+                .counter_value("arp_serve_cache_misses_total", &[]),
+            4
+        );
+
+        // Slow every residential street down 2×.
+        let resp = app.handle(
+            "POST",
+            "/api/traffic",
+            r#"{"delta": "cat:residential*2.0"}"#,
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("epoch").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(v.get("applied").and_then(Json::as_f64), Some(1.0));
+
+        // All four cached lanes became logically unreachable.
+        assert_eq!(
+            app.registry
+                .counter_value("arp_serve_cache_epoch_invalidations_total", &[]),
+            4
+        );
+
+        // Health reports the new epoch and the overlay size.
+        let health = app.handle("GET", "/api/health", "");
+        let v = json::parse(&health.body).unwrap();
+        let traffic = v.get("traffic").unwrap();
+        assert_eq!(traffic.get("epoch").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            traffic.get("overlay_size").and_then(Json::as_f64),
+            Some(1.0)
+        );
+
+        // The same query now misses the cache (old keys are dead) and the
+        // response carries the new epoch.
+        let second = app.handle("POST", "/api/route", &body);
+        assert_eq!(second.status, 200, "{}", second.body);
+        let v = json::parse(&second.body).unwrap();
+        assert_eq!(v.get("epoch").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            app.registry
+                .counter_value("arp_serve_cache_misses_total", &[]),
+            8,
+            "epoch bump must invalidate all four cached lanes"
+        );
+
+        // A raw-grammar body (no JSON wrapper) works too.
+        let resp = app.handle("POST", "/api/traffic", "close:0@2; cat:primary*1.5");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("epoch").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(v.get("closures_active").and_then(Json::as_f64), Some(1.0));
+    }
+
+    /// Invalid deltas are rejected whole — a 400, and the epoch does not
+    /// move (atomicity is observable from the outside).
+    #[test]
+    fn traffic_endpoint_rejects_bad_deltas_without_moving_the_epoch() {
+        let app = app();
+        for bad in [
+            r#"{"delta": "cat:nope*2.0"}"#,                  // unknown category
+            r#"{"delta": "cat:primary*0.5"}"#,               // speed-up: factor < 1
+            r#"{"delta": "edge:999999999*2.0"}"#,            // edge out of range
+            r#"{"delta": "cat:primary*1.5; close:banana"}"#, // one bad statement kills all
+            r#"{"wrong_key": "clear"}"#,                     // JSON without "delta"
+            "total : nonsense",                              // unparseable raw grammar
+        ] {
+            let resp = app.handle("POST", "/api/traffic", bad);
+            assert_eq!(resp.status, 400, "{bad} → {}", resp.body);
+        }
+        assert_eq!(app.processor.traffic().epoch(), 0, "epoch must not move");
+    }
+
+    /// The Prometheus exposition content type, checked on a real socket:
+    /// scrapers key their parser off the `version=0.0.4` parameter, so
+    /// the header must survive the wire, not just the in-process handler.
+    #[test]
+    fn metrics_content_type_is_prometheus_text_on_the_wire() {
+        let app = Arc::new(app());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = ShutdownHandle::new();
+        let server = {
+            let app = Arc::clone(&app);
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || serve_with_shutdown(app, listener, shutdown))
+        };
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET /api/metrics HTTP/1.1\r\nHost: localhost\r\n\r\n"
+        )
+        .unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        shutdown.request_shutdown();
+        server.join().unwrap().unwrap();
+
+        assert!(buf.starts_with("HTTP/1.1 200 OK"), "{buf}");
+        let (head, _) = buf.split_once("\r\n\r\n").expect("header/body split");
+        assert!(
+            head.lines()
+                .any(|l| l.eq_ignore_ascii_case("Content-Type: text/plain; version=0.0.4")),
+            "exposition content type missing on the wire: {head}"
         );
     }
 

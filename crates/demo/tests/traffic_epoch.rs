@@ -1,0 +1,209 @@
+//! The traffic subsystem's serving-layer acceptance tests.
+//!
+//! The central one is adversarial: bump the graph epoch continuously while
+//! request threads hammer the serving pipeline, and prove that **no
+//! response ever mixes epochs** — every route in every response re-costs
+//! *exactly* (millisecond for millisecond, edge by edge) under the weight
+//! column of the single epoch the response claims. A torn read — one lane
+//! computed under the old weights, another under the new — would make at
+//! least one route's edge-sum disagree with its priced cost, because
+//! consecutive epochs here always differ on every residential edge.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use arp_citygen::{City, Scale};
+use arp_demo::query::QueryProcessor;
+use arp_demo::DemoBackend;
+use arp_roadnet::weight::Weight;
+use arp_serve::{RouteService, ServeConfig, ServeMetrics};
+use arp_traffic::TrafficDelta;
+
+#[test]
+fn epoch_bump_mid_load_never_serves_a_mixed_epoch_route() {
+    let g = arp_citygen::generate(City::Melbourne, Scale::Small, 7);
+    let qp = Arc::new(QueryProcessor::new(g.name.clone(), g.network, 7));
+    let service = Arc::new(RouteService::with_metrics(
+        DemoBackend::new(Arc::clone(&qp)),
+        ServeConfig::default(),
+        ServeMetrics::default(),
+    ));
+
+    // Epoch → weight column, as published. The ticker records each column
+    // right after its swap; requesters only *read* the map after every
+    // thread has joined, so a response stamped with epoch N always finds
+    // column N here.
+    let columns: Mutex<HashMap<u64, Arc<Vec<Weight>>>> = Mutex::new(HashMap::new());
+    let columns = Arc::new(columns);
+    {
+        let snap = qp.traffic().snapshot();
+        columns
+            .lock()
+            .unwrap()
+            .insert(snap.epoch(), Arc::clone(snap.weights()));
+    }
+
+    let bb = qp.network().bbox();
+    let endpoints = [
+        (0.30, 0.60, 0.75, 0.75),
+        (0.20, 0.30, 0.80, 0.70),
+        (0.40, 0.20, 0.60, 0.85),
+    ];
+    let queries: Vec<_> = endpoints
+        .iter()
+        .map(|&(sx, sy, tx, ty)| {
+            let s = arp_roadnet::geo::Point::new(
+                bb.min_lon + bb.width_deg() * sx,
+                bb.min_lat + bb.height_deg() * sy,
+            );
+            let t = arp_roadnet::geo::Point::new(
+                bb.min_lon + bb.width_deg() * tx,
+                bb.min_lat + bb.height_deg() * ty,
+            );
+            qp.snap(s, t).expect("inner points snap")
+        })
+        .collect();
+
+    // The ticker: a dozen swaps, each making *every* residential edge
+    // strictly slower than the previous epoch, so any two epochs disagree
+    // on any route touching a residential street — and small-scale cities
+    // are mostly residential, so torn lanes cannot re-cost cleanly.
+    let ticker = {
+        let qp = Arc::clone(&qp);
+        let columns = Arc::clone(&columns);
+        thread::spawn(move || {
+            for round in 0..12u32 {
+                let factor = 1.0 + 0.1 * f64::from(round + 1);
+                let delta = TrafficDelta::parse(&format!("cat:residential*{factor:.3}")).unwrap();
+                let outcome = qp.traffic().apply_delta(&delta).unwrap();
+                let snap = qp.traffic().snapshot();
+                assert_eq!(snap.epoch(), outcome.epoch);
+                columns
+                    .lock()
+                    .unwrap()
+                    .insert(snap.epoch(), Arc::clone(snap.weights()));
+                thread::sleep(Duration::from_millis(3));
+            }
+        })
+    };
+
+    // The requesters: pin an epoch per request (exactly what the HTTP
+    // handler does), route through the full serving pipeline — cache,
+    // fan-out, assembly — and keep every response for post-hoc audit.
+    let mut workers = Vec::new();
+    for worker in 0..3 {
+        let qp = Arc::clone(&qp);
+        let service = Arc::clone(&service);
+        let queries = queries.clone();
+        workers.push(thread::spawn(move || {
+            let mut responses = Vec::new();
+            for i in 0..25 {
+                let snapped = queries[(worker + i) % queries.len()];
+                let prepared = qp.prepare_query(snapped);
+                let resp = service.route(prepared).expect("healthy service must route");
+                responses.push(resp);
+            }
+            responses
+        }));
+    }
+    let responses: Vec<_> = workers
+        .into_iter()
+        .flat_map(|w| w.join().unwrap())
+        .collect();
+    ticker.join().unwrap();
+
+    // Audit: every route re-costs exactly under its response's epoch.
+    let columns = columns.lock().unwrap();
+    let mut epochs_seen = std::collections::BTreeSet::new();
+    for resp in &responses {
+        epochs_seen.insert(resp.epoch);
+        let weights = columns
+            .get(&resp.epoch)
+            .unwrap_or_else(|| panic!("response stamped with unpublished epoch {}", resp.epoch));
+        for approach in &resp.approaches {
+            for route in &approach.routes {
+                let recosted: u64 = route
+                    .edges
+                    .iter()
+                    .map(|&e| u64::from(weights[e.index()]))
+                    .sum();
+                assert_eq!(
+                    recosted, route.cost_ms,
+                    "approach {} route does not re-cost under epoch {} — a mixed-epoch \
+                     response leaked through the serving pipeline",
+                    approach.label, resp.epoch
+                );
+            }
+        }
+    }
+    assert!(
+        epochs_seen.len() >= 2,
+        "the load must actually straddle an epoch bump (saw {epochs_seen:?})"
+    );
+}
+
+/// Closing the only edge into the target degrades each lane — an
+/// `Unreachable` per technique, surfaced as a failed request — without
+/// panicking anywhere in the stack, and reopening restores service.
+#[test]
+fn only_path_closure_degrades_per_lane_and_reopening_restores_service() {
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::geo::Point;
+
+    // A 3-node chain; the middle edge pair is the only way across.
+    let mut b = GraphBuilder::new();
+    let n0 = b.add_node(Point::new(144.00, -37.00));
+    let n1 = b.add_node(Point::new(144.01, -37.00));
+    let n2 = b.add_node(Point::new(144.02, -37.00));
+    b.add_bidirectional(n0, n1, EdgeSpec::default());
+    b.add_bidirectional(n1, n2, EdgeSpec::default());
+    let net = b.build();
+
+    // Find both directed edges of the n1↔n2 pair: with them closed, n2 is
+    // unreachable from n0 and vice versa.
+    let cut: Vec<u32> = net
+        .edges()
+        .filter(|&e| {
+            (net.tail(e) == n1 && net.head(e) == n2) || (net.tail(e) == n2 && net.head(e) == n1)
+        })
+        .map(|e| e.0)
+        .collect();
+    assert_eq!(cut.len(), 2);
+
+    let qp = Arc::new(QueryProcessor::new("Chain", net, 1));
+    let service = RouteService::with_metrics(
+        DemoBackend::new(Arc::clone(&qp)),
+        ServeConfig::default(),
+        ServeMetrics::default(),
+    );
+    let snapped = arp_demo::SnappedQuery {
+        source: n0,
+        target: n2,
+    };
+
+    // Open: the pair routes.
+    let open = service.route(qp.prepare_query(snapped)).unwrap();
+    assert_eq!(open.epoch, 0);
+    assert!(open.approaches.iter().any(|a| !a.routes.is_empty()));
+
+    // Closed: every lane reports its own Unreachable; the service answers
+    // with AllLanesFailed — an error response, never a panic.
+    let statements: Vec<String> = cut.iter().map(|e| format!("close:{e}")).collect();
+    let delta = TrafficDelta::parse(&statements.join("; ")).unwrap();
+    qp.traffic().apply_delta(&delta).unwrap();
+    let closed = service.route(qp.prepare_query(snapped));
+    assert!(
+        matches!(closed, Err(arp_serve::ServeError::AllLanesFailed { .. })),
+        "{closed:?}"
+    );
+
+    // Reopened: service restored, on a fresh epoch, same routes as before.
+    let statements: Vec<String> = cut.iter().map(|e| format!("reopen:{e}")).collect();
+    let delta = TrafficDelta::parse(&statements.join("; ")).unwrap();
+    qp.traffic().apply_delta(&delta).unwrap();
+    let reopened = service.route(qp.prepare_query(snapped)).unwrap();
+    assert_eq!(reopened.epoch, 2);
+    assert_eq!(reopened.fastest_minutes, open.fastest_minutes);
+}

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # arp-obs
 //!
 //! Dependency-free observability for the alternative-route-planning

@@ -21,6 +21,66 @@ pub type Cost = u64;
 /// Sentinel for "unreached" distance labels.
 pub const INFINITY: Cost = u64::MAX;
 
+/// Sentinel weight for a **closed** edge (live-traffic incident
+/// closures). Search engines skip edges carrying this weight entirely,
+/// so a closure behaves like edge removal, not like a very slow road.
+///
+/// `u32::MAX` never occurs naturally: [`WeightConfig::travel_time_ms`],
+/// [`apply_penalty`] and [`scale_weight`] all saturate at
+/// `u32::MAX - 1` (which the ESX/Yen drivers use as their own *soft*
+/// block — a huge-but-traversable weight — so the two sentinels stay
+/// distinct).
+pub const CLOSED: Weight = u32::MAX;
+
+/// True if `weight` is the [`CLOSED`] closure sentinel.
+#[inline]
+pub fn is_closed(weight: Weight) -> bool {
+    weight == CLOSED
+}
+
+/// A read view over one coherent edge-weight column.
+///
+/// Everything in the workspace that searches takes an explicit
+/// `&[Weight]` indexed by `EdgeId`; this trait names that contract so a
+/// live-traffic overlay (an epoch-stamped, materialized weight column)
+/// and the plain base column are interchangeable at every engine entry
+/// point. `column()` must return a slice of length `num_edges` whose
+/// values already include any overlay factors — engines never recompute
+/// `base × factor` per relaxation, so an identity overlay costs nothing.
+pub trait WeightView {
+    /// The effective weight column, indexed by `EdgeId`.
+    fn column(&self) -> &[Weight];
+
+    /// Epoch stamp of the column (0 = the base, un-overlaid weights).
+    /// Cache keys and substrate-reuse guards compare this to reject
+    /// cross-epoch mixing.
+    fn epoch(&self) -> u64 {
+        0
+    }
+}
+
+impl WeightView for [Weight] {
+    fn column(&self) -> &[Weight] {
+        self
+    }
+}
+
+impl WeightView for Vec<Weight> {
+    fn column(&self) -> &[Weight] {
+        self
+    }
+}
+
+impl<T: WeightView + ?Sized> WeightView for &T {
+    fn column(&self) -> &[Weight] {
+        (**self).column()
+    }
+
+    fn epoch(&self) -> u64 {
+        (**self).epoch()
+    }
+}
+
 /// Converts milliseconds to whole display minutes, rounding half-up — the
 /// demo system "rounds to display time in minutes" (§3).
 pub fn ms_to_display_minutes(ms: Cost) -> u64 {
@@ -103,11 +163,38 @@ impl WeightConfig {
 
 /// Saturating multiplication of an edge weight by a penalty factor,
 /// as used by the Penalty technique (factor 1.4 in the paper).
+///
+/// The [`CLOSED`] sentinel is preserved: penalizing a closed edge must
+/// not turn it back into a (very slow) traversable one.
 pub fn apply_penalty(weight: Weight, factor: f64) -> Weight {
     debug_assert!(factor >= 1.0);
+    if weight == CLOSED {
+        return CLOSED;
+    }
     let w = (weight as f64 * factor).round();
     if w >= u32::MAX as f64 {
         u32::MAX - 1
+    } else {
+        w as Weight
+    }
+}
+
+/// Saturating multiplication of an edge weight by a live-traffic factor
+/// (rush-hour congestion). Like [`apply_penalty`] but keeps a floor of
+/// 1 ms on positive weights (Dijkstra's strict-positivity invariant) and
+/// preserves both the zero weight of zero-length segments and the
+/// [`CLOSED`] sentinel. A factor of exactly `1.0` returns `weight`
+/// unchanged, bit for bit — the identity-overlay guarantee.
+pub fn scale_weight(weight: Weight, factor: f64) -> Weight {
+    debug_assert!(factor >= 1.0);
+    if weight == CLOSED || weight == 0 {
+        return weight;
+    }
+    let w = (weight as f64 * factor).round();
+    if w >= (u32::MAX - 1) as f64 {
+        u32::MAX - 1
+    } else if w < 1.0 {
+        1
     } else {
         w as Weight
     }
@@ -191,5 +278,36 @@ mod tests {
     fn penalty_multiplies_and_saturates() {
         assert_eq!(apply_penalty(1000, 1.4), 1400);
         assert_eq!(apply_penalty(u32::MAX - 1, 1.4), u32::MAX - 1);
+    }
+
+    #[test]
+    fn penalty_preserves_the_closed_sentinel() {
+        assert_eq!(apply_penalty(CLOSED, 1.4), CLOSED);
+        assert!(is_closed(apply_penalty(CLOSED, 1.0)));
+    }
+
+    #[test]
+    fn scale_weight_identity_is_exact() {
+        for w in [0u32, 1, 37, 93_600, u32::MAX - 1, CLOSED] {
+            assert_eq!(scale_weight(w, 1.0), w, "{w}");
+        }
+    }
+
+    #[test]
+    fn scale_weight_preserves_sentinels_and_floors() {
+        assert_eq!(scale_weight(CLOSED, 2.0), CLOSED);
+        assert_eq!(scale_weight(0, 2.0), 0);
+        assert_eq!(scale_weight(1000, 1.5), 1500);
+        assert_eq!(scale_weight(u32::MAX - 1, 10.0), u32::MAX - 1);
+    }
+
+    #[test]
+    fn weight_view_over_plain_slices() {
+        let column = vec![1u32, 2, 3];
+        let view: &dyn WeightView = &column;
+        assert_eq!(view.column(), &[1, 2, 3]);
+        assert_eq!(view.epoch(), 0);
+        let slice: &[Weight] = &column;
+        assert_eq!(slice.column(), &[1, 2, 3]);
     }
 }

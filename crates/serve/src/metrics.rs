@@ -20,6 +20,9 @@
 //!   queue was full,
 //! * `arp_serve_cache_{hits,misses,evictions,stale}_total`,
 //!   `arp_serve_cache_entries` — route-cache behaviour,
+//! * `arp_serve_cache_epoch_invalidations_total` — cached routes
+//!   logically invalidated by a traffic-epoch bump (lazily aged out of
+//!   their shards, never swept),
 //! * `arp_serve_stage_latency_ms{stage}` — per-stage latency histograms
 //!   (`admit`, `cache_probe`, `prepare`, `compute`, `assemble`; the
 //!   `prepare` stage is the shared-substrate build, see
@@ -53,6 +56,13 @@ pub struct CacheMetrics {
     pub stale: Counter,
     /// Current number of live entries.
     pub entries: Gauge,
+    /// Entries invalidated by a traffic-epoch bump: every cached route
+    /// keyed under an older epoch becomes unreachable the moment the tick
+    /// lands (the backend folds the epoch into the lane key), so this
+    /// counts logical invalidations — the entries themselves age out of
+    /// their shards through the ordinary LRU/TTL machinery, which keeps a
+    /// tick O(1) instead of a full-cache sweep.
+    pub epoch_invalidations: Counter,
 }
 
 impl CacheMetrics {
@@ -82,6 +92,11 @@ impl CacheMetrics {
             entries: registry.gauge(
                 "arp_serve_cache_entries",
                 "Live route-cache entries across all shards.",
+                &[],
+            ),
+            epoch_invalidations: registry.counter(
+                "arp_serve_cache_epoch_invalidations_total",
+                "Cached routes logically invalidated by a traffic-epoch bump (aged out lazily, not swept).",
                 &[],
             ),
         }

@@ -1,0 +1,359 @@
+//! Epoch-versioned publication of traffic state: [`EpochSnapshot`] (what
+//! readers pin) and [`TrafficState`] (the single writer that swaps them).
+//!
+//! ## The epoch-swap protocol
+//!
+//! A delta is applied in four steps, all under one short write lock:
+//! clone the overlay, mutate the clone, materialize the new effective
+//! weight column into a fresh `Arc<Vec<Weight>>`, then publish a new
+//! [`EpochSnapshot`] with `epoch = old + 1` (wrapping). Readers call
+//! [`TrafficState::snapshot`] **once per request** and keep the returned
+//! `Arc` for the request's whole lifetime — that single clone *is* the
+//! epoch pin: the column it references is immutable and stays alive
+//! however many swaps happen mid-request, so an in-flight search can
+//! never observe a torn update or a mixture of two epochs. The trade is
+//! one `Arc` clone per request against zero synchronization inside the
+//! search hot loops.
+
+use std::sync::{Arc, RwLock};
+
+use arp_roadnet::csr::RoadNetwork;
+use arp_roadnet::weight::{Weight, WeightView};
+
+use crate::delta::TrafficDelta;
+use crate::error::TrafficError;
+use crate::feed::TrafficFeed;
+use crate::metrics::TrafficMetrics;
+use crate::overlay::TrafficOverlay;
+
+/// One immutable, published traffic epoch: the effective weight column
+/// plus the summary numbers `/api/health` reports.
+///
+/// Implements [`WeightView`], so engines and providers consume it (or
+/// its [`EpochSnapshot::weights`] column) directly.
+#[derive(Clone, Debug)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    weights: Arc<Vec<Weight>>,
+    closures: usize,
+    overlay_size: usize,
+}
+
+impl EpochSnapshot {
+    /// The epoch stamp (0 = base weights, never overlaid).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The effective weight column (shared; cloning the `Arc` is cheap).
+    pub fn weights(&self) -> &Arc<Vec<Weight>> {
+        &self.weights
+    }
+
+    /// Active incident closures at publication time.
+    pub fn closures(&self) -> usize {
+        self.closures
+    }
+
+    /// Total overlay entries (closures + edge factors + category
+    /// factors) at publication time.
+    pub fn overlay_size(&self) -> usize {
+        self.overlay_size
+    }
+}
+
+impl WeightView for EpochSnapshot {
+    fn column(&self) -> &[Weight] {
+        &self.weights
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// Outcome of one applied delta / advanced tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// The epoch the swap published.
+    pub epoch: u64,
+    /// Statements applied by this delta.
+    pub applied: usize,
+    /// TTL closures that expired during this application.
+    pub expired: usize,
+    /// Closures active after the swap.
+    pub closures_active: usize,
+}
+
+/// Interior-mutable writer state, guarded by one `RwLock`.
+#[derive(Debug)]
+struct State {
+    overlay: TrafficOverlay,
+    tick: u64,
+    snapshot: Arc<EpochSnapshot>,
+}
+
+/// The live-traffic authority for one road network: owns the overlay,
+/// the tick counter and the current epoch, and publishes immutable
+/// [`EpochSnapshot`]s.
+///
+/// Thread-safe: any number of readers pin snapshots while one writer
+/// (the feed ticker or `POST /api/traffic`) swaps epochs.
+#[derive(Debug)]
+pub struct TrafficState {
+    net: Arc<RoadNetwork>,
+    base: Arc<Vec<Weight>>,
+    metrics: TrafficMetrics,
+    state: RwLock<State>,
+}
+
+impl TrafficState {
+    /// A state at epoch 0 with the identity overlay: the published
+    /// column is the base weights themselves (shared, not copied).
+    pub fn new(net: Arc<RoadNetwork>) -> TrafficState {
+        Self::with_metrics(net, TrafficMetrics::default())
+    }
+
+    /// Like [`TrafficState::new`] with pre-resolved metrics; the epoch
+    /// gauge is initialized to 0.
+    pub fn with_metrics(net: Arc<RoadNetwork>, metrics: TrafficMetrics) -> TrafficState {
+        let base = Arc::new(net.weights().to_vec());
+        let snapshot = Arc::new(EpochSnapshot {
+            epoch: 0,
+            weights: Arc::clone(&base),
+            closures: 0,
+            overlay_size: 0,
+        });
+        metrics.epoch.set(0);
+        metrics.closures_active.set(0);
+        TrafficState {
+            net,
+            base,
+            metrics,
+            state: RwLock::new(State {
+                overlay: TrafficOverlay::identity(),
+                tick: 0,
+                snapshot,
+            }),
+        }
+    }
+
+    /// The network this state overlays.
+    pub fn network(&self) -> &Arc<RoadNetwork> {
+        &self.net
+    }
+
+    /// Pins the current epoch: the returned snapshot (and its weight
+    /// column) is immutable and survives any number of later swaps.
+    /// Call once per request, at request-construction time.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.state.read().expect("traffic lock poisoned").snapshot)
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.state
+            .read()
+            .expect("traffic lock poisoned")
+            .snapshot
+            .epoch
+    }
+
+    /// The current feed tick.
+    pub fn tick(&self) -> u64 {
+        self.state.read().expect("traffic lock poisoned").tick
+    }
+
+    /// Applies an explicit delta (the `POST /api/traffic` path) at the
+    /// current tick and swaps in a new epoch. Validation failures leave
+    /// the published snapshot untouched.
+    pub fn apply_delta(&self, delta: &TrafficDelta) -> Result<ApplyOutcome, TrafficError> {
+        let mut state = self.state.write().expect("traffic lock poisoned");
+        let now = state.tick;
+        self.swap(&mut state, delta, now, 0)
+    }
+
+    /// Advances the feed clock one tick: expires TTL closures, generates
+    /// the feed's delta for the new tick, applies it, and swaps in a new
+    /// epoch — one atomic publication per tick.
+    pub fn advance_tick(&self, feed: &TrafficFeed) -> Result<ApplyOutcome, TrafficError> {
+        let mut state = self.state.write().expect("traffic lock poisoned");
+        let tick = state.tick + 1;
+        state.tick = tick;
+        let expired = state.overlay.expire(tick);
+        let delta = feed.delta_for_tick(tick, self.net.num_edges());
+        self.swap(&mut state, &delta, tick, expired)
+    }
+
+    /// Test/operations hook: republishes the current overlay under an
+    /// arbitrary epoch number. Exists so wraparound-sized epochs are
+    /// testable without 2^64 swaps; the serving stack treats epochs as
+    /// opaque identity, so any value (including `u64::MAX`, which the
+    /// next swap wraps to 0) must serve correctly.
+    pub fn force_epoch(&self, epoch: u64) {
+        let mut state = self.state.write().expect("traffic lock poisoned");
+        let weights = state.overlay.materialize(&self.net, &self.base);
+        let snapshot = Arc::new(EpochSnapshot {
+            epoch,
+            weights,
+            closures: state.overlay.num_closures(),
+            overlay_size: state.overlay.size(),
+        });
+        state.snapshot = snapshot;
+        self.metrics.epoch.set(epoch as i64);
+    }
+
+    /// The one swap path: clone-mutate-materialize-publish. Runs under
+    /// the caller's write lock so validation, mutation and publication
+    /// are one atomic step.
+    fn swap(
+        &self,
+        state: &mut State,
+        delta: &TrafficDelta,
+        now: u64,
+        expired: usize,
+    ) -> Result<ApplyOutcome, TrafficError> {
+        let mut next = state.overlay.clone();
+        let applied = next.apply(&self.net, delta, now)?;
+        let weights = next.materialize(&self.net, &self.base);
+        let epoch = state.snapshot.epoch.wrapping_add(1);
+        let closures_active = next.num_closures();
+        let snapshot = Arc::new(EpochSnapshot {
+            epoch,
+            weights,
+            closures: closures_active,
+            overlay_size: next.size(),
+        });
+        state.overlay = next;
+        state.snapshot = snapshot;
+        self.metrics.epoch.set(epoch as i64);
+        self.metrics.deltas_applied.add(applied as u64);
+        self.metrics.closures_active.set(closures_active as i64);
+        Ok(ApplyOutcome {
+            epoch,
+            applied,
+            expired,
+            closures_active,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feed::TrafficFeed;
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::geo::Point;
+    use arp_roadnet::weight::CLOSED;
+
+    fn line(n: usize) -> Arc<RoadNetwork> {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.add_node(Point::new(i as f64 * 0.01, 0.0)))
+            .collect();
+        for i in 0..n - 1 {
+            b.add_bidirectional(
+                ids[i],
+                ids[i + 1],
+                EdgeSpec::category(RoadCategory::Primary),
+            );
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn epoch_zero_shares_the_base_column() {
+        let net = line(4);
+        let state = TrafficState::new(Arc::clone(&net));
+        let snap = state.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.column(), net.weights());
+        // Same allocation as the state's base — zero-copy identity.
+        assert!(Arc::ptr_eq(snap.weights(), &state.base));
+    }
+
+    #[test]
+    fn pinned_snapshots_survive_later_swaps() {
+        let net = line(4);
+        let state = TrafficState::new(Arc::clone(&net));
+        let pinned = state.snapshot();
+        let before: Vec<Weight> = pinned.column().to_vec();
+        state
+            .apply_delta(&TrafficDelta::parse("close:0; cat:primary*2.0").unwrap())
+            .unwrap();
+        // The pinned epoch still reads the old weights, bit for bit.
+        assert_eq!(pinned.column(), &before[..]);
+        assert_eq!(pinned.epoch(), 0);
+        // A fresh pin sees the new epoch.
+        let now = state.snapshot();
+        assert_eq!(now.epoch(), 1);
+        assert_eq!(now.column()[0], CLOSED);
+    }
+
+    #[test]
+    fn failed_deltas_do_not_swap() {
+        let net = line(3);
+        let state = TrafficState::new(net);
+        assert!(state
+            .apply_delta(&TrafficDelta::parse("close:999").unwrap())
+            .is_err());
+        assert_eq!(state.epoch(), 0);
+        assert_eq!(state.snapshot().overlay_size(), 0);
+    }
+
+    #[test]
+    fn ticks_expire_ttl_closures_and_restore_base_exactly() {
+        let net = line(5);
+        let state = TrafficState::new(Arc::clone(&net));
+        let quiet = TrafficFeed::quiet();
+        state
+            .apply_delta(&TrafficDelta::parse("close:1@2").unwrap())
+            .unwrap();
+        assert_eq!(state.snapshot().closures(), 1);
+        // Tick 1: still closed (expires at tick 2).
+        let o = state.advance_tick(&quiet).unwrap();
+        assert_eq!((o.expired, o.closures_active), (0, 1));
+        // Tick 2: expired; the column is the base again — same bytes AND
+        // the same allocation (identity overlay short-circuit).
+        let o = state.advance_tick(&quiet).unwrap();
+        assert_eq!((o.expired, o.closures_active), (1, 0));
+        let snap = state.snapshot();
+        assert_eq!(snap.column(), net.weights());
+        assert!(Arc::ptr_eq(snap.weights(), &state.base));
+        assert_eq!(snap.epoch(), 3, "every tick is its own epoch");
+    }
+
+    #[test]
+    fn epoch_survives_wraparound_sized_bumps() {
+        let net = line(3);
+        let state = TrafficState::new(net);
+        state.force_epoch(u64::MAX);
+        assert_eq!(state.epoch(), u64::MAX);
+        let pinned = state.snapshot();
+        let o = state
+            .apply_delta(&TrafficDelta::parse("edge:0*2.0").unwrap())
+            .unwrap();
+        assert_eq!(o.epoch, 0, "u64::MAX wraps to 0");
+        // The two epochs stay distinct pins despite the wrap.
+        assert_eq!(pinned.epoch(), u64::MAX);
+        assert_ne!(pinned.column(), state.snapshot().column());
+    }
+
+    #[test]
+    fn metrics_track_swaps() {
+        let net = line(4);
+        let reg = arp_obs::Registry::new();
+        let state = TrafficState::with_metrics(net, TrafficMetrics::new(&reg));
+        state
+            .apply_delta(&TrafficDelta::parse("close:0; edge:1*3.0").unwrap())
+            .unwrap();
+        assert_eq!(
+            reg.counter_value("arp_traffic_deltas_applied_total", &[]),
+            2
+        );
+        let rendered = reg.render_prometheus();
+        assert!(rendered.contains("arp_traffic_epoch 1"));
+        assert!(rendered.contains("arp_traffic_closures_active 1"));
+    }
+}

@@ -1,0 +1,42 @@
+#![deny(missing_docs)]
+//! # arp-traffic
+//!
+//! The **live-traffic subsystem**: epoch-versioned weight overlays,
+//! delta ingestion, and a deterministic feed generator.
+//!
+//! The paper's central finding is that technique quality hinges on
+//! *travel-time data divergence* — routes flip when the weights move.
+//! This crate makes the weights move **while the system is under load**,
+//! safely:
+//!
+//! * [`TrafficOverlay`] accumulates slow-down factors (per edge, per
+//!   road category) and incident closures over an `arp-roadnet` graph,
+//!   and materializes them into an effective weight column.
+//! * [`TrafficDelta`] is the ingestion grammar
+//!   (`cat:primary*1.8; close:412@3`), shared by `POST /api/traffic`
+//!   and the feed.
+//! * [`TrafficFeed`] deterministically generates rush-hour waves and
+//!   incidents per city morphology ([`CityProfile`]).
+//! * [`TrafficState`] publishes immutable [`EpochSnapshot`]s via an
+//!   atomic epoch swap: readers pin one snapshot per request and can
+//!   never observe a torn update (see the [`epoch`] module docs for the
+//!   protocol).
+//!
+//! Search engines consume snapshots through
+//! [`arp_roadnet::weight::WeightView`]; an identity overlay shares the
+//! base column outright, so serving without traffic is byte-identical
+//! to (and as cheap as) not having this crate at all.
+
+pub mod delta;
+pub mod epoch;
+pub mod error;
+pub mod feed;
+pub mod metrics;
+pub mod overlay;
+
+pub use delta::{TrafficDelta, TrafficOp};
+pub use epoch::{ApplyOutcome, EpochSnapshot, TrafficState};
+pub use error::TrafficError;
+pub use feed::{CityProfile, TrafficFeed};
+pub use metrics::TrafficMetrics;
+pub use overlay::TrafficOverlay;

@@ -1,0 +1,40 @@
+//! Traffic metric family, resolved once and updated on every epoch swap.
+
+use arp_obs::{Gauge, Registry};
+
+/// Pre-resolved instruments of the `arp_traffic_*` family.
+///
+/// The `Default` bundle is detached (every update is a no-op), so a
+/// [`crate::TrafficState`] without a registry costs nothing.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficMetrics {
+    /// `arp_traffic_epoch` — the current graph epoch.
+    pub epoch: Gauge,
+    /// `arp_traffic_deltas_applied_total` — delta statements applied.
+    pub deltas_applied: arp_obs::Counter,
+    /// `arp_traffic_closures_active` — currently closed edges.
+    pub closures_active: Gauge,
+}
+
+impl TrafficMetrics {
+    /// Resolves the family against `registry`.
+    pub fn new(registry: &Registry) -> TrafficMetrics {
+        TrafficMetrics {
+            epoch: registry.gauge(
+                "arp_traffic_epoch",
+                "Current live-traffic graph epoch (0 = base weights)",
+                &[],
+            ),
+            deltas_applied: registry.counter(
+                "arp_traffic_deltas_applied_total",
+                "Traffic delta statements applied across all epochs",
+                &[],
+            ),
+            closures_active: registry.gauge(
+                "arp_traffic_closures_active",
+                "Edges currently closed by live-traffic incidents",
+                &[],
+            ),
+        }
+    }
+}

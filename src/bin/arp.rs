@@ -10,6 +10,7 @@
 //! arp study     <city> [--scale ...] [--seed N]
 //! arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N]
 //!               [--faults SPEC]  (e.g. `lane.penalty=flaky:0.2,cache.get=error:down`)
+//!               [--traffic-tick-ms MS] [--traffic-seed N]  (live-traffic feed; off by default)
 //! ```
 
 use std::collections::HashMap;
@@ -21,7 +22,7 @@ use arp_roadnet::weight::ms_to_display_minutes;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  arp generate  <city> [--scale S] [--seed N] [--out FILE]\n  arp export-osm <city> [--scale S] [--seed N] --out FILE\n  arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT [--technique T] [--k N] [--geojson FILE]\n  arp study     <city> [--scale S] [--seed N]\n  arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N] [--faults SPEC]\n\ncities: melbourne | dhaka | copenhagen   scales: tiny | small | medium | large"
+        "usage:\n  arp generate  <city> [--scale S] [--seed N] [--out FILE]\n  arp export-osm <city> [--scale S] [--seed N] --out FILE\n  arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT [--technique T] [--k N] [--geojson FILE]\n  arp study     <city> [--scale S] [--seed N]\n  arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N] [--faults SPEC] [--traffic-tick-ms MS] [--traffic-seed N]\n\ncities: melbourne | dhaka | copenhagen   scales: tiny | small | medium | large"
     );
     std::process::exit(2)
 }
@@ -224,6 +225,7 @@ fn cmd_route(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
             truncated: false,
             degraded: false,
             lane_status: Vec::new(),
+            epoch: 0,
             fastest_minutes: paths
                 .first()
                 .map(|p| ms_to_display_minutes(p.cost_under(weights)))
@@ -239,6 +241,7 @@ fn cmd_route(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
                         polyline: p.nodes.iter().map(|&n| net.point(n)).collect(),
                         color: arp_demo::query::ROUTE_COLORS
                             [rank % arp_demo::query::ROUTE_COLORS.len()],
+                        edges: p.edges.clone(),
                     })
                     .collect(),
             }],
@@ -330,6 +333,37 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
         QueryProcessor::new(name.clone(), net, parse_seed(flags)),
         config,
     ));
+    // `--traffic-tick-ms 2000` turns the deterministic feed on: a ticker
+    // thread advances the rush-hour schedule (24 ticks/day, morphology
+    // from the city name) every interval, bumping the graph epoch.
+    // `--traffic-seed` varies the schedule; 0 ms (the default) leaves the
+    // feed off and the server at epoch 0 — byte-identical to pre-traffic
+    // serving. Operators can always push explicit deltas through
+    // `POST /api/traffic`, ticker or not.
+    let tick_ms = flag_usize("traffic-tick-ms", 0);
+    if tick_ms > 0 {
+        let feed_seed = flags
+            .get("traffic-seed")
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or_else(|| parse_seed(flags));
+        let profile = arp_traffic::CityProfile::for_city_name(&name);
+        let feed = arp_traffic::TrafficFeed::new(feed_seed, profile);
+        let app = std::sync::Arc::clone(&app);
+        println!("traffic feed on: {profile:?} profile, seed {feed_seed}, tick every {tick_ms} ms");
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_millis(tick_ms as u64));
+            match app.processor.traffic().advance_tick(&feed) {
+                Ok(outcome) => {
+                    app.service().note_epoch_invalidations();
+                    println!(
+                        "traffic tick → epoch {}, {} ops applied, {} expired, {} closures",
+                        outcome.epoch, outcome.applied, outcome.expired, outcome.closures_active
+                    );
+                }
+                Err(e) => eprintln!("traffic tick failed: {e}"),
+            }
+        });
+    }
     let listener = std::net::TcpListener::bind(("127.0.0.1", port)).unwrap_or_else(|e| {
         eprintln!("cannot bind port {port}: {e}");
         std::process::exit(1);
