@@ -14,7 +14,7 @@ use std::time::Instant;
 use arp_citygen::{City, Scale};
 use arp_core::prelude::*;
 use arp_core::search::{Direction, SearchSpace};
-use arp_core::{ChSearch, ContractionHierarchy};
+use arp_core::{ChSearch, ChTopology, ContractionHierarchy};
 
 fn time_per_query(mut f: impl FnMut(), queries: usize, reps: usize) -> f64 {
     // Warm-up round.
@@ -52,6 +52,7 @@ fn main() {
         "Wall-clock per-query timings (ms), 8 queries x 5 reps, release build"
     );
     let mut substrate_lines: Vec<String> = Vec::new();
+    let mut ch_lines: Vec<String> = Vec::new();
 
     for city_kind in City::ALL {
         let city = arp_bench::generate_city(city_kind, Scale::Small);
@@ -283,6 +284,82 @@ fn main() {
             settled_on / n_queries,
             reduction
         ));
+
+        // CH index tier on/off: the same substrate (two trees + base
+        // route), built by two full Dijkstras versus by the customized
+        // CH (bidirectional upward search + two PHAST sweeps). Outputs
+        // are byte-identical, so this isolates the build cost — the
+        // serving layer's fast path when the epoch's metric is ready.
+        let topo_start = Instant::now();
+        let topo = ChTopology::build(&net);
+        let topo_ms = topo_start.elapsed().as_secs_f64() * 1000.0;
+        let _ = writeln!(
+            report,
+            "  {:<26} {topo_ms:>9.1} ms total ({} arcs, {} triangles)",
+            "CCH topology build",
+            topo.num_arcs(),
+            topo.num_triangles()
+        );
+        let customize_start = Instant::now();
+        let metric = topo
+            .customize(&net, net.weights())
+            .expect("base column customizes");
+        let customize_ms = customize_start.elapsed().as_secs_f64() * 1000.0;
+        let _ = writeln!(
+            report,
+            "  {:<26} {customize_ms:>9.1} ms total (per-epoch cost)",
+            "CCH customization"
+        );
+
+        let budget = SearchBudget::unlimited();
+        let mut build_settled_off = 0u64;
+        let mut build_settled_on = 0u64;
+        for &(s, t, _) in &queries {
+            build_settled_off += SearchSubstrate::build(&net, net.weights(), s, t, &budget)
+                .expect("benchmark queries are routable")
+                .build_stats()
+                .settled;
+            build_settled_on +=
+                SearchSubstrate::build_with_ch(&net, net.weights(), &topo, &metric, s, t, &budget)
+                    .expect("benchmark queries are routable")
+                    .build_stats()
+                    .settled;
+        }
+        let build_off_ms = time_per_query(
+            || {
+                for &(s, t, _) in &queries {
+                    let _ = SearchSubstrate::build(&net, net.weights(), s, t, &budget);
+                }
+            },
+            queries.len(),
+            reps,
+        );
+        let build_on_ms = time_per_query(
+            || {
+                for &(s, t, _) in &queries {
+                    let _ = SearchSubstrate::build_with_ch(
+                        &net,
+                        net.weights(),
+                        &topo,
+                        &metric,
+                        s,
+                        t,
+                        &budget,
+                    );
+                }
+            },
+            queries.len(),
+            reps,
+        );
+        ch_lines.push(format!(
+            "  {:<14} {:>12} {:>12} {:>10.1}x {:>9.3} {:>9.3}",
+            city.name,
+            build_settled_off / n_queries,
+            build_settled_on / n_queries,
+            build_settled_off as f64 / build_settled_on as f64,
+            build_off_ms,
+            build_on_ms,
+        ));
     }
 
     let _ = writeln!(
@@ -296,6 +373,20 @@ fn main() {
         "city", "off", "on", "reduction"
     );
     for line in &substrate_lines {
+        let _ = writeln!(report, "{line}");
+    }
+
+    let _ = writeln!(
+        report,
+        "\nCH index tier on/off sweep (substrate build: settled nodes and ms \
+         per request; identical output bytes):"
+    );
+    let _ = writeln!(
+        report,
+        "  {:<14} {:>12} {:>12} {:>11} {:>9} {:>9}",
+        "city", "dijkstra", "ch-tier", "settled-x", "off-ms", "on-ms"
+    );
+    for line in &ch_lines {
         let _ = writeln!(report, "{line}");
     }
 

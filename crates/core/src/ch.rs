@@ -247,9 +247,9 @@ impl ContractionHierarchy {
                     .filter(|e| !overlay.contracted[e.to as usize])
                     .count()) as i64;
             let edge_difference = shortcuts - degree;
-            edge_difference * 4 + (deleted[v as usize] as f64 * 1.0) as i64
+            edge_difference * 4
+                + (deleted[v as usize] as f64 * config.deleted_neighbours_weight) as i64
         };
-        let _ = config.deleted_neighbours_weight;
 
         let mut heap: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::new();
         for v in 0..n as u32 {
@@ -733,6 +733,43 @@ mod tests {
             ContractionHierarchy::build(&net, &[1, 2, 3]),
             Err(CoreError::WeightLengthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn deleted_neighbours_weight_changes_contraction_order() {
+        // Regression: the knob used to be read into `let _ = ...` while
+        // the priority hardcoded `* 1.0`, so no setting could change the
+        // order. A strongly weighted deleted-neighbours term must now
+        // produce a different rank permutation (both stay exact).
+        let net = grid(6);
+        let default =
+            ContractionHierarchy::build_with(&net, net.weights(), &ChConfig::default()).unwrap();
+        let heavy = ContractionHierarchy::build_with(
+            &net,
+            net.weights(),
+            &ChConfig {
+                deleted_neighbours_weight: 1000.0,
+                ..ChConfig::default()
+            },
+        )
+        .unwrap();
+        let ranks = |ch: &ContractionHierarchy| -> Vec<u32> {
+            (0..net.num_nodes() as u32)
+                .map(|v| ch.rank(NodeId(v)))
+                .collect()
+        };
+        assert_ne!(
+            ranks(&default),
+            ranks(&heavy),
+            "a non-default deleted_neighbours_weight must change the order"
+        );
+        let mut ws = SearchSpace::new(&net);
+        for (s, t) in [(0u32, 35u32), (5, 30), (14, 21)] {
+            let expect = ws
+                .shortest_distance(&net, net.weights(), NodeId(s), NodeId(t))
+                .ok();
+            assert_eq!(heavy.distance(NodeId(s), NodeId(t)), expect, "{s}->{t}");
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod admissibility;
 pub mod altgraph;
 pub mod bidir;
 pub mod budget;
+pub mod cch;
 pub mod ch;
 pub mod dissimilarity;
 pub mod error;
@@ -77,6 +78,7 @@ pub use admissibility::{
 };
 pub use bidir::BidirSearch;
 pub use budget::SearchBudget;
+pub use cch::{ChMetric, ChTopology};
 pub use ch::{ChConfig, ChSearch, ContractionHierarchy};
 pub use dissimilarity::{
     dissimilarity_alternatives, dissimilarity_alternatives_from_trees, DissimilarityOptions,

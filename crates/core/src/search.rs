@@ -85,6 +85,89 @@ impl ShortestPathTree {
     }
 }
 
+/// The **canonical** parent edge of `v` given final distance labels:
+/// among all tight edges (forward: in-edges `e` with
+/// `dist[tail(e)] + w(e) == dist[v]`; backward: out-edges with
+/// `dist[head(e)] + w(e) == dist[v]`), the one with the smallest
+/// [`EdgeId`]. Closed and unreached-endpoint edges never qualify.
+///
+/// Dijkstra's stored parents depend on heap pop order, so two engines
+/// producing the same (exact) distance labels can disagree on parents
+/// wherever shortest paths tie. Every tree handed to a technique is
+/// therefore re-parented with this rule — it is a pure function of the
+/// distance labels, so the plain Dijkstra build and the CH/PHAST fast
+/// path (`cch`) reconstruct byte-identical trees and base routes.
+///
+/// Sound for early-terminated searches too: a tight predecessor has a
+/// strictly smaller final distance (weights are clamped ≥ 1 ms), hence
+/// was settled — and carries its final label — before the target popped.
+pub(crate) fn canonical_parent_edge<F: Fn(u32) -> Cost>(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    v: u32,
+    dv: Cost,
+    direction: Direction,
+    dist: F,
+) -> EdgeId {
+    let mut best = EdgeId::INVALID;
+    match direction {
+        Direction::Forward => {
+            for e in net.in_edges(NodeId(v)) {
+                let w = weights[e.index()];
+                if w == CLOSED || e >= best {
+                    continue;
+                }
+                let du = dist(net.tail(e).0);
+                if du != INFINITY && du + w as Cost == dv {
+                    best = e;
+                }
+            }
+        }
+        Direction::Backward => {
+            for e in net.out_edges(NodeId(v)) {
+                let w = weights[e.index()];
+                if w == CLOSED || e >= best {
+                    continue;
+                }
+                let du = dist(net.head(e).0);
+                if du != INFINITY && du + w as Cost == dv {
+                    best = e;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Builds a [`ShortestPathTree`] from a finished, exact distance array by
+/// recomputing every parent with [`canonical_parent_edge`]. Shared by the
+/// Dijkstra tree build and the CH/PHAST one-to-all fast path, which makes
+/// "same distances in → same tree out" hold by construction.
+pub(crate) fn canonical_tree_from_dists(
+    net: &RoadNetwork,
+    weights: &[Weight],
+    root: NodeId,
+    direction: Direction,
+    dist: Vec<Cost>,
+) -> ShortestPathTree {
+    let mut parent = vec![EdgeId::INVALID; net.num_nodes()];
+    for v in 0..net.num_nodes() {
+        if v == root.index() || dist[v] == INFINITY {
+            continue;
+        }
+        parent[v] = canonical_parent_edge(net, weights, v as u32, dist[v], direction, |u| {
+            dist[u as usize]
+        });
+        debug_assert!(!parent[v].is_invalid(), "reached node without a tight edge");
+    }
+    ShortestPathTree {
+        root,
+        direction,
+        dist,
+        parent,
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct HeapEntry(Cost, u32);
 
@@ -265,11 +348,18 @@ impl SearchSpace {
         if self.get_dist(target.0) == INFINITY {
             return Err(CoreError::Unreachable { source, target });
         }
-        // Reconstruct.
+        // Reconstruct along canonical parents (smallest tight in-edge per
+        // vertex) so the result is a pure function of the distance labels
+        // — identical to what the substrate's canonical forward tree
+        // yields, regardless of heap pop order.
         let mut edges = Vec::new();
         let mut cur = target.0;
         while cur != source.0 {
-            let e = self.parent[cur as usize];
+            let dv = self.get_dist(cur);
+            let e = canonical_parent_edge(net, weights, cur, dv, Direction::Forward, |u| {
+                self.get_dist(u)
+            });
+            debug_assert!(!e.is_invalid());
             edges.push(e);
             cur = net.tail(e).0;
         }
@@ -354,22 +444,20 @@ impl SearchSpace {
         self.budget.charge(pops_since_check); // account the partial interval
         self.metrics.record(&self.stats);
 
-        // Materialize dense arrays for the tree.
+        // Materialize dense arrays for the tree, re-parenting every
+        // vertex canonically (smallest tight edge) so the tree depends
+        // only on the distance labels, not on heap pop order. The CH
+        // fast path produces the same labels and hence the same tree.
         let n = net.num_nodes();
         let mut dist = vec![INFINITY; n];
-        let mut parent = vec![EdgeId::INVALID; n];
-        for v in 0..n {
+        for (v, d) in dist.iter_mut().enumerate() {
             if self.stamp[v] == self.generation {
-                dist[v] = self.dist[v];
-                parent[v] = self.parent[v];
+                *d = self.dist[v];
             }
         }
-        Ok(ShortestPathTree {
-            root,
-            direction,
-            dist,
-            parent,
-        })
+        Ok(canonical_tree_from_dists(
+            net, weights, root, direction, dist,
+        ))
     }
 
     /// A* one-to-one search using the great-circle / max-speed lower bound.

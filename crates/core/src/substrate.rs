@@ -36,13 +36,14 @@
 
 use arp_roadnet::csr::RoadNetwork;
 use arp_roadnet::ids::NodeId;
-use arp_roadnet::weight::{Cost, Weight};
+use arp_roadnet::weight::{Cost, Weight, INFINITY};
 
 use crate::budget::SearchBudget;
+use crate::cch::{ChMetric, ChTopology};
 use crate::error::CoreError;
 use crate::metrics::SearchStats;
 use crate::path::Path;
-use crate::search::{Direction, SearchSpace, ShortestPathTree};
+use crate::search::{canonical_tree_from_dists, Direction, SearchSpace, ShortestPathTree};
 
 /// Per-request search artifacts shared read-only across techniques:
 /// forward + backward shortest-path trees, the base optimal route, and
@@ -98,6 +99,73 @@ impl SearchSubstrate {
         }
         let backward = ws.shortest_path_tree(net, weights, target, Direction::Backward)?;
         build_stats.accumulate(&ws.last_stats());
+        let edges = forward
+            .path_edges(net, target)
+            .expect("target reached in the forward tree");
+        let base = Path::from_edges(net, weights, edges);
+        Ok(SearchSubstrate {
+            source,
+            target,
+            num_nodes: net.num_nodes(),
+            num_edges: net.num_edges(),
+            epoch: 0,
+            forward,
+            backward,
+            base,
+            build_stats,
+        })
+    }
+
+    /// Builds the same substrate through the customizable-CH index tier
+    /// ([`ChTopology`] + a [`ChMetric`] customized from **the same**
+    /// `weights` column): two budgeted PHAST one-to-all passes produce
+    /// the exact forward/backward distance arrays, and the trees are
+    /// re-parented by the same canonical rule
+    /// ([`crate::search::SearchSpace::shortest_path_tree`] uses it too),
+    /// so the result is **byte-identical** to [`SearchSubstrate::build`]
+    /// — same trees, same base route — while settling only the upward
+    /// search cones instead of the whole graph twice.
+    ///
+    /// The caller owns the pairing contract: `metric` must be customized
+    /// from `weights`. A metric from another epoch's column would produce
+    /// wrong distances, which is why the serving tier's index manager
+    /// only hands out a metric whose epoch stamp equals the request's
+    /// pinned epoch.
+    pub fn build_with_ch(
+        net: &RoadNetwork,
+        weights: &[Weight],
+        topo: &ChTopology,
+        metric: &ChMetric,
+        source: NodeId,
+        target: NodeId,
+        budget: &SearchBudget,
+    ) -> Result<SearchSubstrate, CoreError> {
+        if source == target {
+            return Err(CoreError::SameSourceTarget(source));
+        }
+        if !topo.matches(net) {
+            // A mismatched topology cannot answer for this network;
+            // treat it like a length mismatch rather than mis-routing.
+            return Err(CoreError::WeightLengthMismatch {
+                expected: net.num_edges(),
+                got: weights.len(),
+            });
+        }
+        let mut build_stats = SearchStats::default();
+        let dist_f =
+            topo.phast_distances(metric, source, Direction::Forward, budget, &mut build_stats)?;
+        if dist_f[target.index()] == INFINITY {
+            return Err(CoreError::Unreachable { source, target });
+        }
+        let dist_b = topo.phast_distances(
+            metric,
+            target,
+            Direction::Backward,
+            budget,
+            &mut build_stats,
+        )?;
+        let forward = canonical_tree_from_dists(net, weights, source, Direction::Forward, dist_f);
+        let backward = canonical_tree_from_dists(net, weights, target, Direction::Backward, dist_b);
         let edges = forward
             .path_edges(net, target)
             .expect("target reached in the forward tree");
@@ -335,6 +403,125 @@ mod tests {
         // Both trees settle every reachable vertex: two full sweeps.
         assert_eq!(sub.build_stats().settled, 2 * net.num_nodes() as u64);
         assert!(sub.build_stats().heap_pops >= sub.build_stats().settled);
+    }
+
+    #[test]
+    fn ch_build_is_byte_identical_to_dijkstra_build() {
+        let net = grid(8);
+        let topo = ChTopology::build(&net);
+        // Identity column and a slowed overlay with a closure.
+        let mut overlay = net.weights().to_vec();
+        for (i, w) in overlay.iter_mut().enumerate() {
+            if i % 4 == 1 {
+                *w = w.saturating_mul(2).min(u32::MAX - 1);
+            }
+        }
+        overlay[3] = arp_roadnet::weight::CLOSED;
+        for column in [net.weights(), &overlay[..]] {
+            let metric = topo.customize(&net, column).unwrap();
+            for (s, t) in [(0u32, 63u32), (7, 56), (20, 43)] {
+                let plain = SearchSubstrate::build(
+                    &net,
+                    column,
+                    NodeId(s),
+                    NodeId(t),
+                    &SearchBudget::unlimited(),
+                )
+                .unwrap();
+                let fast = SearchSubstrate::build_with_ch(
+                    &net,
+                    column,
+                    &topo,
+                    &metric,
+                    NodeId(s),
+                    NodeId(t),
+                    &SearchBudget::unlimited(),
+                )
+                .unwrap();
+                assert_eq!(fast.forward().dist, plain.forward().dist, "{s}->{t}");
+                assert_eq!(fast.forward().parent, plain.forward().parent, "{s}->{t}");
+                assert_eq!(fast.backward().dist, plain.backward().dist, "{s}->{t}");
+                assert_eq!(fast.backward().parent, plain.backward().parent, "{s}->{t}");
+                assert_eq!(fast.base_route().edges, plain.base_route().edges);
+                assert_eq!(fast.base_route().cost_ms, plain.base_route().cost_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn ch_build_settles_fewer_nodes() {
+        let net = grid(16);
+        let topo = ChTopology::build(&net);
+        let metric = topo.customize(&net, net.weights()).unwrap();
+        let plain = SearchSubstrate::build(
+            &net,
+            net.weights(),
+            NodeId(0),
+            NodeId(255),
+            &SearchBudget::unlimited(),
+        )
+        .unwrap();
+        let fast = SearchSubstrate::build_with_ch(
+            &net,
+            net.weights(),
+            &topo,
+            &metric,
+            NodeId(0),
+            NodeId(255),
+            &SearchBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(
+            fast.build_stats().settled < plain.build_stats().settled,
+            "CH build must settle fewer nodes ({} vs {})",
+            fast.build_stats().settled,
+            plain.build_stats().settled
+        );
+    }
+
+    #[test]
+    fn ch_build_mirrors_dijkstra_errors() {
+        let net = grid(4);
+        let topo = ChTopology::build(&net);
+        let metric = topo.customize(&net, net.weights()).unwrap();
+        assert!(matches!(
+            SearchSubstrate::build_with_ch(
+                &net,
+                net.weights(),
+                &topo,
+                &metric,
+                NodeId(3),
+                NodeId(3),
+                &SearchBudget::unlimited()
+            ),
+            Err(CoreError::SameSourceTarget(_))
+        ));
+        let budget = SearchBudget::new();
+        budget.cancel();
+        assert!(matches!(
+            SearchSubstrate::build_with_ch(
+                &net,
+                net.weights(),
+                &topo,
+                &metric,
+                NodeId(0),
+                NodeId(15),
+                &budget
+            ),
+            Err(CoreError::Interrupted)
+        ));
+        // A topology built for another network shape is rejected.
+        let other = grid(5);
+        assert!(SearchSubstrate::build_with_ch(
+            &other,
+            other.weights(),
+            &topo,
+            &metric,
+            NodeId(0),
+            NodeId(24),
+            &SearchBudget::unlimited()
+        )
+        .is_err());
     }
 
     #[test]

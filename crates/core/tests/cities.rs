@@ -79,6 +79,106 @@ fn all_techniques_work_on_all_cities() {
     }
 }
 
+/// Deterministic sample of query pairs spread across the city.
+fn sample_pairs(net: &arp_roadnet::RoadNetwork, count: u32) -> Vec<(NodeId, NodeId)> {
+    let n = net.num_nodes() as u32;
+    (0..count)
+        .map(|i| (NodeId((i * 37) % n), NodeId((i * 101 + 7) % n)))
+        .filter(|(s, t)| s != t)
+        .collect()
+}
+
+#[test]
+fn cch_is_exact_on_all_cities_under_overlays() {
+    // The customizable-CH tier must agree with Dijkstra on distances
+    // AND on the unpacked edge lists it feeds the techniques, for every
+    // city and for every overlay shape live traffic can produce: the
+    // identity column, per-edge slowdowns, a category-wide slowdown,
+    // and closures. One topology per city, one cheap customization per
+    // column.
+    use arp_core::{ChTopology, SearchSubstrate};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::weight::CLOSED;
+
+    for city in City::ALL {
+        let g = arp_citygen::generate(city, Scale::Tiny, 7);
+        let net = &g.network;
+        let topo = ChTopology::build(net);
+
+        // Per-edge overlay: every fifth edge slowed 4x.
+        let mut per_edge = net.weights().to_vec();
+        for (i, w) in per_edge.iter_mut().enumerate() {
+            if i % 5 == 0 {
+                *w = w.saturating_mul(4).min(u32::MAX - 1);
+            }
+        }
+        // Category overlay: all residential roads slowed 2x, plus a
+        // couple of closures on top.
+        let mut category = net.weights().to_vec();
+        for e in net.edges() {
+            if net.category(e) == RoadCategory::Residential {
+                category[e.index()] = category[e.index()].saturating_mul(2).min(u32::MAX - 1);
+            }
+        }
+        category[net.num_edges() / 3] = CLOSED;
+        category[net.num_edges() / 2] = CLOSED;
+
+        for (label, column) in [
+            ("identity", net.weights()),
+            ("per-edge", &per_edge[..]),
+            ("category+closures", &category[..]),
+        ] {
+            let metric = topo.customize(net, column).unwrap();
+            let mut ws = SearchSpace::new(net);
+            for (s, t) in sample_pairs(net, 10) {
+                let expect = ws.shortest_distance(net, column, s, t).ok();
+                assert_eq!(
+                    topo.distance(&metric, s, t),
+                    expect,
+                    "{city}/{label}: {s} -> {t}"
+                );
+                let Some(expect) = expect else { continue };
+                // Unpacked edge lists: the standalone CH path is exact
+                // and valid; the substrate fast path is byte-identical
+                // to the Dijkstra-built substrate.
+                let unpacked = topo.shortest_path(&metric, net, column, s, t).unwrap();
+                assert_eq!(unpacked.cost_ms, expect, "{city}/{label}");
+                assert!(unpacked.validate(net), "{city}/{label}");
+                for e in &unpacked.edges {
+                    assert_ne!(column[e.index()], CLOSED, "{city}/{label}: closed edge");
+                }
+                let plain =
+                    SearchSubstrate::build(net, column, s, t, &SearchBudget::unlimited()).unwrap();
+                let fast = SearchSubstrate::build_with_ch(
+                    net,
+                    column,
+                    &topo,
+                    &metric,
+                    s,
+                    t,
+                    &SearchBudget::unlimited(),
+                )
+                .unwrap();
+                assert_eq!(
+                    fast.base_route().edges,
+                    plain.base_route().edges,
+                    "{city}/{label}: base route drifted"
+                );
+                assert_eq!(
+                    fast.forward().parent,
+                    plain.forward().parent,
+                    "{city}/{label}"
+                );
+                assert_eq!(
+                    fast.backward().parent,
+                    plain.backward().parent,
+                    "{city}/{label}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn alternatives_are_diverse_on_cities() {
     // The whole point of alternative routes: the techniques should produce

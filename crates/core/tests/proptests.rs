@@ -221,6 +221,45 @@ proptest! {
     }
 
     #[test]
+    fn cch_distances_match_dijkstra((n, chords) in arb_scc_graph()) {
+        let net = build(n, &chords);
+        let topo = arp_core::ChTopology::build(&net);
+        let metric = topo.customize(&net, net.weights()).unwrap();
+        let mut ws = SearchSpace::new(&net);
+        for s in (0..n as u32).step_by(3) {
+            for t in (0..n as u32).step_by(4) {
+                if s == t { continue; }
+                let expect = ws.shortest_distance(&net, net.weights(), NodeId(s), NodeId(t)).ok();
+                prop_assert_eq!(topo.distance(&metric, NodeId(s), NodeId(t)), expect, "{} -> {}", s, t);
+            }
+        }
+    }
+
+    #[test]
+    fn cch_substrate_is_byte_identical_to_dijkstra_substrate((n, chords) in arb_scc_graph()) {
+        // The serving tier swaps SearchSubstrate::build for
+        // SearchSubstrate::build_with_ch when a customized metric is
+        // ready; the two must agree byte-for-byte — distances, parents,
+        // and the base route — or CH-served responses would drift from
+        // Dijkstra-served ones.
+        let net = build(n, &chords);
+        let topo = arp_core::ChTopology::build(&net);
+        let metric = topo.customize(&net, net.weights()).unwrap();
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let budget = SearchBudget::unlimited();
+        let plain = arp_core::SearchSubstrate::build(&net, net.weights(), s, t, &budget).unwrap();
+        let fast = arp_core::SearchSubstrate::build_with_ch(
+            &net, net.weights(), &topo, &metric, s, t, &budget,
+        ).unwrap();
+        prop_assert_eq!(&fast.forward().dist, &plain.forward().dist);
+        prop_assert_eq!(&fast.forward().parent, &plain.forward().parent);
+        prop_assert_eq!(&fast.backward().dist, &plain.backward().dist);
+        prop_assert_eq!(&fast.backward().parent, &plain.backward().parent);
+        prop_assert_eq!(&fast.base_route().edges, &plain.base_route().edges);
+        prop_assert_eq!(fast.base_route().cost_ms, plain.base_route().cost_ms);
+    }
+
+    #[test]
     fn bidir_matches_unidirectional((n, chords) in arb_scc_graph()) {
         let net = build(n, &chords);
         let mut bi = arp_core::BidirSearch::new(&net);

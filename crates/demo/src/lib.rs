@@ -8,6 +8,9 @@
 //!   approaches, OSM-priced travel times rounded to minutes,
 //! * [`blind`] — A–D anonymization with the unblinding map kept
 //!   server-side,
+//! * [`index`] — the epoch-customizable CH index tier: a per-city
+//!   topology customized per traffic epoch in the background, with a
+//!   strict fall-back-to-Dijkstra readiness gate,
 //! * [`store`] — the feedback form's response store (ratings, residency,
 //!   comments) with CSV persistence,
 //! * [`server`] — a small std-only HTTP server exposing the JSON API and
@@ -31,6 +34,7 @@ pub mod blind;
 pub mod error;
 pub mod geojson;
 pub mod html;
+pub mod index;
 pub mod json;
 pub mod query;
 pub mod server;
@@ -40,6 +44,7 @@ pub use backend::DemoBackend;
 pub use blind::Blinding;
 pub use error::DemoError;
 pub use geojson::response_to_geojson;
+pub use index::IndexManager;
 pub use query::{
     ApproachRoutes, PreparedQuery, QueryProcessor, QueryResponse, RouteInfo, SnappedQuery,
 };

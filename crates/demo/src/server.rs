@@ -503,6 +503,28 @@ impl DemoApp {
     fn health(&self) -> HttpResponse {
         let report = self.service.health();
         let snapshot = self.processor.traffic().snapshot();
+        // The CH index tier's readiness verdict: `ready` means the
+        // published metric matches the current traffic epoch, so new
+        // requests take the CH fast path; `false` means they fall back
+        // to the Dijkstra build (correct, just slower) until the
+        // background customization catches up. A disabled tier is not a
+        // degradation — it is the configured steady state.
+        let index = match self.processor.ch_index() {
+            Some(index) => {
+                let metric_epoch = index.ready_epoch();
+                Json::object([
+                    ("enabled", Json::Bool(true)),
+                    ("ready", Json::Bool(metric_epoch == snapshot.epoch())),
+                    ("metric_epoch", Json::Number(metric_epoch as f64)),
+                    (
+                        "customizations",
+                        Json::Number(index.customizations() as f64),
+                    ),
+                    ("fallbacks", Json::Number(index.fallbacks() as f64)),
+                ])
+            }
+            None => Json::object([("enabled", Json::Bool(false))]),
+        };
         let status = match report.verdict {
             arp_serve::HealthVerdict::Unhealthy => 503,
             _ => 200,
@@ -536,6 +558,7 @@ impl DemoApp {
                     ("closures_active", Json::Number(snapshot.closures() as f64)),
                 ]),
             ),
+            ("index", index),
         ]);
         HttpResponse {
             status,

@@ -1,0 +1,461 @@
+//! Acceptance tests of the epoch-customizable CH index tier.
+//!
+//! The contract under test, end to end: with the tier enabled, every
+//! served response is **byte-identical** to what the plain Dijkstra
+//! pipeline produces — for all four techniques, all three cities, under
+//! the identity overlay and under live-traffic overlays — and whenever
+//! the metric for a request's pinned epoch is not ready, the request is
+//! served immediately off the Dijkstra fallback (counted, never blocked,
+//! never an error). The adversarial mid-load test from the traffic
+//! subsystem is repeated on the CH tier: no response may ever mix a
+//! stale metric with a newer claimed epoch.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use arp_citygen::{City, Scale};
+use arp_demo::json::{self, Json};
+use arp_demo::query::{QueryProcessor, QueryResponse};
+use arp_demo::{DemoApp, DemoBackend};
+use arp_roadnet::weight::Weight;
+use arp_serve::{RouteService, ServeConfig, ServeMetrics};
+use arp_traffic::TrafficDelta;
+
+const READY_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn route_body(app: &DemoApp, sx: f64, sy: f64, tx: f64, ty: f64) -> String {
+    let bb = app.processor.network().bbox();
+    format!(
+        r#"{{"slon": {}, "slat": {}, "tlon": {}, "tlat": {}}}"#,
+        bb.min_lon + bb.width_deg() * sx,
+        bb.min_lat + bb.height_deg() * sy,
+        bb.min_lon + bb.width_deg() * tx,
+        bb.min_lat + bb.height_deg() * ty,
+    )
+}
+
+/// Field-by-field equality of two query responses, route geometry and
+/// costs included. `QueryResponse` carries no `PartialEq` on purpose
+/// (it is not a wire type), so the audit spells the comparison out.
+fn assert_same_response(ch: &QueryResponse, plain: &QueryResponse, context: &str) {
+    assert_eq!(ch.epoch, plain.epoch, "{context}: epoch");
+    assert_eq!(
+        ch.fastest_minutes, plain.fastest_minutes,
+        "{context}: fastest"
+    );
+    assert_eq!(
+        ch.approaches.len(),
+        plain.approaches.len(),
+        "{context}: approach count"
+    );
+    for (a, b) in ch.approaches.iter().zip(&plain.approaches) {
+        assert_eq!(a.label, b.label, "{context}");
+        assert_eq!(
+            a.routes.len(),
+            b.routes.len(),
+            "{context}: label {}",
+            a.label
+        );
+        for (x, y) in a.routes.iter().zip(&b.routes) {
+            assert_eq!(x.minutes, y.minutes, "{context}: label {}", a.label);
+            assert_eq!(x.cost_ms, y.cost_ms, "{context}: label {}", a.label);
+            assert_eq!(x.edges, y.edges, "{context}: label {}", a.label);
+            assert_eq!(x.polyline, y.polyline, "{context}: label {}", a.label);
+            assert_eq!(x.color, y.color, "{context}: label {}", a.label);
+        }
+    }
+}
+
+/// The tentpole's acceptance property over the full HTTP surface: for
+/// every city, the CH-tier app and the plain app serve **byte-identical**
+/// `/api/route` bodies — first on the identity overlay (epoch 0), then
+/// again after a traffic delta (slowdowns per category and per edge),
+/// with the CH app's customization awaited so the fast path actually
+/// serves.
+#[test]
+fn ch_served_bodies_are_byte_identical_across_cities_and_overlays() {
+    for city in City::ALL {
+        let make = |ch: bool| {
+            let g = arp_citygen::generate(city, Scale::Tiny, 7);
+            let qp = QueryProcessor::new(g.name.clone(), g.network, 7);
+            let qp = if ch { qp.with_ch_index() } else { qp };
+            DemoApp::with_config(qp, ServeConfig::default())
+        };
+        let plain = make(false);
+        let fast = make(true);
+
+        let pairs = [(0.25, 0.30, 0.75, 0.70), (0.70, 0.25, 0.30, 0.80)];
+        for &(sx, sy, tx, ty) in &pairs {
+            let body = route_body(&plain, sx, sy, tx, ty);
+            let a = plain.handle("POST", "/api/route", &body);
+            let b = fast.handle("POST", "/api/route", &body);
+            assert_eq!(a.status, 200, "{city}: {}", a.body);
+            assert_eq!(a.body, b.body, "{city}: epoch-0 bodies must match");
+        }
+
+        // A non-identity overlay: category-wide and per-edge slowdowns.
+        let delta = r#"{"delta": "cat:residential*1.7; edge:5*3.0"}"#;
+        for app in [&plain, &fast] {
+            let resp = app.handle("POST", "/api/traffic", delta);
+            assert_eq!(resp.status, 200, "{city}: {}", resp.body);
+        }
+        let index = fast.processor.ch_index().expect("tier enabled");
+        assert!(
+            index.wait_ready(1, READY_TIMEOUT),
+            "{city}: customization must reach epoch 1"
+        );
+
+        let queries_before = index.queries();
+        for &(sx, sy, tx, ty) in &pairs {
+            let body = route_body(&plain, sx, sy, tx, ty);
+            let a = plain.handle("POST", "/api/route", &body);
+            let b = fast.handle("POST", "/api/route", &body);
+            assert_eq!(a.status, 200, "{city}: {}", a.body);
+            assert_eq!(a.body, b.body, "{city}: epoch-1 bodies must match");
+            let v = json::parse(&a.body).unwrap();
+            assert_eq!(v.get("epoch").and_then(Json::as_f64), Some(1.0), "{city}");
+        }
+        assert!(
+            index.queries() > queries_before,
+            "{city}: the overlaid requests must ride the CH tier"
+        );
+    }
+}
+
+/// While a customization is in flight (held in flight here via the pause
+/// hook), requests pinned to the new epoch are served **immediately**
+/// off the Dijkstra fallback — same bytes, counted by
+/// `arp_ch_fallbacks_total`, never blocking, never an error — and
+/// `/api/health` reports the tier as enabled-but-not-ready. Once the
+/// customization lands, the CH path takes over.
+#[test]
+fn in_flight_customization_falls_back_without_blocking_or_diverging() {
+    let make = |ch: bool| {
+        let g = arp_citygen::generate(City::Dhaka, Scale::Tiny, 9);
+        let qp = QueryProcessor::new(g.name.clone(), g.network, 9);
+        let qp = if ch { qp.with_ch_index() } else { qp };
+        DemoApp::with_config(qp, ServeConfig::default())
+    };
+    let plain = make(false);
+    let fast = make(true);
+    let index = fast.processor.ch_index().unwrap();
+
+    // Park the customizer, then bump the epoch on both apps.
+    index.pause();
+    let delta = r#"{"delta": "cat:primary*1.4"}"#;
+    assert_eq!(plain.handle("POST", "/api/traffic", delta).status, 200);
+    assert_eq!(fast.handle("POST", "/api/traffic", delta).status, 200);
+
+    // Health: enabled, not ready (metric still at epoch 0).
+    let health = fast.handle("GET", "/api/health", "");
+    assert_eq!(health.status, 200, "{}", health.body);
+    let v = json::parse(&health.body).unwrap();
+    let ix = v.get("index").expect("index object in health");
+    assert_eq!(ix.get("enabled").and_then(Json::as_bool), Some(true));
+    assert_eq!(ix.get("ready").and_then(Json::as_bool), Some(false));
+    assert_eq!(ix.get("metric_epoch").and_then(Json::as_f64), Some(0.0));
+
+    // The epoch-1 request serves right away, identically, via fallback.
+    let body = route_body(&plain, 0.3, 0.6, 0.75, 0.75);
+    let fallbacks_before = index.fallbacks();
+    let a = plain.handle("POST", "/api/route", &body);
+    let b = fast.handle("POST", "/api/route", &body);
+    assert_eq!(a.status, 200, "{}", a.body);
+    assert_eq!(a.body, b.body, "fallback bytes must match the plain path");
+    let v = json::parse(&b.body).unwrap();
+    assert_eq!(v.get("epoch").and_then(Json::as_f64), Some(1.0));
+    assert!(
+        index.fallbacks() > fallbacks_before,
+        "the not-ready epoch must be counted as a fallback"
+    );
+
+    // Publish the metric; a fresh pair now rides the CH path — and the
+    // health verdict flips to ready.
+    assert!(index.customize_now());
+    let queries_before = index.queries();
+    let body = route_body(&plain, 0.2, 0.3, 0.8, 0.7);
+    let a = plain.handle("POST", "/api/route", &body);
+    let b = fast.handle("POST", "/api/route", &body);
+    assert_eq!(a.body, b.body, "post-customization bytes must match");
+    assert!(index.queries() > queries_before, "CH path must serve now");
+    let health = fast.handle("GET", "/api/health", "");
+    let v = json::parse(&health.body).unwrap();
+    let ix = v.get("index").unwrap();
+    assert_eq!(ix.get("ready").and_then(Json::as_bool), Some(true));
+    assert_eq!(ix.get("metric_epoch").and_then(Json::as_f64), Some(1.0));
+    index.resume();
+
+    // And an app without the tier reports it disabled.
+    let health = plain.handle("GET", "/api/health", "");
+    let v = json::parse(&health.body).unwrap();
+    let ix = v.get("index").unwrap();
+    assert_eq!(ix.get("enabled").and_then(Json::as_bool), Some(false));
+}
+
+/// The traffic subsystem's adversarial mid-load test, repeated on the CH
+/// tier: the ticker bumps the epoch continuously while workers hammer
+/// the pipeline, and every route in every response must re-cost exactly
+/// under the single epoch the response claims. With the tier enabled,
+/// requests race real background customizations — some ride the CH path,
+/// the rest fall back — and the audit proves neither path ever pairs a
+/// stale metric with a newer epoch.
+#[test]
+fn epoch_bump_mid_load_never_mixes_epochs_on_the_ch_tier() {
+    let g = arp_citygen::generate(City::Melbourne, Scale::Small, 7);
+    let qp = Arc::new(QueryProcessor::new(g.name.clone(), g.network, 7).with_ch_index());
+    let service = Arc::new(RouteService::with_metrics(
+        DemoBackend::new(Arc::clone(&qp)),
+        ServeConfig::default(),
+        ServeMetrics::default(),
+    ));
+
+    let columns: Arc<Mutex<HashMap<u64, Arc<Vec<Weight>>>>> = Arc::new(Mutex::new(HashMap::new()));
+    {
+        let snap = qp.traffic().snapshot();
+        columns
+            .lock()
+            .unwrap()
+            .insert(snap.epoch(), Arc::clone(snap.weights()));
+    }
+
+    let bb = qp.network().bbox();
+    let endpoints = [
+        (0.30, 0.60, 0.75, 0.75),
+        (0.20, 0.30, 0.80, 0.70),
+        (0.40, 0.20, 0.60, 0.85),
+    ];
+    let queries: Vec<_> = endpoints
+        .iter()
+        .map(|&(sx, sy, tx, ty)| {
+            let s = arp_roadnet::geo::Point::new(
+                bb.min_lon + bb.width_deg() * sx,
+                bb.min_lat + bb.height_deg() * sy,
+            );
+            let t = arp_roadnet::geo::Point::new(
+                bb.min_lon + bb.width_deg() * tx,
+                bb.min_lat + bb.height_deg() * ty,
+            );
+            qp.snap(s, t).expect("inner points snap")
+        })
+        .collect();
+
+    // Each swap slows every residential edge further, so any two epochs
+    // disagree on any route touching a residential street — a torn lane
+    // cannot re-cost cleanly.
+    let ticker = {
+        let qp = Arc::clone(&qp);
+        let columns = Arc::clone(&columns);
+        thread::spawn(move || {
+            for round in 0..12u32 {
+                let factor = 1.0 + 0.1 * f64::from(round + 1);
+                let delta = TrafficDelta::parse(&format!("cat:residential*{factor:.3}")).unwrap();
+                let outcome = qp.traffic().apply_delta(&delta).unwrap();
+                let snap = qp.traffic().snapshot();
+                assert_eq!(snap.epoch(), outcome.epoch);
+                columns
+                    .lock()
+                    .unwrap()
+                    .insert(snap.epoch(), Arc::clone(snap.weights()));
+                thread::sleep(Duration::from_millis(3));
+            }
+        })
+    };
+
+    let mut workers = Vec::new();
+    for worker in 0..3 {
+        let qp = Arc::clone(&qp);
+        let service = Arc::clone(&service);
+        let queries = queries.clone();
+        workers.push(thread::spawn(move || {
+            let mut responses = Vec::new();
+            for i in 0..25 {
+                let snapped = queries[(worker + i) % queries.len()];
+                let prepared = qp.prepare_query(snapped);
+                let resp = service.route(prepared).expect("healthy service must route");
+                responses.push(resp);
+            }
+            responses
+        }));
+    }
+    let responses: Vec<_> = workers
+        .into_iter()
+        .flat_map(|w| w.join().unwrap())
+        .collect();
+    ticker.join().unwrap();
+
+    // Audit: every route re-costs exactly under its response's epoch.
+    let columns = columns.lock().unwrap();
+    let mut epochs_seen = std::collections::BTreeSet::new();
+    for resp in &responses {
+        epochs_seen.insert(resp.epoch);
+        let weights = columns
+            .get(&resp.epoch)
+            .unwrap_or_else(|| panic!("response stamped with unpublished epoch {}", resp.epoch));
+        for approach in &resp.approaches {
+            for route in &approach.routes {
+                let recosted: u64 = route
+                    .edges
+                    .iter()
+                    .map(|&e| u64::from(weights[e.index()]))
+                    .sum();
+                assert_eq!(
+                    recosted, route.cost_ms,
+                    "approach {} route does not re-cost under epoch {} — a stale CH metric \
+                     leaked into a newer epoch's response",
+                    approach.label, resp.epoch
+                );
+            }
+        }
+    }
+    assert!(
+        epochs_seen.len() >= 2,
+        "the load must actually straddle an epoch bump (saw {epochs_seen:?})"
+    );
+    let index = qp.ch_index().unwrap();
+    assert!(
+        index.queries() + index.fallbacks() > 0,
+        "the readiness gate must have been consulted under load"
+    );
+}
+
+/// TTL closures through the tier: a `close:E@1` kills the only path (an
+/// error response, not a panic, CH enabled or not); the next feed tick
+/// expires the closure, the customizer tracks the reopen epoch, and the
+/// CH-served response equals the plain one again.
+#[test]
+fn ttl_closure_reopen_is_tracked_by_the_ch_tier() {
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::geo::Point;
+
+    let build_net = || {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Point::new(144.00, -37.00));
+        let n1 = b.add_node(Point::new(144.01, -37.00));
+        let n2 = b.add_node(Point::new(144.02, -37.00));
+        b.add_bidirectional(n0, n1, EdgeSpec::default());
+        b.add_bidirectional(n1, n2, EdgeSpec::default());
+        (b.build(), n0, n2)
+    };
+    let (net, n0, n2) = build_net();
+    let cut: Vec<u32> = net
+        .edges()
+        .filter(|&e| {
+            let (a, b) = (net.tail(e).0, net.head(e).0);
+            (a, b) == (1, 2) || (a, b) == (2, 1)
+        })
+        .map(|e| e.0)
+        .collect();
+    assert_eq!(cut.len(), 2);
+
+    let make = |ch: bool| {
+        let (net, _, _) = build_net();
+        let qp = QueryProcessor::new("Chain", net, 1);
+        let qp = if ch { qp.with_ch_index() } else { qp };
+        let qp = Arc::new(qp);
+        let service = RouteService::with_metrics(
+            DemoBackend::new(Arc::clone(&qp)),
+            ServeConfig::default(),
+            ServeMetrics::default(),
+        );
+        (qp, service)
+    };
+    let (plain_qp, plain) = make(false);
+    let (fast_qp, fast) = make(true);
+    let snapped = arp_demo::SnappedQuery {
+        source: n0,
+        target: n2,
+    };
+
+    // Close the n1↔n2 pair for exactly one tick, on both stacks.
+    let statements: Vec<String> = cut.iter().map(|e| format!("close:{e}@1")).collect();
+    let delta = TrafficDelta::parse(&statements.join("; ")).unwrap();
+    plain_qp.traffic().apply_delta(&delta).unwrap();
+    fast_qp.traffic().apply_delta(&delta).unwrap();
+    let index = fast_qp.ch_index().unwrap();
+    assert!(index.wait_ready(1, READY_TIMEOUT));
+
+    // Both stacks refuse identically: every lane Unreachable.
+    let closed = plain.route(plain_qp.prepare_query(snapped));
+    assert!(
+        matches!(closed, Err(arp_serve::ServeError::AllLanesFailed { .. })),
+        "{closed:?}"
+    );
+    let closed = fast.route(fast_qp.prepare_query(snapped));
+    assert!(
+        matches!(closed, Err(arp_serve::ServeError::AllLanesFailed { .. })),
+        "{closed:?}"
+    );
+
+    // One feed tick expires the TTL; the same deterministic feed drives
+    // both stacks so their columns stay identical.
+    // No random incidents: the feed must not re-close the chain's only
+    // path while we are proving the TTL reopen.
+    let profile = arp_traffic::CityProfile::for_city_name("Chain");
+    let feed = arp_traffic::TrafficFeed::new(5, profile).with_incident_rate(0.0);
+    let out_plain = plain_qp.traffic().advance_tick(&feed).unwrap();
+    let out_fast = fast_qp.traffic().advance_tick(&feed).unwrap();
+    assert_eq!(out_plain.epoch, out_fast.epoch);
+    assert_eq!(out_fast.expired, 2, "both TTL closures must expire");
+    assert_eq!(out_fast.closures_active, 0);
+    assert!(index.wait_ready(out_fast.epoch, READY_TIMEOUT));
+
+    // Service restored on the reopen epoch, byte-identical across tiers.
+    let a = plain.route(plain_qp.prepare_query(snapped)).unwrap();
+    let b = fast.route(fast_qp.prepare_query(snapped)).unwrap();
+    assert_eq!(a.epoch, out_fast.epoch);
+    assert_same_response(&b, &a, "after TTL reopen");
+}
+
+/// Epoch wraparound through the tier: a forced `u64::MAX` epoch followed
+/// by a delta wraps to epoch 0 — whose column is now *overlaid*, not the
+/// base weights — and the exact-match gate serves it correctly while
+/// refusing the stale pre-wrap metric.
+#[test]
+fn forced_wraparound_epoch_serves_exactly_through_the_ch_tier() {
+    let make = |ch: bool| {
+        let g = arp_citygen::generate(City::Copenhagen, Scale::Tiny, 11);
+        let qp = QueryProcessor::new(g.name.clone(), g.network, 11);
+        let qp = if ch { qp.with_ch_index() } else { qp };
+        let qp = Arc::new(qp);
+        let service = RouteService::with_metrics(
+            DemoBackend::new(Arc::clone(&qp)),
+            ServeConfig::default(),
+            ServeMetrics::default(),
+        );
+        (qp, service)
+    };
+    let (plain_qp, plain) = make(false);
+    let (fast_qp, fast) = make(true);
+    let index = fast_qp.ch_index().unwrap();
+
+    let delta = TrafficDelta::parse("cat:residential*1.6").unwrap();
+    for qp in [&plain_qp, &fast_qp] {
+        qp.traffic().force_epoch(u64::MAX);
+        let outcome = qp.traffic().apply_delta(&delta).unwrap();
+        assert_eq!(outcome.epoch, 0, "the swap past u64::MAX must wrap");
+    }
+    assert!(index.wait_ready(0, READY_TIMEOUT));
+
+    let bb = plain_qp.network().bbox();
+    let s = arp_roadnet::geo::Point::new(
+        bb.min_lon + bb.width_deg() * 0.3,
+        bb.min_lat + bb.height_deg() * 0.6,
+    );
+    let t = arp_roadnet::geo::Point::new(
+        bb.min_lon + bb.width_deg() * 0.75,
+        bb.min_lat + bb.height_deg() * 0.75,
+    );
+    let snapped = plain_qp.snap(s, t).unwrap();
+
+    let queries_before = index.queries();
+    let a = plain.route(plain_qp.prepare_query(snapped)).unwrap();
+    let b = fast.route(fast_qp.prepare_query(snapped)).unwrap();
+    assert_eq!(a.epoch, 0, "wrapped epoch is 0 again");
+    assert_same_response(&b, &a, "wrapped epoch");
+    assert!(
+        index.queries() > queries_before,
+        "the wrapped epoch's metric must serve the CH path"
+    );
+}

@@ -93,18 +93,32 @@ struct State {
     snapshot: Arc<EpochSnapshot>,
 }
 
+/// Callback invoked with every newly published [`EpochSnapshot`]. The
+/// serving tier's index manager registers one to kick off background
+/// re-customization of its CH metric on each epoch bump.
+pub type EpochListener = Arc<dyn Fn(&Arc<EpochSnapshot>) + Send + Sync>;
+
 /// The live-traffic authority for one road network: owns the overlay,
 /// the tick counter and the current epoch, and publishes immutable
 /// [`EpochSnapshot`]s.
 ///
 /// Thread-safe: any number of readers pin snapshots while one writer
 /// (the feed ticker or `POST /api/traffic`) swaps epochs.
-#[derive(Debug)]
 pub struct TrafficState {
     net: Arc<RoadNetwork>,
     base: Arc<Vec<Weight>>,
     metrics: TrafficMetrics,
     state: RwLock<State>,
+    listener: RwLock<Option<EpochListener>>,
+}
+
+impl std::fmt::Debug for TrafficState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrafficState")
+            .field("epoch", &self.epoch())
+            .field("tick", &self.tick())
+            .finish_non_exhaustive()
+    }
 }
 
 impl TrafficState {
@@ -135,6 +149,33 @@ impl TrafficState {
                 tick: 0,
                 snapshot,
             }),
+            listener: RwLock::new(None),
+        }
+    }
+
+    /// Registers the single epoch listener, invoked with every snapshot
+    /// published after registration ([`TrafficState::apply_delta`],
+    /// [`TrafficState::advance_tick`] and [`TrafficState::force_epoch`]
+    /// all fire it). The callback runs on the *writer's* thread **after**
+    /// the publication lock is released — it must hand off long work
+    /// (like a CH re-customization) to its own thread rather than block
+    /// the feed ticker.
+    pub fn set_epoch_listener(
+        &self,
+        listener: impl Fn(&Arc<EpochSnapshot>) + Send + Sync + 'static,
+    ) {
+        *self.listener.write().expect("listener lock poisoned") = Some(Arc::new(listener));
+    }
+
+    /// Fires the listener (if any) with a freshly published snapshot.
+    fn notify(&self, snapshot: &Arc<EpochSnapshot>) {
+        let listener = self
+            .listener
+            .read()
+            .expect("listener lock poisoned")
+            .clone();
+        if let Some(listener) = listener {
+            listener(snapshot);
         }
     }
 
@@ -168,21 +209,31 @@ impl TrafficState {
     /// current tick and swaps in a new epoch. Validation failures leave
     /// the published snapshot untouched.
     pub fn apply_delta(&self, delta: &TrafficDelta) -> Result<ApplyOutcome, TrafficError> {
-        let mut state = self.state.write().expect("traffic lock poisoned");
-        let now = state.tick;
-        self.swap(&mut state, delta, now, 0)
+        let (outcome, snapshot) = {
+            let mut state = self.state.write().expect("traffic lock poisoned");
+            let now = state.tick;
+            let outcome = self.swap(&mut state, delta, now, 0)?;
+            (outcome, Arc::clone(&state.snapshot))
+        };
+        self.notify(&snapshot);
+        Ok(outcome)
     }
 
     /// Advances the feed clock one tick: expires TTL closures, generates
     /// the feed's delta for the new tick, applies it, and swaps in a new
     /// epoch — one atomic publication per tick.
     pub fn advance_tick(&self, feed: &TrafficFeed) -> Result<ApplyOutcome, TrafficError> {
-        let mut state = self.state.write().expect("traffic lock poisoned");
-        let tick = state.tick + 1;
-        state.tick = tick;
-        let expired = state.overlay.expire(tick);
-        let delta = feed.delta_for_tick(tick, self.net.num_edges());
-        self.swap(&mut state, &delta, tick, expired)
+        let (outcome, snapshot) = {
+            let mut state = self.state.write().expect("traffic lock poisoned");
+            let tick = state.tick + 1;
+            state.tick = tick;
+            let expired = state.overlay.expire(tick);
+            let delta = feed.delta_for_tick(tick, self.net.num_edges());
+            let outcome = self.swap(&mut state, &delta, tick, expired)?;
+            (outcome, Arc::clone(&state.snapshot))
+        };
+        self.notify(&snapshot);
+        Ok(outcome)
     }
 
     /// Test/operations hook: republishes the current overlay under an
@@ -191,16 +242,20 @@ impl TrafficState {
     /// opaque identity, so any value (including `u64::MAX`, which the
     /// next swap wraps to 0) must serve correctly.
     pub fn force_epoch(&self, epoch: u64) {
-        let mut state = self.state.write().expect("traffic lock poisoned");
-        let weights = state.overlay.materialize(&self.net, &self.base);
-        let snapshot = Arc::new(EpochSnapshot {
-            epoch,
-            weights,
-            closures: state.overlay.num_closures(),
-            overlay_size: state.overlay.size(),
-        });
-        state.snapshot = snapshot;
-        self.metrics.epoch.set(epoch as i64);
+        let snapshot = {
+            let mut state = self.state.write().expect("traffic lock poisoned");
+            let weights = state.overlay.materialize(&self.net, &self.base);
+            let snapshot = Arc::new(EpochSnapshot {
+                epoch,
+                weights,
+                closures: state.overlay.num_closures(),
+                overlay_size: state.overlay.size(),
+            });
+            state.snapshot = Arc::clone(&snapshot);
+            self.metrics.epoch.set(epoch as i64);
+            snapshot
+        };
+        self.notify(&snapshot);
     }
 
     /// The one swap path: clone-mutate-materialize-publish. Runs under
@@ -338,6 +393,26 @@ mod tests {
         // The two epochs stay distinct pins despite the wrap.
         assert_eq!(pinned.epoch(), u64::MAX);
         assert_ne!(pinned.column(), state.snapshot().column());
+    }
+
+    #[test]
+    fn epoch_listener_sees_every_publication() {
+        use std::sync::Mutex;
+        let net = line(4);
+        let state = TrafficState::new(net);
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        state.set_epoch_listener(move |snap| sink.lock().unwrap().push(snap.epoch()));
+        state
+            .apply_delta(&TrafficDelta::parse("edge:0*2.0").unwrap())
+            .unwrap();
+        state.advance_tick(&TrafficFeed::quiet()).unwrap();
+        state.force_epoch(77);
+        // A rejected delta publishes nothing and must not fire.
+        assert!(state
+            .apply_delta(&TrafficDelta::parse("close:999").unwrap())
+            .is_err());
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2, 77]);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod metrics;
 pub mod overlay;
 
 pub use delta::{TrafficDelta, TrafficOp};
-pub use epoch::{ApplyOutcome, EpochSnapshot, TrafficState};
+pub use epoch::{ApplyOutcome, EpochListener, EpochSnapshot, TrafficState};
 pub use error::TrafficError;
 pub use feed::{CityProfile, TrafficFeed};
 pub use metrics::TrafficMetrics;

@@ -11,7 +11,12 @@
 //! arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N]
 //!               [--faults SPEC]  (e.g. `lane.penalty=flaky:0.2,cache.get=error:down`)
 //!               [--traffic-tick-ms MS] [--traffic-seed N]  (live-traffic feed; off by default)
+//!               [--ch on|off]  (the CH index tier; on by default)
 //! ```
+//!
+//! Flags are validated against a per-subcommand allowlist: an unknown
+//! `--flag` is an error (it used to be silently ignored), and a flag
+//! missing its value never swallows the next `--flag` as the value.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -22,30 +27,83 @@ use arp_roadnet::weight::ms_to_display_minutes;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  arp generate  <city> [--scale S] [--seed N] [--out FILE]\n  arp export-osm <city> [--scale S] [--seed N] --out FILE\n  arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT [--technique T] [--k N] [--geojson FILE]\n  arp study     <city> [--scale S] [--seed N]\n  arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N] [--faults SPEC] [--traffic-tick-ms MS] [--traffic-seed N]\n\ncities: melbourne | dhaka | copenhagen   scales: tiny | small | medium | large"
+        "usage:\n  arp generate  <city> [--scale S] [--seed N] [--out FILE]\n  arp export-osm <city> [--scale S] [--seed N] --out FILE\n  arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT [--technique T] [--k N] [--geojson FILE]\n  arp study     <city> [--scale S] [--seed N]\n  arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N] [--faults SPEC] [--traffic-tick-ms MS] [--traffic-seed N] [--ch on|off]\n\ncities: melbourne | dhaka | copenhagen   scales: tiny | small | medium | large"
     );
     std::process::exit(2)
 }
 
-/// Splits argv into positional args and `--key value` flags.
-fn parse_args(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+/// The flags each subcommand accepts. `None` for an unknown subcommand —
+/// the caller reports it before any flag is looked at.
+fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
+    Some(match cmd {
+        "generate" | "export-osm" => &["scale", "seed", "out"],
+        "route" => &["scale", "seed", "from", "to", "technique", "k", "geojson"],
+        "study" => &["scale", "seed"],
+        "serve" => &[
+            "port",
+            "seed",
+            "scale",
+            "workers",
+            "queue",
+            "cache",
+            "faults",
+            "traffic-tick-ms",
+            "traffic-seed",
+            "ch",
+        ],
+        _ => return None,
+    })
+}
+
+/// Splits argv into positional args and `--key value` flags, validated
+/// against the subcommand's allowlist.
+///
+/// Two historical bugs are rejected here rather than silently absorbed:
+/// an unknown flag used to be accepted and ignored (a typo like
+/// `--trafic-tick-ms` left the feed off without a word), and a `--key`
+/// missing its value used to swallow the next `--flag` as the value
+/// (`--traffic-tick-ms --workers 4` parsed as tick "--workers" plus a
+/// stray positional "4").
+fn parse_args(
+    cmd: &str,
+    args: &[String],
+) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let Some(allowed) = allowed_flags(cmd) else {
+        return Err(format!("unknown command {cmd:?}"));
+    };
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            if i + 1 >= args.len() {
-                eprintln!("missing value for --{key}");
-                usage();
+            if !allowed.contains(&key) {
+                return Err(format!(
+                    "unknown flag --{key} for `arp {cmd}` (accepted: {})",
+                    allowed
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ));
             }
-            flags.insert(key.to_string(), args[i + 1].clone());
+            match args.get(i + 1) {
+                None => return Err(format!("missing value for --{key}")),
+                Some(value) if value.starts_with("--") => {
+                    return Err(format!(
+                        "missing value for --{key} (next argument {value:?} is a flag)"
+                    ))
+                }
+                Some(value) => {
+                    flags.insert(key.to_string(), value.clone());
+                }
+            }
             i += 2;
         } else {
             positional.push(args[i].clone());
             i += 1;
         }
     }
-    (positional, flags)
+    Ok((positional, flags))
 }
 
 fn parse_scale(flags: &HashMap<String, String>) -> Scale {
@@ -329,10 +387,30 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
             ""
         }
     );
-    let app = std::sync::Arc::new(DemoApp::with_config(
-        QueryProcessor::new(name.clone(), net, parse_seed(flags)),
-        config,
-    ));
+    // `--ch off` disables the CH index tier; on (the default), the
+    // topology is contracted and the current epoch customized before the
+    // listener binds, so the very first request already rides the fast
+    // path. Responses are byte-identical either way — the tier only
+    // changes how substrates are computed.
+    let ch_enabled = match flags.get("ch").map(String::as_str) {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            eprintln!("--ch must be `on` or `off`, got {other:?}");
+            usage();
+        }
+    };
+    let mut processor = QueryProcessor::new(name.clone(), net, parse_seed(flags));
+    if ch_enabled {
+        processor = processor.with_ch_index();
+        let index = processor.ch_index().expect("just enabled");
+        println!(
+            "CH index tier on: {} hierarchy arcs, metric ready at epoch {}",
+            index.topology().num_arcs(),
+            index.ready_epoch()
+        );
+    }
+    let app = std::sync::Arc::new(DemoApp::with_config(processor, config));
     // `--traffic-tick-ms 2000` turns the deterministic feed on: a ticker
     // thread advances the rush-hour schedule (24 ticks/day, morphology
     // from the city name) every interval, bumping the graph epoch.
@@ -378,7 +456,10 @@ fn main() -> ExitCode {
     let Some((cmd, rest)) = args.split_first() else {
         usage()
     };
-    let (positional, flags) = parse_args(rest);
+    let (positional, flags) = parse_args(cmd, rest).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+    });
     match cmd.as_str() {
         "generate" => cmd_generate(&positional, &flags),
         "export-osm" => cmd_export_osm(&positional, &flags),
@@ -386,5 +467,74 @@ fn main() -> ExitCode {
         "study" => cmd_study(&positional, &flags),
         "serve" => cmd_serve(&positional, &flags),
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn known_flags_and_positionals_parse() {
+        let (positional, flags) = parse_args(
+            "serve",
+            &argv(&["melbourne", "--port", "9000", "--traffic-tick-ms", "250"]),
+        )
+        .unwrap();
+        assert_eq!(positional, vec!["melbourne"]);
+        assert_eq!(flags.get("port").map(String::as_str), Some("9000"));
+        assert_eq!(
+            flags.get("traffic-tick-ms").map(String::as_str),
+            Some("250")
+        );
+    }
+
+    /// The first historical bug: an unknown flag was silently ignored, so
+    /// a typo like `--trafic-tick-ms` left the feed off without a word.
+    #[test]
+    fn unknown_flag_is_rejected_not_ignored() {
+        let err = parse_args("serve", &argv(&["melbourne", "--trafic-tick-ms", "250"]))
+            .expect_err("typo'd flag must not be swallowed");
+        assert!(err.contains("--trafic-tick-ms"), "{err}");
+        assert!(
+            err.contains("--traffic-tick-ms"),
+            "the hint lists accepted flags: {err}"
+        );
+    }
+
+    /// The second historical bug: `--key` missing its value swallowed the
+    /// next `--flag` as the value (`--traffic-tick-ms --workers 4` parsed
+    /// as tick "--workers" plus a stray positional "4").
+    #[test]
+    fn flag_missing_its_value_does_not_swallow_the_next_flag() {
+        let err = parse_args(
+            "serve",
+            &argv(&["melbourne", "--traffic-tick-ms", "--workers", "4"]),
+        )
+        .expect_err("a flag is not a value");
+        assert!(err.contains("missing value for --traffic-tick-ms"), "{err}");
+
+        let err = parse_args("serve", &argv(&["melbourne", "--port"]))
+            .expect_err("trailing flag has no value");
+        assert!(err.contains("missing value for --port"), "{err}");
+    }
+
+    /// Allowlists are per-subcommand: a serve-only flag is an error on
+    /// `route`, and negative-looking values (single dash) stay values.
+    #[test]
+    fn allowlists_are_per_subcommand() {
+        assert!(parse_args("route", &argv(&["melbourne", "--workers", "4"])).is_err());
+        assert!(parse_args("study", &argv(&["dhaka", "--seed", "7"])).is_ok());
+        assert!(parse_args("nonsense", &argv(&[])).is_err());
+        let (_, flags) = parse_args(
+            "route",
+            &argv(&["melbourne", "--from", "-37.8,144.9", "--to", "-37.7,145.0"]),
+        )
+        .unwrap();
+        assert_eq!(flags.get("from").map(String::as_str), Some("-37.8,144.9"));
     }
 }
