@@ -92,6 +92,7 @@ fn main() {
     availability_sweep(&mut report);
     degraded_is_never_cached(&mut report);
     breaker_caps_wasted_work(&mut report);
+    journal_fault_rejects_without_publishing(&mut report);
 
     println!("{report}");
     let path = arp_bench::write_report("chaos.txt", &report);
@@ -301,5 +302,73 @@ fn breaker_caps_wasted_work(report: &mut String) {
         "\nBreaker caps wasted work (Copenhagen, lane.penalty=error, cache off):\n    \
          {OUTAGE_REQUESTS} requests: {attempts} failing attempts reached the worker pool, \
          {short_circuited} short-circuited by the open breaker; all requests served 3/4 techniques"
+    );
+}
+
+/// Disk-full / EIO during a journal append, modelled by the
+/// `journal.append` failpoint: every `POST /api/traffic` answers `503`,
+/// the epoch never moves (nothing unjournaled is ever published), every
+/// rejection is counted, and the route-serving breaker ladder is
+/// untouched — a storage outage on the ingest path must not degrade
+/// route serving.
+fn journal_fault_rejects_without_publishing(report: &mut String) {
+    const ATTEMPTS: usize = 10;
+    let generated = arp_bench::generate_city(City::Melbourne, Scale::Small);
+    let dir = std::env::temp_dir().join(format!("arp_chaos_journal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let processor = QueryProcessor::new(generated.name.clone(), generated.network, 7)
+        .with_traffic_durability(arp_traffic::DurabilityConfig::new(&dir))
+        .expect("fresh state dir recovers clean");
+    let config = ServeConfig {
+        faults: FaultPlan::disabled().with(
+            sites::JOURNAL_APPEND.to_string(),
+            FaultKind::Error("injected disk full".to_string()),
+        ),
+        ..ServeConfig::default()
+    };
+    let app = arp_demo::DemoApp::with_config(processor, config);
+
+    for _ in 0..ATTEMPTS {
+        let resp = app.handle("POST", "/api/traffic", "cat:primary*1.5; close:3@2");
+        assert_eq!(
+            resp.status, 503,
+            "append failure must be a 503: {}",
+            resp.body
+        );
+        assert!(resp.retry_after.is_some(), "503 carries a retry hint");
+    }
+    assert_eq!(
+        app.processor.traffic().epoch(),
+        0,
+        "no epoch may publish without its journal record"
+    );
+    let injected = app.processor.registry().counter_value(
+        "arp_serve_faults_injected_total",
+        &[("site", sites::JOURNAL_APPEND), ("kind", "error")],
+    );
+    assert_eq!(injected as usize, ATTEMPTS, "every rejection is counted");
+    // The journal never saw a record: recovery from this directory is a
+    // clean start at epoch 0.
+    let journal_len = std::fs::metadata(dir.join(arp_traffic::JOURNAL_FILE))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    assert_eq!(
+        journal_len, 0,
+        "a failed append must not leave bytes behind"
+    );
+    // Route serving is unaffected: health stays ready, breakers closed.
+    let health = app.handle("GET", "/api/health", "");
+    assert_eq!(health.status, 200, "{}", health.body);
+    assert!(
+        health.body.contains("\"status\":\"ready\""),
+        "{}",
+        health.body
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = writeln!(
+        report,
+        "\nJournal-append fault (Melbourne, journal.append=error, durable state):\n    \
+         {ATTEMPTS} delta posts: all 503 with Retry-After, epoch stayed 0, \
+         {injected} injections counted, journal empty, serving health ready"
     );
 }

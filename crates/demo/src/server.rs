@@ -66,6 +66,17 @@ use crate::store::{ResponseStore, Submission};
 /// answers `503` beyond it instead of spawning without bound.
 pub const MAX_CONNECTIONS: usize = 128;
 
+/// Default cap on `POST /api/traffic` bodies. Deltas are operator
+/// commands — a handful of statements, not bulk data — so anything past
+/// this is a client bug or abuse, answered `413` before parsing.
+/// Override with [`DemoApp::with_traffic_body_cap`].
+pub const DEFAULT_TRAFFIC_BODY_CAP: usize = 64 * 1024;
+
+/// Hard wire-level bound on any request body. `read_request` refuses to
+/// read past it: a larger `Content-Length` is answered `413` with the
+/// declared bytes left unread on the (about-to-close) connection.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
 /// An HTTP response produced by the handler.
 #[derive(Clone, Debug, PartialEq)]
 pub struct HttpResponse {
@@ -143,6 +154,8 @@ pub struct DemoApp {
     registry: Registry,
     /// The serving pipeline `/api/route` runs through.
     service: RouteService<DemoBackend>,
+    /// `POST /api/traffic` bodies larger than this answer `413`.
+    traffic_body_cap: usize,
 }
 
 impl DemoApp {
@@ -158,17 +171,52 @@ impl DemoApp {
         let processor = Arc::new(processor);
         let service =
             RouteService::new(DemoBackend::new(Arc::clone(&processor)), config, &registry);
+        // Wire the journal-append failpoint into the durability layer:
+        // when a chaos plan arms `journal.append`, the hook fires inside
+        // the traffic swap, *before* the epoch publishes — modelling a
+        // full disk or an EIO exactly where a real one would land.
+        let plan = service.config().faults.clone();
+        if plan.is_enabled() {
+            processor
+                .traffic()
+                .set_journal_fault_hook(move || plan.fire(arp_serve::sites::JOURNAL_APPEND));
+        }
         DemoApp {
             processor,
             store: ResponseStore::new(),
             registry,
             service,
+            traffic_body_cap: DEFAULT_TRAFFIC_BODY_CAP,
         }
+    }
+
+    /// Overrides the `POST /api/traffic` body cap (bytes). Bodies larger
+    /// than the cap answer `413` before any parsing.
+    pub fn with_traffic_body_cap(mut self, cap: usize) -> DemoApp {
+        self.traffic_body_cap = cap;
+        self
     }
 
     /// The serving pipeline (admission, cache, worker pool).
     pub fn service(&self) -> &RouteService<DemoBackend> {
         &self.service
+    }
+
+    /// Answers a request whose declared `Content-Length` exceeds
+    /// [`MAX_BODY_BYTES`] — the body was never read, so this cannot go
+    /// through the normal handler. Still counted in
+    /// `arp_http_requests_total` under the endpoint's label.
+    pub fn reject_oversized(&self, method: &str, path: &str) -> HttpResponse {
+        let endpoint = Self::endpoint_label(method, path);
+        let resp = HttpResponse::error(413, "request body too large");
+        self.registry
+            .counter(
+                "arp_http_requests_total",
+                "HTTP requests served, by endpoint and status code.",
+                &[("endpoint", endpoint), ("status", &resp.status.to_string())],
+            )
+            .inc();
+        resp
     }
 
     /// Maps a request to its bounded-cardinality `endpoint` label.
@@ -423,6 +471,19 @@ impl DemoApp {
     /// Operator endpoint: like `/api/health` it is not participant-facing
     /// and does not touch the blinding.
     fn traffic(&self, body: &str) -> HttpResponse {
+        // Cap check before any parsing: deltas are short operator
+        // commands, so an oversized body is rejected outright instead of
+        // being parsed (and journaled) at unbounded cost.
+        if body.len() > self.traffic_body_cap {
+            return HttpResponse::error(
+                413,
+                format!(
+                    "traffic delta body of {} bytes exceeds the {}-byte cap",
+                    body.len(),
+                    self.traffic_body_cap
+                ),
+            );
+        }
         let text = match json::parse(body) {
             Ok(v) => match v.get("delta").and_then(Json::as_str) {
                 Some(s) => s.to_string(),
@@ -452,6 +513,13 @@ impl DemoApp {
                         Json::Number(outcome.closures_active as f64),
                     ),
                 ]))
+            }
+            // A journal-append failure is the storage layer's problem,
+            // not the client's: the delta was valid, the epoch did not
+            // move, and a retry may well succeed once the disk recovers —
+            // so it maps to 503 + Retry-After, never 400.
+            Err(e @ arp_traffic::TrafficError::Journal { .. }) => {
+                HttpResponse::render_error(503, e.to_string(), Some(1))
             }
             Err(e) => HttpResponse::error(400, e.to_string()),
         }
@@ -525,6 +593,34 @@ impl DemoApp {
             }
             None => Json::object([("enabled", Json::Bool(false))]),
         };
+        // The durability layer's recovery outcome: `disabled` when the
+        // traffic state is in-memory only; otherwise what the last
+        // startup found — `clean`, `replayed` (journal suffix applied,
+        // possibly with a truncated torn tail) or `degraded` (something
+        // was quarantined and the state fell back to what remained
+        // valid). Operators alert on `degraded` and triage the
+        // `*.quarantine` files (docs/OPERATIONS.md).
+        let recovery = match self.processor.recovery_report() {
+            Some(r) => Json::object([
+                ("status", Json::str(r.status.as_str())),
+                (
+                    "snapshot_epoch",
+                    match r.snapshot_epoch {
+                        Some(e) => Json::Number(e as f64),
+                        None => Json::Null,
+                    },
+                ),
+                ("replayed_records", Json::Number(r.replayed_records as f64)),
+                ("torn_tails", Json::Number(r.torn_tails as f64)),
+                (
+                    "quarantined",
+                    Json::Array(r.quarantined.iter().map(Json::str).collect()),
+                ),
+                ("epoch", Json::Number(r.epoch as f64)),
+                ("duration_ms", Json::Number(r.duration_ms as f64)),
+            ]),
+            None => Json::object([("status", Json::str("disabled"))]),
+        };
         let status = match report.verdict {
             arp_serve::HealthVerdict::Unhealthy => 503,
             _ => 200,
@@ -559,6 +655,7 @@ impl DemoApp {
                 ]),
             ),
             ("index", index),
+            ("recovery", recovery),
         ]);
         HttpResponse {
             status,
@@ -593,9 +690,23 @@ impl DemoApp {
     }
 }
 
+/// One request off the wire: the parsed request line plus either the
+/// body or a refusal to read it.
+struct RawRequest {
+    method: String,
+    path: String,
+    body: String,
+    /// The declared `Content-Length` exceeded [`MAX_BODY_BYTES`]; the
+    /// body was left unread and the request must be answered `413`.
+    oversized: bool,
+}
+
 /// Reads one HTTP request (request line, headers, body per
-/// `Content-Length`) from a stream.
-fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<(String, String, String)>> {
+/// `Content-Length`) from a stream. Bodies whose declared length exceeds
+/// [`MAX_BODY_BYTES`] are **not read at all** — the request comes back
+/// with `oversized` set so the serving loop can answer `413` without
+/// having buffered a single body byte.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<RawRequest>> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut request_line = String::new();
     if reader.read_line(&mut request_line)? == 0 {
@@ -619,13 +730,22 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<(String, Strin
             content_length = v.trim().parse().unwrap_or(0);
         }
     }
-    let mut body = vec![0u8; content_length.min(1 << 20)];
+    if content_length > MAX_BODY_BYTES {
+        return Ok(Some(RawRequest {
+            method,
+            path,
+            body: String::new(),
+            oversized: true,
+        }));
+    }
+    let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Some((
+    Ok(Some(RawRequest {
         method,
         path,
-        String::from_utf8_lossy(&body).into_owned(),
-    )))
+        body: String::from_utf8_lossy(&body).into_owned(),
+        oversized: false,
+    }))
 }
 
 fn write_response(stream: &mut TcpStream, resp: &HttpResponse) -> std::io::Result<()> {
@@ -634,6 +754,8 @@ fn write_response(stream: &mut TcpStream, resp: &HttpResponse) -> std::io::Resul
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
         502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -693,8 +815,12 @@ pub fn serve_with_shutdown(
         let app = Arc::clone(&app);
         let active = Arc::clone(&active);
         std::thread::spawn(move || {
-            if let Ok(Some((method, path, body))) = read_request(&mut stream) {
-                let resp = app.handle(&method, &path, &body);
+            if let Ok(Some(req)) = read_request(&mut stream) {
+                let resp = if req.oversized {
+                    app.reject_oversized(&req.method, &req.path)
+                } else {
+                    app.handle(&req.method, &req.path, &req.body)
+                };
                 let _ = write_response(&mut stream, &resp);
             }
             active.fetch_sub(1, Ordering::AcqRel);
@@ -705,6 +831,10 @@ pub fn serve_with_shutdown(
     while active.load(Ordering::Acquire) > 0 && std::time::Instant::now() < drain_deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
+    // Drained: run the registered hooks (e.g. the final durable-state
+    // snapshot flush) exactly once, on this thread, after the last
+    // in-flight handler could have journaled anything.
+    shutdown.run_drain_hooks();
     Ok(())
 }
 
@@ -1237,6 +1367,170 @@ mod tests {
             head.lines()
                 .any(|l| l.eq_ignore_ascii_case("Content-Type: text/plain; version=0.0.4")),
             "exposition content type missing on the wire: {head}"
+        );
+    }
+
+    fn temp_state_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "arp_demo_{name}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Satellite: the `POST /api/traffic` body cap is exact — a body of
+    /// cap bytes is processed, cap + 1 bytes answers `413`, and the
+    /// rejected request does not move the epoch.
+    #[test]
+    fn traffic_endpoint_enforces_the_body_cap_at_the_boundary() {
+        let g = arp_citygen::generate(City::Melbourne, Scale::Small, 12);
+        let app = DemoApp::new(QueryProcessor::new(g.name.clone(), g.network, 12))
+            .with_traffic_body_cap(32);
+
+        // Exactly at the cap: a valid delta padded to 32 bytes applies.
+        let mut at_cap = "cat:primary*1.5".to_string();
+        while at_cap.len() < 32 {
+            at_cap.push(' ');
+        }
+        assert_eq!(at_cap.len(), 32);
+        let resp = app.handle("POST", "/api/traffic", &at_cap);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(app.processor.traffic().epoch(), 1);
+
+        // One byte over: 413, epoch untouched, nothing parsed.
+        let over = format!("{at_cap} ");
+        assert_eq!(over.len(), 33);
+        let resp = app.handle("POST", "/api/traffic", &over);
+        assert_eq!(resp.status, 413, "{}", resp.body);
+        assert!(resp.body.contains("cap"), "{}", resp.body);
+        assert_eq!(app.processor.traffic().epoch(), 1, "413 must not apply");
+        assert_eq!(
+            app.registry.counter_value(
+                "arp_http_requests_total",
+                &[("endpoint", "traffic"), ("status", "413")]
+            ),
+            1
+        );
+    }
+
+    /// Without durability, `/api/health` reports the recovery layer as
+    /// disabled — distinguishable from a clean recovery.
+    #[test]
+    fn health_reports_recovery_disabled_without_durability() {
+        let app = app();
+        let v = json::parse(&app.handle("GET", "/api/health", "").body).unwrap();
+        assert_eq!(
+            v.get("recovery")
+                .unwrap()
+                .get("status")
+                .and_then(Json::as_str),
+            Some("disabled")
+        );
+    }
+
+    /// The durable path end to end over HTTP: a fresh state-dir recovers
+    /// clean, deltas journal as they apply, and a second app built from
+    /// the same directory reports the replay and serves the same epoch.
+    #[test]
+    fn durable_app_recovers_journaled_deltas_across_restarts() {
+        let g = arp_citygen::generate(City::Melbourne, Scale::Small, 12);
+        let dir = temp_state_dir("durable_http");
+
+        let processor = QueryProcessor::new(g.name.clone(), g.network.clone(), 12)
+            .with_traffic_durability(arp_traffic::DurabilityConfig::new(&dir))
+            .unwrap();
+        let app = DemoApp::new(processor);
+        let v = json::parse(&app.handle("GET", "/api/health", "").body).unwrap();
+        let recovery = v.get("recovery").unwrap();
+        assert_eq!(recovery.get("status").and_then(Json::as_str), Some("clean"));
+        assert_eq!(recovery.get("epoch").and_then(Json::as_f64), Some(0.0));
+
+        let resp = app.handle("POST", "/api/traffic", r#"{"delta": "cat:primary*1.7"}"#);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let resp = app.handle("POST", "/api/traffic", "close:3@5");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        drop(app);
+
+        // "Crash" (no flush) and restart from the same directory.
+        let processor = QueryProcessor::new(g.name.clone(), g.network.clone(), 12)
+            .with_traffic_durability(arp_traffic::DurabilityConfig::new(&dir))
+            .unwrap();
+        let report = processor.recovery_report().unwrap().clone();
+        assert_eq!(report.epoch, 2, "both deltas replayed: {report:?}");
+        let app = DemoApp::new(processor);
+        let v = json::parse(&app.handle("GET", "/api/health", "").body).unwrap();
+        let recovery = v.get("recovery").unwrap();
+        assert_eq!(recovery.get("epoch").and_then(Json::as_f64), Some(2.0));
+        let traffic = v.get("traffic").unwrap();
+        assert_eq!(traffic.get("epoch").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            traffic.get("closures_active").and_then(Json::as_f64),
+            Some(1.0)
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An injected `journal.append` fault (disk full, EIO) answers `503`
+    /// with a retry hint; the epoch does not move, so nothing was
+    /// published that the journal does not cover.
+    #[test]
+    fn journal_append_fault_is_a_503_and_the_epoch_does_not_move() {
+        let g = arp_citygen::generate(City::Melbourne, Scale::Small, 12);
+        let dir = temp_state_dir("journal_fault");
+        let processor = QueryProcessor::new(g.name.clone(), g.network, 12)
+            .with_traffic_durability(arp_traffic::DurabilityConfig::new(&dir))
+            .unwrap();
+        let config = arp_serve::ServeConfig {
+            faults: arp_serve::FaultPlan::parse("journal.append=error:disk full").unwrap(),
+            ..arp_serve::ServeConfig::default()
+        };
+        let app = DemoApp::with_config(processor, config);
+
+        let resp = app.handle("POST", "/api/traffic", r#"{"delta": "cat:primary*1.5"}"#);
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        assert_eq!(resp.retry_after, Some(1));
+        assert!(resp.body.contains("disk full"), "{}", resp.body);
+        assert_eq!(app.processor.traffic().epoch(), 0, "epoch must not move");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A `Content-Length` past the wire cap is answered `413` without the
+    /// server reading the body at all — the client never even sends it.
+    #[test]
+    fn oversized_content_length_is_rejected_on_the_wire_without_reading() {
+        let app = Arc::new(app());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = ShutdownHandle::new();
+        let server = {
+            let app = Arc::clone(&app);
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || serve_with_shutdown(app, listener, shutdown))
+        };
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /api/traffic HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .unwrap();
+        // Deliberately send no body: the 413 must come back anyway.
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        shutdown.request_shutdown();
+        server.join().unwrap().unwrap();
+        assert!(buf.starts_with("HTTP/1.1 413 Payload Too Large"), "{buf}");
+        assert_eq!(
+            app.registry.counter_value(
+                "arp_http_requests_total",
+                &[("endpoint", "traffic"), ("status", "413")]
+            ),
+            1
         );
     }
 

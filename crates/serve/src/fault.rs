@@ -42,6 +42,10 @@ pub mod sites {
     pub const QUEUE_PUSH: &str = "queue.push";
     /// Request normalization in the HTTP layer (the demo's geo snap).
     pub const BACKEND_SNAP: &str = "backend.snap";
+    /// The traffic write-ahead journal append (an injected error models
+    /// disk-full/EIO: the delta is rejected with 503 and the epoch never
+    /// moves).
+    pub const JOURNAL_APPEND: &str = "journal.append";
 
     /// The compute site for one technique lane: `lane.<technique>`.
     pub fn lane(technique: &str) -> String {

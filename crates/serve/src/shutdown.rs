@@ -13,17 +13,61 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// A callback the serving loop runs after draining.
+type DrainHook = Box<dyn Fn() + Send + Sync>;
+
 /// A cloneable handle that asks a serving loop to stop.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct ShutdownHandle {
     requested: Arc<AtomicBool>,
     listener_addr: Arc<Mutex<Option<SocketAddr>>>,
+    /// Callbacks the serving loop runs exactly once after it has stopped
+    /// accepting and drained in-flight connections — e.g. flushing a
+    /// final durable-state snapshot.
+    drain_hooks: Arc<Mutex<Vec<DrainHook>>>,
+    drained: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for ShutdownHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShutdownHandle")
+            .field("requested", &self.is_shutdown())
+            .field(
+                "drain_hooks",
+                &self.drain_hooks.lock().map(|h| h.len()).unwrap_or(0),
+            )
+            .finish_non_exhaustive()
+    }
 }
 
 impl ShutdownHandle {
     /// A fresh handle with shutdown not yet requested.
     pub fn new() -> ShutdownHandle {
         ShutdownHandle::default()
+    }
+
+    /// Registers a callback to run after the serving loop has drained.
+    /// Hooks run on the serving thread, after the last in-flight
+    /// connection finished (or the drain window elapsed), in
+    /// registration order.
+    pub fn on_drain(&self, hook: impl Fn() + Send + Sync + 'static) {
+        self.drain_hooks
+            .lock()
+            .expect("shutdown handle poisoned")
+            .push(Box::new(hook));
+    }
+
+    /// Runs the registered drain hooks. Idempotent: the serving loop
+    /// calls this once at the end of its drain; a second call (another
+    /// loop sharing the handle, a belt-and-braces caller) is a no-op.
+    pub fn run_drain_hooks(&self) {
+        if self.drained.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let hooks = self.drain_hooks.lock().expect("shutdown handle poisoned");
+        for hook in hooks.iter() {
+            hook();
+        }
     }
 
     /// Whether shutdown has been requested.
@@ -73,6 +117,28 @@ mod tests {
         let clone = handle.clone();
         handle.request_shutdown();
         assert!(clone.is_shutdown());
+    }
+
+    #[test]
+    fn drain_hooks_run_exactly_once_in_order() {
+        use std::sync::atomic::AtomicU32;
+        let handle = ShutdownHandle::new();
+        let order: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let counter = Arc::new(AtomicU32::new(0));
+        for i in 0..3u32 {
+            let order = Arc::clone(&order);
+            let counter = Arc::clone(&counter);
+            handle.on_drain(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                order.lock().unwrap().push(i);
+            });
+        }
+        // Clones share the hook list AND the ran-once latch.
+        let clone = handle.clone();
+        clone.run_drain_hooks();
+        handle.run_drain_hooks();
+        assert_eq!(counter.load(Ordering::Relaxed), 3, "each hook ran once");
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
     }
 
     #[test]

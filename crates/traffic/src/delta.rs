@@ -8,6 +8,7 @@
 //! cat:<osm_tag>*<factor>  slow every edge of a road category
 //! close:<id>              close an edge (incident, no TTL)
 //! close:<id>@<ttl>        close an edge for <ttl> ticks
+//! close:<id>@@<expiry>    close an edge until absolute tick <expiry>
 //! reopen:<id>             lift a closure early
 //! clear                   drop the whole overlay (back to base weights)
 //! ```
@@ -17,6 +18,11 @@
 //! Statements are applied in order; later statements win. Parsing is
 //! strict (an invalid statement rejects the whole delta) so a half-typo'd
 //! incident never half-applies.
+//!
+//! The `@@` (absolute expiry) form is what the write-ahead journal
+//! stores: [`TrafficDelta::to_journal_form`] rewrites relative TTLs into
+//! absolute ticks at append time, so replaying a journal after downtime
+//! can never resurrect a closure that expired while the process was down.
 
 use std::fmt;
 
@@ -47,6 +53,16 @@ pub enum TrafficOp {
         /// until an explicit `reopen`).
         ttl: Option<u32>,
     },
+    /// `close:<id>@@<expiry>` — close an edge until the **absolute**
+    /// feed tick `expiry` (exclusive: the closure is gone once the tick
+    /// counter reaches `expiry`). This is the journal form of a TTL'd
+    /// closure; it is also accepted on the wire.
+    CloseAt {
+        /// Target edge id.
+        edge: u32,
+        /// Absolute expiry tick.
+        expiry: u64,
+    },
     /// `reopen:<id>` — lift a closure.
     Reopen {
         /// Target edge id.
@@ -71,6 +87,7 @@ impl fmt::Display for TrafficOp {
                 edge,
                 ttl: Some(ttl),
             } => write!(f, "close:{edge}@{ttl}"),
+            TrafficOp::CloseAt { edge, expiry } => write!(f, "close:{edge}@@{expiry}"),
             TrafficOp::Reopen { edge } => write!(f, "reopen:{edge}"),
             TrafficOp::Clear => write!(f, "clear"),
         }
@@ -95,6 +112,30 @@ impl TrafficDelta {
     /// True if the delta carries no statements.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// The journal form of this delta, as of feed tick `now`: every
+    /// relative-TTL closure (`close:<id>@<ttl>`) becomes an absolute
+    /// expiry (`close:<id>@@<now+ttl>`); everything else is unchanged.
+    /// This is what the write-ahead journal records, so replay applies
+    /// the exact expiry the live process computed.
+    pub fn to_journal_form(&self, now: u64) -> TrafficDelta {
+        TrafficDelta {
+            ops: self
+                .ops
+                .iter()
+                .map(|op| match op {
+                    TrafficOp::Close {
+                        edge,
+                        ttl: Some(ttl),
+                    } => TrafficOp::CloseAt {
+                        edge: *edge,
+                        expiry: now.saturating_add(*ttl as u64),
+                    },
+                    other => other.clone(),
+                })
+                .collect(),
+        }
     }
 
     /// Parses the `;`-separated grammar. Whitespace around statements and
@@ -180,21 +221,35 @@ fn parse_statement(stmt: &str) -> Result<TrafficOp, TrafficError> {
                 factor: parse_factor(stmt, factor.trim())?,
             })
         }
-        "close" => match rest.split_once('@') {
-            Some((id, ttl)) => {
-                let ttl: u32 = ttl.trim().parse().map_err(|_| TrafficError::Parse {
+        "close" => match rest.split_once("@@") {
+            // The absolute-expiry (journal) form must be checked before
+            // the single-`@` TTL form, which would otherwise swallow it.
+            Some((id, expiry)) => {
+                let expiry: u64 = expiry.trim().parse().map_err(|_| TrafficError::Parse {
                     statement: stmt.to_string(),
-                    reason: format!("bad ttl {:?}", ttl.trim()),
+                    reason: format!("bad expiry tick {:?}", expiry.trim()),
                 })?;
-                Ok(TrafficOp::Close {
+                Ok(TrafficOp::CloseAt {
                     edge: parse_edge_id(stmt, id.trim())?,
-                    ttl: Some(ttl),
+                    expiry,
                 })
             }
-            None => Ok(TrafficOp::Close {
-                edge: parse_edge_id(stmt, rest.trim())?,
-                ttl: None,
-            }),
+            None => match rest.split_once('@') {
+                Some((id, ttl)) => {
+                    let ttl: u32 = ttl.trim().parse().map_err(|_| TrafficError::Parse {
+                        statement: stmt.to_string(),
+                        reason: format!("bad ttl {:?}", ttl.trim()),
+                    })?;
+                    Ok(TrafficOp::Close {
+                        edge: parse_edge_id(stmt, id.trim())?,
+                        ttl: Some(ttl),
+                    })
+                }
+                None => Ok(TrafficOp::Close {
+                    edge: parse_edge_id(stmt, rest.trim())?,
+                    ttl: None,
+                }),
+            },
         },
         "reopen" => Ok(TrafficOp::Reopen {
             edge: parse_edge_id(stmt, rest.trim())?,
@@ -256,6 +311,49 @@ mod tests {
         assert!(TrafficDelta::parse("close:1@xyz").is_err());
         assert!(TrafficDelta::parse("cat:autobahn*2.0").is_err());
         assert!(TrafficDelta::parse("open:1").is_err());
+    }
+
+    #[test]
+    fn absolute_expiry_closures_parse_and_round_trip() {
+        let delta = TrafficDelta::parse("close:7@@19").unwrap();
+        assert_eq!(
+            delta.ops[0],
+            TrafficOp::CloseAt {
+                edge: 7,
+                expiry: 19
+            }
+        );
+        assert_eq!(delta.to_string(), "close:7@@19");
+        assert_eq!(TrafficDelta::parse(&delta.to_string()).unwrap(), delta);
+        assert!(TrafficDelta::parse("close:7@@").is_err());
+        assert!(TrafficDelta::parse("close:@@5").is_err());
+        assert!(TrafficDelta::parse("close:7@@-1").is_err());
+    }
+
+    #[test]
+    fn journal_form_absolutizes_ttls_only() {
+        let delta =
+            TrafficDelta::parse("close:1@3; close:2; close:4@@99; edge:0*2.0; clear").unwrap();
+        let journal = delta.to_journal_form(10);
+        assert_eq!(
+            journal.ops[0],
+            TrafficOp::CloseAt {
+                edge: 1,
+                expiry: 13
+            },
+            "relative TTL becomes now + ttl"
+        );
+        assert_eq!(journal.ops[1], TrafficOp::Close { edge: 2, ttl: None });
+        assert_eq!(
+            journal.ops[2],
+            TrafficOp::CloseAt {
+                edge: 4,
+                expiry: 99
+            }
+        );
+        assert_eq!(journal.ops[3..], delta.ops[3..]);
+        // Journal form is a fixpoint: absolutizing twice changes nothing.
+        assert_eq!(journal.to_journal_form(500), journal);
     }
 
     #[test]

@@ -23,8 +23,10 @@ use arp_roadnet::weight::{Weight, WeightView};
 use crate::delta::TrafficDelta;
 use crate::error::TrafficError;
 use crate::feed::TrafficFeed;
-use crate::metrics::TrafficMetrics;
+use crate::metrics::{DurabilityMetrics, TrafficMetrics};
 use crate::overlay::TrafficOverlay;
+use crate::recovery::{self, Durability, DurabilityConfig, RecoveryReport};
+use crate::snapshot::StateSnapshot;
 
 /// One immutable, published traffic epoch: the effective weight column
 /// plus the summary numbers `/api/health` reports.
@@ -110,6 +112,11 @@ pub struct TrafficState {
     metrics: TrafficMetrics,
     state: RwLock<State>,
     listener: RwLock<Option<EpochListener>>,
+    /// The durability layer, attached only by the `recover*`
+    /// constructors. When present, every swap journals its delta
+    /// **before** publishing (journal-then-apply) and periodically
+    /// installs snapshot checkpoints.
+    durability: Option<Arc<Durability>>,
 }
 
 impl std::fmt::Debug for TrafficState {
@@ -150,7 +157,121 @@ impl TrafficState {
                 snapshot,
             }),
             listener: RwLock::new(None),
+            durability: None,
         }
+    }
+
+    /// Rebuilds a durable state from the state directory `dir` with
+    /// default [`DurabilityConfig`] knobs, replaying the journal suffix
+    /// over the newest valid snapshot. See [`crate::recovery`] for the
+    /// replay invariant and the corruption-degradation ladder. The
+    /// returned state journals every subsequent swap into the same
+    /// directory.
+    pub fn recover(
+        net: Arc<RoadNetwork>,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<(TrafficState, RecoveryReport), TrafficError> {
+        Self::recover_with(net, DurabilityConfig::new(dir))
+    }
+
+    /// [`TrafficState::recover`] with explicit durability knobs.
+    pub fn recover_with(
+        net: Arc<RoadNetwork>,
+        config: DurabilityConfig,
+    ) -> Result<(TrafficState, RecoveryReport), TrafficError> {
+        Self::recover_with_metrics(
+            net,
+            TrafficMetrics::default(),
+            DurabilityMetrics::default(),
+            config,
+        )
+    }
+
+    /// [`TrafficState::recover_with`] with pre-resolved metric bundles.
+    pub fn recover_with_metrics(
+        net: Arc<RoadNetwork>,
+        metrics: TrafficMetrics,
+        durability_metrics: DurabilityMetrics,
+        config: DurabilityConfig,
+    ) -> Result<(TrafficState, RecoveryReport), TrafficError> {
+        let recovered = recovery::recover(&net, &config, durability_metrics)?;
+        let base = Arc::new(net.weights().to_vec());
+        let weights = recovered.overlay.materialize(&net, &base);
+        let closures = recovered.overlay.num_closures();
+        let snapshot = Arc::new(EpochSnapshot {
+            epoch: recovered.epoch,
+            weights,
+            closures,
+            overlay_size: recovered.overlay.size(),
+        });
+        metrics.epoch.set(recovered.epoch as i64);
+        metrics.closures_active.set(closures as i64);
+        let report = recovered.report;
+        Ok((
+            TrafficState {
+                net,
+                base,
+                metrics,
+                state: RwLock::new(State {
+                    overlay: recovered.overlay,
+                    tick: recovered.tick,
+                    snapshot,
+                }),
+                listener: RwLock::new(None),
+                durability: Some(Arc::new(recovered.durability)),
+            },
+            report,
+        ))
+    }
+
+    /// True if this state journals its swaps (built by a `recover*`
+    /// constructor).
+    pub fn durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// A copy of the current overlay — the authoritative factor/closure
+    /// state behind the published snapshot. Used by recovery tests to
+    /// re-validate a replayed state and by operators via debug tooling.
+    pub fn overlay_snapshot(&self) -> TrafficOverlay {
+        self.state
+            .read()
+            .expect("traffic lock poisoned")
+            .overlay
+            .clone()
+    }
+
+    /// Installs the `journal.append` failpoint hook (the serving tier
+    /// wires its `FaultPlan` in here; `arp-traffic` itself has no
+    /// dependency on the fault-injection machinery). No-op on a
+    /// non-durable state.
+    pub fn set_journal_fault_hook(
+        &self,
+        hook: impl Fn() -> Result<(), String> + Send + Sync + 'static,
+    ) {
+        if let Some(durability) = &self.durability {
+            durability.set_fault_hook(Some(Box::new(hook)));
+        }
+    }
+
+    /// Forces a snapshot checkpoint of the current state (and truncates
+    /// the journal). The graceful-shutdown drain hook calls this so a
+    /// clean restart recovers instantly from the snapshot alone. Returns
+    /// `Ok(false)` on a non-durable state.
+    pub fn flush_snapshot(&self) -> Result<bool, TrafficError> {
+        let Some(durability) = &self.durability else {
+            return Ok(false);
+        };
+        let snap = {
+            let state = self.state.read().expect("traffic lock poisoned");
+            StateSnapshot {
+                epoch: state.snapshot.epoch,
+                tick: state.tick,
+                overlay: state.overlay.clone(),
+            }
+        };
+        durability.checkpoint(&snap)?;
+        Ok(true)
     }
 
     /// Registers the single epoch listener, invoked with every snapshot
@@ -212,7 +333,7 @@ impl TrafficState {
         let (outcome, snapshot) = {
             let mut state = self.state.write().expect("traffic lock poisoned");
             let now = state.tick;
-            let outcome = self.swap(&mut state, delta, now, 0)?;
+            let outcome = self.swap(&mut state, delta, now, false)?;
             (outcome, Arc::clone(&state.snapshot))
         };
         self.notify(&snapshot);
@@ -226,10 +347,11 @@ impl TrafficState {
         let (outcome, snapshot) = {
             let mut state = self.state.write().expect("traffic lock poisoned");
             let tick = state.tick + 1;
-            state.tick = tick;
-            let expired = state.overlay.expire(tick);
             let delta = feed.delta_for_tick(tick, self.net.num_edges());
-            let outcome = self.swap(&mut state, &delta, tick, expired)?;
+            // Expiry happens inside swap, on the clone: if the journal
+            // append fails, neither the tick counter nor the closures
+            // have moved — the failed tick never happened.
+            let outcome = self.swap(&mut state, &delta, tick, true)?;
             (outcome, Arc::clone(&state.snapshot))
         };
         self.notify(&snapshot);
@@ -258,20 +380,36 @@ impl TrafficState {
         self.notify(&snapshot);
     }
 
-    /// The one swap path: clone-mutate-materialize-publish. Runs under
-    /// the caller's write lock so validation, mutation and publication
-    /// are one atomic step.
+    /// The one swap path: clone-mutate-**journal**-materialize-publish.
+    /// Runs under the caller's write lock so validation, mutation and
+    /// publication are one atomic step. `advancing` marks the feed-tick
+    /// path: the clone's TTL closures are expired at `now` before the
+    /// delta applies, and the tick counter commits only on success.
+    ///
+    /// With durability attached, the journal append sits between
+    /// validation and publication: a delta that cannot be made durable
+    /// (disk full, EIO, injected fault) is rejected with
+    /// [`TrafficError::Journal`] and the epoch never moves — the
+    /// journal can describe epochs the process never served, but never
+    /// the reverse.
     fn swap(
         &self,
         state: &mut State,
         delta: &TrafficDelta,
         now: u64,
-        expired: usize,
+        advancing: bool,
     ) -> Result<ApplyOutcome, TrafficError> {
         let mut next = state.overlay.clone();
+        let expired = if advancing { next.expire(now) } else { 0 };
         let applied = next.apply(&self.net, delta, now)?;
-        let weights = next.materialize(&self.net, &self.base);
         let epoch = state.snapshot.epoch.wrapping_add(1);
+        if let Some(durability) = &self.durability {
+            // Journal form carries absolute closure expiries, so replay
+            // after downtime reproduces exactly this application.
+            let journal_delta = delta.to_journal_form(now);
+            durability.append(epoch, now, &journal_delta.to_string())?;
+        }
+        let weights = next.materialize(&self.net, &self.base);
         let closures_active = next.num_closures();
         let snapshot = Arc::new(EpochSnapshot {
             epoch,
@@ -280,10 +418,23 @@ impl TrafficState {
             overlay_size: next.size(),
         });
         state.overlay = next;
+        state.tick = now;
         state.snapshot = snapshot;
         self.metrics.epoch.set(epoch as i64);
         self.metrics.deltas_applied.add(applied as u64);
         self.metrics.closures_active.set(closures_active as i64);
+        if let Some(durability) = &self.durability {
+            if durability.should_checkpoint() {
+                // Best-effort: a failed checkpoint must not fail the
+                // already-published swap; the counter stays up, so the
+                // next swap retries.
+                let _ = durability.checkpoint(&StateSnapshot {
+                    epoch,
+                    tick: now,
+                    overlay: state.overlay.clone(),
+                });
+            }
+        }
         Ok(ApplyOutcome {
             epoch,
             applied,

@@ -35,6 +35,15 @@ pub enum TrafficError {
         /// The unrecognized tag.
         tag: String,
     },
+    /// The write-ahead journal append failed (disk full, EIO, injected
+    /// fault). The delta was **not** applied and the epoch did not move:
+    /// durability is a precondition of publication. Servers map this to
+    /// HTTP 503 — the client may retry.
+    Journal {
+        /// The underlying I/O error, stringified (this enum is `Clone +
+        /// PartialEq`; `std::io::Error` is neither).
+        reason: String,
+    },
 }
 
 impl fmt::Display for TrafficError {
@@ -58,6 +67,9 @@ impl fmt::Display for TrafficError {
             }
             TrafficError::UnknownCategory { tag } => {
                 write!(f, "unknown road category tag {tag:?}")
+            }
+            TrafficError::Journal { reason } => {
+                write!(f, "traffic journal append failed: {reason}")
             }
         }
     }

@@ -26,17 +26,34 @@
 //! [`arp_roadnet::weight::WeightView`]; an identity overlay shares the
 //! base column outright, so serving without traffic is byte-identical
 //! to (and as cheap as) not having this crate at all.
+//!
+//! ## Durability
+//!
+//! Traffic state survives crashes and restarts: the [`journal`] module
+//! write-ahead-logs every accepted delta (CRC-checksummed, appended
+//! *before* the epoch swap publishes), the [`snapshot`] module installs
+//! periodic checksummed checkpoints, and [`TrafficState::recover`]
+//! rebuilds a state that is epoch-for-epoch identical to the process
+//! that never crashed — or, when it finds corruption, quarantines the
+//! bad file and serves the newest provably-intact state instead of
+//! refusing to start (see [`recovery`]).
 
 pub mod delta;
 pub mod epoch;
 pub mod error;
 pub mod feed;
+pub mod journal;
 pub mod metrics;
 pub mod overlay;
+pub mod recovery;
+pub mod snapshot;
 
 pub use delta::{TrafficDelta, TrafficOp};
 pub use epoch::{ApplyOutcome, EpochListener, EpochSnapshot, TrafficState};
 pub use error::TrafficError;
 pub use feed::{CityProfile, TrafficFeed};
-pub use metrics::TrafficMetrics;
+pub use journal::{FsyncPolicy, Journal, JournalRecord, JOURNAL_FILE};
+pub use metrics::{DurabilityMetrics, TrafficMetrics};
 pub use overlay::TrafficOverlay;
+pub use recovery::{DurabilityConfig, RecoveryReport, RecoveryStatus};
+pub use snapshot::{SnapshotStore, StateSnapshot};

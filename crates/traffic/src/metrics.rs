@@ -1,6 +1,6 @@
 //! Traffic metric family, resolved once and updated on every epoch swap.
 
-use arp_obs::{Gauge, Registry};
+use arp_obs::{Counter, Gauge, Registry};
 
 /// Pre-resolved instruments of the `arp_traffic_*` family.
 ///
@@ -33,6 +33,91 @@ impl TrafficMetrics {
             closures_active: registry.gauge(
                 "arp_traffic_closures_active",
                 "Edges currently closed by live-traffic incidents",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Pre-resolved instruments of the durability layer: journal appends,
+/// snapshot checkpoints, and startup recovery.
+///
+/// Like [`TrafficMetrics`], the `Default` bundle is detached, so durable
+/// state without a registry (unit tests, the bench harness's reference
+/// runs) records nothing.
+#[derive(Clone, Debug, Default)]
+pub struct DurabilityMetrics {
+    /// `arp_journal_records_total` — records appended to the WAL.
+    pub journal_records: Counter,
+    /// `arp_journal_bytes_total` — bytes appended to the WAL.
+    pub journal_bytes: Counter,
+    /// `arp_journal_fsyncs_total` — fsyncs issued by the WAL.
+    pub journal_fsyncs: Counter,
+    /// `arp_journal_torn_tails_total` — torn tail records truncated away
+    /// during recovery.
+    pub journal_torn_tails: Counter,
+    /// `arp_journal_quarantines_total` — journal or snapshot files
+    /// quarantined as corrupt.
+    pub journal_quarantines: Counter,
+    /// `arp_snapshot_writes_total` — snapshot checkpoints installed.
+    pub snapshot_writes: Counter,
+    /// `arp_snapshot_prunes_total` — old snapshot files pruned.
+    pub snapshot_prunes: Counter,
+    /// `arp_recovery_replayed_records` — journal records replayed by the
+    /// most recent startup recovery.
+    pub recovery_replayed: Gauge,
+    /// `arp_recovery_ms` — wall-clock milliseconds the most recent
+    /// startup recovery took.
+    pub recovery_ms: Gauge,
+}
+
+impl DurabilityMetrics {
+    /// Resolves the family against `registry`.
+    pub fn new(registry: &Registry) -> DurabilityMetrics {
+        DurabilityMetrics {
+            journal_records: registry.counter(
+                "arp_journal_records_total",
+                "Delta records appended to the traffic write-ahead journal",
+                &[],
+            ),
+            journal_bytes: registry.counter(
+                "arp_journal_bytes_total",
+                "Bytes appended to the traffic write-ahead journal",
+                &[],
+            ),
+            journal_fsyncs: registry.counter(
+                "arp_journal_fsyncs_total",
+                "fsync calls issued by the traffic write-ahead journal",
+                &[],
+            ),
+            journal_torn_tails: registry.counter(
+                "arp_journal_torn_tails_total",
+                "Torn journal tail records truncated away during recovery",
+                &[],
+            ),
+            journal_quarantines: registry.counter(
+                "arp_journal_quarantines_total",
+                "Corrupt journal/snapshot files quarantined instead of replayed",
+                &[],
+            ),
+            snapshot_writes: registry.counter(
+                "arp_snapshot_writes_total",
+                "Traffic state snapshot checkpoints installed",
+                &[],
+            ),
+            snapshot_prunes: registry.counter(
+                "arp_snapshot_prunes_total",
+                "Old traffic snapshot files pruned by retention",
+                &[],
+            ),
+            recovery_replayed: registry.gauge(
+                "arp_recovery_replayed_records",
+                "Journal records replayed by the most recent startup recovery",
+                &[],
+            ),
+            recovery_ms: registry.gauge(
+                "arp_recovery_ms",
+                "Wall-clock milliseconds the most recent startup recovery took",
                 &[],
             ),
         }

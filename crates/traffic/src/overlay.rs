@@ -90,6 +90,60 @@ impl TrafficOverlay {
         self.closures.contains_key(&edge)
     }
 
+    /// The non-1.0 category factors as `(code, factor)` pairs, in code
+    /// order — the snapshot encoder's view of the factor table.
+    pub fn category_factor_entries(&self) -> Vec<(u8, f64)> {
+        self.category_factors
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f != 1.0)
+            .map(|(code, &f)| (code as u8, f))
+            .collect()
+    }
+
+    /// The per-edge factors as `(edge, factor)` pairs, in edge order.
+    pub fn edge_factor_entries(&self) -> Vec<(u32, f64)> {
+        self.edge_factors.iter().map(|(&e, &f)| (e, f)).collect()
+    }
+
+    /// The closures as `(edge, expiry)` pairs (`None` = until reopened),
+    /// in edge order. Expiries are **absolute** ticks.
+    pub fn closure_entries(&self) -> Vec<(u32, Option<u64>)> {
+        self.closures.iter().map(|(&e, &x)| (e, x)).collect()
+    }
+
+    /// Rebuilds an overlay from entry lists (the snapshot decoder's
+    /// inverse of the `*_entries` accessors). Returns `None` if any
+    /// entry is invalid — an unknown category code, or a factor that is
+    /// non-finite or below 1.0 — so a corrupted-but-checksum-colliding
+    /// snapshot can never smuggle in state that `apply` would have
+    /// rejected. Edge-range validation needs a network and happens at
+    /// recovery time.
+    pub fn from_parts(
+        categories: &[(u8, f64)],
+        edges: &[(u32, f64)],
+        closures: &[(u32, Option<u64>)],
+    ) -> Option<TrafficOverlay> {
+        let valid_factor = |f: f64| f.is_finite() && f >= 1.0;
+        let mut overlay = TrafficOverlay::identity();
+        for &(code, factor) in categories {
+            if RoadCategory::from_code(code).is_none() || !valid_factor(factor) {
+                return None;
+            }
+            overlay.category_factors[code as usize] = factor;
+        }
+        for &(edge, factor) in edges {
+            if !valid_factor(factor) || factor == 1.0 {
+                return None;
+            }
+            overlay.edge_factors.insert(edge, factor);
+        }
+        for &(edge, expiry) in closures {
+            overlay.closures.insert(edge, expiry);
+        }
+        Some(overlay)
+    }
+
     /// Validates every statement of `delta` against `net` **before**
     /// applying any of them, then applies all in order. `now` is the
     /// current feed tick; `close:<id>@<ttl>` closures expire at
@@ -144,7 +198,9 @@ impl TrafficOverlay {
                 }
                 check_factor(*factor)
             }
-            TrafficOp::Close { edge, .. } | TrafficOp::Reopen { edge } => check_edge(*edge),
+            TrafficOp::Close { edge, .. }
+            | TrafficOp::CloseAt { edge, .. }
+            | TrafficOp::Reopen { edge } => check_edge(*edge),
             TrafficOp::Clear => Ok(()),
         }
     }
@@ -164,6 +220,12 @@ impl TrafficOverlay {
             TrafficOp::Close { edge, ttl } => {
                 let expiry = ttl.map(|t| now.saturating_add(t as u64));
                 self.closures.insert(*edge, expiry);
+            }
+            TrafficOp::CloseAt { edge, expiry } => {
+                // The absolute form carries its expiry verbatim — `now`
+                // plays no part, which is exactly why journal replay
+                // after downtime cannot resurrect expired closures.
+                self.closures.insert(*edge, Some(*expiry));
             }
             TrafficOp::Reopen { edge } => {
                 self.closures.remove(edge);
@@ -325,6 +387,56 @@ mod tests {
             )
             .unwrap();
         assert!(overlay.is_identity());
+    }
+
+    #[test]
+    fn absolute_closures_ignore_now_and_expire_at_their_tick() {
+        let net = line(4);
+        let mut overlay = TrafficOverlay::identity();
+        // Applied at tick 10, but the expiry is absolute tick 5: the
+        // closure is already stale and the next expiry sweep removes it.
+        overlay
+            .apply(&net, &TrafficDelta::parse("close:2@@5").unwrap(), 10)
+            .unwrap();
+        assert!(overlay.is_closed(2));
+        assert_eq!(overlay.expire(10), 1, "expiry 5 <= now 10");
+        assert!(!overlay.is_closed(2));
+        // A future absolute expiry behaves exactly like close:2@<ttl>.
+        overlay
+            .apply(&net, &TrafficDelta::parse("close:2@@13").unwrap(), 10)
+            .unwrap();
+        assert_eq!(overlay.expire(12), 0);
+        assert_eq!(overlay.expire(13), 1);
+    }
+
+    #[test]
+    fn entries_and_from_parts_round_trip() {
+        let net = line(8);
+        let mut overlay = TrafficOverlay::identity();
+        overlay
+            .apply(
+                &net,
+                &TrafficDelta::parse("cat:primary*1.7; edge:2*3.0; close:4@@9; close:6").unwrap(),
+                0,
+            )
+            .unwrap();
+        let rebuilt = TrafficOverlay::from_parts(
+            &overlay.category_factor_entries(),
+            &overlay.edge_factor_entries(),
+            &overlay.closure_entries(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, overlay);
+        assert_eq!(rebuilt.closure_entries(), vec![(4, Some(9)), (6, None)]);
+    }
+
+    #[test]
+    fn from_parts_rejects_invalid_entries() {
+        assert!(TrafficOverlay::from_parts(&[(200, 1.5)], &[], &[]).is_none());
+        assert!(TrafficOverlay::from_parts(&[(0, 0.5)], &[], &[]).is_none());
+        assert!(TrafficOverlay::from_parts(&[], &[(1, f64::NAN)], &[]).is_none());
+        assert!(TrafficOverlay::from_parts(&[], &[(1, 1.0)], &[]).is_none());
+        assert!(TrafficOverlay::from_parts(&[], &[(1, 2.0)], &[(3, None)]).is_some());
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! Startup recovery: rebuild a [`crate::TrafficState`] from a state
+//! directory so a restarted process is **epoch-for-epoch identical** to
+//! the process that never crashed.
+//!
+//! ## The replay invariant
+//!
+//! Recovery loads the newest valid snapshot, then replays the journal
+//! suffix (records with `epoch > snapshot.epoch`) through the *same*
+//! code path live ingestion uses: when a record's tick is ahead of the
+//! current tick, TTL closures are expired first (exactly what
+//! `advance_tick` does), then the record's delta is applied at the
+//! record's tick. Because journaled deltas carry **absolute** closure
+//! expiries, replay is insensitive to how long the process was down.
+//! Each replayed record republishes its journaled epoch number verbatim.
+//!
+//! ## Failure ladder
+//!
+//! Recovery never refuses to start:
+//!
+//! 1. **Torn tail** — the journal's last record is incomplete (a crash
+//!    mid-write): truncate it away, count it, replay the valid prefix.
+//! 2. **Corrupt journal** (mid-file checksum/framing violation, or a
+//!    record whose delta no longer validates): quarantine the whole file
+//!    (`journal.wal.quarantine`) and serve from the snapshot (or base
+//!    weights) — verdict `degraded`.
+//! 3. **Corrupt snapshot**: quarantine it and fall back to the
+//!    next-oldest; if none survive, base weights — verdict `degraded`.
+//!
+//! The verdict is surfaced in the `/api/health` `recovery` block.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+use arp_roadnet::csr::RoadNetwork;
+
+use crate::delta::TrafficDelta;
+use crate::error::TrafficError;
+use crate::journal::{read_journal, truncate_journal, FsyncPolicy, Journal, JOURNAL_FILE};
+use crate::metrics::DurabilityMetrics;
+use crate::overlay::TrafficOverlay;
+use crate::snapshot::{SnapshotStore, StateSnapshot};
+
+/// Configuration of the durability layer (the `--state-dir`, `--fsync`
+/// and `--snapshot-every` serve flags).
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// The state directory (journal + snapshots). Created if absent.
+    pub dir: PathBuf,
+    /// When journal appends fsync. Default: [`FsyncPolicy::Always`].
+    pub fsync: FsyncPolicy,
+    /// Install a snapshot checkpoint (and truncate the journal) every N
+    /// journaled records; `0` disables periodic checkpoints. Default: 32.
+    pub snapshot_every: u64,
+    /// How many snapshot files to keep after each install. Default: 3.
+    pub retain_snapshots: usize,
+}
+
+impl DurabilityConfig {
+    /// Defaults (fsync `always`, checkpoint every 32 records, retain 3
+    /// snapshots) over `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 32,
+            retain_snapshots: 3,
+        }
+    }
+}
+
+/// The verdict of a startup recovery, surfaced by `/api/health`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryStatus {
+    /// Nothing to repair: empty state dir, or a snapshot with no journal
+    /// suffix behind it.
+    Clean,
+    /// State was rebuilt from snapshot + journal replay (a torn tail may
+    /// have been truncated away); the rebuilt state is exact.
+    Replayed,
+    /// A corrupt journal or snapshot was quarantined: the process serves
+    /// the newest state that could be proven intact (possibly base
+    /// weights). Operator attention required — see OPERATIONS.md.
+    Degraded,
+}
+
+impl RecoveryStatus {
+    /// The lower-case verdict string used in `/api/health` and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RecoveryStatus::Clean => "clean",
+            RecoveryStatus::Replayed => "replayed",
+            RecoveryStatus::Degraded => "degraded",
+        }
+    }
+}
+
+/// What a startup recovery found and did.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// The overall verdict.
+    pub status: RecoveryStatus,
+    /// Epoch of the snapshot recovery started from (`None` = none found,
+    /// started from base weights).
+    pub snapshot_epoch: Option<u64>,
+    /// Journal records replayed on top of the snapshot.
+    pub replayed_records: usize,
+    /// Torn tail records truncated away (0 or 1 per recovery).
+    pub torn_tails: usize,
+    /// File names quarantined as corrupt (renamed to `*.quarantine`).
+    pub quarantined: Vec<String>,
+    /// The epoch the recovered state serves.
+    pub epoch: u64,
+    /// The feed tick the recovered state resumes at.
+    pub tick: u64,
+    /// Wall-clock duration of the recovery.
+    pub duration_ms: u64,
+}
+
+/// Injectable failure hook fired before every journal append (the
+/// `journal.append` failpoint site). `arp-traffic` has no dependency on
+/// the serving tier's `FaultPlan`, so the demo layer installs a closure.
+pub type JournalFaultHook = Box<dyn Fn() -> Result<(), String> + Send + Sync>;
+
+/// The attached durability machinery of a recovered [`crate::TrafficState`]:
+/// the open journal, the snapshot store, and the checkpoint cadence.
+pub(crate) struct Durability {
+    journal: Mutex<Journal>,
+    store: SnapshotStore,
+    snapshot_every: u64,
+    records_since_checkpoint: AtomicU64,
+    fault_hook: RwLock<Option<JournalFaultHook>>,
+    metrics: DurabilityMetrics,
+}
+
+impl std::fmt::Debug for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Durability")
+            .field("dir", &self.store.dir())
+            .field("snapshot_every", &self.snapshot_every)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Durability {
+    /// Appends one record to the journal (firing the failpoint hook
+    /// first). Called **before** the epoch swap publishes; an error here
+    /// must abort the swap, so the caller translates it into
+    /// [`TrafficError::Journal`] and leaves state untouched.
+    pub(crate) fn append(&self, epoch: u64, tick: u64, delta: &str) -> Result<(), TrafficError> {
+        if let Some(hook) = self.fault_hook.read().expect("fault hook lock").as_ref() {
+            hook().map_err(|reason| TrafficError::Journal { reason })?;
+        }
+        let receipt = self
+            .journal
+            .lock()
+            .expect("journal lock")
+            .append(epoch, tick, delta)
+            .map_err(|e| TrafficError::Journal {
+                reason: e.to_string(),
+            })?;
+        self.metrics.journal_records.inc();
+        self.metrics.journal_bytes.add(receipt.bytes);
+        if receipt.synced {
+            self.metrics.journal_fsyncs.inc();
+        }
+        self.records_since_checkpoint
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// True once enough records accumulated to warrant a checkpoint.
+    pub(crate) fn should_checkpoint(&self) -> bool {
+        self.snapshot_every > 0
+            && self.records_since_checkpoint.load(Ordering::Relaxed) >= self.snapshot_every
+    }
+
+    /// Installs a snapshot checkpoint and truncates the journal (every
+    /// journaled record is now covered by the snapshot).
+    pub(crate) fn checkpoint(&self, snap: &StateSnapshot) -> Result<(), TrafficError> {
+        let (_, pruned) = self.store.write(snap).map_err(|e| TrafficError::Journal {
+            reason: format!("snapshot write failed: {e}"),
+        })?;
+        self.metrics.snapshot_writes.inc();
+        self.metrics.snapshot_prunes.add(pruned as u64);
+        self.journal
+            .lock()
+            .expect("journal lock")
+            .reset()
+            .map_err(|e| TrafficError::Journal {
+                reason: format!("journal reset failed: {e}"),
+            })?;
+        self.records_since_checkpoint.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Installs (or clears) the `journal.append` failpoint hook.
+    pub(crate) fn set_fault_hook(&self, hook: Option<JournalFaultHook>) {
+        *self.fault_hook.write().expect("fault hook lock") = hook;
+    }
+}
+
+/// The rebuilt state [`recover`] hands back to `TrafficState`.
+pub(crate) struct RecoveredState {
+    pub(crate) overlay: TrafficOverlay,
+    pub(crate) tick: u64,
+    pub(crate) epoch: u64,
+    pub(crate) durability: Durability,
+    pub(crate) report: RecoveryReport,
+}
+
+fn journal_err(e: std::io::Error) -> TrafficError {
+    TrafficError::Journal {
+        reason: e.to_string(),
+    }
+}
+
+/// True if every edge the overlay references exists in `net` — the
+/// edge-range validation snapshot decoding defers until a network is at
+/// hand.
+fn overlay_in_range(overlay: &TrafficOverlay, net: &RoadNetwork) -> bool {
+    let in_range = |edge: u32| (edge as usize) < net.num_edges();
+    overlay
+        .edge_factor_entries()
+        .iter()
+        .all(|&(edge, _)| in_range(edge))
+        && overlay
+            .closure_entries()
+            .iter()
+            .all(|&(edge, _)| in_range(edge))
+}
+
+/// Renames a corrupt journal aside (best-effort) and records the name.
+fn quarantine_journal(path: &Path, quarantined: &mut Vec<String>) {
+    let target = path.with_extension("wal.quarantine");
+    let _ = fs::remove_file(&target);
+    if fs::rename(path, &target).is_ok() {
+        quarantined.push(JOURNAL_FILE.to_string());
+    }
+}
+
+/// Rebuilds the traffic state from `config.dir` per the module-level
+/// failure ladder. Errors only on unrecoverable I/O (the directory or
+/// journal cannot be created/opened at all) — data corruption degrades,
+/// it never errors.
+pub(crate) fn recover(
+    net: &RoadNetwork,
+    config: &DurabilityConfig,
+    metrics: DurabilityMetrics,
+) -> Result<RecoveredState, TrafficError> {
+    let start = Instant::now();
+    fs::create_dir_all(&config.dir).map_err(journal_err)?;
+    let store = SnapshotStore::new(&config.dir, config.retain_snapshots);
+    let mut quarantined: Vec<String> = Vec::new();
+
+    // Newest snapshot that both decodes AND references only edges this
+    // network has; anything that fails either check is quarantined.
+    let mut loaded: Option<StateSnapshot> = None;
+    loop {
+        let (candidate, bad) = store.load_newest();
+        quarantined.extend(bad);
+        match candidate {
+            Some((snap, path)) => {
+                if overlay_in_range(&snap.overlay, net) {
+                    loaded = Some(snap);
+                    break;
+                }
+                let name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let _ = fs::rename(&path, path.with_extension("arps.quarantine"));
+                quarantined.push(name);
+            }
+            None => break,
+        }
+    }
+    let snapshot_epoch = loaded.as_ref().map(|s| s.epoch);
+    let (mut overlay, mut tick, mut epoch) = match loaded {
+        Some(snap) => (snap.overlay, snap.tick, snap.epoch),
+        None => (TrafficOverlay::identity(), 0, 0),
+    };
+
+    // Journal suffix: classify, then replay through the live code path.
+    let journal_path = config.dir.join(JOURNAL_FILE);
+    let mut torn_tails = 0usize;
+    let mut replayed = 0usize;
+    let mut replay_failed = false;
+    let outcome = read_journal(&journal_path).map_err(journal_err)?;
+    if outcome.torn_tail {
+        torn_tails += 1;
+        let _ = truncate_journal(&journal_path, outcome.valid_len);
+    }
+    let records = if outcome.corrupt {
+        quarantine_journal(&journal_path, &mut quarantined);
+        Vec::new()
+    } else {
+        outcome.records
+    };
+    if !records.is_empty() {
+        let pre_replay = (overlay.clone(), tick, epoch);
+        for rec in &records {
+            // Records at or below the snapshot's epoch are already folded
+            // into it (epochs are monotone within one journal generation;
+            // checkpoints truncate the journal long before wraparound).
+            if let Some(snap_epoch) = snapshot_epoch {
+                if rec.epoch <= snap_epoch {
+                    continue;
+                }
+            }
+            let delta = match TrafficDelta::parse(&rec.delta) {
+                Ok(delta) => delta,
+                Err(_) => {
+                    replay_failed = true;
+                    break;
+                }
+            };
+            // Mirror advance_tick: entering a later tick expires TTL
+            // closures before the tick's delta applies. Journaled expiry
+            // ticks are absolute, so downtime cannot resurrect closures.
+            if rec.tick > tick {
+                tick = rec.tick;
+                overlay.expire(tick);
+            }
+            match overlay.apply(net, &delta, rec.tick) {
+                Ok(_) => {
+                    epoch = rec.epoch;
+                    replayed += 1;
+                }
+                Err(_) => {
+                    replay_failed = true;
+                    break;
+                }
+            }
+        }
+        if replay_failed {
+            // A CRC-valid record that fails re-validation means the
+            // journal lies about what the live process accepted: do not
+            // trust any of it.
+            (overlay, tick, epoch) = pre_replay;
+            replayed = 0;
+            quarantine_journal(&journal_path, &mut quarantined);
+        }
+    }
+
+    metrics.journal_torn_tails.add(torn_tails as u64);
+    metrics.journal_quarantines.add(quarantined.len() as u64);
+    metrics.recovery_replayed.set(replayed as i64);
+
+    let journal = Journal::open(&journal_path, config.fsync).map_err(journal_err)?;
+    let durability = Durability {
+        journal: Mutex::new(journal),
+        store,
+        snapshot_every: config.snapshot_every,
+        records_since_checkpoint: AtomicU64::new(0),
+        fault_hook: RwLock::new(None),
+        metrics,
+    };
+    // Fold whatever recovery established into a fresh checkpoint so the
+    // next restart starts clean (best-effort: a failure here just means
+    // the next recovery re-replays).
+    if replayed > 0 || torn_tails > 0 || !quarantined.is_empty() {
+        let _ = durability.checkpoint(&StateSnapshot {
+            epoch,
+            tick,
+            overlay: overlay.clone(),
+        });
+    }
+    let duration_ms = start.elapsed().as_millis() as u64;
+    durability.metrics.recovery_ms.set(duration_ms as i64);
+    let status = if !quarantined.is_empty() {
+        RecoveryStatus::Degraded
+    } else if replayed > 0 || torn_tails > 0 {
+        RecoveryStatus::Replayed
+    } else {
+        RecoveryStatus::Clean
+    };
+    let report = RecoveryReport {
+        status,
+        snapshot_epoch,
+        replayed_records: replayed,
+        torn_tails,
+        quarantined,
+        epoch,
+        tick,
+        duration_ms,
+    };
+    Ok(RecoveredState {
+        overlay,
+        tick,
+        epoch,
+        durability,
+        report,
+    })
+}

@@ -1,0 +1,423 @@
+//! Checksummed snapshots of the full traffic state — factors, closures
+//! (with **absolute** expiry ticks), tick and epoch counters — written
+//! periodically so recovery never has to replay an unbounded journal.
+//!
+//! ## File format
+//!
+//! ```text
+//! file    := magic "ARPSNAP1" [len: u32] [crc: u32] [payload]
+//! payload := [epoch: u64] [tick: u64]
+//!            [n_cat: u32]  n_cat  × ([code: u8] [factor: f64 bits])
+//!            [n_edge: u32] n_edge × ([edge: u32] [factor: f64 bits])
+//!            [n_close: u32] n_close × ([edge: u32] [has_expiry: u8] [expiry: u64])
+//! ```
+//!
+//! All integers little-endian; `crc` is the IEEE CRC-32 of the payload.
+//!
+//! ## Installation and retention
+//!
+//! A snapshot is written to `snap-<epoch>.arps.tmp`, fsynced, then
+//! `rename(2)`d into place — readers either see the old complete file or
+//! the new complete file, never a half-written one. After an install the
+//! store prunes all but the newest `retain` snapshots. Loading tries
+//! newest-first and **quarantines** (renames to `*.quarantine`) any file
+//! that fails its checksum or decode, falling back to the next-oldest.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::journal::crc32;
+use crate::overlay::TrafficOverlay;
+
+/// Magic bytes at the start of every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ARPSNAP1";
+
+/// Snapshot file name prefix (`snap-<epoch zero-padded>.arps`).
+const SNAPSHOT_PREFIX: &str = "snap-";
+/// Snapshot file name suffix.
+const SNAPSHOT_SUFFIX: &str = ".arps";
+
+/// A point-in-time capture of the traffic state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateSnapshot {
+    /// The epoch the captured overlay was published under.
+    pub epoch: u64,
+    /// The feed tick at capture time.
+    pub tick: u64,
+    /// The overlay itself (closures carry absolute expiry ticks).
+    pub overlay: TrafficOverlay,
+}
+
+impl StateSnapshot {
+    /// Encodes the snapshot into its on-disk bytes (magic + header +
+    /// payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&self.epoch.to_le_bytes());
+        payload.extend_from_slice(&self.tick.to_le_bytes());
+        let cats = self.overlay.category_factor_entries();
+        payload.extend_from_slice(&(cats.len() as u32).to_le_bytes());
+        for (code, factor) in &cats {
+            payload.push(*code);
+            payload.extend_from_slice(&factor.to_bits().to_le_bytes());
+        }
+        let edges = self.overlay.edge_factor_entries();
+        payload.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+        for (edge, factor) in &edges {
+            payload.extend_from_slice(&edge.to_le_bytes());
+            payload.extend_from_slice(&factor.to_bits().to_le_bytes());
+        }
+        let closures = self.overlay.closure_entries();
+        payload.extend_from_slice(&(closures.len() as u32).to_le_bytes());
+        for (edge, expiry) in &closures {
+            payload.extend_from_slice(&edge.to_le_bytes());
+            payload.push(expiry.is_some() as u8);
+            payload.extend_from_slice(&expiry.unwrap_or(0).to_le_bytes());
+        }
+        let mut bytes = Vec::with_capacity(16 + payload.len());
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes
+    }
+
+    /// Decodes snapshot bytes, verifying magic, length and checksum.
+    pub fn decode(bytes: &[u8]) -> Result<StateSnapshot, String> {
+        if bytes.len() < 16 || &bytes[0..8] != SNAPSHOT_MAGIC {
+            return Err("bad snapshot magic".to_string());
+        }
+        let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        let payload = bytes
+            .get(16..16 + len)
+            .ok_or_else(|| "snapshot truncated".to_string())?;
+        if 16 + len != bytes.len() {
+            return Err("trailing bytes after snapshot payload".to_string());
+        }
+        if crc32(payload) != crc {
+            return Err("snapshot checksum mismatch".to_string());
+        }
+        let mut cursor = Cursor {
+            buf: payload,
+            off: 0,
+        };
+        let epoch = cursor.u64()?;
+        let tick = cursor.u64()?;
+        let n_cat = cursor.u32()? as usize;
+        let mut cats = Vec::with_capacity(n_cat.min(64));
+        for _ in 0..n_cat {
+            let code = cursor.u8()?;
+            let factor = f64::from_bits(cursor.u64()?);
+            cats.push((code, factor));
+        }
+        let n_edge = cursor.u32()? as usize;
+        let mut edges = Vec::with_capacity(n_edge.min(1 << 16));
+        for _ in 0..n_edge {
+            let edge = cursor.u32()?;
+            let factor = f64::from_bits(cursor.u64()?);
+            edges.push((edge, factor));
+        }
+        let n_close = cursor.u32()? as usize;
+        let mut closures = Vec::with_capacity(n_close.min(1 << 16));
+        for _ in 0..n_close {
+            let edge = cursor.u32()?;
+            let has_expiry = cursor.u8()? != 0;
+            let expiry = cursor.u64()?;
+            closures.push((edge, has_expiry.then_some(expiry)));
+        }
+        if cursor.off != payload.len() {
+            return Err("trailing bytes inside snapshot payload".to_string());
+        }
+        let overlay = TrafficOverlay::from_parts(&cats, &edges, &closures)
+            .ok_or_else(|| "snapshot carries invalid overlay entries".to_string())?;
+        Ok(StateSnapshot {
+            epoch,
+            tick,
+            overlay,
+        })
+    }
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let slice = self
+            .buf
+            .get(self.off..self.off + n)
+            .ok_or_else(|| "snapshot payload truncated".to_string())?;
+        self.off += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+/// Manages the snapshot files inside one state directory.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    retain: usize,
+}
+
+impl SnapshotStore {
+    /// A store over `dir`, keeping the newest `retain` snapshots (minimum
+    /// 1) after each install.
+    pub fn new(dir: impl Into<PathBuf>, retain: usize) -> SnapshotStore {
+        SnapshotStore {
+            dir: dir.into(),
+            retain: retain.max(1),
+        }
+    }
+
+    /// The directory this store manages.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_name(epoch: u64) -> String {
+        format!("{SNAPSHOT_PREFIX}{epoch:020}{SNAPSHOT_SUFFIX}")
+    }
+
+    /// Writes `snap` atomically (tmp + fsync + rename) and prunes old
+    /// snapshots. Returns the installed path and how many were pruned.
+    pub fn write(&self, snap: &StateSnapshot) -> std::io::Result<(PathBuf, usize)> {
+        let bytes = snap.encode();
+        let final_path = self.dir.join(Self::file_name(snap.epoch));
+        let tmp_path = final_path.with_extension("arps.tmp");
+        {
+            let mut file = fs::File::create(&tmp_path)?;
+            use std::io::Write;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        // Best-effort directory fsync so the rename itself is durable.
+        if let Ok(dir) = fs::File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
+        let pruned = self.prune()?;
+        Ok((final_path, pruned))
+    }
+
+    /// Removes all but the newest `retain` snapshots. Returns how many
+    /// files were removed.
+    fn prune(&self) -> std::io::Result<usize> {
+        let mut names = self.snapshot_names()?;
+        if names.len() <= self.retain {
+            return Ok(0);
+        }
+        names.sort();
+        let excess = names.len() - self.retain;
+        let mut pruned = 0;
+        for name in names.into_iter().take(excess) {
+            if fs::remove_file(self.dir.join(&name)).is_ok() {
+                pruned += 1;
+            }
+        }
+        Ok(pruned)
+    }
+
+    fn snapshot_names(&self) -> std::io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(SNAPSHOT_PREFIX) && name.ends_with(SNAPSHOT_SUFFIX) {
+                names.push(name);
+            }
+        }
+        Ok(names)
+    }
+
+    /// Loads the newest decodable snapshot, quarantining (renaming to
+    /// `<name>.quarantine`) every newer file that fails its checksum or
+    /// decode. Returns the snapshot (if any survived) and the quarantined
+    /// file names.
+    pub fn load_newest(&self) -> (Option<(StateSnapshot, PathBuf)>, Vec<String>) {
+        let mut names = match self.snapshot_names() {
+            Ok(names) => names,
+            Err(_) => return (None, Vec::new()),
+        };
+        names.sort();
+        names.reverse();
+        let mut quarantined = Vec::new();
+        for name in names {
+            let path = self.dir.join(&name);
+            let decoded = fs::read(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| StateSnapshot::decode(&bytes));
+            match decoded {
+                Ok(snap) => return (Some((snap, path)), quarantined),
+                Err(_) => {
+                    let _ = fs::rename(&path, path.with_extension("arps.quarantine"));
+                    quarantined.push(name);
+                }
+            }
+        }
+        (None, quarantined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::TrafficDelta;
+    use arp_roadnet::builder::{EdgeSpec, GraphBuilder};
+    use arp_roadnet::category::RoadCategory;
+    use arp_roadnet::csr::RoadNetwork;
+    use arp_roadnet::geo::Point;
+
+    fn line(n: usize) -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.add_node(Point::new(i as f64 * 0.01, 0.0)))
+            .collect();
+        for i in 0..n - 1 {
+            b.add_bidirectional(
+                ids[i],
+                ids[i + 1],
+                EdgeSpec::category(RoadCategory::Primary),
+            );
+        }
+        b.build()
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("arp_snapshot_test_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_overlay() -> TrafficOverlay {
+        let net = line(8);
+        let mut overlay = TrafficOverlay::identity();
+        overlay
+            .apply(
+                &net,
+                &TrafficDelta::parse("cat:primary*1.8; edge:3*2.5; close:1@@17; close:5").unwrap(),
+                4,
+            )
+            .unwrap();
+        overlay
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let snap = StateSnapshot {
+            epoch: 42,
+            tick: 9,
+            overlay: sample_overlay(),
+        };
+        let decoded = StateSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        // The identity overlay round-trips too.
+        let empty = StateSnapshot {
+            epoch: 0,
+            tick: 0,
+            overlay: TrafficOverlay::identity(),
+        };
+        assert_eq!(StateSnapshot::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let snap = StateSnapshot {
+            epoch: 7,
+            tick: 3,
+            overlay: sample_overlay(),
+        };
+        let bytes = snap.encode();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(StateSnapshot::decode(&bad).is_err());
+        // Flipped payload bit.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(StateSnapshot::decode(&bad).is_err());
+        // Truncation.
+        assert!(StateSnapshot::decode(&bytes[..bytes.len() - 4]).is_err());
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(StateSnapshot::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn store_installs_atomically_and_prunes() {
+        let dir = temp_dir("prune");
+        let store = SnapshotStore::new(&dir, 2);
+        for epoch in 1..=4u64 {
+            let snap = StateSnapshot {
+                epoch,
+                tick: epoch,
+                overlay: TrafficOverlay::identity(),
+            };
+            store.write(&snap).unwrap();
+        }
+        let names = store.snapshot_names().unwrap();
+        assert_eq!(names.len(), 2, "retain=2 keeps only the newest two");
+        let (loaded, quarantined) = store.load_newest();
+        assert!(quarantined.is_empty());
+        assert_eq!(loaded.unwrap().0.epoch, 4);
+        // No tmp files left behind.
+        assert!(store
+            .snapshot_names()
+            .unwrap()
+            .iter()
+            .all(|n| !n.ends_with(".tmp")));
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_is_quarantined_and_older_used() {
+        let dir = temp_dir("quarantine");
+        let store = SnapshotStore::new(&dir, 4);
+        for epoch in [3u64, 9] {
+            let snap = StateSnapshot {
+                epoch,
+                tick: epoch,
+                overlay: sample_overlay(),
+            };
+            store.write(&snap).unwrap();
+        }
+        // Corrupt the newest file.
+        let newest = dir.join(SnapshotStore::file_name(9));
+        let mut bytes = fs::read(&newest).unwrap();
+        bytes[20] ^= 0x40;
+        fs::write(&newest, &bytes).unwrap();
+        let (loaded, quarantined) = store.load_newest();
+        assert_eq!(
+            loaded.unwrap().0.epoch,
+            3,
+            "fell back to the older snapshot"
+        );
+        assert_eq!(quarantined, vec![SnapshotStore::file_name(9)]);
+        assert!(dir
+            .join(SnapshotStore::file_name(9))
+            .with_extension("arps.quarantine")
+            .exists());
+    }
+}

@@ -12,6 +12,8 @@
 //!               [--faults SPEC]  (e.g. `lane.penalty=flaky:0.2,cache.get=error:down`)
 //!               [--traffic-tick-ms MS] [--traffic-seed N]  (live-traffic feed; off by default)
 //!               [--ch on|off]  (the CH index tier; on by default)
+//!               [--state-dir DIR]  (durable traffic state: journal + snapshots + crash recovery)
+//!               [--fsync always|interval[:N]|never] [--snapshot-every N]
 //! ```
 //!
 //! Flags are validated against a per-subcommand allowlist: an unknown
@@ -27,7 +29,7 @@ use arp_roadnet::weight::ms_to_display_minutes;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  arp generate  <city> [--scale S] [--seed N] [--out FILE]\n  arp export-osm <city> [--scale S] [--seed N] --out FILE\n  arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT [--technique T] [--k N] [--geojson FILE]\n  arp study     <city> [--scale S] [--seed N]\n  arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N] [--faults SPEC] [--traffic-tick-ms MS] [--traffic-seed N] [--ch on|off]\n\ncities: melbourne | dhaka | copenhagen   scales: tiny | small | medium | large"
+        "usage:\n  arp generate  <city> [--scale S] [--seed N] [--out FILE]\n  arp export-osm <city> [--scale S] [--seed N] --out FILE\n  arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT [--technique T] [--k N] [--geojson FILE]\n  arp study     <city> [--scale S] [--seed N]\n  arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N] [--faults SPEC] [--traffic-tick-ms MS] [--traffic-seed N] [--ch on|off] [--state-dir DIR] [--fsync always|interval[:N]|never] [--snapshot-every N]\n\ncities: melbourne | dhaka | copenhagen   scales: tiny | small | medium | large"
     );
     std::process::exit(2)
 }
@@ -50,6 +52,9 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "traffic-tick-ms",
             "traffic-seed",
             "ch",
+            "state-dir",
+            "fsync",
+            "snapshot-every",
         ],
         _ => return None,
     })
@@ -401,6 +406,42 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
         }
     };
     let mut processor = QueryProcessor::new(name.clone(), net, parse_seed(flags));
+    // `--state-dir DIR` makes the traffic state durable: recover from the
+    // directory's snapshot + journal, then journal every accepted delta
+    // before its epoch publishes. Runs **before** the CH index tier so
+    // the hierarchy customizes from the recovered epoch, not epoch 0.
+    if let Some(dir) = flags.get("state-dir") {
+        let mut durability = arp_traffic::DurabilityConfig::new(dir);
+        if let Some(spec) = flags.get("fsync") {
+            durability.fsync = arp_traffic::FsyncPolicy::parse(spec).unwrap_or_else(|e| {
+                eprintln!("bad --fsync spec: {e}");
+                usage()
+            });
+        }
+        durability.snapshot_every =
+            flag_usize("snapshot-every", durability.snapshot_every as usize) as u64;
+        processor = processor
+            .with_traffic_durability(durability)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot recover traffic state from {dir}: {e}");
+                std::process::exit(1);
+            });
+        let report = processor
+            .recovery_report()
+            .expect("durability just enabled");
+        println!(
+            "traffic state recovered from {dir}: {} (epoch {}, {} records replayed, {} torn tails, {} quarantined) in {} ms",
+            report.status.as_str(),
+            report.epoch,
+            report.replayed_records,
+            report.torn_tails,
+            report.quarantined.len(),
+            report.duration_ms
+        );
+        for file in &report.quarantined {
+            eprintln!("  quarantined: {file} (triage per docs/OPERATIONS.md)");
+        }
+    }
     if ch_enabled {
         processor = processor.with_ch_index();
         let index = processor.ch_index().expect("just enabled");
@@ -447,7 +488,19 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
         std::process::exit(1);
     });
     println!("{name} demo at http://127.0.0.1:{port}/");
-    serve(app, listener).unwrap();
+    // A final snapshot on drain makes the *next* startup's recovery a
+    // plain snapshot load instead of a journal replay. No-op (returns
+    // false) when the state is not durable.
+    let shutdown = arp_serve::ShutdownHandle::new();
+    {
+        let app = std::sync::Arc::clone(&app);
+        shutdown.on_drain(move || match app.processor.traffic().flush_snapshot() {
+            Ok(true) => println!("final traffic snapshot flushed"),
+            Ok(false) => {}
+            Err(e) => eprintln!("final traffic snapshot failed: {e}"),
+        });
+    }
+    serve_with_shutdown(app, listener, shutdown).unwrap();
     ExitCode::SUCCESS
 }
 
@@ -521,6 +574,32 @@ mod tests {
         let err = parse_args("serve", &argv(&["melbourne", "--port"]))
             .expect_err("trailing flag has no value");
         assert!(err.contains("missing value for --port"), "{err}");
+    }
+
+    /// The durability flags parse on `serve` and only on `serve`.
+    #[test]
+    fn durability_flags_are_serve_only() {
+        let (_, flags) = parse_args(
+            "serve",
+            &argv(&[
+                "dhaka",
+                "--state-dir",
+                "/var/lib/arp",
+                "--fsync",
+                "interval:16",
+                "--snapshot-every",
+                "64",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(
+            flags.get("state-dir").map(String::as_str),
+            Some("/var/lib/arp")
+        );
+        assert_eq!(flags.get("fsync").map(String::as_str), Some("interval:16"));
+        assert_eq!(flags.get("snapshot-every").map(String::as_str), Some("64"));
+        assert!(parse_args("route", &argv(&["dhaka", "--state-dir", "/x"])).is_err());
+        assert!(parse_args("study", &argv(&["dhaka", "--fsync", "never"])).is_err());
     }
 
     /// Allowlists are per-subcommand: a serve-only flag is an error on
