@@ -139,6 +139,49 @@ impl RouteBackend for DemoBackend {
         response.epoch = request.epoch();
         Some(response)
     }
+
+    fn trace_attrs(&self, request: &PreparedQuery) -> Vec<(&'static str, String)> {
+        // Root-span identity: the pinned traffic epoch (via the
+        // overlay's own hook, so the attribute key stays in one place)
+        // and a representative cache key covering city + snapped
+        // endpoints + epoch.
+        let epoch_attr = match &request.overlay {
+            Some(overlay) => overlay.trace_attr(),
+            None => ("traffic_epoch", "0".to_string()),
+        };
+        vec![
+            epoch_attr,
+            (
+                "cache_key",
+                self.processor
+                    .slot_cache_key_at(&request.snapped, 0, request.epoch()),
+            ),
+        ]
+    }
+
+    fn prepare_attrs(&self, request: &PreparedQuery) -> Vec<(&'static str, String)> {
+        let mut attrs = vec![(
+            "substrate",
+            if request.substrate.is_some() {
+                "ready"
+            } else {
+                "none"
+            }
+            .to_string(),
+        )];
+        if request.substrate.is_some() {
+            // Which builder served the build: the CH fast path runs iff
+            // the index tier has a metric published for this request's
+            // pinned epoch (checked without touching the
+            // queries/fallbacks counters the real build feeds).
+            let ch = self
+                .processor
+                .ch_index()
+                .is_some_and(|index| index.ready_epoch() == request.epoch());
+            attrs.push(("builder", if ch { "ch" } else { "dijkstra" }.to_string()));
+        }
+        attrs
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,18 @@
 //!   `cat:primary*1.8; close:412@3`, or wrapped as `{"delta": "…"}`);
 //!   success bumps the graph epoch atomically, so subsequent routes see
 //!   the new weights while in-flight requests finish on the epoch they
-//!   pinned at admission.
+//!   pinned at admission,
+//! * `GET  /api/debug/traces` — the trace ring buffer, newest first,
+//!   filterable with `?min_ms=`, `?status=degraded` and `?technique=`,
+//! * `GET  /api/trace/<id>` — one captured trace rendered as a nested
+//!   span tree.
+//!
+//! Every request through the serving pipeline is traced: the response
+//! body carries `"trace_id"` (echoed as an `X-Arp-Trace-Id` header, on
+//! successes and serving failures alike), head-sampled traces plus every
+//! slow/degraded/truncated/failed request land in the ring buffer behind
+//! the debug endpoints, and requests crossing the `slow_ms` threshold
+//! emit a single-line JSON log to stderr for grep-ability.
 //!
 //! Every request increments `arp_http_requests_total{endpoint,status}` and
 //! feeds `arp_http_request_latency_ms{endpoint}`; unknown paths share the
@@ -50,7 +61,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use arp_obs::{Registry, DEFAULT_LATENCY_BUCKETS_MS};
+use arp_obs::{
+    CompletedTrace, Registry, Span, SpanStatus, TraceId, TraceReceipt, DEFAULT_LATENCY_BUCKETS_MS,
+};
 use arp_roadnet::geo::Point;
 use arp_serve::{RouteService, ServeConfig, ServeError, ShutdownHandle};
 
@@ -88,6 +101,9 @@ pub struct HttpResponse {
     pub body: String,
     /// `Retry-After` header value in seconds (load-shedding responses).
     pub retry_after: Option<u32>,
+    /// The request's trace id, echoed as an `X-Arp-Trace-Id` header.
+    /// Set on every response that ran the serving pipeline.
+    pub trace_id: Option<String>,
 }
 
 impl HttpResponse {
@@ -97,6 +113,7 @@ impl HttpResponse {
             content_type: "application/json",
             body: v.to_string_compact(),
             retry_after: None,
+            trace_id: None,
         }
     }
 
@@ -114,6 +131,7 @@ impl HttpResponse {
             content_type: "application/json",
             body: Json::object([("error", Json::String(message.into()))]).to_string_compact(),
             retry_after,
+            trace_id: None,
         }
     }
 
@@ -127,18 +145,36 @@ impl HttpResponse {
 
     /// Maps the serving pipeline's failure ladder onto HTTP statuses:
     /// 503 (shed, with an adaptive `Retry-After`), 504 (deadline, nothing
-    /// finished), 502 (every technique lane failed).
-    fn serve_error(err: &ServeError) -> HttpResponse {
-        match err {
-            ServeError::Overloaded { retry_after_s } => HttpResponse::overloaded(*retry_after_s),
-            ServeError::DeadlineExceeded => {
-                HttpResponse::render_error(504, "route computation exceeded its deadline", None)
-            }
-            ServeError::AllLanesFailed { reasons } => HttpResponse::render_error(
-                502,
-                format!("all technique lanes failed: {reasons}"),
+    /// finished), 502 (every technique lane failed). The trace id rides
+    /// along in the body and header — a shed or failed request is kept
+    /// by the tail-sampling rules, so the id is immediately resolvable
+    /// at `GET /api/trace/<id>`.
+    fn serve_error(err: &ServeError, trace_id: TraceId) -> HttpResponse {
+        let (status, message, retry_after) = match err {
+            ServeError::Overloaded { retry_after_s } => (
+                503,
+                "overloaded, please retry".to_string(),
+                Some(*retry_after_s),
+            ),
+            ServeError::DeadlineExceeded => (
+                504,
+                "route computation exceeded its deadline".to_string(),
                 None,
             ),
+            ServeError::AllLanesFailed { reasons } => {
+                (502, format!("all technique lanes failed: {reasons}"), None)
+            }
+        };
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: Json::object([
+                ("error", Json::str(message)),
+                ("trace_id", Json::str(trace_id.to_string())),
+            ])
+            .to_string_compact(),
+            retry_after,
+            trace_id: Some(trace_id.to_string()),
         }
     }
 }
@@ -219,8 +255,11 @@ impl DemoApp {
         resp
     }
 
-    /// Maps a request to its bounded-cardinality `endpoint` label.
+    /// Maps a request to its bounded-cardinality `endpoint` label. The
+    /// query string never participates (it is unbounded), and every
+    /// `/api/trace/<id>` shares one label for the same reason.
     fn endpoint_label(method: &str, path: &str) -> &'static str {
+        let path = path.split_once('?').map_or(path, |(p, _)| p);
         match (method, path) {
             ("GET", "/") => "index",
             ("GET", "/api/meta") => "meta",
@@ -232,6 +271,8 @@ impl DemoApp {
             ("GET", "/api/metrics") => "metrics",
             ("GET", "/api/health") => "health",
             ("POST", "/api/traffic") => "traffic",
+            ("GET", "/api/debug/traces") => "debug_traces",
+            ("GET", p) if p.starts_with("/api/trace/") => "trace",
             _ => "other",
         }
     }
@@ -261,14 +302,21 @@ impl DemoApp {
         resp
     }
 
-    /// Routes one request to its endpoint handler.
+    /// Routes one request to its endpoint handler. The query string is
+    /// split off here — only the debug endpoints consume it; everything
+    /// else ignores it, matching on the bare path.
     fn dispatch(&self, method: &str, path: &str, body: &str) -> HttpResponse {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (path, ""),
+        };
         match (method, path) {
             ("GET", "/") => HttpResponse {
                 status: 200,
                 content_type: "text/html; charset=utf-8",
                 body: html::index_page(self.processor.name()),
                 retry_after: None,
+                trace_id: None,
             },
             ("GET", "/api/meta") => self.meta(),
             ("GET", "/api/network") => self.network_sample(),
@@ -280,15 +328,21 @@ impl DemoApp {
                 content_type: "text/csv",
                 body: self.store.to_csv(),
                 retry_after: None,
+                trace_id: None,
             },
             ("GET", "/api/metrics") => HttpResponse {
                 status: 200,
                 content_type: "text/plain; version=0.0.4",
                 body: self.registry.render_prometheus(),
                 retry_after: None,
+                trace_id: None,
             },
             ("GET", "/api/health") => self.health(),
             ("POST", "/api/traffic") => self.traffic(body),
+            ("GET", "/api/debug/traces") => self.debug_traces(query),
+            ("GET", p) if p.starts_with("/api/trace/") => {
+                self.trace_tree(&p["/api/trace/".len()..])
+            }
             ("GET", _) | ("POST", _) => {
                 HttpResponse::error(404, format!("no such endpoint {path}"))
             }
@@ -378,16 +432,50 @@ impl DemoApp {
         // pipeline's cache probe: the lane keys fold the epoch in, so a
         // tick that lands after this line can never hand this request a
         // route computed under different weights (and vice versa).
-        match self.service.route(self.processor.prepare_query(snapped)) {
-            Ok(resp) => Self::render_route_response(&resp),
-            Err(e) => HttpResponse::serve_error(&e),
+        let (receipt, outcome) = self
+            .service
+            .route_traced(self.processor.prepare_query(snapped));
+        self.log_slow(&receipt);
+        match outcome {
+            Ok(resp) => {
+                let mut http = Self::render_route_response(&resp, Some(receipt.id));
+                http.trace_id = Some(receipt.id.to_string());
+                http
+            }
+            Err(e) => HttpResponse::serve_error(&e, receipt.id),
         }
+    }
+
+    /// Emits the threshold-gated slow-request log line: single-line JSON
+    /// to stderr, so `grep slow_request` over process logs yields one
+    /// parseable record per offender, each resolvable at
+    /// `GET /api/trace/<id>` (slow traces are always tail-kept).
+    fn log_slow(&self, receipt: &TraceReceipt) {
+        if !receipt.slow {
+            return;
+        }
+        let line = Json::object([
+            ("event", Json::str("slow_request")),
+            ("trace_id", Json::str(receipt.id.to_string())),
+            ("duration_ms", Json::Number(receipt.duration_ms)),
+            ("status", Json::str(receipt.status.as_str())),
+            (
+                "threshold_ms",
+                Json::Number(self.service.tracer().slow_ms() as f64),
+            ),
+        ]);
+        eprintln!("{}", line.to_string_compact());
     }
 
     /// Renders a computed response as the `/api/route` JSON. Split from
     /// [`DemoApp::route`] so tests can compare the served body byte for
-    /// byte against the serial [`QueryProcessor::process`] path.
-    fn render_route_response(resp: &crate::query::QueryResponse) -> HttpResponse {
+    /// byte against the serial [`QueryProcessor::process`] path (the
+    /// serial caller passes the served trace id to keep the comparison
+    /// exact — the id is the one per-request field).
+    fn render_route_response(
+        resp: &crate::query::QueryResponse,
+        trace_id: Option<TraceId>,
+    ) -> HttpResponse {
         let approaches = resp
             .approaches
             .iter()
@@ -436,6 +524,12 @@ impl DemoApp {
             ("epoch", Json::Number(resp.epoch as f64)),
             ("geojson", Json::str(response_to_geojson(resp))),
         ];
+        // The trace id is present even when tracing is disabled (the
+        // collector still mints ids), so clients can always log it; it
+        // resolves at `/api/trace/<id>` only for kept traces.
+        if let Some(id) = trace_id {
+            fields.push(("trace_id", Json::str(id.to_string())));
+        }
         // Degraded responses (a lane failed or its breaker was open) name
         // the affected approaches by blind label only — the technique
         // behind each label stays hidden from the study participant.
@@ -662,6 +756,7 @@ impl DemoApp {
             content_type: "application/json",
             body: body.to_string_compact(),
             retry_after: None,
+            trace_id: None,
         }
     }
 
@@ -688,6 +783,129 @@ impl DemoApp {
             ("non_residents", to_json(Some(false))),
         ]))
     }
+
+    /// `GET /api/debug/traces` — the ring buffer of kept traces, newest
+    /// first, one summary line each. Filters compose (logical AND):
+    ///
+    /// * `?min_ms=N` — only traces at least `N` ms end to end,
+    /// * `?status=ok|truncated|degraded|failed` — only that final status,
+    /// * `?technique=<slug>` — only traces with a lane span for that
+    ///   technique (operator endpoint, so slugs are fine — blinding only
+    ///   governs `/api/route`).
+    ///
+    /// Unknown filters and malformed values are 400s, not silent no-ops:
+    /// a typo'd filter during an incident must not masquerade as "no
+    /// matching traces".
+    fn debug_traces(&self, query: &str) -> HttpResponse {
+        let tracer = self.service.tracer();
+        if !tracer.is_enabled() {
+            return HttpResponse::error(404, "tracing is disabled on this instance");
+        }
+        let mut min_ms = 0.0_f64;
+        let mut status: Option<SpanStatus> = None;
+        let mut technique: Option<String> = None;
+        for pair in query.split('&').filter(|p| !p.is_empty()) {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            match key {
+                "min_ms" => match value.parse::<f64>() {
+                    Ok(v) if v >= 0.0 => min_ms = v,
+                    _ => return HttpResponse::error(400, format!("bad min_ms {value:?}")),
+                },
+                "status" => match SpanStatus::parse(value) {
+                    Some(s) => status = Some(s),
+                    None => return HttpResponse::error(400, format!("bad status {value:?}")),
+                },
+                "technique" => technique = Some(value.to_string()),
+                _ => return HttpResponse::error(400, format!("unknown filter {key:?}")),
+            }
+        }
+        let mut traces = tracer.traces();
+        traces.reverse(); // newest first: incidents read from the top
+        let matches: Vec<Json> = traces
+            .iter()
+            .filter(|t| t.duration_ms >= min_ms)
+            .filter(|t| status.is_none_or(|s| t.status == s))
+            .filter(|t| {
+                technique.as_deref().is_none_or(|tech| {
+                    t.spans_named("lane")
+                        .any(|s| s.attr("technique") == Some(tech))
+                })
+            })
+            .map(|t| {
+                Json::object([
+                    ("trace_id", Json::str(t.id.to_string())),
+                    ("duration_ms", Json::Number(t.duration_ms)),
+                    ("status", Json::str(t.status.as_str())),
+                    ("slow", Json::Bool(t.slow)),
+                    ("spans", Json::Number(t.spans.len() as f64)),
+                ])
+            })
+            .collect();
+        HttpResponse::ok_json(Json::object([
+            ("count", Json::Number(matches.len() as f64)),
+            ("capacity", Json::Number(tracer.capacity() as f64)),
+            ("traces", Json::Array(matches)),
+        ]))
+    }
+
+    /// `GET /api/trace/<id>` — one kept trace rendered as a nested span
+    /// tree. 400 for a malformed id, 404 when the id was never kept (not
+    /// sampled, not slow, healthy) or has been evicted from the ring.
+    fn trace_tree(&self, id_text: &str) -> HttpResponse {
+        let tracer = self.service.tracer();
+        if !tracer.is_enabled() {
+            return HttpResponse::error(404, "tracing is disabled on this instance");
+        }
+        let Some(id) = TraceId::parse(id_text) else {
+            return HttpResponse::error(400, format!("malformed trace id {id_text:?}"));
+        };
+        let Some(trace) = tracer.trace(id) else {
+            return HttpResponse::error(
+                404,
+                format!("trace {id} not found (not sampled, or evicted from the ring)"),
+            );
+        };
+        let root = match trace.root() {
+            Some(root) => span_node(&trace, root),
+            None => Json::Null,
+        };
+        HttpResponse::ok_json(Json::object([
+            ("trace_id", Json::str(trace.id.to_string())),
+            ("duration_ms", Json::Number(trace.duration_ms)),
+            ("status", Json::str(trace.status.as_str())),
+            ("slow", Json::Bool(trace.slow)),
+            ("head_sampled", Json::Bool(trace.head_sampled)),
+            ("well_nested", Json::Bool(trace.well_nested())),
+            ("root", root),
+        ]))
+    }
+}
+
+/// Renders one span and, recursively, its children. Depth is bounded by
+/// the pipeline's span structure (request → stage → lane → queue), not
+/// by input, so recursion is safe.
+fn span_node(trace: &CompletedTrace, span: &Span) -> Json {
+    let children: Vec<Json> = trace
+        .spans
+        .iter()
+        .filter(|s| s.parent == Some(span.id))
+        .map(|s| span_node(trace, s))
+        .collect();
+    Json::object([
+        ("name", Json::str(span.name)),
+        ("start_us", Json::Number(span.start_us as f64)),
+        ("duration_us", Json::Number(span.duration_us() as f64)),
+        ("status", Json::str(span.status.as_str())),
+        (
+            "attrs",
+            Json::object_of(
+                span.attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), Json::str(v.clone()))),
+            ),
+        ),
+        ("children", Json::Array(children)),
+    ])
 }
 
 /// One request off the wire: the parsed request line plus either the
@@ -765,14 +983,19 @@ fn write_response(stream: &mut TcpStream, resp: &HttpResponse) -> std::io::Resul
         Some(seconds) => format!("Retry-After: {seconds}\r\n"),
         None => String::new(),
     };
+    let trace_id = match &resp.trace_id {
+        Some(id) => format!("X-Arp-Trace-Id: {id}\r\n"),
+        None => String::new(),
+    };
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}{}Connection: close\r\n\r\n{}",
         resp.status,
         reason,
         resp.content_type,
         resp.body.len(),
         retry_after,
+        trace_id,
         resp.body
     )?;
     stream.flush()
@@ -1032,6 +1255,21 @@ mod tests {
         assert_eq!(app.handle("DELETE", "/api/meta", "").status, 405);
     }
 
+    /// Extracts and parses the `trace_id` a served route body carries.
+    fn served_trace_id(resp: &HttpResponse) -> TraceId {
+        let v = json::parse(&resp.body).unwrap();
+        let text = v
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("no trace_id in {}", resp.body));
+        assert_eq!(
+            resp.trace_id.as_deref(),
+            Some(text),
+            "header id must match the body id"
+        );
+        TraceId::parse(text).unwrap()
+    }
+
     #[test]
     fn served_body_is_byte_identical_to_the_serial_path() {
         let app = app();
@@ -1039,8 +1277,10 @@ mod tests {
         let served = app.handle("POST", "/api/route", &body);
         assert_eq!(served.status, 200, "{}", served.body);
 
-        // The serial reference: snap + process on this thread, rendered by
-        // the same function the handler uses.
+        // The serial reference: snap + process on this thread, rendered
+        // by the same function the handler uses. The trace id is the one
+        // per-request field, so the reference borrows the served one to
+        // keep the comparison byte-exact.
         let req = json::parse(&body).unwrap();
         let s = Point::new(
             req.get("slon").unwrap().as_f64().unwrap(),
@@ -1050,12 +1290,17 @@ mod tests {
             req.get("tlon").unwrap().as_f64().unwrap(),
             req.get("tlat").unwrap().as_f64().unwrap(),
         );
-        let serial = DemoApp::render_route_response(&app.processor.process(s, t).unwrap());
+        let processed = app.processor.process(s, t).unwrap();
+        let id = served_trace_id(&served);
+        let serial = DemoApp::render_route_response(&processed, Some(id));
         assert_eq!(served.body, serial.body, "fan-out must match serial path");
 
         // And a repeat request — served from the route cache — is
-        // byte-identical too.
+        // byte-identical too, modulo its own fresh trace id.
         let repeat = app.handle("POST", "/api/route", &body);
+        let repeat_id = served_trace_id(&repeat);
+        assert_ne!(repeat_id, id, "every request gets its own trace");
+        let serial = DemoApp::render_route_response(&processed, Some(repeat_id));
         assert_eq!(repeat.body, serial.body, "cached reply must match");
     }
 
@@ -1177,6 +1422,8 @@ mod tests {
         let v = json::parse(&resp.body).unwrap();
         assert!(v.get("degraded").is_none(), "{}", resp.body);
         assert!(v.get("lane_status").is_none(), "{}", resp.body);
+        // The trace id is part of the healthy wire format too.
+        served_trace_id(&resp);
     }
 
     #[test]
@@ -1548,5 +1795,230 @@ mod tests {
         writer.join().unwrap();
         assert!(buf.starts_with("HTTP/1.1 503 Service Unavailable"), "{buf}");
         assert!(buf.contains("Retry-After: 3\r\n"), "{buf}");
+    }
+
+    /// The acceptance-criteria walk, end to end: a degraded request's
+    /// trace id resolves at `GET /api/trace/<id>` and the tree shows
+    /// admission, queue, prepare, every attempted lane (with retry and
+    /// breaker attributes) and assemble.
+    #[test]
+    fn degraded_request_trace_is_servable_from_the_debug_endpoints() {
+        let g = arp_citygen::generate(City::Melbourne, Scale::Small, 12);
+        let config = arp_serve::ServeConfig {
+            faults: arp_serve::FaultPlan::parse("lane.penalty=error:boom").unwrap(),
+            // Head sampling off: the trace must be kept by the degraded
+            // tail rule alone.
+            trace: arp_obs::TraceConfig {
+                sample: 0.0,
+                ..arp_obs::TraceConfig::default()
+            },
+            ..arp_serve::ServeConfig::default()
+        };
+        let app = DemoApp::with_config(QueryProcessor::new(g.name.clone(), g.network, 12), config);
+        let resp = app.handle("POST", "/api/route", &route_body(&app));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let id = served_trace_id(&resp);
+
+        let tree = app.handle("GET", &format!("/api/trace/{id}"), "");
+        assert_eq!(tree.status, 200, "{}", tree.body);
+        let v = json::parse(&tree.body).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("degraded"));
+        assert_eq!(v.get("well_nested").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("head_sampled").and_then(Json::as_bool), Some(false));
+
+        let root = v.get("root").unwrap();
+        assert_eq!(root.get("name").and_then(Json::as_str), Some("request"));
+        let attrs = root.get("attrs").unwrap();
+        assert_eq!(attrs.get("traffic_epoch").and_then(Json::as_str), Some("0"));
+        assert!(attrs.get("cache_key").is_some(), "{}", tree.body);
+
+        let children = root.get("children").unwrap().as_array().unwrap();
+        let named = |name: &str| -> Vec<&Json> {
+            children
+                .iter()
+                .filter(|c| c.get("name").and_then(Json::as_str) == Some(name))
+                .collect()
+        };
+        for stage in ["admission", "cache_probe", "prepare", "assemble"] {
+            assert_eq!(named(stage).len(), 1, "missing {stage}: {}", tree.body);
+        }
+        assert_eq!(
+            named("assemble")[0]
+                .get("attrs")
+                .unwrap()
+                .get("outcome")
+                .and_then(Json::as_str),
+            Some("degraded")
+        );
+
+        // Four first attempts plus the failed lane's retry.
+        let lanes = named("lane");
+        assert_eq!(lanes.len(), 5, "{}", tree.body);
+        let retry = lanes
+            .iter()
+            .find(|l| l.get("attrs").unwrap().get("retry").is_some())
+            .expect("retry lane span");
+        let retry_attrs = retry.get("attrs").unwrap();
+        assert_eq!(
+            retry_attrs.get("technique").and_then(Json::as_str),
+            Some("penalty")
+        );
+        assert_eq!(retry_attrs.get("attempt").and_then(Json::as_str), Some("2"));
+        assert_eq!(
+            retry_attrs.get("fault_injected").and_then(Json::as_str),
+            Some("injected fault at lane.penalty: boom")
+        );
+        assert_eq!(retry.get("status").and_then(Json::as_str), Some("failed"));
+        for lane in &lanes {
+            let attrs = lane.get("attrs").unwrap();
+            assert!(attrs.get("technique").is_some(), "{}", tree.body);
+            // First attempts carry the breaker state at submit; retries
+            // carry their backoff instead.
+            assert!(
+                attrs.get("breaker").is_some() || attrs.get("backoff_ms").is_some(),
+                "{}",
+                tree.body
+            );
+            // Every executed lane records its retroactive queue-wait
+            // child (a short-circuit would not, but none occur here).
+            let queues = lane.get("children").unwrap().as_array().unwrap();
+            assert_eq!(
+                queues
+                    .iter()
+                    .filter(|c| c.get("name").and_then(Json::as_str) == Some("queue"))
+                    .count(),
+                1,
+                "{}",
+                tree.body
+            );
+        }
+
+        // The listing finds it through every filter, and misses it when
+        // a filter excludes it.
+        let hit = |query: &str| -> usize {
+            let resp = app.handle("GET", &format!("/api/debug/traces{query}"), "");
+            assert_eq!(resp.status, 200, "{query}: {}", resp.body);
+            let v = json::parse(&resp.body).unwrap();
+            v.get("traces")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .filter(|t| t.get("trace_id").and_then(Json::as_str) == Some(&id.to_string()))
+                .count()
+        };
+        assert_eq!(hit(""), 1);
+        assert_eq!(hit("?status=degraded"), 1);
+        assert_eq!(hit("?technique=penalty&min_ms=0"), 1);
+        assert_eq!(hit("?status=failed"), 0);
+        assert_eq!(hit("?min_ms=600000"), 0);
+        assert_eq!(hit("?technique=nonexistent"), 0);
+
+        // Filter hygiene: typos are 400s, not empty result sets.
+        assert_eq!(
+            app.handle("GET", "/api/debug/traces?min_ms=x", "").status,
+            400
+        );
+        assert_eq!(
+            app.handle("GET", "/api/debug/traces?status=bogus", "")
+                .status,
+            400
+        );
+        assert_eq!(
+            app.handle("GET", "/api/debug/traces?nope=1", "").status,
+            400
+        );
+
+        // Trace lookup hygiene.
+        assert_eq!(app.handle("GET", "/api/trace/zzz", "").status, 400);
+        assert_eq!(
+            app.handle("GET", "/api/trace/00000000000000ff", "").status,
+            404
+        );
+    }
+
+    /// A shed request (503) still carries a resolvable trace id: the
+    /// failed tail rule keeps the trace, whose admission span names the
+    /// shed.
+    #[test]
+    fn shed_requests_carry_a_resolvable_trace_id() {
+        let g = arp_citygen::generate(City::Melbourne, Scale::Small, 12);
+        let config = arp_serve::ServeConfig {
+            max_inflight: 1,
+            ..arp_serve::ServeConfig::default()
+        };
+        let app = DemoApp::with_config(QueryProcessor::new(g.name.clone(), g.network, 12), config);
+        let _slot = app.service().admission().try_acquire().unwrap();
+        let resp = app.handle("POST", "/api/route", &route_body(&app));
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        let v = json::parse(&resp.body).unwrap();
+        let id = v
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        assert_eq!(resp.trace_id.as_deref(), Some(id.as_str()));
+
+        let tree = app.handle("GET", &format!("/api/trace/{id}"), "");
+        assert_eq!(tree.status, 200, "{}", tree.body);
+        let v = json::parse(&tree.body).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("failed"));
+        let root = v.get("root").unwrap();
+        let admission = root
+            .get("children")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c.get("name").and_then(Json::as_str) == Some("admission"))
+            .expect("admission span");
+        assert_eq!(
+            admission
+                .get("attrs")
+                .unwrap()
+                .get("outcome")
+                .and_then(Json::as_str),
+            Some("shed")
+        );
+    }
+
+    /// With tracing disabled, responses still mint trace ids (clients
+    /// can log them uniformly) but the debug endpoints answer 404.
+    #[test]
+    fn disabled_tracing_still_mints_ids_but_hides_the_debug_endpoints() {
+        let g = arp_citygen::generate(City::Melbourne, Scale::Small, 12);
+        let config = arp_serve::ServeConfig {
+            trace: arp_obs::TraceConfig::disabled(),
+            ..arp_serve::ServeConfig::default()
+        };
+        let app = DemoApp::with_config(QueryProcessor::new(g.name.clone(), g.network, 12), config);
+        let resp = app.handle("POST", "/api/route", &route_body(&app));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let id = served_trace_id(&resp);
+        assert_eq!(app.handle("GET", "/api/debug/traces", "").status, 404);
+        assert_eq!(
+            app.handle("GET", &format!("/api/trace/{id}"), "").status,
+            404
+        );
+    }
+
+    #[test]
+    fn trace_id_header_is_written_on_the_wire() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut resp = HttpResponse::ok_json(Json::object([("ok", Json::Bool(true))]));
+            resp.trace_id = Some("00000000deadbeef".to_string());
+            write_response(&mut stream, &resp).unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        writer.join().unwrap();
+        assert!(
+            buf.contains("X-Arp-Trace-Id: 00000000deadbeef\r\n"),
+            "{buf}"
+        );
     }
 }

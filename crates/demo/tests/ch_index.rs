@@ -36,6 +36,20 @@ fn route_body(app: &DemoApp, sx: f64, sy: f64, tx: f64, ty: f64) -> String {
     )
 }
 
+/// A served body with its per-request `trace_id` removed: every request
+/// mints its own id, so cross-app byte comparisons go modulo that one
+/// field (BTreeMap-backed objects re-serialize deterministically).
+fn sans_trace_id(body: &str) -> String {
+    let mut v = json::parse(body).expect("served body parses");
+    if let Json::Object(map) = &mut v {
+        assert!(
+            map.remove("trace_id").is_some(),
+            "every route body carries a trace_id: {body}"
+        );
+    }
+    v.to_string_compact()
+}
+
 /// Field-by-field equality of two query responses, route geometry and
 /// costs included. `QueryResponse` carries no `PartialEq` on purpose
 /// (it is not a wire type), so the audit spells the comparison out.
@@ -92,7 +106,11 @@ fn ch_served_bodies_are_byte_identical_across_cities_and_overlays() {
             let a = plain.handle("POST", "/api/route", &body);
             let b = fast.handle("POST", "/api/route", &body);
             assert_eq!(a.status, 200, "{city}: {}", a.body);
-            assert_eq!(a.body, b.body, "{city}: epoch-0 bodies must match");
+            assert_eq!(
+                sans_trace_id(&a.body),
+                sans_trace_id(&b.body),
+                "{city}: epoch-0 bodies must match"
+            );
         }
 
         // A non-identity overlay: category-wide and per-edge slowdowns.
@@ -113,7 +131,11 @@ fn ch_served_bodies_are_byte_identical_across_cities_and_overlays() {
             let a = plain.handle("POST", "/api/route", &body);
             let b = fast.handle("POST", "/api/route", &body);
             assert_eq!(a.status, 200, "{city}: {}", a.body);
-            assert_eq!(a.body, b.body, "{city}: epoch-1 bodies must match");
+            assert_eq!(
+                sans_trace_id(&a.body),
+                sans_trace_id(&b.body),
+                "{city}: epoch-1 bodies must match"
+            );
             let v = json::parse(&a.body).unwrap();
             assert_eq!(v.get("epoch").and_then(Json::as_f64), Some(1.0), "{city}");
         }
@@ -163,7 +185,11 @@ fn in_flight_customization_falls_back_without_blocking_or_diverging() {
     let a = plain.handle("POST", "/api/route", &body);
     let b = fast.handle("POST", "/api/route", &body);
     assert_eq!(a.status, 200, "{}", a.body);
-    assert_eq!(a.body, b.body, "fallback bytes must match the plain path");
+    assert_eq!(
+        sans_trace_id(&a.body),
+        sans_trace_id(&b.body),
+        "fallback bytes must match the plain path"
+    );
     let v = json::parse(&b.body).unwrap();
     assert_eq!(v.get("epoch").and_then(Json::as_f64), Some(1.0));
     assert!(
@@ -178,7 +204,11 @@ fn in_flight_customization_falls_back_without_blocking_or_diverging() {
     let body = route_body(&plain, 0.2, 0.3, 0.8, 0.7);
     let a = plain.handle("POST", "/api/route", &body);
     let b = fast.handle("POST", "/api/route", &body);
-    assert_eq!(a.body, b.body, "post-customization bytes must match");
+    assert_eq!(
+        sans_trace_id(&a.body),
+        sans_trace_id(&b.body),
+        "post-customization bytes must match"
+    );
     assert!(index.queries() > queries_before, "CH path must serve now");
     let health = fast.handle("GET", "/api/health", "");
     let v = json::parse(&health.body).unwrap();

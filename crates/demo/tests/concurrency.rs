@@ -15,12 +15,23 @@ use std::sync::Arc;
 use std::thread;
 
 use arp_citygen::{City, Scale};
+use arp_demo::json::{self, Json};
 use arp_demo::prelude::*;
 use arp_serve::ServeConfig;
 
 fn app_with(city: City, seed: u64, config: ServeConfig) -> DemoApp {
     let g = arp_citygen::generate(city, Scale::Small, seed);
     DemoApp::with_config(QueryProcessor::new(g.name.clone(), g.network, seed), config)
+}
+
+/// A served body minus its per-request `trace_id`: every request mints a
+/// fresh id, so determinism comparisons go modulo that one field.
+fn sans_trace_id(body: &str) -> String {
+    let mut v = json::parse(body).expect("served body parses");
+    if let Json::Object(map) = &mut v {
+        assert!(map.remove("trace_id").is_some(), "missing trace_id: {body}");
+    }
+    v.to_string_compact()
 }
 
 /// A route body from bounding-box fractions, kept inside the study area.
@@ -66,8 +77,16 @@ fn parallel_and_cached_responses_match_across_cities() {
             let b = parallel.handle("POST", "/api/route", body);
             let b_cached = parallel.handle("POST", "/api/route", body);
             assert_eq!(a.status, 200, "{city:?}: {}", a.body);
-            assert_eq!(a.body, b.body, "{city:?}: fan-out answer differs");
-            assert_eq!(a.body, b_cached.body, "{city:?}: cached answer differs");
+            assert_eq!(
+                sans_trace_id(&a.body),
+                sans_trace_id(&b.body),
+                "{city:?}: fan-out answer differs"
+            );
+            assert_eq!(
+                sans_trace_id(&a.body),
+                sans_trace_id(&b_cached.body),
+                "{city:?}: cached answer differs"
+            );
         }
     }
 }
@@ -105,7 +124,7 @@ fn hammering_route_is_deterministic_and_feeds_the_cache() {
     for body in shared.iter().chain(unique.iter()) {
         let resp = app.handle("POST", "/api/route", body);
         assert_eq!(resp.status, 200, "{}", resp.body);
-        expected.insert(body.clone(), resp.body);
+        expected.insert(body.clone(), sans_trace_id(&resp.body));
     }
 
     let handles: Vec<_> = (0..THREADS)
@@ -134,7 +153,7 @@ fn hammering_route_is_deterministic_and_feeds_the_cache() {
         for (body, status, text) in handle.join().expect("worker thread") {
             assert_eq!(status, 200, "shed below the admission limit: {text}");
             assert_eq!(
-                &text,
+                &sans_trace_id(&text),
                 expected.get(&body).expect("known body"),
                 "concurrent answer differs from the serial reference"
             );

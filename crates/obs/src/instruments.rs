@@ -165,6 +165,46 @@ impl Histogram {
         self.core.as_ref().map_or(0.0, |c| c.sum())
     }
 
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the bucket
+    /// counts, Prometheus `histogram_quantile`-style: find the bucket
+    /// the target rank falls in, then interpolate linearly inside it
+    /// (the first bucket interpolates from 0, the `+Inf` bucket clamps
+    /// to the last finite bound). Returns 0.0 for an empty or detached
+    /// histogram.
+    ///
+    /// The estimate is only as sharp as the bounds: with the default
+    /// sub-millisecond buckets, 0.2 ms and 0.9 ms observations resolve
+    /// to clearly different estimates instead of collapsing into one
+    /// bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let Some(core) = &self.core else {
+            return 0.0;
+        };
+        let cumulative = core.cumulative_buckets();
+        let total = cumulative.last().map_or(0, |&(_, c)| c);
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut lower_bound = 0.0;
+        let mut lower_count = 0u64;
+        for &(bound, count) in &cumulative {
+            if (count as f64) >= rank {
+                if bound.is_infinite() {
+                    // Above every finite bound: the honest answer is
+                    // "at least the last bound".
+                    return lower_bound;
+                }
+                let in_bucket = (count - lower_count) as f64;
+                let position = (rank - lower_count as f64) / in_bucket;
+                return lower_bound + (bound - lower_bound) * position;
+            }
+            lower_bound = bound;
+            lower_count = count;
+        }
+        lower_bound
+    }
+
     /// Starts a span timer that records the elapsed wall-clock time, in
     /// milliseconds, into this histogram when dropped (or stopped).
     ///
@@ -279,6 +319,54 @@ mod tests {
         let h = reg.histogram("h2_ms", "", &[], &[100.0, 1.0, f64::INFINITY, 1.0]);
         let core = h.core.as_ref().unwrap();
         assert_eq!(core.bounds, vec![1.0, 100.0]);
+    }
+
+    /// Regression for sub-millisecond bucket coverage: with the default
+    /// bounds, quantile estimation must distinguish a 0.2 ms population
+    /// from a 0.9 ms one. Before the sub-ms bounds both populations
+    /// collapsed into one bucket and came back with the same estimate.
+    #[test]
+    fn default_buckets_resolve_sub_millisecond_quantiles() {
+        let reg = Registry::new();
+        let fast = reg.histogram("fast_ms", "", &[], &crate::DEFAULT_LATENCY_BUCKETS_MS);
+        let slow = reg.histogram("slow_ms2", "", &[], &crate::DEFAULT_LATENCY_BUCKETS_MS);
+        for _ in 0..100 {
+            fast.observe(0.2);
+            slow.observe(0.9);
+        }
+        let fast_p50 = fast.quantile(0.5);
+        let slow_p50 = slow.quantile(0.5);
+        assert!(
+            (fast_p50 - 0.2).abs() < 0.08,
+            "0.2 ms population estimated at {fast_p50} ms"
+        );
+        assert!(
+            (slow_p50 - 0.9).abs() < 0.16,
+            "0.9 ms population estimated at {slow_p50} ms"
+        );
+        assert!(
+            slow_p50 - fast_p50 > 0.4,
+            "sub-ms populations must be distinguishable: {fast_p50} vs {slow_p50}"
+        );
+    }
+
+    #[test]
+    fn quantile_interpolates_and_handles_edges() {
+        let reg = Registry::new();
+        let h = reg.histogram("q_ms", "", &[], &[1.0, 10.0, 100.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        for v in [0.5, 5.0, 5.0, 50.0] {
+            h.observe(v);
+        }
+        // Rank 2 of 4 falls at the top of the (1, 10] bucket's first of
+        // two observations: 1 + 9 * (2-1)/2 = 5.5.
+        assert!((h.quantile(0.5) - 5.5).abs() < 1e-9);
+        // q=0 clamps to rank 1 (the first bucket, interpolated from 0).
+        assert!(h.quantile(0.0) <= 1.0);
+        // Everything above the last finite bound clamps to it.
+        h.observe(1e6);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(Histogram::default().quantile(0.5), 0.0, "detached");
     }
 
     #[test]

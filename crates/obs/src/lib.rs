@@ -53,15 +53,24 @@
 pub mod instruments;
 pub mod registry;
 pub mod render;
+pub mod trace;
 
 pub use instruments::{Counter, Gauge, Histogram, Timer};
 pub use registry::{Registry, Sample, SampleValue};
+pub use trace::{
+    CompletedTrace, Span, SpanCollector, SpanGuard, SpanStatus, TraceConfig, TraceContext, TraceId,
+    TraceReceipt,
+};
 
 /// Default latency histogram bucket upper bounds, in **milliseconds**.
 ///
-/// Spans sub-millisecond single searches up to multi-second cold requests;
-/// an implicit `+Inf` bucket is always appended by the histogram itself.
+/// Spans sub-millisecond single searches up to multi-second cold
+/// requests, with enough sub-millisecond resolution (0.025–0.75 ms) that
+/// quantile estimation can tell a 0.2 ms hot-cache path from a 0.9 ms
+/// one instead of flattening both into a single first bucket; an
+/// implicit `+Inf` bucket is always appended by the histogram itself.
 /// Documented in DESIGN.md §7 — change them there too.
-pub const DEFAULT_LATENCY_BUCKETS_MS: [f64; 14] = [
-    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 2500.0,
+pub const DEFAULT_LATENCY_BUCKETS_MS: [f64; 16] = [
+    0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+    2500.0,
 ];

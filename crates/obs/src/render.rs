@@ -164,6 +164,85 @@ mod tests {
         assert!(text.contains(r#"e_total{p="a\"b\\c\nd"} 1"#));
     }
 
+    /// Inverts [`escape_label`]: the decoder a Prometheus scraper
+    /// applies to a quoted label value.
+    fn unescape_label(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    /// Round-trips hostile label values through render + a conforming
+    /// scraper's unescape: every value must come back verbatim, and the
+    /// rendered line must never contain a raw newline or unescaped
+    /// quote (either would corrupt the whole exposition).
+    #[test]
+    fn hostile_label_values_round_trip() {
+        let hostile = [
+            "back\\slash",
+            "quo\"te",
+            "multi\nline",
+            "a\"b\\c\nd",
+            "trailing\\",
+            "\\n is not a newline",
+            "\"\"",
+            "\\\\\"\n\\",
+            "{weird={inner=\"x\"}}",
+        ];
+        for (i, value) in hostile.iter().enumerate() {
+            let reg = Registry::new();
+            let name = format!("rt_{i}_total");
+            reg.counter(&name, "", &[("site", value)]).inc();
+            let text = reg.render_prometheus();
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(&name) && !l.starts_with('#'))
+                .unwrap_or_else(|| panic!("no sample line for {value:?}: {text}"));
+            // The sample must stay on one line: `name{site="…"} 1`.
+            let rest = line.strip_prefix(&format!("{name}{{site=\"")).unwrap();
+            let escaped = rest
+                .strip_suffix("\"} 1")
+                .unwrap_or_else(|| panic!("sample line lost its shape for {value:?}: {line}"));
+            // No unescaped quote may terminate the value early: every
+            // `"` inside must be preceded by an odd run of backslashes.
+            let mut backslashes = 0usize;
+            for c in escaped.chars() {
+                match c {
+                    '\\' => backslashes += 1,
+                    '"' => {
+                        assert!(
+                            backslashes % 2 == 1,
+                            "unescaped quote inside value for {value:?}: {line}"
+                        );
+                        backslashes = 0;
+                    }
+                    _ => backslashes = 0,
+                }
+            }
+            assert_eq!(
+                unescape_label(escaped),
+                *value,
+                "value did not round-trip: {line}"
+            );
+        }
+    }
+
     #[test]
     fn families_with_shared_prefix_do_not_bleed() {
         let reg = Registry::new();

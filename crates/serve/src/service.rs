@@ -57,7 +57,10 @@ use crate::fault::{sites, FaultPlan};
 use crate::metrics::ServeMetrics;
 use crate::pool::{scatter_cancellable, Fanout, WorkerPool};
 use crate::retry::{LaneLatency, RetryPolicy, RetryState};
-use arp_obs::{Counter, Registry};
+use arp_obs::{
+    Counter, Registry, SpanCollector, SpanGuard, SpanStatus, TraceConfig, TraceContext,
+    TraceReceipt,
+};
 
 /// How one lane ended under cooperative cancellation and failure
 /// isolation.
@@ -278,6 +281,25 @@ pub trait RouteBackend: Send + Sync + 'static {
         let _ = statuses;
         self.assemble_partial(request, parts)
     }
+
+    /// Attributes stamped on the root span when a trace starts — the
+    /// demo backend reports the pinned traffic epoch and the request's
+    /// base cache key here. Called only when the trace is recording.
+    /// The default stamps nothing.
+    fn trace_attrs(&self, request: &Self::Request) -> Vec<(&'static str, String)> {
+        let _ = request;
+        Vec::new()
+    }
+
+    /// Attributes stamped on the `prepare` span after
+    /// [`RouteBackend::prepare`] returns — the demo backend reports
+    /// whether the shared substrate was built and which builder (CH or
+    /// plain Dijkstra) served it. Called only when the trace is
+    /// recording. The default stamps nothing.
+    fn prepare_attrs(&self, request: &Self::Request) -> Vec<(&'static str, String)> {
+        let _ = request;
+        Vec::new()
+    }
 }
 
 /// Tunables for the serving layer.
@@ -312,6 +334,9 @@ pub struct ServeConfig {
     pub retry: RetryPolicy,
     /// Per-technique circuit-breaker thresholds.
     pub breaker: BreakerConfig,
+    /// Request tracing: head-sampling rate, trace ring capacity and the
+    /// slow-request threshold (see [`arp_obs::TraceConfig`]).
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeConfig {
@@ -329,6 +354,7 @@ impl Default for ServeConfig {
             faults: FaultPlan::disabled(),
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -557,6 +583,10 @@ struct LaneAttempt<B: RouteBackend> {
     lane: usize,
     token: CancelToken,
     request: B::Request,
+    /// The attempt's trace span, opened at submission time; travels
+    /// with the attempt to whichever thread runs it and records on
+    /// drop at the end of [`LaneAttempt::run`].
+    span: SpanGuard,
 }
 
 impl<B: RouteBackend> LaneAttempt<B> {
@@ -564,13 +594,35 @@ impl<B: RouteBackend> LaneAttempt<B> {
     /// complete result. Panics (real or injected) are contained here so
     /// a panicking technique is indistinguishable from an erroring one
     /// at the fan-out layer.
-    fn run(&self) -> LaneReply<B::Part> {
+    fn run(mut self) -> LaneReply<B::Part> {
         let start = Instant::now();
+        if self.span.is_recording() {
+            // The span opened when the lane was submitted; everything
+            // up to here was time spent waiting in the worker queue.
+            let picked_up_us = self.span.start_us() + self.span.elapsed_us();
+            self.span.record_child(
+                "queue",
+                self.span.start_us(),
+                picked_up_us,
+                SpanStatus::Ok,
+                Vec::new(),
+            );
+            self.span
+                .attr_u64("queue_wait_us", picked_up_us - self.span.start_us());
+        }
         let result = catch_unwind(AssertUnwindSafe(|| {
-            self.faults.fire(&self.site).map_err(LaneError::transient)?;
+            // Injected faults and backend errors surface identically to
+            // the fan-out layer but are told apart on the span.
+            if let Err(message) = self.faults.fire(&self.site) {
+                return Err((true, LaneError::transient(message)));
+            }
             self.backend
                 .compute_cancellable(&self.request, self.lane, &self.token)
+                .map_err(|error| (false, error))
         }));
+        if self.token.is_cancelled() {
+            self.span.attr("cancelled", "true");
+        }
         match result {
             Ok(Ok(outcome)) => {
                 // Only complete lanes are cached: a truncated part
@@ -580,10 +632,40 @@ impl<B: RouteBackend> LaneAttempt<B> {
                     let now_ms = self.epoch.elapsed().as_millis() as u64;
                     cache.put(self.key.clone(), part.clone(), now_ms);
                 }
+                match &outcome {
+                    LaneOutcome::Complete(_) => self.span.attr("outcome", "complete"),
+                    LaneOutcome::Truncated(_) => {
+                        self.span.set_status(SpanStatus::Truncated);
+                        self.span.attr("outcome", "truncated");
+                    }
+                    LaneOutcome::Failed { reason } => {
+                        self.span.set_status(SpanStatus::Failed);
+                        self.span.attr("outcome", "failed");
+                        if self.span.is_recording() {
+                            self.span.attr("error", reason.clone());
+                        }
+                    }
+                }
                 LaneReply::Outcome(outcome, start.elapsed().as_millis() as u64)
             }
-            Ok(Err(error)) => LaneReply::Errored(error),
-            Err(payload) => LaneReply::Panicked(panic_message(payload.as_ref())),
+            Ok(Err((injected, error))) => {
+                self.span.set_status(SpanStatus::Failed);
+                self.span.attr("outcome", "failed");
+                if self.span.is_recording() {
+                    let key = if injected { "fault_injected" } else { "error" };
+                    self.span.attr(key, error.message.clone());
+                }
+                LaneReply::Errored(error)
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                self.span.set_status(SpanStatus::Failed);
+                self.span.attr("outcome", "failed");
+                if self.span.is_recording() {
+                    self.span.attr("panic", message.clone());
+                }
+                LaneReply::Panicked(message)
+            }
         }
     }
 }
@@ -601,6 +683,8 @@ pub struct RouteService<B: RouteBackend> {
     /// Monotonic request sequence; decorrelates retry jitter streams.
     seq: AtomicU64,
     epoch: Instant,
+    /// Per-request trace collector (ring buffer + sampling verdicts).
+    tracer: SpanCollector,
 }
 
 impl<B: RouteBackend> RouteService<B> {
@@ -644,6 +728,12 @@ impl<B: RouteBackend> RouteService<B> {
         let lanes = (0..backend.lanes())
             .map(|lane| LaneRuntime::new(backend.lane_name(lane), &config.breaker, registry))
             .collect();
+        let tracer = match registry {
+            Some(registry) => SpanCollector::new(&config.trace, registry),
+            // Metrics-only construction still records traces (the ring
+            // is inspectable); only the counters are detached.
+            None => SpanCollector::new(&config.trace, &Registry::disabled()),
+        };
         RouteService {
             backend: Arc::new(backend),
             pool,
@@ -654,6 +744,7 @@ impl<B: RouteBackend> RouteService<B> {
             lanes,
             seq: AtomicU64::new(0),
             epoch: Instant::now(),
+            tracer,
         }
     }
 
@@ -661,7 +752,13 @@ impl<B: RouteBackend> RouteService<B> {
         self.epoch.elapsed().as_millis() as u64
     }
 
-    fn attempt(&self, lane: usize, request: &B::Request, token: &CancelToken) -> LaneAttempt<B> {
+    fn attempt(
+        &self,
+        lane: usize,
+        request: &B::Request,
+        token: &CancelToken,
+        span: SpanGuard,
+    ) -> LaneAttempt<B> {
         LaneAttempt {
             backend: Arc::clone(&self.backend),
             cache: self.cache.clone(),
@@ -672,29 +769,76 @@ impl<B: RouteBackend> RouteService<B> {
             lane,
             token: token.clone(),
             request: request.clone(),
+            span,
         }
     }
 
     /// Runs one request through the full pipeline.
-    pub fn route(&self, mut request: B::Request) -> Result<B::Response, ServeError> {
+    pub fn route(&self, request: B::Request) -> Result<B::Response, ServeError> {
+        self.route_traced(request).1
+    }
+
+    /// Runs one request through the full pipeline under a trace: every
+    /// stage — admission, cache probe, prepare, each lane attempt
+    /// (including retries and breaker short-circuits) and assembly —
+    /// records a span, and the returned [`TraceReceipt`] carries the
+    /// trace id the HTTP layer echoes back plus the slow/kept verdicts
+    /// for the slow-request log.
+    pub fn route_traced(
+        &self,
+        request: B::Request,
+    ) -> (TraceReceipt, Result<B::Response, ServeError>) {
+        let ctx = self.tracer.start_trace();
+        let mut root = ctx.span("request");
+        if root.is_recording() {
+            for (key, value) in self.backend.trace_attrs(&request) {
+                root.attr(key, value);
+            }
+        }
+        let (status, result) = self.route_stages(request, &ctx, &mut root);
+        root.set_status(status);
+        drop(root);
+        (ctx.finish(status), result)
+    }
+
+    /// The pipeline body: returns the request's final [`SpanStatus`]
+    /// (what the trace is filed under) alongside the response.
+    fn route_stages(
+        &self,
+        mut request: B::Request,
+        ctx: &TraceContext,
+        root: &mut SpanGuard,
+    ) -> (SpanStatus, Result<B::Response, ServeError>) {
+        let root_id = root.id();
         let total_timer = self.metrics.total.start_timer();
 
         // Stage 1: admission.
         let admit_timer = self.metrics.stage_admit.start_timer();
+        let mut admit_span = ctx.child_span("admission", root_id);
         let Some(_permit) = self.admission.try_acquire() else {
             admit_timer.discard();
             total_timer.discard();
             self.metrics.shed_admission.inc();
-            return Err(ServeError::Overloaded {
-                retry_after_s: adaptive_retry_after(
-                    self.config.retry_after_s,
-                    self.admission.inflight(),
-                    self.admission.max_inflight(),
-                    self.pool.queue_len(),
-                    self.pool.queue_capacity(),
-                ),
-            });
+            let retry_after_s = adaptive_retry_after(
+                self.config.retry_after_s,
+                self.admission.inflight(),
+                self.admission.max_inflight(),
+                self.pool.queue_len(),
+                self.pool.queue_capacity(),
+            );
+            admit_span.set_status(SpanStatus::Failed);
+            admit_span.attr("outcome", "shed");
+            admit_span.attr_u64("retry_after_s", u64::from(retry_after_s));
+            drop(admit_span);
+            return (
+                SpanStatus::Failed,
+                Err(ServeError::Overloaded { retry_after_s }),
+            );
         };
+        if admit_span.is_recording() {
+            admit_span.attr_u64("inflight", self.admission.inflight() as u64);
+        }
+        drop(admit_span);
         admit_timer.stop_ms();
         self.metrics.admitted.inc();
         let deadline = self.config.request_deadline();
@@ -704,16 +848,30 @@ impl<B: RouteBackend> RouteService<B> {
         // optimization, never a dependency.
         let lanes = self.backend.lanes();
         let cache_timer = self.metrics.stage_cache.start_timer();
+        let mut probe_span = ctx.child_span("cache_probe", root_id);
         let mut parts: Vec<Option<B::Part>> = vec![None; lanes];
         if let Some(cache) = &self.cache {
-            if self.config.faults.fire(sites::CACHE_GET).is_ok() {
-                let now_ms = self.now_ms();
-                for (lane, slot) in parts.iter_mut().enumerate() {
-                    let key = self.backend.lane_key(&request, lane);
-                    *slot = cache.get(&key, now_ms);
+            match self.config.faults.fire(sites::CACHE_GET) {
+                Ok(()) => {
+                    let now_ms = self.now_ms();
+                    for (lane, slot) in parts.iter_mut().enumerate() {
+                        let key = self.backend.lane_key(&request, lane);
+                        *slot = cache.get(&key, now_ms);
+                    }
+                }
+                Err(message) => {
+                    if probe_span.is_recording() {
+                        probe_span.attr("fault_injected", message);
+                    }
                 }
             }
         }
+        if probe_span.is_recording() {
+            let hits = parts.iter().filter(|slot| slot.is_some()).count();
+            probe_span.attr_u64("hits", hits as u64);
+            probe_span.attr_u64("lanes", lanes as u64);
+        }
+        drop(probe_span);
         cache_timer.stop_ms();
 
         // Stage 3: fan out the missing lanes — gated per lane by its
@@ -741,6 +899,21 @@ impl<B: RouteBackend> RouteService<B> {
                     statuses[lane] = LaneStatus::OpenCircuit;
                     self.lanes[lane].fail_open_circuit.inc();
                     failures.push((lane, format!("{}: circuit open", self.lanes[lane].name)));
+                    if ctx.is_recording() {
+                        let tick = ctx.tick_us();
+                        ctx.record_span(
+                            "lane",
+                            Some(root_id),
+                            tick,
+                            tick,
+                            SpanStatus::Failed,
+                            vec![
+                                ("technique", self.lanes[lane].name.clone()),
+                                ("breaker", "open".to_string()),
+                                ("outcome", "open_circuit".to_string()),
+                            ],
+                        );
+                    }
                 }
             }
 
@@ -751,14 +924,29 @@ impl<B: RouteBackend> RouteService<B> {
             let token = CancelToken::new();
             if !runnable.is_empty() {
                 let prepare_timer = self.metrics.stage_prepare.start_timer();
+                let mut prepare_span = ctx.child_span("prepare", root_id);
                 request = self.backend.prepare(request, &token, &deadline);
+                if prepare_span.is_recording() {
+                    for (key, value) in self.backend.prepare_attrs(&request) {
+                        prepare_span.attr(key, value);
+                    }
+                }
+                drop(prepare_span);
                 prepare_timer.stop_ms();
             }
 
             let compute_start = Instant::now();
             let attempts: Vec<LaneAttempt<B>> = runnable
                 .iter()
-                .map(|&lane| self.attempt(lane, &request, &token))
+                .map(|&lane| {
+                    let mut span = ctx.child_span("lane", root_id);
+                    if span.is_recording() {
+                        span.attr("technique", self.lanes[lane].name.clone());
+                        span.attr_u64("attempt", 1);
+                        span.attr("breaker", self.lanes[lane].breaker.state().as_str());
+                    }
+                    self.attempt(lane, &request, &token, span)
+                })
                 .collect();
             // An injected `queue.push` error simulates a refused queue:
             // every lane degrades to inline execution, exactly like the
@@ -798,6 +986,7 @@ impl<B: RouteBackend> RouteService<B> {
             if deadline_hit {
                 self.metrics.cancellations.inc();
                 truncated = true;
+                root.attr("cancelled", "true");
             }
             let mut retry_state: Option<RetryState> = None;
             for (lane, slot) in runnable.into_iter().zip(fanout.slots) {
@@ -825,6 +1014,8 @@ impl<B: RouteBackend> RouteService<B> {
                             deadline_hit,
                             &deadline,
                             &request,
+                            ctx,
+                            root_id,
                             &mut retry_state,
                             &mut parts,
                             &mut statuses,
@@ -840,6 +1031,8 @@ impl<B: RouteBackend> RouteService<B> {
                             deadline_hit,
                             &deadline,
                             &request,
+                            ctx,
+                            root_id,
                             &mut retry_state,
                             &mut parts,
                             &mut statuses,
@@ -855,6 +1048,8 @@ impl<B: RouteBackend> RouteService<B> {
                             deadline_hit,
                             &deadline,
                             &request,
+                            ctx,
+                            root_id,
                             &mut retry_state,
                             &mut parts,
                             &mut statuses,
@@ -894,6 +1089,7 @@ impl<B: RouteBackend> RouteService<B> {
         // ladder.
         let degraded = statuses.iter().any(LaneStatus::is_degraded);
         let assemble_timer = self.metrics.stage_assemble.start_timer();
+        let mut assemble_span = ctx.child_span("assemble", root_id);
         let response = if !truncated && !degraded {
             let parts: Vec<B::Part> = parts
                 .into_iter()
@@ -914,9 +1110,12 @@ impl<B: RouteBackend> RouteService<B> {
                     // timeout; pure lane failure is a bad gateway.
                     assemble_timer.discard();
                     total_timer.discard();
+                    assemble_span.set_status(SpanStatus::Failed);
                     if deadline_hit || (truncated && !degraded) {
                         self.metrics.timeouts.inc();
-                        return Err(ServeError::DeadlineExceeded);
+                        assemble_span.attr("outcome", "deadline_exceeded");
+                        drop(assemble_span);
+                        return (SpanStatus::Failed, Err(ServeError::DeadlineExceeded));
                     }
                     let reasons = if failures.is_empty() {
                         "no lane produced a result".to_string()
@@ -927,13 +1126,33 @@ impl<B: RouteBackend> RouteService<B> {
                             .collect::<Vec<_>>()
                             .join("; ")
                     };
-                    return Err(ServeError::AllLanesFailed { reasons });
+                    assemble_span.attr("outcome", "all_lanes_failed");
+                    drop(assemble_span);
+                    return (
+                        SpanStatus::Failed,
+                        Err(ServeError::AllLanesFailed { reasons }),
+                    );
                 }
             }
         };
+        if assemble_span.is_recording() {
+            if degraded {
+                assemble_span.attr("outcome", "degraded");
+            } else if truncated {
+                assemble_span.attr("outcome", "truncated");
+            }
+        }
+        drop(assemble_span);
         assemble_timer.stop_ms();
         total_timer.stop_ms();
-        Ok(response)
+        let status = if degraded {
+            SpanStatus::Degraded
+        } else if truncated {
+            SpanStatus::Truncated
+        } else {
+            SpanStatus::Ok
+        };
+        (status, Ok(response))
     }
 
     /// Handles one lane's final-attempt failure: record it, then retry
@@ -949,6 +1168,8 @@ impl<B: RouteBackend> RouteService<B> {
         deadline_hit: bool,
         deadline: &Deadline,
         request: &B::Request,
+        ctx: &TraceContext,
+        root_id: u32,
         retry_state: &mut Option<RetryState>,
         parts: &mut [Option<B::Part>],
         statuses: &mut [LaneStatus],
@@ -975,7 +1196,14 @@ impl<B: RouteBackend> RouteService<B> {
                     // retry's token and truncates it like any other lane
                     // instead of blocking the requester indefinitely.
                     let token = CancelToken::new();
-                    let attempt = self.attempt(lane, request, &token);
+                    let mut span = ctx.child_span("lane", root_id);
+                    if span.is_recording() {
+                        span.attr("technique", runtime.name.clone());
+                        span.attr_u64("attempt", 2);
+                        span.attr("retry", "true");
+                        span.attr_u64("backoff_ms", backoff.as_millis() as u64);
+                    }
+                    let attempt = self.attempt(lane, request, &token, span);
                     let fanout: Fanout<LaneReply<B::Part>> = scatter_cancellable(
                         &self.pool,
                         vec![move || attempt.run()],
@@ -1032,6 +1260,20 @@ impl<B: RouteBackend> RouteService<B> {
                 // retry cost was incurred, so the budget unit goes back
                 // for the request's other lanes.
                 state.refund();
+                if ctx.is_recording() {
+                    let tick = ctx.tick_us();
+                    ctx.record_span(
+                        "lane",
+                        Some(root_id),
+                        tick,
+                        tick,
+                        SpanStatus::Failed,
+                        vec![
+                            ("technique", runtime.name.clone()),
+                            ("retry_refused", "breaker".to_string()),
+                        ],
+                    );
+                }
             }
         }
         statuses[lane] = LaneStatus::Failed;
@@ -1109,6 +1351,13 @@ impl<B: RouteBackend> RouteService<B> {
     /// The service's metric handles.
     pub fn metrics(&self) -> &ServeMetrics {
         &self.metrics
+    }
+
+    /// The trace collector: the ring buffer of kept traces and the
+    /// sampling verdicts behind the `/api/debug/traces` and
+    /// `/api/trace/<id>` endpoints.
+    pub fn tracer(&self) -> &SpanCollector {
+        &self.tracer
     }
 
     /// The admission gate (for HTTP-layer introspection).
@@ -1918,6 +2167,112 @@ mod tests {
             start.elapsed()
         );
         assert_eq!(svc.metrics().cancellations.get(), 2);
+    }
+
+    /// The tentpole invariant at the serve layer: a degraded request's
+    /// trace holds a well-nested tree with spans for every stage —
+    /// admission, cache probe, prepare, each lane attempt (the failed
+    /// lane twice, with retry attributes), queue waits, assembly — and
+    /// the tail rule keeps it even though head sampling is off.
+    #[test]
+    fn degraded_request_trace_covers_every_stage() {
+        let mut backend = EchoBackend::new(2);
+        backend.fail_lane = Some(1);
+        let registry = Registry::new();
+        let config = ServeConfig {
+            trace: arp_obs::TraceConfig {
+                sample: 0.0,
+                ..arp_obs::TraceConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let svc = RouteService::new(backend, config, &registry);
+        let (receipt, result) = svc.route_traced((3, 4));
+        let out = result.unwrap();
+        assert!(out.contains("[ok,failed]"), "{out}");
+        assert_eq!(receipt.status, SpanStatus::Degraded);
+        assert!(receipt.kept, "tail rule must keep a degraded trace");
+
+        let trace = svc.tracer().trace(receipt.id).expect("trace in ring");
+        assert!(trace.well_nested(), "{:?}", trace.spans);
+        assert_eq!(trace.root().unwrap().name, "request");
+        assert_eq!(trace.root().unwrap().status, SpanStatus::Degraded);
+        for stage in ["admission", "cache_probe", "prepare", "assemble"] {
+            assert!(trace.span(stage).is_some(), "missing {stage} span");
+        }
+        assert_eq!(
+            trace.span("assemble").unwrap().attr("outcome"),
+            Some("degraded")
+        );
+        // Two first attempts plus one retry of the failing lane, each
+        // with its retroactive queue-wait child.
+        let lane_spans: Vec<_> = trace.spans_named("lane").collect();
+        assert_eq!(lane_spans.len(), 3, "{lane_spans:?}");
+        assert_eq!(trace.spans_named("queue").count(), 3);
+        let retry = lane_spans
+            .iter()
+            .find(|s| s.attr("retry") == Some("true"))
+            .expect("retry attempt span");
+        assert_eq!(retry.attr("technique"), Some("lane1"));
+        assert_eq!(retry.attr("attempt"), Some("2"));
+        assert_eq!(retry.status, SpanStatus::Failed);
+        assert!(retry.attr("error").is_some(), "{retry:?}");
+        assert!(
+            lane_spans
+                .iter()
+                .all(|s| s.parent == Some(trace.root().unwrap().id)),
+            "lane spans hang off the root"
+        );
+        assert!(registry.counter_value("arp_trace_spans_total", &[]) >= 9);
+        assert_eq!(registry.counter_value("arp_trace_sampled_total", &[]), 1);
+    }
+
+    /// An open breaker's short-circuited lane still shows up in the
+    /// trace — as an instant span marked `open_circuit` — and a cached
+    /// repeat's trace records the probe hits without lane spans.
+    #[test]
+    fn short_circuits_and_cache_hits_are_traced() {
+        let mut backend = EchoBackend::new(2);
+        backend.fail_lane = Some(0);
+        let config = ServeConfig {
+            retry: no_retries(),
+            breaker: BreakerConfig {
+                window: 8,
+                min_volume: 1,
+                error_rate: 0.1,
+                cooldown_ms: 60_000,
+            },
+            ..ServeConfig::default()
+        };
+        let svc = service(backend, config);
+        let _ = svc.route((1, 2)).unwrap(); // opens lane0's breaker
+        assert_eq!(svc.breaker_state(0), BreakerState::Open);
+
+        let (receipt, result) = svc.route_traced((5, 6));
+        result.unwrap();
+        let trace = svc.tracer().trace(receipt.id).expect("degraded trace kept");
+        assert!(trace.well_nested(), "{:?}", trace.spans);
+        let short = trace
+            .spans_named("lane")
+            .find(|s| s.attr("outcome") == Some("open_circuit"))
+            .expect("short-circuit span");
+        assert_eq!(short.attr("breaker"), Some("open"));
+        assert_eq!(short.duration_us(), 0, "an instant span");
+
+        // Repeat: lane1 is cached; lane0 still short-circuits, so the
+        // trace is kept (degraded) and the probe recorded its hit.
+        let (receipt, result) = svc.route_traced((5, 6));
+        result.unwrap();
+        let trace = svc.tracer().trace(receipt.id).expect("repeat trace kept");
+        assert_eq!(trace.span("cache_probe").unwrap().attr("hits"), Some("1"));
+        assert_eq!(
+            trace
+                .spans_named("lane")
+                .filter(|s| s.attr("outcome") != Some("open_circuit"))
+                .count(),
+            0,
+            "cached lanes must not fan out"
+        );
     }
 
     #[test]

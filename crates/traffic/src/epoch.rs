@@ -62,6 +62,13 @@ impl EpochSnapshot {
     pub fn overlay_size(&self) -> usize {
         self.overlay_size
     }
+
+    /// The traffic-epoch attribute a request's root trace span is
+    /// stamped with, tying every captured trace to the exact weight
+    /// column it was served under.
+    pub fn trace_attr(&self) -> (&'static str, String) {
+        ("traffic_epoch", self.epoch.to_string())
+    }
 }
 
 impl WeightView for EpochSnapshot {

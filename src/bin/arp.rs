@@ -14,6 +14,7 @@
 //!               [--ch on|off]  (the CH index tier; on by default)
 //!               [--state-dir DIR]  (durable traffic state: journal + snapshots + crash recovery)
 //!               [--fsync always|interval[:N]|never] [--snapshot-every N]
+//!               [--trace-sample R] [--trace-buffer N] [--slow-ms MS]  (request tracing)
 //! ```
 //!
 //! Flags are validated against a per-subcommand allowlist: an unknown
@@ -29,7 +30,7 @@ use arp_roadnet::weight::ms_to_display_minutes;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  arp generate  <city> [--scale S] [--seed N] [--out FILE]\n  arp export-osm <city> [--scale S] [--seed N] --out FILE\n  arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT [--technique T] [--k N] [--geojson FILE]\n  arp study     <city> [--scale S] [--seed N]\n  arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N] [--faults SPEC] [--traffic-tick-ms MS] [--traffic-seed N] [--ch on|off] [--state-dir DIR] [--fsync always|interval[:N]|never] [--snapshot-every N]\n\ncities: melbourne | dhaka | copenhagen   scales: tiny | small | medium | large"
+        "usage:\n  arp generate  <city> [--scale S] [--seed N] [--out FILE]\n  arp export-osm <city> [--scale S] [--seed N] --out FILE\n  arp route     <city|FILE.arn> --from LON,LAT --to LON,LAT [--technique T] [--k N] [--geojson FILE]\n  arp study     <city> [--scale S] [--seed N]\n  arp serve     <city> [--port P] [--seed N] [--workers N] [--queue N] [--cache N] [--faults SPEC] [--traffic-tick-ms MS] [--traffic-seed N] [--ch on|off] [--state-dir DIR] [--fsync always|interval[:N]|never] [--snapshot-every N] [--trace-sample R] [--trace-buffer N] [--slow-ms MS]\n\ncities: melbourne | dhaka | copenhagen   scales: tiny | small | medium | large"
     );
     std::process::exit(2)
 }
@@ -55,6 +56,9 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "state-dir",
             "fsync",
             "snapshot-every",
+            "trace-sample",
+            "trace-buffer",
+            "slow-ms",
         ],
         _ => return None,
     })
@@ -373,19 +377,47 @@ fn cmd_serve(positional: &[String], flags: &HashMap<String, String>) -> ExitCode
             })
         })
         .unwrap_or_default();
+    // Request tracing: `--trace-sample 0.1` head-keeps 10% of requests
+    // (slow/degraded/failed ones are always kept by the tail rules),
+    // `--trace-buffer` sizes the debug ring, `--slow-ms` sets the
+    // slow-request log threshold (0 turns the log line off). A sample
+    // rate of exactly 0 with slow-ms 0 still traces — tail rules keep
+    // every non-ok request for `/api/trace/<id>`.
+    let trace = arp_obs::TraceConfig {
+        sample: flags
+            .get("trace-sample")
+            .map(|v| match v.parse::<f64>() {
+                Ok(r) if (0.0..=1.0).contains(&r) => r,
+                _ => {
+                    eprintln!("--trace-sample must be a rate in [0, 1], got {v:?}");
+                    usage()
+                }
+            })
+            .unwrap_or(defaults.trace.sample),
+        buffer: flag_usize("trace-buffer", defaults.trace.buffer),
+        slow_ms: flags
+            .get("slow-ms")
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(defaults.trace.slow_ms),
+        ..defaults.trace
+    };
     let config = arp_serve::ServeConfig {
         workers: flag_usize("workers", defaults.workers),
         queue_capacity: flag_usize("queue", defaults.queue_capacity),
         // `--cache 0` disables the route cache.
         cache_capacity: flag_usize("cache", defaults.cache_capacity),
         faults,
+        trace,
         ..defaults
     };
     println!(
-        "serving config: {} workers, queue {}, cache {} entries{}",
+        "serving config: {} workers, queue {}, cache {} entries, tracing {:.0}% sample / {} ring / slow at {} ms{}",
         config.workers,
         config.queue_capacity,
         config.cache_capacity,
+        config.trace.sample * 100.0,
+        config.trace.buffer,
+        config.trace.slow_ms,
         if config.faults.is_enabled() {
             ", fault injection ARMED"
         } else {
@@ -600,6 +632,29 @@ mod tests {
         assert_eq!(flags.get("snapshot-every").map(String::as_str), Some("64"));
         assert!(parse_args("route", &argv(&["dhaka", "--state-dir", "/x"])).is_err());
         assert!(parse_args("study", &argv(&["dhaka", "--fsync", "never"])).is_err());
+    }
+
+    /// The tracing flags parse on `serve` and only on `serve`.
+    #[test]
+    fn tracing_flags_are_serve_only() {
+        let (_, flags) = parse_args(
+            "serve",
+            &argv(&[
+                "copenhagen",
+                "--trace-sample",
+                "0.1",
+                "--trace-buffer",
+                "512",
+                "--slow-ms",
+                "250",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(flags.get("trace-sample").map(String::as_str), Some("0.1"));
+        assert_eq!(flags.get("trace-buffer").map(String::as_str), Some("512"));
+        assert_eq!(flags.get("slow-ms").map(String::as_str), Some("250"));
+        assert!(parse_args("route", &argv(&["dhaka", "--trace-sample", "1"])).is_err());
+        assert!(parse_args("study", &argv(&["dhaka", "--slow-ms", "10"])).is_err());
     }
 
     /// Allowlists are per-subcommand: a serve-only flag is an error on
